@@ -1,0 +1,18 @@
+// Reproduces Fig. 4: node classification accuracy on targeted nodes under
+// the FGA gradient attack, 1..5 perturbations per target.
+#include "attack/fga.h"
+#include "bench/targeted_attack_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace aneci;
+  bench::AttackFn attack = [](const Dataset& ds,
+                              const std::vector<int>& targets,
+                              int perturbations, Rng& rng) {
+    FgaOptions opt;
+    opt.perturbations_per_target = perturbations;
+    return FgaAttack(ds, targets, opt, rng);
+  };
+  return bench::RunTargetedAttackBench(
+      "Fig. 4: accuracy on targeted nodes under FGA", "fig4_fga.csv", attack,
+      argc, argv);
+}

@@ -1,0 +1,147 @@
+// Shared helpers for the experiment harnesses: a minimal flag parser,
+// dataset construction at a CPU-friendly scale, and uniform method
+// configuration. Every bench accepts:
+//   --scale=<f>    dataset size multiplier vs the paper (default 0.15)
+//   --rounds=<n>   independent repetitions averaged per cell
+//   --seed=<n>     base RNG seed
+//   --epochs=<n>   training epochs for the neural methods
+//   --full         paper-scale datasets (scale = 1), paper epoch budgets
+#ifndef ANECI_BENCH_COMMON_H_
+#define ANECI_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/aneci.h"
+#include "data/datasets.h"
+#include "embed/aneci_embedder.h"
+#include "embed/embedder.h"
+#include "tasks/node_classification.h"
+#include "util/check.h"
+
+namespace aneci::bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool Has(const std::string& name) const {
+    for (const std::string& a : args_)
+      if (a == "--" + name || a.rfind("--" + name + "=", 0) == 0) return true;
+    return false;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const std::string* v = Find(name);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    const std::string* v = Find(name);
+    return v ? std::atoi(v->c_str()) : fallback;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    const std::string* v = Find(name);
+    return v ? *v : fallback;
+  }
+
+ private:
+  const std::string* Find(const std::string& name) const {
+    static thread_local std::string value;
+    const std::string prefix = "--" + name + "=";
+    for (const std::string& a : args_) {
+      if (a.rfind(prefix, 0) == 0) {
+        value = a.substr(prefix.size());
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> args_;
+};
+
+struct BenchEnv {
+  double scale = 0.15;
+  int rounds = 1;
+  uint64_t seed = 42;
+  int epochs = 60;
+  bool full = false;
+
+  static BenchEnv FromFlags(const Flags& flags) {
+    BenchEnv env;
+    env.full = flags.Has("full");
+    env.scale = flags.GetDouble("scale", env.full ? 1.0 : 0.15);
+    env.rounds = flags.GetInt("rounds", env.full ? 10 : 1);
+    env.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    env.epochs = flags.GetInt("epochs", env.full ? 150 : 60);
+    return env;
+  }
+};
+
+inline void PrintEnv(const char* bench_name, const BenchEnv& env) {
+  std::printf(
+      "%s | scale=%.2f rounds=%d epochs=%d seed=%llu%s\n"
+      "(synthetic DC-SBM datasets matching Table II statistics; "
+      "see DESIGN.md for the substitution rationale)\n",
+      bench_name, env.scale, env.rounds, env.epochs,
+      static_cast<unsigned long long>(env.seed), env.full ? " [FULL]" : "");
+}
+
+inline Dataset MakeScaled(const std::string& name, const BenchEnv& env,
+                          uint64_t round) {
+  StatusOr<Dataset> ds = MakeDataset(name, env.seed + round * 1000, env.scale);
+  ANECI_CHECK_MSG(ds.ok(), ds.status().ToString().c_str());
+  return std::move(ds).value();
+}
+
+/// AnECI configuration used across the benches (paper Section V-D scale,
+/// budgeted epochs).
+inline AneciConfig DefaultAneciConfig(const BenchEnv& env) {
+  AneciConfig cfg;
+  cfg.hidden_dim = 64;
+  cfg.embed_dim = 16;
+  cfg.epochs = env.epochs;
+  cfg.proximity.order = 2;
+  return cfg;
+}
+
+/// The paper's node-classification protocol for AnECI: train the configured
+/// number of epochs and keep the embedding with the best validation-set
+/// probe accuracy ("the best embedding on the validation set is selected",
+/// Section V-D). Falls back to the final embedding when the dataset has no
+/// validation split.
+inline Matrix TrainAneciValidated(const Dataset& dataset,
+                                  const AneciConfig& config, Rng& rng,
+                                  int eval_every = 10) {
+  Aneci model(config);
+  if (dataset.val_idx.empty() || dataset.train_idx.empty()) {
+    return model.Train(dataset.graph).z;
+  }
+  Matrix best_z;
+  double best_val = -1.0;
+  Rng probe_rng(rng.NextU64());
+  AneciResult result = model.Train(
+      dataset.graph,
+      [&](const AneciEpochStats& stats, const Matrix& z, const Matrix& p) {
+        if (stats.epoch % eval_every != 0) return;
+        const double acc =
+            EvaluateEmbedding(z, dataset, probe_rng, dataset.val_idx).accuracy;
+        if (acc > best_val) {
+          best_val = acc;
+          best_z = z;
+        }
+      });
+  return best_z.empty() ? result.z : best_z;
+}
+
+}  // namespace aneci::bench
+
+#endif  // ANECI_BENCH_COMMON_H_

@@ -1,0 +1,62 @@
+// Anomaly detection on an attributed network with implanted community
+// outliers, comparing AnECI's membership-entropy score against Dominant and
+// an IsolationForest over GAE embeddings.
+//
+//   ./anomaly_detection [outlier_fraction]
+#include <cstdio>
+#include <cstdlib>
+
+#include "anomaly/isolation_forest.h"
+#include "anomaly/outlier_injection.h"
+#include "data/datasets.h"
+#include "embed/aneci_embedder.h"
+#include "embed/dominant.h"
+#include "embed/gae.h"
+#include "tasks/metrics.h"
+
+using namespace aneci;
+
+int main(int argc, char** argv) {
+  const double fraction = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  Dataset ds = MakeCiteseer(/*seed=*/11, /*scale=*/0.15);
+  Rng rng(11);
+  std::printf("citeseer-like graph: %d nodes; implanting %.0f%% outliers\n",
+              ds.graph.num_nodes(), fraction * 100);
+
+  for (OutlierKind kind :
+       {OutlierKind::kStructural, OutlierKind::kAttribute,
+        OutlierKind::kCombined, OutlierKind::kMix}) {
+    OutlierInjectionResult injected =
+        InjectOutliers(ds.graph, kind, fraction, rng);
+
+    // AnECI: the entropy of softmax(Z) flags community-ambiguous nodes.
+    AneciConfig cfg;
+    cfg.epochs = 60;
+    cfg.early_stop_patience = 20;  // Paper's protocol for this task.
+    AneciEmbedder aneci_model(cfg);
+    const double auc_aneci = AreaUnderRoc(
+        aneci_model.ScoreAnomalies(injected.graph, rng), injected.is_outlier);
+
+    // Dominant: native reconstruction-error scoring.
+    Dominant::Options dopt;
+    dopt.epochs = 60;
+    Dominant dominant(dopt);
+    const double auc_dominant = AreaUnderRoc(
+        dominant.ScoreAnomalies(injected.graph, rng), injected.is_outlier);
+
+    // GAE + IsolationForest: the generic-embedding fallback.
+    Gae::Options gopt;
+    gopt.epochs = 60;
+    Gae gae(gopt);
+    Matrix z = gae.Embed(injected.graph, rng);
+    IsolationForest forest;
+    forest.Fit(z, rng);
+    const double auc_gae =
+        AreaUnderRoc(forest.Score(z), injected.is_outlier);
+
+    std::printf("%-4s outliers | AnECI %.3f  Dominant %.3f  GAE+iForest %.3f\n",
+                OutlierKindName(kind), auc_aneci, auc_dominant, auc_gae);
+  }
+  return 0;
+}

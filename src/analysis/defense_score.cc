@@ -1,0 +1,37 @@
+#include "analysis/defense_score.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace aneci {
+
+double DefenseScore(const Graph& attacked, const std::vector<Edge>& fake_edges,
+                    const Matrix& embedding) {
+  ANECI_CHECK_EQ(embedding.rows(), attacked.num_nodes());
+  if (fake_edges.empty()) return 1.0;
+
+  std::set<Edge> fake_set(fake_edges.begin(), fake_edges.end());
+  auto score = [&](const Edge& e) {
+    return 1.0 - CosineSimilarity(embedding.RowPtr(e.u), embedding.RowPtr(e.v),
+                                  embedding.cols());
+  };
+
+  double fake_sum = 0.0, real_sum = 0.0;
+  int real_count = 0;
+  for (const Edge& e : attacked.edges()) {
+    if (fake_set.count(e)) {
+      fake_sum += score(e);
+    } else {
+      real_sum += score(e);
+      ++real_count;
+    }
+  }
+  ANECI_CHECK_GT(real_count, 0);
+  const double fake_mean = fake_sum / fake_edges.size();
+  const double real_mean = real_sum / real_count;
+  if (real_mean <= 1e-12) return fake_mean > 1e-12 ? 1e6 : 1.0;
+  return fake_mean / real_mean;
+}
+
+}  // namespace aneci

@@ -1,0 +1,21 @@
+// Defense score DS(delta) of Section VI-B1: given an embedding learned on an
+// attacked graph, score each edge with s(e) = 1 - cos(z_u, z_v); the defense
+// score is the ratio of the mean anomaly score of fake edges to that of real
+// edges. Higher = the embedding kept fake edges at arm's length.
+#ifndef ANECI_ANALYSIS_DEFENSE_SCORE_H_
+#define ANECI_ANALYSIS_DEFENSE_SCORE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace aneci {
+
+/// `attacked` must contain both the original edges and `fake_edges`.
+double DefenseScore(const Graph& attacked, const std::vector<Edge>& fake_edges,
+                    const Matrix& embedding);
+
+}  // namespace aneci
+
+#endif  // ANECI_ANALYSIS_DEFENSE_SCORE_H_

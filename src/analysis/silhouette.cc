@@ -1,0 +1,52 @@
+#include "analysis/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace aneci {
+
+double MeanSilhouette(const Matrix& points, const std::vector<int>& labels) {
+  const int n = points.rows();
+  ANECI_CHECK_EQ(static_cast<int>(labels.size()), n);
+  int k = 0;
+  for (int y : labels) k = std::max(k, y + 1);
+  std::vector<int> counts(k, 0);
+  for (int y : labels) ++counts[y];
+
+  auto dist = [&](int i, int j) {
+    double s = 0.0;
+    const double* a = points.RowPtr(i);
+    const double* b = points.RowPtr(j);
+    for (int c = 0; c < points.cols(); ++c) {
+      const double d = a[c] - b[c];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  };
+
+  double total = 0.0;
+  std::vector<double> mean_to(k);
+  for (int i = 0; i < n; ++i) {
+    std::fill(mean_to.begin(), mean_to.end(), 0.0);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_to[labels[j]] += dist(i, j);
+    }
+    const int own = labels[i];
+    if (counts[own] <= 1) continue;  // Singleton: contributes 0.
+    const double a = mean_to[own] / (counts[own] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || counts[c] == 0) continue;
+      b = std::min(b, mean_to[c] / counts[c]);
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    total += (b - a) / std::max(a, b);
+  }
+  return total / n;
+}
+
+}  // namespace aneci

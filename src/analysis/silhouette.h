@@ -1,0 +1,18 @@
+// Mean silhouette coefficient: the quantitative companion to the Fig. 8
+// t-SNE plots (how cleanly classes separate in an embedding).
+#ifndef ANECI_ANALYSIS_SILHOUETTE_H_
+#define ANECI_ANALYSIS_SILHOUETTE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace aneci {
+
+/// Mean silhouette over all points, Euclidean distance; in [-1, 1].
+/// Points in singleton clusters contribute 0.
+double MeanSilhouette(const Matrix& points, const std::vector<int>& labels);
+
+}  // namespace aneci
+
+#endif  // ANECI_ANALYSIS_SILHOUETTE_H_

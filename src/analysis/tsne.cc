@@ -1,0 +1,134 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+// Binary-searches the Gaussian bandwidth of row i so the conditional
+// distribution has the requested perplexity; fills p_row (length n).
+void RowConditional(const Matrix& d2, int i, double perplexity,
+                    std::vector<double>& p_row) {
+  const int n = d2.rows();
+  double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+  const double target = std::log(perplexity);
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0, dot = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) {
+        p_row[j] = 0.0;
+        continue;
+      }
+      p_row[j] = std::exp(-beta * d2(i, j));
+      sum += p_row[j];
+      dot += beta * d2(i, j) * p_row[j];
+    }
+    if (sum <= 1e-300) {
+      beta /= 2.0;
+      continue;
+    }
+    const double entropy = std::log(sum) + dot / sum;
+    for (int j = 0; j < n; ++j) p_row[j] /= sum;
+    if (std::abs(entropy - target) < 1e-4) return;
+    if (entropy > target) {
+      beta_lo = beta;
+      beta = beta_hi > 1e11 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2.0;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix Tsne(const Matrix& points, const TsneOptions& options, Rng& rng) {
+  const int n = points.rows();
+  ANECI_CHECK_GT(n, 1);
+
+  // Pairwise squared distances.
+  Matrix d2(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double s = 0.0;
+      const double* a = points.RowPtr(i);
+      const double* b = points.RowPtr(j);
+      for (int c = 0; c < points.cols(); ++c) {
+        const double d = a[c] - b[c];
+        s += d * d;
+      }
+      d2(i, j) = s;
+      d2(j, i) = s;
+    }
+  }
+
+  // Symmetrised joint P.
+  Matrix p(n, n);
+  {
+    std::vector<double> row(n);
+    for (int i = 0; i < n; ++i) {
+      RowConditional(d2, i, options.perplexity, row);
+      for (int j = 0; j < n; ++j) p(i, j) = row[j];
+    }
+  }
+  double p_sum = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) p_sum += p(i, j);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double v = std::max((p(i, j) + p(j, i)) / (2.0 * p_sum), 1e-12);
+      p(i, j) = v;
+      p(j, i) = v;
+    }
+
+  Matrix y = Matrix::RandomNormal(n, 2, 1e-2, rng);
+  Matrix velocity(n, 2);
+  Matrix grad(n, 2);
+  std::vector<double> qnum(n);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+
+    // Q numerators (student-t kernel) and normaliser.
+    double z = 0.0;
+    grad.SetZero();
+    // First pass for Z.
+    Matrix num(n, n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dy0 = y(i, 0) - y(j, 0);
+        const double dy1 = y(i, 1) - y(j, 1);
+        const double v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        num(i, j) = v;
+        num(j, i) = v;
+        z += 2.0 * v;
+      }
+    }
+    z = std::max(z, 1e-12);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q = std::max(num(i, j) / z, 1e-12);
+        const double coeff =
+            4.0 * (exaggeration * p(i, j) - q) * num(i, j);
+        grad(i, 0) += coeff * (y(i, 0) - y(j, 0));
+        grad(i, 1) += coeff * (y(i, 1) - y(j, 1));
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int c = 0; c < 2; ++c) {
+        velocity(i, c) = options.momentum * velocity(i, c) -
+                         options.learning_rate * grad(i, c);
+        y(i, c) += velocity(i, c);
+      }
+    }
+    (void)qnum;
+  }
+  return y;
+}
+
+}  // namespace aneci

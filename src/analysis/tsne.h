@@ -1,0 +1,26 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the Fig. 8 visualisation:
+// projects embeddings to 2-D. O(N^2) per iteration — intended for the
+// few-thousand-node graphs in this repo (subsample first if larger).
+#ifndef ANECI_ANALYSIS_TSNE_H_
+#define ANECI_ANALYSIS_TSNE_H_
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct TsneOptions {
+  double perplexity = 30.0;
+  int iterations = 300;
+  double learning_rate = 50.0;  ///< >100 overshoots under this P-scaling.
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 50;
+  double momentum = 0.8;
+};
+
+/// Returns (N x 2) coordinates.
+Matrix Tsne(const Matrix& points, const TsneOptions& options, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_ANALYSIS_TSNE_H_

@@ -1,0 +1,121 @@
+#include "anomaly/isolation_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+// Average path length of an unsuccessful BST search with n points — the
+// iForest normaliser c(n).
+double AveragePathLength(int n) {
+  if (n <= 1) return 0.0;
+  const double h = std::log(n - 1.0) + 0.5772156649;  // Harmonic approx.
+  return 2.0 * h - 2.0 * (n - 1.0) / n;
+}
+
+}  // namespace
+
+int IsolationForest::BuildNode(Tree* tree, std::vector<int>& idx, int lo,
+                               int hi, int depth, int max_depth,
+                               const Matrix& points, Rng& rng) {
+  const int node_id = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  const int count = hi - lo;
+  if (count <= 1 || depth >= max_depth) {
+    tree->nodes[node_id].size = count;
+    return node_id;
+  }
+
+  // Pick a random feature with spread; give up after a few tries.
+  int feature = -1;
+  double fmin = 0.0, fmax = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int f = static_cast<int>(rng.NextInt(points.cols()));
+    fmin = fmax = points(idx[lo], f);
+    for (int i = lo + 1; i < hi; ++i) {
+      fmin = std::min(fmin, points(idx[i], f));
+      fmax = std::max(fmax, points(idx[i], f));
+    }
+    if (fmax > fmin) {
+      feature = f;
+      break;
+    }
+  }
+  if (feature < 0) {
+    tree->nodes[node_id].size = count;
+    return node_id;
+  }
+
+  const double threshold = rng.Uniform(fmin, fmax);
+  auto mid_it = std::partition(idx.begin() + lo, idx.begin() + hi, [&](int i) {
+    return points(i, feature) < threshold;
+  });
+  int mid = static_cast<int>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) mid = (lo + hi) / 2;  // Degenerate split.
+
+  tree->nodes[node_id].feature = feature;
+  tree->nodes[node_id].threshold = threshold;
+  const int left =
+      BuildNode(tree, idx, lo, mid, depth + 1, max_depth, points, rng);
+  const int right =
+      BuildNode(tree, idx, mid, hi, depth + 1, max_depth, points, rng);
+  tree->nodes[node_id].left = left;
+  tree->nodes[node_id].right = right;
+  return node_id;
+}
+
+void IsolationForest::Fit(const Matrix& points, Rng& rng) {
+  ANECI_CHECK_GT(points.rows(), 0);
+  const int n = points.rows();
+  const int sample = std::min(options_.subsample, n);
+  const int max_depth =
+      static_cast<int>(std::ceil(std::log2(std::max(2, sample))));
+  normalizer_ = AveragePathLength(sample);
+
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Random subsample (partial Fisher-Yates prefix).
+    for (int i = 0; i < sample; ++i) {
+      const int j = i + static_cast<int>(rng.NextInt(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    std::vector<int> sub(idx.begin(), idx.begin() + sample);
+    Tree tree;
+    BuildNode(&tree, sub, 0, sample, 0, max_depth, points, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double IsolationForest::PathLength(const Tree& tree,
+                                   const double* point) const {
+  int node = 0;
+  double depth = 0.0;
+  while (tree.nodes[node].feature >= 0) {
+    const Node& nd = tree.nodes[node];
+    node = point[nd.feature] < nd.threshold ? nd.left : nd.right;
+    depth += 1.0;
+  }
+  // Leaves holding several points contribute the expected extra depth.
+  return depth + AveragePathLength(tree.nodes[node].size);
+}
+
+std::vector<double> IsolationForest::Score(const Matrix& points) const {
+  ANECI_CHECK(!trees_.empty());
+  std::vector<double> scores(points.rows(), 0.0);
+  for (int i = 0; i < points.rows(); ++i) {
+    double mean_path = 0.0;
+    for (const Tree& tree : trees_) mean_path += PathLength(tree, points.RowPtr(i));
+    mean_path /= trees_.size();
+    scores[i] =
+        std::pow(2.0, -mean_path / std::max(normalizer_, 1e-9));
+  }
+  return scores;
+}
+
+}  // namespace aneci

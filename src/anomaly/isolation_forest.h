@@ -1,0 +1,53 @@
+// Isolation Forest (Liu et al., ICDM'08): ensemble of random isolation
+// trees; anomalies isolate in short paths. Used to derive anomaly scores
+// from embeddings of methods without a native scoring scheme (Section VI-C).
+#ifndef ANECI_ANOMALY_ISOLATION_FOREST_H_
+#define ANECI_ANOMALY_ISOLATION_FOREST_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+class IsolationForest {
+ public:
+  struct Options {
+    int num_trees = 100;
+    int subsample = 256;
+  };
+
+  explicit IsolationForest(const Options& options) : options_(options) {}
+  IsolationForest() : options_() {}
+
+  /// Builds the forest on the rows of `points`.
+  void Fit(const Matrix& points, Rng& rng);
+
+  /// Scores in (0, 1]; higher = more anomalous (s = 2^{-E[h]/c(n)}).
+  std::vector<double> Score(const Matrix& points) const;
+
+ private:
+  struct Node {
+    int feature = -1;     ///< -1 marks a leaf.
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int size = 0;  ///< Leaf: number of training points that reached it.
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int BuildNode(Tree* tree, std::vector<int>& idx, int lo, int hi, int depth,
+                int max_depth, const Matrix& points, Rng& rng);
+  double PathLength(const Tree& tree, const double* point) const;
+
+  Options options_;
+  std::vector<Tree> trees_;
+  double normalizer_ = 1.0;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_ANOMALY_ISOLATION_FOREST_H_

@@ -1,0 +1,44 @@
+// Community-outlier seeding following ONE (Bandyopadhyay et al., AAAI'19),
+// the protocol AnECI adopts (Section V-C): planted outliers keep marginal
+// statistics similar to normal nodes so they are not trivially detectable.
+//  - Structural outlier: edges rewired to uniformly chosen nodes of *other*
+//    communities, degree preserved.
+//  - Attribute outlier: attribute vector replaced by that of a distant node
+//    from another community, structure untouched.
+//  - Combined outlier: both.
+//  - Mix: equal thirds of each kind (the paper's 'Mix' setting).
+#ifndef ANECI_ANOMALY_OUTLIER_INJECTION_H_
+#define ANECI_ANOMALY_OUTLIER_INJECTION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+enum class OutlierKind {
+  kStructural,
+  kAttribute,
+  kCombined,
+  kMix,
+};
+
+const char* OutlierKindName(OutlierKind kind);
+
+struct OutlierInjectionResult {
+  Graph graph;                  ///< Graph with implanted outliers.
+  std::vector<int> is_outlier;  ///< 1 per implanted node, 0 otherwise.
+  std::vector<int> outlier_ids;
+};
+
+/// Implants `fraction` (the paper uses 5%) of the nodes as outliers of the
+/// given kind. On graphs without attributes, attribute perturbation falls
+/// back to structural rewiring (Polblogs-style identity features carry no
+/// semantics to corrupt).
+OutlierInjectionResult InjectOutliers(const Graph& graph, OutlierKind kind,
+                                      double fraction, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_ANOMALY_OUTLIER_INJECTION_H_

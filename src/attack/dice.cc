@@ -1,0 +1,45 @@
+#include "attack/dice.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci {
+
+DiceResult DiceAttack(const Graph& graph, const DiceOptions& options,
+                      Rng& rng) {
+  ANECI_CHECK(graph.has_labels());
+  ANECI_CHECK(options.budget >= 0.0);
+  DiceResult result;
+  result.attacked = graph;
+  const int n = graph.num_nodes();
+  const int budget =
+      static_cast<int>(std::lround(options.budget * graph.num_edges()));
+  const int delete_budget = budget / 2;
+  const int add_budget = budget - delete_budget;
+
+  // Delete internally: remove random intra-class edges.
+  std::vector<Edge> intra;
+  for (const Edge& e : graph.edges())
+    if (graph.labels()[e.u] == graph.labels()[e.v]) intra.push_back(e);
+  for (int i = static_cast<int>(intra.size()) - 1; i > 0; --i)
+    std::swap(intra[i], intra[rng.NextInt(i + 1)]);
+  for (int i = 0; i < delete_budget && i < static_cast<int>(intra.size());
+       ++i) {
+    if (result.attacked.RemoveEdge(intra[i].u, intra[i].v))
+      ++result.edges_deleted;
+  }
+
+  // Connect externally: add random inter-class edges.
+  int64_t attempts = 0;
+  const int64_t max_attempts = static_cast<int64_t>(add_budget) * 100 + 1000;
+  while (result.edges_added < add_budget && attempts++ < max_attempts) {
+    const int u = static_cast<int>(rng.NextInt(n));
+    const int v = static_cast<int>(rng.NextInt(n));
+    if (u == v || graph.labels()[u] == graph.labels()[v]) continue;
+    if (result.attacked.AddEdge(u, v)) ++result.edges_added;
+  }
+  return result;
+}
+
+}  // namespace aneci

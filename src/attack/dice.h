@@ -1,0 +1,34 @@
+// DICE ("delete internally, connect externally") — the classic label-aware
+// heuristic poisoning baseline: remove edges inside the target's community
+// and add edges to nodes of other classes. Stronger than random attack but
+// requires labels; a useful middle rung between random and NETTACK for the
+// robustness comparisons.
+#ifndef ANECI_ATTACK_DICE_H_
+#define ANECI_ATTACK_DICE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct DiceOptions {
+  /// Fraction of |E| perturbations to perform (half deletions, half
+  /// insertions where feasible).
+  double budget = 0.2;
+};
+
+struct DiceResult {
+  Graph attacked;
+  int edges_deleted = 0;
+  int edges_added = 0;
+};
+
+/// Requires graph.has_labels(). Non-targeted poisoning over the whole graph.
+DiceResult DiceAttack(const Graph& graph, const DiceOptions& options,
+                      Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_ATTACK_DICE_H_

@@ -1,0 +1,30 @@
+// FGA — Fast Gradient Attack (Chen et al. 2018): flips the edge incident to
+// the target node whose adjacency-gradient most increases the target's
+// classification loss under the linear GCN surrogate. Direct targeted
+// poisoning, as evaluated in Fig. 4.
+#ifndef ANECI_ATTACK_FGA_H_
+#define ANECI_ATTACK_FGA_H_
+
+#include <vector>
+
+#include "attack/surrogate.h"
+#include "data/datasets.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct FgaOptions {
+  int perturbations_per_target = 3;
+  SurrogateModel::Options surrogate;
+};
+
+/// Perturbs `dataset.graph` around each target node. The surrogate is
+/// trained once on the clean graph; gradients are recomputed after each
+/// flip (poisoning setting).
+Graph FgaAttack(const Dataset& dataset, const std::vector<int>& targets,
+                const FgaOptions& options, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_ATTACK_FGA_H_

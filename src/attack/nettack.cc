@@ -1,0 +1,85 @@
+#include "attack/nettack.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+// Margin of the surrogate at `node`: logit(true class) - best other logit.
+// Negative margin = misclassified.
+double Margin(const SurrogateModel& surrogate, const Graph& graph, int node,
+              int true_label) {
+  const std::vector<double> z = surrogate.LogitsForNode(graph, node);
+  double best_other = -std::numeric_limits<double>::max();
+  for (size_t c = 0; c < z.size(); ++c)
+    if (static_cast<int>(c) != true_label)
+      best_other = std::max(best_other, z[c]);
+  return z[true_label] - best_other;
+}
+
+}  // namespace
+
+Graph NettackAttack(const Dataset& dataset, const std::vector<int>& targets,
+                    const NettackOptions& options, Rng& rng) {
+  Graph attacked = dataset.graph;
+  SurrogateModel surrogate(options.surrogate);
+  surrogate.Fit(dataset.graph, dataset, rng);
+  const int n = attacked.num_nodes();
+
+  for (int target : targets) {
+    const int y = dataset.graph.labels()[target];
+    for (int step = 0; step < options.perturbations_per_target; ++step) {
+      // Candidate endpoints: every other node, or a random subsample.
+      std::vector<int> candidates;
+      if (options.candidate_sample > 0 && options.candidate_sample < n - 1) {
+        candidates.reserve(options.candidate_sample);
+        for (int c = 0; c < options.candidate_sample; ++c) {
+          const int v = static_cast<int>(rng.NextInt(n));
+          if (v != target) candidates.push_back(v);
+        }
+        // Always consider disconnecting existing neighbours.
+        for (int v : attacked.Neighbors(target)) candidates.push_back(v);
+      } else {
+        candidates.reserve(n - 1);
+        for (int v = 0; v < n; ++v)
+          if (v != target) candidates.push_back(v);
+      }
+
+      double best_margin = Margin(surrogate, attacked, target, y);
+      int best_v = -1;
+      bool best_was_edge = false;
+      for (int v : candidates) {
+        const bool has = attacked.HasEdge(target, v);
+        // Tentatively flip, score, revert. Graph edits are O(log M).
+        if (has) {
+          attacked.RemoveEdge(target, v);
+        } else {
+          attacked.AddEdge(target, v);
+        }
+        const double margin = Margin(surrogate, attacked, target, y);
+        if (has) {
+          attacked.AddEdge(target, v);
+        } else {
+          attacked.RemoveEdge(target, v);
+        }
+        if (margin < best_margin) {
+          best_margin = margin;
+          best_v = v;
+          best_was_edge = has;
+        }
+      }
+      if (best_v < 0) break;  // No margin-reducing flip found.
+      if (best_was_edge) {
+        attacked.RemoveEdge(target, best_v);
+      } else {
+        attacked.AddEdge(target, best_v);
+      }
+    }
+  }
+  return attacked;
+}
+
+}  // namespace aneci

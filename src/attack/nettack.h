@@ -1,0 +1,30 @@
+// NETTACK (Zuegner et al., KDD'18), direct structure poisoning variant:
+// greedily flips edges incident to the target node, choosing at each step
+// the flip that minimises the surrogate's classification margin
+// (logit of the true class minus the best wrong class) via exact local
+// recomputation of the target's logits.
+#ifndef ANECI_ATTACK_NETTACK_H_
+#define ANECI_ATTACK_NETTACK_H_
+
+#include <vector>
+
+#include "attack/surrogate.h"
+#include "data/datasets.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct NettackOptions {
+  int perturbations_per_target = 3;
+  /// Candidate flip endpoints examined per perturbation; 0 = all nodes.
+  int candidate_sample = 0;
+  SurrogateModel::Options surrogate;
+};
+
+Graph NettackAttack(const Dataset& dataset, const std::vector<int>& targets,
+                    const NettackOptions& options, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_ATTACK_NETTACK_H_

@@ -1,0 +1,30 @@
+#include "attack/random_attack.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci {
+
+RandomAttackResult RandomAttack(const Graph& graph, double delta, Rng& rng) {
+  ANECI_CHECK(delta >= 0.0);
+  RandomAttackResult result;
+  result.attacked = graph;
+  const int n = graph.num_nodes();
+  const int to_add = static_cast<int>(std::lround(delta * graph.num_edges()));
+
+  int added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = static_cast<int64_t>(to_add) * 100 + 1000;
+  while (added < to_add && attempts++ < max_attempts) {
+    const int u = static_cast<int>(rng.NextInt(n));
+    const int v = static_cast<int>(rng.NextInt(n));
+    if (u == v || result.attacked.HasEdge(u, v)) continue;
+    result.attacked.AddEdge(u, v);
+    result.fake_edges.push_back({std::min(u, v), std::max(u, v)});
+    ++added;
+  }
+  return result;
+}
+
+}  // namespace aneci

@@ -1,0 +1,24 @@
+// Random attack (non-targeted poisoning): injects |E*| = delta * |E| fake
+// edges chosen uniformly among absent pairs. Used by Fig. 2's defense-score
+// analysis and Fig. 5's non-targeted defense evaluation.
+#ifndef ANECI_ATTACK_RANDOM_ATTACK_H_
+#define ANECI_ATTACK_RANDOM_ATTACK_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct RandomAttackResult {
+  Graph attacked;
+  std::vector<Edge> fake_edges;  ///< E*, disjoint from the original E.
+};
+
+/// Perturbation rate delta in [0, 1): adds round(delta * M) fake edges.
+RandomAttackResult RandomAttack(const Graph& graph, double delta, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_ATTACK_RANDOM_ATTACK_H_

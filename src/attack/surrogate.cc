@@ -1,0 +1,108 @@
+#include "attack/surrogate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "util/check.h"
+
+namespace aneci {
+
+void SurrogateModel::Fit(const Graph& graph, const Dataset& dataset,
+                         Rng& rng) {
+  const Matrix features = graph.FeaturesOrIdentity();
+  const int k = dataset.graph.num_classes();
+  ANECI_CHECK_GT(k, 1);
+
+  // Propagated features F = S~^2 X, fixed during W's training.
+  const SparseMatrix s_norm = graph.NormalizedAdjacency();
+  Matrix f = s_norm.Multiply(s_norm.Multiply(features));
+
+  std::vector<int> train_labels;
+  for (int i : dataset.train_idx)
+    train_labels.push_back(dataset.graph.labels()[i]);
+
+  auto w = ag::MakeParameter(Matrix::GlorotUniform(features.cols(), k, rng));
+  ag::Adam::Options adam;
+  adam.lr = options_.lr;
+  adam.weight_decay = options_.weight_decay;
+  ag::Adam optimizer({w}, adam);
+
+  auto f_const = ag::MakeConstant(std::move(f));
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    ag::VarPtr logits = ag::MatMul(f_const, w);
+    ag::VarPtr loss =
+        ag::SoftmaxCrossEntropy(logits, dataset.train_idx, train_labels);
+    ag::Backward(loss);
+    optimizer.Step();
+  }
+  weights_ = w->value();
+  projected_ = MatMul(features, weights_);
+}
+
+Matrix SurrogateModel::Logits(const Graph& graph) const {
+  ANECI_CHECK(!projected_.empty());
+  const SparseMatrix s_norm = graph.NormalizedAdjacency();
+  return s_norm.Multiply(s_norm.Multiply(projected_));
+}
+
+std::vector<double> SurrogateModel::LogitsForNode(const Graph& graph,
+                                                  int node) const {
+  ANECI_CHECK(!projected_.empty());
+  const int k = projected_.cols();
+  // z_t = sum_{j in N(t) + t} s_tj * u_j, u_j = sum_{m in N(j) + j} s_jm R_m,
+  // with s_ab = 1 / sqrt((d_a + 1)(d_b + 1)) including self-loops.
+  auto inv_sqrt_deg = [&](int v) {
+    return 1.0 / std::sqrt(static_cast<double>(graph.Degree(v)) + 1.0);
+  };
+  auto u_row = [&](int j, double* out) {
+    std::fill(out, out + k, 0.0);
+    const double sj = inv_sqrt_deg(j);
+    auto add = [&](int m) {
+      const double w = sj * inv_sqrt_deg(m);
+      const double* r = projected_.RowPtr(m);
+      for (int c = 0; c < k; ++c) out[c] += w * r[c];
+    };
+    add(j);
+    for (int m : graph.Neighbors(j)) add(m);
+  };
+
+  std::vector<double> z(k, 0.0), u(k);
+  const double st = inv_sqrt_deg(node);
+  auto accumulate = [&](int j) {
+    u_row(j, u.data());
+    const double w = st * inv_sqrt_deg(j);
+    for (int c = 0; c < k; ++c) z[c] += w * u[c];
+  };
+  accumulate(node);
+  for (int j : graph.Neighbors(node)) accumulate(j);
+  return z;
+}
+
+std::vector<int> SelectAttackTargets(const Dataset& dataset, int min_targets,
+                                     int max_targets, Rng& rng) {
+  const Graph& graph = dataset.graph;
+  std::vector<int> qualified;
+  for (int i : dataset.test_idx)
+    if (graph.Degree(i) > 10) qualified.push_back(i);
+
+  if (static_cast<int>(qualified.size()) < min_targets) {
+    // Fall back to the highest-degree test nodes.
+    std::vector<int> pool = dataset.test_idx;
+    std::sort(pool.begin(), pool.end(), [&](int a, int b) {
+      return graph.Degree(a) > graph.Degree(b);
+    });
+    qualified.assign(pool.begin(),
+                     pool.begin() + std::min<size_t>(pool.size(), min_targets));
+  }
+  // Shuffle and cap.
+  for (int i = static_cast<int>(qualified.size()) - 1; i > 0; --i)
+    std::swap(qualified[i], qualified[rng.NextInt(i + 1)]);
+  if (static_cast<int>(qualified.size()) > max_targets)
+    qualified.resize(max_targets);
+  return qualified;
+}
+
+}  // namespace aneci

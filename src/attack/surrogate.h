@@ -1,0 +1,60 @@
+// Linearised two-layer GCN surrogate shared by FGA and NETTACK:
+//   Z = softmax(S~^2 X W),  S~ = D^{-1/2} (A + I) D^{-1/2}.
+// Both attacks train it on the clean graph's train split, then manipulate
+// edges to change targeted predictions.
+#ifndef ANECI_ATTACK_SURROGATE_H_
+#define ANECI_ATTACK_SURROGATE_H_
+
+#include <vector>
+
+#include "data/datasets.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+class SurrogateModel {
+ public:
+  struct Options {
+    int epochs = 100;
+    double lr = 0.05;
+    double weight_decay = 5e-4;
+  };
+
+  explicit SurrogateModel(const Options& options) : options_(options) {}
+  SurrogateModel() : options_() {}
+
+  /// Trains W on dataset.train_idx of the given graph (which may differ from
+  /// dataset.graph if already perturbed).
+  void Fit(const Graph& graph, const Dataset& dataset, Rng& rng);
+
+  /// (d x k) trained weights.
+  const Matrix& weights() const { return weights_; }
+
+  /// R = X W, the class-space projection of the raw features (N x k); the
+  /// attacks' incremental updates are linear in R.
+  const Matrix& projected() const { return projected_; }
+
+  /// Full logits S~^2 R for an arbitrary (possibly perturbed) graph.
+  Matrix Logits(const Graph& graph) const;
+
+  /// Logits row of a single node under `graph`, recomputed locally in
+  /// O(deg(t) * avg_deg * k) — used by NETTACK's candidate scoring.
+  std::vector<double> LogitsForNode(const Graph& graph, int node) const;
+
+ private:
+  Options options_;
+  Matrix weights_;
+  Matrix projected_;
+};
+
+/// The paper's target-selection rule: test nodes with degree > 10; when
+/// fewer than `min_targets` qualify, the highest-degree test nodes fill in.
+std::vector<int> SelectAttackTargets(const Dataset& dataset, int min_targets,
+                                     int max_targets, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_ATTACK_SURROGATE_H_

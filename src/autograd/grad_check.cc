@@ -1,0 +1,41 @@
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci::ag {
+
+GradCheckResult CheckGradient(const VarPtr& param,
+                              const std::function<VarPtr()>& build, double h,
+                              double tolerance) {
+  ANECI_CHECK(param->requires_grad());
+  param->ZeroGrad();
+  VarPtr loss = build();
+  Backward(loss);
+  Matrix analytic = param->grad();
+  ANECI_CHECK(!analytic.empty());
+
+  GradCheckResult result;
+  Matrix& w = param->mutable_value();
+  for (int64_t i = 0; i < w.size(); ++i) {
+    const double saved = w.data()[i];
+    w.data()[i] = saved + h;
+    const double f_plus = build()->value()(0, 0);
+    w.data()[i] = saved - h;
+    const double f_minus = build()->value()(0, 0);
+    w.data()[i] = saved;
+
+    const double numeric = (f_plus - f_minus) / (2.0 * h);
+    const double a = analytic.data()[i];
+    const double abs_err = std::abs(a - numeric);
+    const double denom = std::max({std::abs(a), std::abs(numeric), 1.0});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+  }
+  result.ok = result.max_rel_error <= tolerance;
+  return result;
+}
+
+}  // namespace aneci::ag

@@ -1,0 +1,28 @@
+// Numerical gradient verification used by the autograd test-suite: compares
+// analytic gradients against central finite differences.
+#ifndef ANECI_AUTOGRAD_GRAD_CHECK_H_
+#define ANECI_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+
+#include "autograd/variable.h"
+
+namespace aneci::ag {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  bool ok = false;
+};
+
+/// `build` must construct a fresh 1x1 loss node from the *current* value of
+/// `param` each time it is called (the graph is rebuilt per evaluation).
+/// Perturbs every entry of `param` by +/-h and compares the analytic
+/// gradient against (f(x+h) - f(x-h)) / (2h).
+GradCheckResult CheckGradient(const VarPtr& param,
+                              const std::function<VarPtr()>& build,
+                              double h = 1e-5, double tolerance = 1e-4);
+
+}  // namespace aneci::ag
+
+#endif  // ANECI_AUTOGRAD_GRAD_CHECK_H_

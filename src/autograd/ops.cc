@@ -1,0 +1,543 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci::ag {
+namespace {
+
+// Creates the output node and installs the backward closure if any input
+// participates in differentiation.
+VarPtr MakeOp(std::vector<VarPtr> parents, Matrix value,
+              std::function<void(Variable&)> backward) {
+  bool needs_grad = false;
+  for (const VarPtr& p : parents) needs_grad = needs_grad || p->requires_grad();
+  auto out = std::make_shared<Variable>(std::move(value), needs_grad);
+  if (needs_grad) {
+    out->parents = std::move(parents);
+    out->backward_fn = std::move(backward);
+  }
+  return out;
+}
+
+Matrix Scalar(double v) {
+  Matrix m(1, 1);
+  m(0, 0) = v;
+  return m;
+}
+
+}  // namespace
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
+  Matrix value = aneci::MatMul(a->value(), b->value());
+  return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
+    if (a->requires_grad())
+      a->AccumulateGrad(aneci::MatMulTransB(self.grad(), b->value()));
+    if (b->requires_grad())
+      b->AccumulateGrad(aneci::MatMulTransA(a->value(), self.grad()));
+  });
+}
+
+VarPtr MatMulTransB(const VarPtr& a, const VarPtr& b) {
+  Matrix value = aneci::MatMulTransB(a->value(), b->value());
+  return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
+    if (a->requires_grad())
+      a->AccumulateGrad(aneci::MatMul(self.grad(), b->value()));
+    if (b->requires_grad())
+      b->AccumulateGrad(aneci::MatMulTransA(self.grad(), a->value()));
+  });
+}
+
+VarPtr SpMM(const SparseMatrix* s, const VarPtr& x) {
+  ANECI_CHECK(s != nullptr);
+  Matrix value = s->Multiply(x->value());
+  return MakeOp({x}, std::move(value), [s, x](Variable& self) {
+    if (x->requires_grad())
+      x->AccumulateGrad(s->MultiplyTransposed(self.grad()));
+  });
+}
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  Matrix value = aneci::Add(a->value(), b->value());
+  return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
+    if (a->requires_grad()) a->AccumulateGrad(self.grad());
+    if (b->requires_grad()) b->AccumulateGrad(self.grad());
+  });
+}
+
+VarPtr Sub(const VarPtr& a, const VarPtr& b) {
+  Matrix value = aneci::Sub(a->value(), b->value());
+  return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
+    if (a->requires_grad()) a->AccumulateGrad(self.grad());
+    if (b->requires_grad()) b->AccumulateGrad(aneci::Scale(self.grad(), -1.0));
+  });
+}
+
+VarPtr Hadamard(const VarPtr& a, const VarPtr& b) {
+  Matrix value = aneci::Hadamard(a->value(), b->value());
+  return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
+    if (a->requires_grad())
+      a->AccumulateGrad(aneci::Hadamard(self.grad(), b->value()));
+    if (b->requires_grad())
+      b->AccumulateGrad(aneci::Hadamard(self.grad(), a->value()));
+  });
+}
+
+VarPtr Scale(const VarPtr& a, double s) {
+  Matrix value = aneci::Scale(a->value(), s);
+  return MakeOp({a}, std::move(value), [a, s](Variable& self) {
+    if (a->requires_grad()) a->AccumulateGrad(aneci::Scale(self.grad(), s));
+  });
+}
+
+VarPtr AddRowBroadcast(const VarPtr& x, const VarPtr& bias) {
+  ANECI_CHECK_EQ(bias->value().rows(), 1);
+  ANECI_CHECK_EQ(bias->value().cols(), x->value().cols());
+  Matrix value = x->value();
+  for (int r = 0; r < value.rows(); ++r) {
+    double* row = value.RowPtr(r);
+    const double* b = bias->value().RowPtr(0);
+    for (int c = 0; c < value.cols(); ++c) row[c] += b[c];
+  }
+  return MakeOp({x, bias}, std::move(value), [x, bias](Variable& self) {
+    if (x->requires_grad()) x->AccumulateGrad(self.grad());
+    if (bias->requires_grad()) {
+      Matrix g(1, self.grad().cols());
+      for (int r = 0; r < self.grad().rows(); ++r) {
+        const double* row = self.grad().RowPtr(r);
+        for (int c = 0; c < self.grad().cols(); ++c) g(0, c) += row[c];
+      }
+      bias->AccumulateGrad(g);
+    }
+  });
+}
+
+namespace {
+
+VarPtr ElementwiseOp(const VarPtr& x, const std::function<double(double)>& f,
+                     std::function<Matrix(const Variable&)> grad_from_self) {
+  Matrix value = x->value();
+  value.Apply(f);
+  return MakeOp({x}, std::move(value),
+                [x, grad_from_self](Variable& self) {
+                  if (x->requires_grad()) x->AccumulateGrad(grad_from_self(self));
+                });
+}
+
+}  // namespace
+
+VarPtr Relu(const VarPtr& x) {
+  return ElementwiseOp(
+      x, [](double v) { return v > 0.0 ? v : 0.0; },
+      [x](const Variable& self) {
+        Matrix g = self.grad();
+        for (int64_t i = 0; i < g.size(); ++i)
+          if (x->value().data()[i] <= 0.0) g.data()[i] = 0.0;
+        return g;
+      });
+}
+
+VarPtr Exp(const VarPtr& x) {
+  Matrix value = x->value();
+  value.Apply([](double v) { return std::exp(v); });
+  return MakeOp({x}, std::move(value), [x](Variable& self) {
+    if (!x->requires_grad()) return;
+    Matrix g = self.grad();
+    g.HadamardInPlace(self.value());
+    x->AccumulateGrad(g);
+  });
+}
+
+VarPtr MeanRows(const VarPtr& x) {
+  const int n = x->value().rows(), c = x->value().cols();
+  ANECI_CHECK_GT(n, 0);
+  Matrix value(1, c);
+  for (int r = 0; r < n; ++r) {
+    const double* row = x->value().RowPtr(r);
+    for (int j = 0; j < c; ++j) value(0, j) += row[j];
+  }
+  for (int j = 0; j < c; ++j) value(0, j) /= n;
+  return MakeOp({x}, std::move(value), [x, n](Variable& self) {
+    if (!x->requires_grad()) return;
+    Matrix dx(x->value().rows(), x->value().cols());
+    const double* g = self.grad().RowPtr(0);
+    for (int r = 0; r < dx.rows(); ++r) {
+      double* row = dx.RowPtr(r);
+      for (int j = 0; j < dx.cols(); ++j) row[j] = g[j] / n;
+    }
+    x->AccumulateGrad(dx);
+  });
+}
+
+VarPtr LeakyRelu(const VarPtr& x, double alpha) {
+  return ElementwiseOp(
+      x, [alpha](double v) { return v > 0.0 ? v : alpha * v; },
+      [x, alpha](const Variable& self) {
+        Matrix g = self.grad();
+        for (int64_t i = 0; i < g.size(); ++i)
+          if (x->value().data()[i] <= 0.0) g.data()[i] *= alpha;
+        return g;
+      });
+}
+
+VarPtr Sigmoid(const VarPtr& x) {
+  Matrix value = x->value();
+  value.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+  return MakeOp({x}, std::move(value), [x](Variable& self) {
+    if (!x->requires_grad()) return;
+    Matrix g = self.grad();
+    const double* y = self.value().data();
+    for (int64_t i = 0; i < g.size(); ++i) g.data()[i] *= y[i] * (1.0 - y[i]);
+    x->AccumulateGrad(g);
+  });
+}
+
+VarPtr Tanh(const VarPtr& x) {
+  Matrix value = x->value();
+  value.Apply([](double v) { return std::tanh(v); });
+  return MakeOp({x}, std::move(value), [x](Variable& self) {
+    if (!x->requires_grad()) return;
+    Matrix g = self.grad();
+    const double* y = self.value().data();
+    for (int64_t i = 0; i < g.size(); ++i) g.data()[i] *= 1.0 - y[i] * y[i];
+    x->AccumulateGrad(g);
+  });
+}
+
+VarPtr Transpose(const VarPtr& x) {
+  Matrix value = aneci::Transpose(x->value());
+  return MakeOp({x}, std::move(value), [x](Variable& self) {
+    if (x->requires_grad()) x->AccumulateGrad(aneci::Transpose(self.grad()));
+  });
+}
+
+VarPtr RowSoftmax(const VarPtr& x) {
+  Matrix value = aneci::RowSoftmax(x->value());
+  return MakeOp({x}, std::move(value), [x](Variable& self) {
+    if (!x->requires_grad()) return;
+    // dx_row = y (.) (dy - (dy . y)).
+    const Matrix& y = self.value();
+    const Matrix& dy = self.grad();
+    Matrix dx(y.rows(), y.cols());
+    for (int r = 0; r < y.rows(); ++r) {
+      const double* yr = y.RowPtr(r);
+      const double* dyr = dy.RowPtr(r);
+      double dot = 0.0;
+      for (int c = 0; c < y.cols(); ++c) dot += dyr[c] * yr[c];
+      double* dxr = dx.RowPtr(r);
+      for (int c = 0; c < y.cols(); ++c) dxr[c] = yr[c] * (dyr[c] - dot);
+    }
+    x->AccumulateGrad(dx);
+  });
+}
+
+VarPtr SumAll(const VarPtr& x) {
+  return MakeOp({x}, Scalar(x->value().Sum()), [x](Variable& self) {
+    if (!x->requires_grad()) return;
+    Matrix g(x->value().rows(), x->value().cols(), self.grad()(0, 0));
+    x->AccumulateGrad(g);
+  });
+}
+
+VarPtr MeanAll(const VarPtr& x) {
+  const double inv = 1.0 / static_cast<double>(x->value().size());
+  return MakeOp({x}, Scalar(x->value().Sum() * inv), [x, inv](Variable& self) {
+    if (!x->requires_grad()) return;
+    Matrix g(x->value().rows(), x->value().cols(), self.grad()(0, 0) * inv);
+    x->AccumulateGrad(g);
+  });
+}
+
+VarPtr SumSquares(const VarPtr& x) {
+  double s = 0.0;
+  for (int64_t i = 0; i < x->value().size(); ++i) {
+    const double v = x->value().data()[i];
+    s += v * v;
+  }
+  return MakeOp({x}, Scalar(s), [x](Variable& self) {
+    if (!x->requires_grad()) return;
+    Matrix g = x->value();
+    g *= 2.0 * self.grad()(0, 0);
+    x->AccumulateGrad(g);
+  });
+}
+
+VarPtr BinaryCrossEntropySum(const VarPtr& p, const Matrix& targets,
+                             double eps) {
+  return WeightedBinaryCrossEntropySum(p, targets, 1.0, eps);
+}
+
+VarPtr WeightedBinaryCrossEntropySum(const VarPtr& p, const Matrix& targets,
+                                     double pos_weight, double eps) {
+  ANECI_CHECK(p->value().rows() == targets.rows() &&
+              p->value().cols() == targets.cols());
+  const int64_t n = p->value().size();
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    const double pv = std::clamp(p->value().data()[i], eps, 1.0 - eps);
+    const double t = targets.data()[i];
+    loss -= pos_weight * t * std::log(pv) + (1.0 - t) * std::log(1.0 - pv);
+  }
+  // The closure must not dangle: copy targets.
+  Matrix t_copy = targets;
+  return MakeOp({p}, Scalar(loss),
+                [p, t_copy = std::move(t_copy), pos_weight, eps](Variable& self) {
+                  if (!p->requires_grad()) return;
+                  const double g = self.grad()(0, 0);
+                  Matrix dp(p->value().rows(), p->value().cols());
+                  for (int64_t i = 0; i < dp.size(); ++i) {
+                    const double pv =
+                        std::clamp(p->value().data()[i], eps, 1.0 - eps);
+                    const double t = t_copy.data()[i];
+                    dp.data()[i] =
+                        g * (-pos_weight * t / pv + (1.0 - t) / (1.0 - pv));
+                  }
+                  p->AccumulateGrad(dp);
+                });
+}
+
+VarPtr SoftmaxCrossEntropy(const VarPtr& logits, const std::vector<int>& rows,
+                           const std::vector<int>& labels) {
+  ANECI_CHECK_EQ(rows.size(), labels.size());
+  ANECI_CHECK(!rows.empty());
+  const Matrix& x = logits->value();
+  const int c = x.cols();
+  // Forward: mean NLL over the selected rows.
+  double loss = 0.0;
+  Matrix probs(static_cast<int>(rows.size()), c);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const double* in = x.RowPtr(rows[i]);
+    double mx = in[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, in[j]);
+    double sum = 0.0;
+    double* pr = probs.RowPtr(static_cast<int>(i));
+    for (int j = 0; j < c; ++j) {
+      pr[j] = std::exp(in[j] - mx);
+      sum += pr[j];
+    }
+    for (int j = 0; j < c; ++j) pr[j] /= sum;
+    ANECI_CHECK(labels[i] >= 0 && labels[i] < c);
+    loss -= std::log(std::max(pr[labels[i]], 1e-12));
+  }
+  loss /= static_cast<double>(rows.size());
+  return MakeOp(
+      {logits}, Scalar(loss),
+      [logits, rows, labels, probs = std::move(probs)](Variable& self) {
+        if (!logits->requires_grad()) return;
+        const double g = self.grad()(0, 0) / static_cast<double>(rows.size());
+        Matrix dx(logits->value().rows(), logits->value().cols());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          const double* pr = probs.RowPtr(static_cast<int>(i));
+          double* dr = dx.RowPtr(rows[i]);
+          for (int j = 0; j < dx.cols(); ++j) dr[j] += g * pr[j];
+          dr[labels[i]] -= g;
+        }
+        logits->AccumulateGrad(dx);
+      });
+}
+
+VarPtr TraceQuadraticSparse(const SparseMatrix* s, const VarPtr& p) {
+  ANECI_CHECK(s != nullptr);
+  ANECI_CHECK_EQ(s->cols(), p->value().rows());
+  Matrix sp = s->Multiply(p->value());
+  double f = 0.0;
+  for (int64_t i = 0; i < sp.size(); ++i)
+    f += sp.data()[i] * p->value().data()[i];
+  return MakeOp({p}, Scalar(f), [s, p](Variable& self) {
+    if (!p->requires_grad()) return;
+    const double g = self.grad()(0, 0);
+    // d/dP [sum(P (.) SP)] = (S + S^T) P.
+    Matrix d = s->Multiply(p->value());
+    d += s->MultiplyTransposed(p->value());
+    d *= g;
+    p->AccumulateGrad(d);
+  });
+}
+
+VarPtr RowWeightedColSumSquares(const VarPtr& p, const std::vector<double>& k) {
+  ANECI_CHECK_EQ(static_cast<int>(k.size()), p->value().rows());
+  const int cols = p->value().cols();
+  std::vector<double> v(cols, 0.0);  // v = P^T k.
+  for (int r = 0; r < p->value().rows(); ++r) {
+    const double* row = p->value().RowPtr(r);
+    for (int c = 0; c < cols; ++c) v[c] += k[r] * row[c];
+  }
+  double f = 0.0;
+  for (double x : v) f += x * x;
+  return MakeOp({p}, Scalar(f), [p, k, v](Variable& self) {
+    if (!p->requires_grad()) return;
+    const double g = self.grad()(0, 0);
+    Matrix d(p->value().rows(), p->value().cols());
+    for (int r = 0; r < d.rows(); ++r) {
+      double* row = d.RowPtr(r);
+      for (int c = 0; c < d.cols(); ++c) row[c] = g * 2.0 * k[r] * v[c];
+    }
+    p->AccumulateGrad(d);
+  });
+}
+
+VarPtr SelectRows(const VarPtr& x, const std::vector<int>& rows) {
+  Matrix value = x->value().SelectRows(rows);
+  return MakeOp({x}, std::move(value), [x, rows](Variable& self) {
+    if (!x->requires_grad()) return;
+    Matrix dx(x->value().rows(), x->value().cols());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const double* g = self.grad().RowPtr(static_cast<int>(i));
+      double* d = dx.RowPtr(rows[i]);
+      for (int c = 0; c < dx.cols(); ++c) d[c] += g[c];
+    }
+    x->AccumulateGrad(dx);
+  });
+}
+
+VarPtr GraphAttention(const SparseMatrix* adj, const VarPtr& h,
+                      const VarPtr& a_src, const VarPtr& a_dst, double slope) {
+  ANECI_CHECK(adj != nullptr);
+  const Matrix& hm = h->value();
+  const int n = hm.rows(), d = hm.cols();
+  ANECI_CHECK_EQ(adj->rows(), n);
+  ANECI_CHECK_EQ(adj->cols(), n);
+  ANECI_CHECK(a_src->value().rows() == 1 && a_src->value().cols() == d);
+  ANECI_CHECK(a_dst->value().rows() == 1 && a_dst->value().cols() == d);
+
+  // Per-node attention projections s_i = a_src . h_i, t_i = a_dst . h_i.
+  std::vector<double> s(n, 0.0), t(n, 0.0);
+  const double* as = a_src->value().RowPtr(0);
+  const double* ad = a_dst->value().RowPtr(0);
+  for (int i = 0; i < n; ++i) {
+    const double* hi = hm.RowPtr(i);
+    for (int c = 0; c < d; ++c) {
+      s[i] += as[c] * hi[c];
+      t[i] += ad[c] * hi[c];
+    }
+  }
+
+  // Attention weights per stored edge, row-softmaxed.
+  std::vector<double> alpha(adj->nnz(), 0.0);
+  Matrix out(n, d);
+  for (int i = 0; i < n; ++i) {
+    const int64_t begin = adj->row_ptr()[i], end = adj->row_ptr()[i + 1];
+    if (begin == end) continue;
+    double mx = -1e300;
+    for (int64_t e = begin; e < end; ++e) {
+      const double raw = s[i] + t[adj->col_idx()[e]];
+      alpha[e] = raw > 0.0 ? raw : slope * raw;  // LeakyReLU.
+      mx = std::max(mx, alpha[e]);
+    }
+    double sum = 0.0;
+    for (int64_t e = begin; e < end; ++e) {
+      alpha[e] = std::exp(alpha[e] - mx);
+      sum += alpha[e];
+    }
+    double* oi = out.RowPtr(i);
+    for (int64_t e = begin; e < end; ++e) {
+      alpha[e] /= sum;
+      const double* hj = hm.RowPtr(adj->col_idx()[e]);
+      for (int c = 0; c < d; ++c) oi[c] += alpha[e] * hj[c];
+    }
+  }
+
+  return MakeOp(
+      {h, a_src, a_dst}, std::move(out),
+      [adj, h, a_src, a_dst, slope, s = std::move(s), t = std::move(t),
+       alpha = std::move(alpha)](Variable& self) {
+        const Matrix& hm = h->value();
+        const int n = hm.rows(), d = hm.cols();
+        const Matrix& dout = self.grad();
+        const double* as = a_src->value().RowPtr(0);
+        const double* ad = a_dst->value().RowPtr(0);
+
+        Matrix dh(n, d);
+        std::vector<double> ds(n, 0.0), dt(n, 0.0);
+
+        for (int i = 0; i < n; ++i) {
+          const int64_t begin = adj->row_ptr()[i], end = adj->row_ptr()[i + 1];
+          if (begin == end) continue;
+          const double* gi = dout.RowPtr(i);
+          // dalpha_ij = dout_i . h_j ; dh_j += alpha_ij * dout_i.
+          double weighted = 0.0;  // sum_k alpha_ik dalpha_ik for the softmax.
+          std::vector<double> dalpha(end - begin);
+          for (int64_t e = begin; e < end; ++e) {
+            const int j = adj->col_idx()[e];
+            const double* hj = hm.RowPtr(j);
+            double da = 0.0;
+            for (int c = 0; c < d; ++c) da += gi[c] * hj[c];
+            dalpha[e - begin] = da;
+            weighted += alpha[e] * da;
+            double* dhj = dh.RowPtr(j);
+            for (int c = 0; c < d; ++c) dhj[c] += alpha[e] * gi[c];
+          }
+          for (int64_t e = begin; e < end; ++e) {
+            const int j = adj->col_idx()[e];
+            // Softmax jacobian, then the LeakyReLU derivative.
+            double de = alpha[e] * (dalpha[e - begin] - weighted);
+            const double raw = s[i] + t[j];
+            if (raw <= 0.0) de *= slope;
+            ds[i] += de;
+            dt[j] += de;
+          }
+        }
+
+        // s_i = a_src . h_i and t_i = a_dst . h_i contributions.
+        Matrix da_src(1, d), da_dst(1, d);
+        for (int i = 0; i < n; ++i) {
+          const double* hi = hm.RowPtr(i);
+          double* dhi = dh.RowPtr(i);
+          for (int c = 0; c < d; ++c) {
+            dhi[c] += ds[i] * as[c] + dt[i] * ad[c];
+            da_src(0, c) += ds[i] * hi[c];
+            da_dst(0, c) += dt[i] * hi[c];
+          }
+        }
+        if (h->requires_grad()) h->AccumulateGrad(dh);
+        if (a_src->requires_grad()) a_src->AccumulateGrad(da_src);
+        if (a_dst->requires_grad()) a_dst->AccumulateGrad(da_dst);
+      });
+}
+
+VarPtr InnerProductPairBce(const VarPtr& p,
+                           const std::vector<PairTarget>& pairs) {
+  const Matrix& pm = p->value();
+  const int k = pm.cols();
+  auto softplus = [](double x) {
+    // log(1 + e^x), overflow-safe.
+    return x > 30.0 ? x : std::log1p(std::exp(x));
+  };
+  double loss = 0.0;
+  for (const PairTarget& pt : pairs) {
+    ANECI_DCHECK(pt.u >= 0 && pt.u < pm.rows());
+    ANECI_DCHECK(pt.v >= 0 && pt.v < pm.rows());
+    double d = 0.0;
+    const double* a = pm.RowPtr(pt.u);
+    const double* b = pm.RowPtr(pt.v);
+    for (int c = 0; c < k; ++c) d += a[c] * b[c];
+    // BCE(sigmoid(d), t) = softplus(d) - t * d.
+    loss += softplus(d) - pt.target * d;
+  }
+  return MakeOp({p}, Scalar(loss), [p, pairs](Variable& self) {
+    if (!p->requires_grad()) return;
+    const double g = self.grad()(0, 0);
+    const Matrix& pm = p->value();
+    const int k = pm.cols();
+    Matrix dp(pm.rows(), pm.cols());
+    for (const PairTarget& pt : pairs) {
+      double d = 0.0;
+      const double* a = pm.RowPtr(pt.u);
+      const double* b = pm.RowPtr(pt.v);
+      for (int c = 0; c < k; ++c) d += a[c] * b[c];
+      const double s = 1.0 / (1.0 + std::exp(-d));
+      const double coeff = g * (s - pt.target);
+      double* du = dp.RowPtr(pt.u);
+      double* dv = dp.RowPtr(pt.v);
+      for (int c = 0; c < k; ++c) {
+        du[c] += coeff * b[c];
+        dv[c] += coeff * a[c];
+      }
+    }
+    p->AccumulateGrad(dp);
+  });
+}
+
+}  // namespace aneci::ag

@@ -1,0 +1,68 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci::ag {
+
+void Sgd::Step() {
+  for (const VarPtr& p : params_) {
+    if (p->grad().empty()) continue;
+    Matrix& w = p->mutable_value();
+    const Matrix& g = p->grad();
+    for (int64_t i = 0; i < w.size(); ++i) {
+      double gi = g.data()[i] + weight_decay_ * w.data()[i];
+      w.data()[i] -= lr_ * gi;
+    }
+  }
+}
+
+Adam::Adam(std::vector<VarPtr> params, const Options& options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const VarPtr& p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  double scale = 1.0;
+  if (options_.clip_norm > 0.0) {
+    double total = 0.0;
+    for (const VarPtr& p : params_) {
+      if (p->grad().empty()) continue;
+      for (int64_t i = 0; i < p->grad().size(); ++i) {
+        const double g = p->grad().data()[i];
+        total += g * g;
+      }
+    }
+    total = std::sqrt(total);
+    if (total > options_.clip_norm) scale = options_.clip_norm / total;
+  }
+
+  const double bc1 = 1.0 - std::pow(options_.beta1, t_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, t_);
+  for (size_t k = 0; k < params_.size(); ++k) {
+    const VarPtr& p = params_[k];
+    if (p->grad().empty()) continue;
+    Matrix& w = p->mutable_value();
+    const Matrix& g = p->grad();
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    for (int64_t i = 0; i < w.size(); ++i) {
+      double gi = g.data()[i] * scale + options_.weight_decay * w.data()[i];
+      m.data()[i] = options_.beta1 * m.data()[i] + (1.0 - options_.beta1) * gi;
+      v.data()[i] =
+          options_.beta2 * v.data()[i] + (1.0 - options_.beta2) * gi * gi;
+      const double mhat = m.data()[i] / bc1;
+      const double vhat = v.data()[i] / bc2;
+      w.data()[i] -= options_.lr * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
+}  // namespace aneci::ag

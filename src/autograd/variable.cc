@@ -1,0 +1,67 @@
+#include "autograd/variable.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace aneci::ag {
+
+uint64_t Variable::next_id_ = 0;
+
+Variable::Variable(Matrix value, bool requires_grad)
+    : value_(std::move(value)), requires_grad_(requires_grad), id_(next_id_++) {}
+
+void Variable::AccumulateGrad(const Matrix& g) {
+  ANECI_CHECK(g.rows() == value_.rows() && g.cols() == value_.cols());
+  if (grad_.empty()) {
+    grad_ = g;
+  } else {
+    grad_ += g;
+  }
+}
+
+void Variable::ZeroGrad() {
+  if (!grad_.empty()) grad_.SetZero();
+}
+
+VarPtr MakeConstant(Matrix value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/false);
+}
+
+VarPtr MakeParameter(Matrix value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/true);
+}
+
+void Backward(const VarPtr& root) {
+  ANECI_CHECK(root != nullptr);
+  ANECI_CHECK_MSG(root->value().rows() == 1 && root->value().cols() == 1,
+                  "Backward root must be a 1x1 scalar");
+
+  // Collect reachable nodes; creation id gives a topological order because
+  // every op's output is created after its inputs.
+  std::vector<Variable*> nodes;
+  std::unordered_set<Variable*> seen;
+  std::vector<Variable*> stack = {root.get()};
+  seen.insert(root.get());
+  while (!stack.empty()) {
+    Variable* v = stack.back();
+    stack.pop_back();
+    nodes.push_back(v);
+    for (const VarPtr& p : v->parents) {
+      if (seen.insert(p.get()).second) stack.push_back(p.get());
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const Variable* a, const Variable* b) { return a->id() > b->id(); });
+
+  Matrix seed(1, 1);
+  seed(0, 0) = 1.0;
+  root->AccumulateGrad(seed);
+
+  for (Variable* v : nodes) {
+    if (v->backward_fn && !v->grad().empty()) v->backward_fn(*v);
+  }
+}
+
+}  // namespace aneci::ag

@@ -1,0 +1,78 @@
+// Tape-free dynamic reverse-mode automatic differentiation over dense
+// matrices. Each op builds a node holding the forward value and a closure
+// that scatters the node's gradient into its parents; Backward() walks nodes
+// in reverse creation order (a valid topological order for dynamically built
+// graphs).
+//
+// Usage:
+//   auto w = MakeParameter(Matrix::GlorotUniform(16, 8, rng));
+//   auto h = LeakyRelu(SpMM(a_norm, MatMul(x, w)), 0.01);
+//   auto loss = SumAll(h);
+//   Backward(loss);          // w->grad() now holds dLoss/dW
+#ifndef ANECI_AUTOGRAD_VARIABLE_H_
+#define ANECI_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace aneci::ag {
+
+class Variable;
+using VarPtr = std::shared_ptr<Variable>;
+
+/// A node in the autodiff graph: a dense value, an optional gradient buffer,
+/// and the backward closure installed by the op that produced it.
+class Variable {
+ public:
+  explicit Variable(Matrix value, bool requires_grad);
+
+  Variable(const Variable&) = delete;
+  Variable& operator=(const Variable&) = delete;
+
+  const Matrix& value() const { return value_; }
+  Matrix& mutable_value() { return value_; }
+
+  /// Gradient of the final scalar w.r.t. this node. Zero matrix before
+  /// Backward() touches it.
+  const Matrix& grad() const { return grad_; }
+  Matrix& mutable_grad() { return grad_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  uint64_t id() const { return id_; }
+
+  /// Adds g into the gradient buffer, allocating it on first use.
+  void AccumulateGrad(const Matrix& g);
+
+  /// Clears the gradient buffer (parameters keep theirs across steps unless
+  /// the optimiser calls this).
+  void ZeroGrad();
+
+  // Graph wiring — used by op constructors.
+  std::vector<VarPtr> parents;
+  std::function<void(Variable&)> backward_fn;
+
+ private:
+  static uint64_t next_id_;
+
+  Matrix value_;
+  Matrix grad_;
+  bool requires_grad_;
+  uint64_t id_;
+};
+
+/// Non-trainable input node.
+VarPtr MakeConstant(Matrix value);
+
+/// Trainable parameter node (requires_grad = true).
+VarPtr MakeParameter(Matrix value);
+
+/// Reverse-mode sweep from `root`, which must be 1x1. Seeds droot/droot = 1
+/// and propagates through every reachable node that requires a gradient.
+void Backward(const VarPtr& root);
+
+}  // namespace aneci::ag
+
+#endif  // ANECI_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,130 @@
+#include "core/aneci.h"
+
+#include <limits>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "core/losses.h"
+#include "graph/modularity.h"
+#include "util/check.h"
+
+namespace aneci {
+
+using ag::VarPtr;
+
+AneciResult Aneci::Train(const Graph& graph,
+                         const EpochCallback& on_epoch) const {
+  const int n = graph.num_nodes();
+  ANECI_CHECK_GT(n, 0);
+  Rng rng(config_.seed);
+
+  // Precompute the constant operators: GCN propagation S, sparse features X,
+  // and the high-order proximity A~ (both the training target and the
+  // modularity's structural prior).
+  const SparseMatrix s_norm = graph.NormalizedAdjacency();
+  const Matrix features = graph.FeaturesOrIdentity();
+  const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
+  const SparseMatrix proximity = HighOrderProximity(graph, config_.proximity);
+  const double two_m_scale = proximity.SumAll();
+
+  const bool dense_recon =
+      config_.reconstruction == ReconstructionMode::kDense ||
+      (config_.reconstruction == ReconstructionMode::kAuto &&
+       n <= config_.dense_threshold);
+
+  // Parameters of the two GCN layers (Eq. 2).
+  auto w1 = ag::MakeParameter(
+      Matrix::GlorotUniform(features.cols(), config_.hidden_dim, rng));
+  auto b1 = ag::MakeParameter(Matrix(1, config_.hidden_dim));
+  auto w2 = ag::MakeParameter(
+      Matrix::GlorotUniform(config_.hidden_dim, config_.embed_dim, rng));
+  auto b2 = ag::MakeParameter(Matrix(1, config_.embed_dim));
+
+  ag::Adam::Options adam;
+  adam.lr = config_.lr;
+  adam.weight_decay = config_.weight_decay;
+  ag::Adam optimizer({w1, b1, w2, b2}, adam);
+
+  auto forward = [&](const SparseMatrix* prop) {
+    // H1 = LeakyReLU(S X W1 + b1); Z = S H1 W2 + b2.
+    VarPtr xw = ag::SpMM(&x_sparse, w1);
+    VarPtr h1 = ag::LeakyRelu(ag::AddRowBroadcast(ag::SpMM(prop, xw), b1),
+                              config_.leaky_relu_alpha);
+    VarPtr z = ag::AddRowBroadcast(ag::SpMM(prop, ag::MatMul(h1, w2)), b2);
+    return z;
+  };
+  const bool sampled_encoder =
+      config_.encoder == EncoderMode::kSampledNeighbors;
+
+  std::vector<ag::PairTarget> pairs;
+  if (!dense_recon)
+    pairs = SampleReconstructionPairs(proximity, config_.negatives_per_node, rng);
+
+  AneciResult result;
+  double best_mod_loss = std::numeric_limits<double>::max();
+  int since_best = 0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (!dense_recon && config_.resample_every > 0 && epoch > 0 &&
+        epoch % config_.resample_every == 0) {
+      pairs =
+          SampleReconstructionPairs(proximity, config_.negatives_per_node, rng);
+    }
+
+    optimizer.ZeroGrad();
+    // The sampled operator must stay alive through Backward().
+    SparseMatrix s_epoch;
+    const SparseMatrix* prop = &s_norm;
+    if (sampled_encoder) {
+      s_epoch = SampleSageOperator(graph, config_.sage, rng);
+      prop = &s_epoch;
+    }
+    VarPtr z = forward(prop);
+    VarPtr p = ag::RowSoftmax(z);
+    VarPtr q = config_.modularity_variant == ModularityVariant::kProduct
+                   ? GeneralizedModularityLoss(&proximity, p)
+                   : GeneralizedModularityMinLoss(&proximity, p);
+    VarPtr recon = dense_recon ? DenseReconstructionLoss(&proximity, p)
+                               : SampledReconstructionLoss(p, pairs);
+    // Balance the two objectives at O(N) magnitude each: Q~ carries a
+    // 1/(2M~) normalisation that would otherwise make its gradient O(1/N^2)
+    // against the pair-summed reconstruction, so the loss uses the
+    // un-normalised trace form (2M~ * Q~) and the per-pair mean of L_R
+    // scaled back to N.
+    const double recon_pairs =
+        dense_recon ? static_cast<double>(n) * n
+                    : static_cast<double>(pairs.size());
+    VarPtr loss =
+        ag::Add(ag::Scale(q, -config_.beta1 * two_m_scale),
+                ag::Scale(recon, config_.beta2 * n / recon_pairs));
+    ag::Backward(loss);
+    optimizer.Step();
+
+    AneciEpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss->value()(0, 0);
+    stats.modularity = q->value()(0, 0);
+    stats.rigidity = Rigidity(p->value());
+    result.history.push_back(stats);
+    if (on_epoch) on_epoch(stats, z->value(), p->value());
+
+    if (config_.early_stop_patience > 0) {
+      const double mod_loss = -stats.modularity;
+      if (mod_loss < best_mod_loss - config_.early_stop_min_delta) {
+        best_mod_loss = mod_loss;
+        since_best = 0;
+      } else if (++since_best >= config_.early_stop_patience) {
+        break;
+      }
+    }
+  }
+
+  // Final forward pass with trained weights; inference always uses the
+  // deterministic full-graph operator.
+  VarPtr z = forward(&s_norm);
+  result.z = z->value();
+  result.p = RowSoftmax(result.z);
+  return result;
+}
+
+}  // namespace aneci

@@ -1,0 +1,118 @@
+// AnECI: Attributed Network Embedding preserving Community Information
+// (ICDE 2022). A two-layer GCN encoder produces embeddings Z; softmax(Z)
+// gives soft community memberships P; training maximises the generalised
+// high-order modularity Q~ (Eq. 13) and minimises the high-order proximity
+// reconstruction loss L_R (Eq. 17):
+//     min_W  L = -beta1 * Q~ + beta2 * L_R        (Eq. 18)
+#ifndef ANECI_CORE_ANECI_H_
+#define ANECI_CORE_ANECI_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/sage_encoder.h"
+#include "graph/graph.h"
+#include "graph/proximity.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+enum class ReconstructionMode {
+  kAuto,     ///< Dense when N <= dense_threshold, else sampled.
+  kDense,    ///< Exact O(N^2 K) loss, streamed.
+  kSampled,  ///< Positives = stored A~ entries, plus sampled negatives.
+};
+
+enum class EncoderMode {
+  /// Full-graph symmetric-normalised propagation (Eq. 2, the paper's model).
+  kFullGraph,
+  /// GraphSAGE-style sampled-neighbour propagation, the scalability
+  /// extension named in the paper's conclusion. Unbiased in expectation.
+  kSampledNeighbors,
+};
+
+/// Choice of the adapting-factor F in the generalised modularity
+/// (Section IV-C4 allows "the product or minimum between the corresponding
+/// two weights"; the paper's experiments use the product).
+enum class ModularityVariant {
+  kProduct,
+  kMinimum,
+};
+
+struct AneciConfig {
+  /// Hidden width of the first GCN layer.
+  int hidden_dim = 64;
+  /// Embedding size h. Acts as the number of latent communities |C| because
+  /// P = softmax(Z) (Eq. 3).
+  int embed_dim = 16;
+
+  /// High-order proximity options (order l, weights w).
+  ProximityOptions proximity;
+
+  double beta1 = 1.0;  ///< Modularity weight.
+  double beta2 = 1.0;  ///< Reconstruction weight.
+  ModularityVariant modularity_variant = ModularityVariant::kProduct;
+
+  int epochs = 150;
+  double lr = 0.01;
+  double weight_decay = 0.0;
+  double leaky_relu_alpha = 0.01;
+
+  EncoderMode encoder = EncoderMode::kFullGraph;
+  /// Sampler parameters for EncoderMode::kSampledNeighbors.
+  SageSamplerOptions sage;
+
+  ReconstructionMode reconstruction = ReconstructionMode::kAuto;
+  int dense_threshold = 1500;
+  int negatives_per_node = 5;
+  /// Resample negative pairs every this many epochs (sampled mode).
+  int resample_every = 20;
+
+  /// Early stopping on the modularity loss (paper's anomaly-detection
+  /// protocol); 0 disables.
+  int early_stop_patience = 0;
+  /// Minimum modularity-loss improvement that resets the patience counter.
+  double early_stop_min_delta = 1e-4;
+
+  uint64_t seed = 42;
+};
+
+/// Per-epoch training telemetry (drives Fig. 9b).
+struct AneciEpochStats {
+  int epoch = 0;
+  double loss = 0.0;
+  double modularity = 0.0;  ///< Q~ value.
+  double rigidity = 0.0;    ///< tr(P^T P) / N.
+};
+
+/// Result of a training run.
+struct AneciResult {
+  Matrix z;  ///< Node embeddings (N x h).
+  Matrix p;  ///< Soft community memberships, softmax(Z) (N x h).
+  std::vector<AneciEpochStats> history;
+};
+
+class Aneci {
+ public:
+  explicit Aneci(const AneciConfig& config) : config_(config) {}
+
+  const AneciConfig& config() const { return config_; }
+
+  /// Per-epoch observer: stats, current embeddings Z and memberships P.
+  /// Drives the rigidity analysis (Fig. 9b) and the paper's
+  /// validation-based embedding selection for node classification.
+  using EpochCallback = std::function<void(const AneciEpochStats&,
+                                           const Matrix& z, const Matrix& p)>;
+
+  /// Trains on the graph and returns embeddings.
+  AneciResult Train(const Graph& graph,
+                    const EpochCallback& on_epoch = nullptr) const;
+
+ private:
+  AneciConfig config_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_CORE_ANECI_H_

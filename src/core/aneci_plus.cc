@@ -1,0 +1,67 @@
+#include "core/aneci_plus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace aneci {
+
+std::vector<double> EdgeAnomalyScores(const Graph& graph, const Matrix& z) {
+  ANECI_CHECK_EQ(z.rows(), graph.num_nodes());
+  std::vector<double> scores;
+  scores.reserve(graph.num_edges());
+  for (const Edge& e : graph.edges()) {
+    scores.push_back(
+        1.0 - CosineSimilarity(z.RowPtr(e.u), z.RowPtr(e.v), z.cols()));
+  }
+  return scores;
+}
+
+double AdaptiveDropRatio(const std::vector<double>& edge_scores,
+                         const AneciPlusConfig& config) {
+  if (config.fixed_drop_ratio >= 0.0) return config.fixed_drop_ratio;
+  if (edge_scores.empty()) return 0.0;
+  double mean = 0.0;
+  for (double s : edge_scores) mean += s;
+  mean /= edge_scores.size();
+  // Cosine distance lives in [0, 2]; psi's midpoint beta is calibrated for
+  // [0, 1], so halve the mean before smoothing.
+  const double x = std::clamp(mean / 2.0, 0.0, 1.0);
+  return config.psi_gamma /
+         (1.0 + std::exp(config.psi_alpha * (config.psi_beta - x)));
+}
+
+AneciPlusResult TrainAneciPlus(const Graph& graph,
+                               const AneciPlusConfig& config) {
+  AneciPlusResult result;
+
+  // Stage 1: embed the (possibly attacked) graph.
+  Aneci model(config.base);
+  AneciResult stage1 = model.Train(graph);
+
+  // Score and rank edges; drop the top-rho most anomalous.
+  const std::vector<double> scores = EdgeAnomalyScores(graph, stage1.z);
+  result.drop_ratio = AdaptiveDropRatio(scores, config);
+  const int to_drop = static_cast<int>(result.drop_ratio * graph.num_edges());
+
+  std::vector<int> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return scores[a] > scores[b]; });
+
+  result.denoised_graph = graph;
+  for (int i = 0; i < to_drop && i < static_cast<int>(order.size()); ++i) {
+    const Edge& e = graph.edges()[order[i]];
+    result.denoised_graph.RemoveEdge(e.u, e.v);
+    ++result.edges_removed;
+  }
+
+  // Stage 2: re-embed with the same configuration (the paper reuses all
+  // hyper-parameters across the two phases).
+  result.stage2 = model.Train(result.denoised_graph);
+  return result;
+}
+
+}  // namespace aneci

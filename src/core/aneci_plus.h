@@ -1,0 +1,49 @@
+// AnECI+ (Algorithm 1): the two-stage denoising variant. Stage 1 trains
+// AnECI, scores every edge by s(e_ij) = 1 - cos(z_i, z_j), removes the
+// top-rho fraction; stage 2 retrains AnECI on the denoised graph. The drop
+// ratio rho is derived from the mean edge anomaly score through the paper's
+// smoothing function psi(x) = gamma / (1 + exp(alpha (x - beta))).
+#ifndef ANECI_CORE_ANECI_PLUS_H_
+#define ANECI_CORE_ANECI_PLUS_H_
+
+#include <vector>
+
+#include "core/aneci.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace aneci {
+
+struct AneciPlusConfig {
+  AneciConfig base;
+  /// Parameters of psi; the paper fixes beta = 0.5, gamma = 0.75 and tunes
+  /// alpha per dataset/attack (Section VI-B2).
+  double psi_alpha = 3.0;
+  double psi_beta = 0.5;
+  double psi_gamma = 0.75;
+  /// When >= 0, overrides the adaptive rho entirely.
+  double fixed_drop_ratio = -1.0;
+};
+
+/// Anomaly score per edge of `graph` under embedding `z` (aligned with
+/// graph.edges() order): s = 1 - cosine(z_u, z_v).
+std::vector<double> EdgeAnomalyScores(const Graph& graph, const Matrix& z);
+
+/// The paper's drop-ratio schedule psi applied to the mean edge score.
+double AdaptiveDropRatio(const std::vector<double>& edge_scores,
+                         const AneciPlusConfig& config);
+
+struct AneciPlusResult {
+  AneciResult stage2;        ///< Final embeddings from the denoised graph.
+  Graph denoised_graph;      ///< Graph after edge removal.
+  double drop_ratio = 0.0;
+  int edges_removed = 0;
+};
+
+/// Runs the full two-stage pipeline.
+AneciPlusResult TrainAneciPlus(const Graph& graph,
+                               const AneciPlusConfig& config);
+
+}  // namespace aneci
+
+#endif  // ANECI_CORE_ANECI_PLUS_H_

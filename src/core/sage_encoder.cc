@@ -1,0 +1,45 @@
+#include "core/sage_encoder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace aneci {
+
+SparseMatrix SampleSageOperator(const Graph& graph,
+                                const SageSamplerOptions& options, Rng& rng) {
+  ANECI_CHECK_GT(options.fanout, 0);
+  const int n = graph.num_nodes();
+  std::vector<Triplet> trips;
+  trips.reserve(static_cast<size_t>(n) * (options.fanout + 1));
+
+  std::vector<int> sample;
+  for (int u = 0; u < n; ++u) {
+    const std::vector<int>& nbrs = graph.Neighbors(u);
+    const double deg = static_cast<double>(nbrs.size());
+    const double total = options.self_weight + deg;
+    sample.clear();
+    double neighbor_weight = 1.0 / total;
+    if (static_cast<int>(nbrs.size()) <= options.fanout) {
+      sample = nbrs;
+    } else {
+      // Sample without replacement: partial Fisher-Yates over a copy. Each
+      // neighbour appears with probability fanout/deg, so scaling its weight
+      // by deg/fanout makes the operator exactly unbiased for the full
+      // row-normalised (A + I) while rows still sum to 1.
+      std::vector<int> pool = nbrs;
+      for (int i = 0; i < options.fanout; ++i) {
+        const int j = i + static_cast<int>(rng.NextInt(
+                              static_cast<int64_t>(pool.size()) - i));
+        std::swap(pool[i], pool[j]);
+        sample.push_back(pool[i]);
+      }
+      neighbor_weight = deg / (options.fanout * total);
+    }
+    trips.push_back({u, u, options.self_weight / total});
+    for (int v : sample) trips.push_back({u, v, neighbor_weight});
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(trips));
+}
+
+}  // namespace aneci

@@ -1,0 +1,34 @@
+// GraphSAGE-style sampled-neighbourhood propagation (Hamilton et al. 2017),
+// the scalability route the paper's conclusion names as future work
+// ("improve the scalability on the larger dataset by sampling and learning
+// aggregation function instead of full graph Laplacian propagation").
+//
+// Instead of the dense propagation operator S = D^{-1/2}(A+I)D^{-1/2}, each
+// epoch draws a sparse operator S_hat where every node aggregates at most
+// `fanout` sampled neighbours (plus itself), importance-weighted so that
+// E[S_hat] equals row-normalised (A + I) exactly. Each epoch touches
+// O(N * fanout) edges regardless of degree skew.
+#ifndef ANECI_CORE_SAGE_ENCODER_H_
+#define ANECI_CORE_SAGE_ENCODER_H_
+
+#include "graph/graph.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct SageSamplerOptions {
+  int fanout = 10;  ///< Max sampled neighbours per node per epoch.
+  /// Weight of the self connection relative to one neighbour sample.
+  double self_weight = 1.0;
+};
+
+/// Draws one sampled propagation operator (row-stochastic, N x N).
+/// Nodes with degree <= fanout keep all their neighbours (no sampling
+/// noise where none is needed).
+SparseMatrix SampleSageOperator(const Graph& graph,
+                                const SageSamplerOptions& options, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_CORE_SAGE_ENCODER_H_

@@ -1,0 +1,52 @@
+// Benchmark dataset registry. Generates synthetic analogues of the paper's
+// four datasets (Table II) with matching statistics and the paper's
+// train/val/test protocol, via the DC-SBM generator. A `scale` < 1 shrinks
+// node/edge counts proportionally (splits shrink too) for CPU-budgeted runs.
+#ifndef ANECI_DATA_DATASETS_H_
+#define ANECI_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aneci {
+
+struct Dataset {
+  std::string name;
+  Graph graph;
+  std::vector<int> train_idx;
+  std::vector<int> val_idx;
+  std::vector<int> test_idx;
+};
+
+/// Paper-style split: `per_class_train` nodes per class for training, then
+/// `val` and `test` nodes sampled from the rest.
+void MakePlanetoidSplit(const Graph& graph, int per_class_train, int val,
+                        int test, Rng& rng, Dataset* dataset);
+
+/// Cora analogue: N=2708, M~5429, 7 classes, d=1433, split 140/500/1000.
+Dataset MakeCora(uint64_t seed, double scale = 1.0);
+
+/// Citeseer analogue: N=3327, M~4732, 6 classes, d=3703, split 120/500/1000.
+Dataset MakeCiteseer(uint64_t seed, double scale = 1.0);
+
+/// Polblogs analogue: N=1490, M~16715, 2 classes, no attributes,
+/// split 40/500/950.
+Dataset MakePolblogs(uint64_t seed, double scale = 1.0);
+
+/// Pubmed analogue: N=19717, M~44338, 3 classes, d=500, split 60/500/1000.
+Dataset MakePubmed(uint64_t seed, double scale = 1.0);
+
+/// Lookup by lowercase name ("cora", "citeseer", "polblogs", "pubmed").
+StatusOr<Dataset> MakeDataset(const std::string& name, uint64_t seed,
+                              double scale = 1.0);
+
+/// All four dataset names in paper order.
+const std::vector<std::string>& DatasetNames();
+
+}  // namespace aneci
+
+#endif  // ANECI_DATA_DATASETS_H_

@@ -1,0 +1,47 @@
+// Degree-corrected stochastic block model with planted classes and
+// class-conditional sparse binary attributes. This is the synthetic stand-in
+// for the paper's benchmark datasets (see DESIGN.md, Substitutions).
+#ifndef ANECI_DATA_SBM_H_
+#define ANECI_DATA_SBM_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct SbmOptions {
+  int num_nodes = 1000;
+  int num_classes = 4;
+  /// Target number of undirected edges.
+  int num_edges = 2000;
+  /// Probability an edge is intra-community (homophily strength). Real
+  /// citation networks sit around 0.75-0.85.
+  double intra_fraction = 0.8;
+  /// Degree heterogeneity: node propensities theta ~ Pareto(alpha). Larger
+  /// alpha = more homogeneous; 0 disables degree correction.
+  double degree_alpha = 2.5;
+  /// Relative class sizes; empty = uniform.
+  std::vector<double> class_proportions;
+
+  // --- Attributes ---
+  /// Attribute dimensionality d; 0 disables attributes (Polblogs-style).
+  int attribute_dim = 0;
+  /// Mean number of active attributes (words) per node.
+  double words_per_node = 18.0;
+  /// Number of "topic words" characteristic of each class.
+  int topic_words_per_class = 60;
+  /// Probability each sampled word comes from the node's class topic (the
+  /// rest are uniform background noise).
+  double attribute_homophily = 0.8;
+};
+
+/// Generates graph + labels (+ attributes when attribute_dim > 0).
+/// Guarantees no self-loops or duplicate edges; the realised edge count can
+/// fall slightly below num_edges if the graph saturates.
+Graph GenerateSbm(const SbmOptions& options, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_DATA_SBM_H_

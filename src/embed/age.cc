@@ -1,0 +1,95 @@
+#include "embed/age.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "util/check.h"
+
+namespace aneci {
+
+using ag::VarPtr;
+
+Matrix Age::Embed(const Graph& graph, Rng& rng) {
+  const int n = graph.num_nodes();
+  ANECI_CHECK_GT(n, 0);
+
+  // Laplacian smoothing: X' = (0.5 I + 0.5 S)^t X with S the symmetric
+  // normalised adjacency. This is AGE's low-pass filter with k = 2/3
+  // replaced by the 1/2 used in its released configuration.
+  const SparseMatrix s_norm = graph.NormalizedAdjacency();
+  Matrix smoothed = graph.FeaturesOrIdentity();
+  for (int t = 0; t < options_.filter_hops; ++t) {
+    Matrix propagated = s_norm.Multiply(smoothed);
+    propagated *= 0.5;
+    smoothed *= 0.5;
+    smoothed += propagated;
+  }
+  const SparseMatrix x_sparse = SparseMatrix::FromDense(smoothed);
+
+  auto w = ag::MakeParameter(
+      Matrix::GlorotUniform(smoothed.cols(), options_.dim, rng));
+  ag::Adam::Options adam;
+  adam.lr = options_.lr;
+  ag::Adam optimizer({w}, adam);
+
+  // Initial training pairs: edges positive, random non-edges negative.
+  std::vector<ag::PairTarget> pairs;
+  auto seed_pairs = [&]() {
+    pairs.clear();
+    for (const Edge& e : graph.edges()) pairs.push_back({e.u, e.v, 1.0});
+    for (int i = 0; i < n; ++i) {
+      const int j = static_cast<int>(rng.NextInt(n));
+      if (i != j && !graph.HasEdge(i, j)) pairs.push_back({i, j, 0.0});
+    }
+  };
+  seed_pairs();
+
+  Matrix final_z;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    VarPtr z = ag::SpMM(&x_sparse, w);
+    VarPtr loss = ag::Scale(ag::InnerProductPairBce(z, pairs),
+                            1.0 / static_cast<double>(pairs.size()));
+    ag::Backward(loss);
+    optimizer.Step();
+
+    // Adaptive relabelling: rank candidate pairs by current cosine
+    // similarity; the most similar become positives, the least negatives.
+    if (options_.adaptive_every > 0 &&
+        (epoch + 1) % options_.adaptive_every == 0) {
+      const Matrix& zm = z->value();
+      struct Cand {
+        int u, v;
+        double sim;
+      };
+      std::vector<Cand> cands;
+      cands.reserve(static_cast<size_t>(n) * options_.candidates_per_node);
+      for (int i = 0; i < n; ++i) {
+        for (int c = 0; c < options_.candidates_per_node; ++c) {
+          const int j = static_cast<int>(rng.NextInt(n));
+          if (i == j) continue;
+          cands.push_back(
+              {i, j, CosineSimilarity(zm.RowPtr(i), zm.RowPtr(j), zm.cols())});
+        }
+      }
+      std::sort(cands.begin(), cands.end(),
+                [](const Cand& a, const Cand& b) { return a.sim > b.sim; });
+      const size_t take =
+          static_cast<size_t>(cands.size() * options_.select_fraction);
+      pairs.clear();
+      for (const Edge& e : graph.edges()) pairs.push_back({e.u, e.v, 1.0});
+      for (size_t i = 0; i < take && i < cands.size(); ++i)
+        pairs.push_back({cands[i].u, cands[i].v, 1.0});
+      for (size_t i = 0; i < take && i < cands.size(); ++i) {
+        const Cand& c = cands[cands.size() - 1 - i];
+        pairs.push_back({c.u, c.v, 0.0});
+      }
+    }
+    if (epoch == options_.epochs - 1) final_z = z->value();
+  }
+  return final_z;
+}
+
+}  // namespace aneci

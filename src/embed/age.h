@@ -1,0 +1,38 @@
+// AGE (Cui et al., KDD'20): Adaptive Graph Encoder. A non-parametric
+// Laplacian-smoothing filter strips high-frequency noise from the attributes;
+// a linear encoder is then trained with adaptively re-labelled similar /
+// dissimilar node pairs selected from the current embedding similarities.
+#ifndef ANECI_EMBED_AGE_H_
+#define ANECI_EMBED_AGE_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class Age final : public Embedder {
+ public:
+  struct Options {
+    int dim = 32;
+    int filter_hops = 3;   ///< Applications of (I - 0.5 L).
+    int epochs = 120;
+    double lr = 0.01;
+    int adaptive_every = 20;
+    /// Candidate random pairs examined per node when refreshing labels.
+    int candidates_per_node = 4;
+    /// Fraction of most-similar candidates labelled positive / least-similar
+    /// labelled negative at each refresh.
+    double select_fraction = 0.25;
+  };
+
+  explicit Age(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "AGE"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_AGE_H_

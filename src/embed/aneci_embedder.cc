@@ -1,0 +1,58 @@
+#include "embed/aneci_embedder.h"
+
+#include "anomaly/anomaly_score.h"
+#include "util/check.h"
+
+namespace aneci {
+
+const char* AneciVariantName(AneciVariant variant) {
+  switch (variant) {
+    case AneciVariant::kRawFeature:
+      return "Raw feature";
+    case AneciVariant::kEncoder:
+      return "+Encoder";
+    case AneciVariant::kModularity:
+      return "+Modularity";
+    case AneciVariant::kFull:
+      return "AnECI";
+  }
+  return "?";
+}
+
+std::string AneciEmbedder::name() const { return AneciVariantName(variant_); }
+
+AneciConfig AneciEmbedder::EffectiveConfig(Rng& rng) const {
+  AneciConfig cfg = config_;
+  cfg.seed = rng.NextU64();
+  switch (variant_) {
+    case AneciVariant::kEncoder:
+      cfg.epochs = 0;  // Random-weight GCN forward only.
+      break;
+    case AneciVariant::kModularity:
+      cfg.beta2 = 0.0;
+      break;
+    default:
+      break;
+  }
+  return cfg;
+}
+
+Matrix AneciEmbedder::Embed(const Graph& graph, Rng& rng) {
+  if (variant_ == AneciVariant::kRawFeature) {
+    Matrix x = graph.FeaturesOrIdentity();
+    last_p_ = RowSoftmax(x);
+    return x;
+  }
+  Aneci model(EffectiveConfig(rng));
+  AneciResult result = model.Train(graph);
+  last_p_ = result.p;
+  return result.z;
+}
+
+std::vector<double> AneciEmbedder::ScoreAnomalies(const Graph& graph,
+                                                  Rng& rng) {
+  Embed(graph, rng);
+  return MembershipEntropyScores(last_p_);
+}
+
+}  // namespace aneci

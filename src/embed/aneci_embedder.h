@@ -1,0 +1,48 @@
+// Adapts the AnECI core model (and its ablation variants) to the common
+// Embedder / AnomalyScorer interfaces used by the evaluation harness.
+#ifndef ANECI_EMBED_ANECI_EMBEDDER_H_
+#define ANECI_EMBED_ANECI_EMBEDDER_H_
+
+#include "core/aneci.h"
+#include "embed/embedder.h"
+
+namespace aneci {
+
+/// Ablation variants of Table IV.
+enum class AneciVariant {
+  kRawFeature,  ///< Attributes used directly as the embedding.
+  kEncoder,     ///< Untrained GCN propagation (pure Laplacian smoothing).
+  kModularity,  ///< Trained with the modularity loss only (beta2 = 0).
+  kFull,        ///< Complete AnECI (Eq. 18).
+};
+
+const char* AneciVariantName(AneciVariant variant);
+
+class AneciEmbedder final : public Embedder, public AnomalyScorer {
+ public:
+  explicit AneciEmbedder(const AneciConfig& config,
+                         AneciVariant variant = AneciVariant::kFull)
+      : config_(config), variant_(variant) {}
+
+  std::string name() const override;
+
+  /// Returns Z for downstream tasks. Membership P = softmax(Z) is available
+  /// via last_membership() after a call.
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+  /// Membership-entropy anomaly scores (Section VI-C).
+  std::vector<double> ScoreAnomalies(const Graph& graph, Rng& rng) override;
+
+  const Matrix& last_membership() const { return last_p_; }
+
+ private:
+  AneciConfig EffectiveConfig(Rng& rng) const;
+
+  AneciConfig config_;
+  AneciVariant variant_;
+  Matrix last_p_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_ANECI_EMBEDDER_H_

@@ -1,0 +1,34 @@
+// DANE-style two-view deep autoencoder (Gao & Huang, IJCAI'18): one branch
+// encodes high-order structural proximity, the other node attributes;
+// training couples structure reconstruction, attribute reconstruction and a
+// cross-view consistency term. The embedding concatenates both views.
+#ifndef ANECI_EMBED_DANE_H_
+#define ANECI_EMBED_DANE_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class Dane final : public Embedder {
+ public:
+  struct Options {
+    int hidden_dim = 64;
+    int dim = 32;  ///< Total; each view gets dim / 2.
+    int epochs = 120;
+    double lr = 0.01;
+    double consistency_weight = 0.5;
+    int negatives_per_node = 3;
+  };
+
+  explicit Dane(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "DANE"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_DANE_H_

@@ -1,0 +1,143 @@
+#include "embed/deepwalk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+// Degree-proportional "unigram^0.75" negative sampler.
+class NegativeSampler {
+ public:
+  NegativeSampler(const Graph& graph) {
+    cum_.resize(graph.num_nodes());
+    double acc = 0.0;
+    for (int i = 0; i < graph.num_nodes(); ++i) {
+      acc += std::pow(graph.Degree(i) + 1.0, 0.75);
+      cum_[i] = acc;
+    }
+  }
+
+  int Sample(Rng& rng) const {
+    const double t = rng.NextDouble() * cum_.back();
+    const auto it = std::lower_bound(cum_.begin(), cum_.end(), t);
+    return static_cast<int>(std::min<size_t>(it - cum_.begin(),
+                                             cum_.size() - 1));
+  }
+
+ private:
+  std::vector<double> cum_;
+};
+
+// One SGNS update for (center, context, label). Returns nothing; updates
+// both tables in place.
+inline void SgnsUpdate(double* center, double* context, int dim, double label,
+                       double lr) {
+  double dot = 0.0;
+  for (int i = 0; i < dim; ++i) dot += center[i] * context[i];
+  const double s = 1.0 / (1.0 + std::exp(-dot));
+  const double g = lr * (label - s);
+  for (int i = 0; i < dim; ++i) {
+    const double c = center[i];
+    center[i] += g * context[i];
+    context[i] += g * c;
+  }
+}
+
+}  // namespace
+
+std::vector<int> RandomWalk(const Graph& graph, int start,
+                            const RandomWalkOptions& options, Rng& rng) {
+  std::vector<int> walk;
+  walk.reserve(options.walk_length);
+  walk.push_back(start);
+  if (graph.Neighbors(start).empty()) return walk;
+
+  const bool biased = options.p != 1.0 || options.q != 1.0;
+  while (static_cast<int>(walk.size()) < options.walk_length) {
+    const int cur = walk.back();
+    const std::vector<int>& nbrs = graph.Neighbors(cur);
+    if (nbrs.empty()) break;
+    if (!biased || walk.size() < 2) {
+      walk.push_back(nbrs[rng.NextInt(static_cast<int64_t>(nbrs.size()))]);
+      continue;
+    }
+    // Node2Vec second-order bias: weight 1/p to return, 1 to stay at
+    // distance 1 from prev, 1/q to move outward. Rejection sampling keeps it
+    // O(1) amortised per step.
+    const int prev = walk[walk.size() - 2];
+    const double max_w =
+        std::max({1.0, 1.0 / options.p, 1.0 / options.q});
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const int cand = nbrs[rng.NextInt(static_cast<int64_t>(nbrs.size()))];
+      double w;
+      if (cand == prev) {
+        w = 1.0 / options.p;
+      } else if (graph.HasEdge(cand, prev)) {
+        w = 1.0;
+      } else {
+        w = 1.0 / options.q;
+      }
+      if (rng.NextDouble() * max_w <= w) {
+        walk.push_back(cand);
+        break;
+      }
+      if (attempt == 63) walk.push_back(cand);  // Give up rejecting.
+    }
+  }
+  return walk;
+}
+
+Matrix DeepWalk::Embed(const Graph& graph, Rng& rng) {
+  const int n = graph.num_nodes();
+  const int dim = sg_.dim;
+  ANECI_CHECK_GT(n, 0);
+
+  Matrix center = Matrix::RandomUniform(n, dim, 0.5 / dim, rng);
+  Matrix context(n, dim);
+  NegativeSampler sampler(graph);
+
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+
+  const int64_t total_walks = static_cast<int64_t>(sg_.epochs) *
+                              walks_.walks_per_node * n;
+  int64_t done_walks = 0;
+  for (int epoch = 0; epoch < sg_.epochs; ++epoch) {
+    for (int w = 0; w < walks_.walks_per_node; ++w) {
+      for (int i = n - 1; i > 0; --i)
+        std::swap(order[i], order[rng.NextInt(i + 1)]);
+      for (int start : order) {
+        // Linear learning-rate decay, word2vec style.
+        const double progress =
+            static_cast<double>(done_walks) / std::max<int64_t>(1, total_walks);
+        const double lr = sg_.lr * std::max(0.05, 1.0 - progress);
+        ++done_walks;
+
+        const std::vector<int> walk = RandomWalk(graph, start, walks_, rng);
+        for (size_t pos = 0; pos < walk.size(); ++pos) {
+          const int lo = static_cast<int>(
+              std::max<int64_t>(0, static_cast<int64_t>(pos) - sg_.window));
+          const int hi = static_cast<int>(
+              std::min<size_t>(walk.size() - 1, pos + sg_.window));
+          for (int ctx = lo; ctx <= hi; ++ctx) {
+            if (ctx == static_cast<int>(pos)) continue;
+            SgnsUpdate(center.RowPtr(walk[pos]), context.RowPtr(walk[ctx]),
+                       dim, 1.0, lr);
+            for (int neg = 0; neg < sg_.negatives; ++neg) {
+              const int nid = sampler.Sample(rng);
+              if (nid == walk[ctx]) continue;
+              SgnsUpdate(center.RowPtr(walk[pos]), context.RowPtr(nid), dim,
+                         0.0, lr);
+            }
+          }
+        }
+      }
+    }
+  }
+  return center;
+}
+
+}  // namespace aneci

@@ -1,0 +1,67 @@
+// DeepWalk (Perozzi et al., KDD'14) and Node2Vec (Grover & Leskovec,
+// KDD'16): truncated (optionally biased) random walks + skip-gram with
+// negative sampling, trained by asynchronous SGD.
+#ifndef ANECI_EMBED_DEEPWALK_H_
+#define ANECI_EMBED_DEEPWALK_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+struct RandomWalkOptions {
+  int walks_per_node = 10;
+  int walk_length = 40;
+  /// Node2Vec return parameter p and in-out parameter q; p = q = 1 recovers
+  /// DeepWalk's first-order walks.
+  double p = 1.0;
+  double q = 1.0;
+};
+
+/// Generates one truncated random walk starting at `start`.
+std::vector<int> RandomWalk(const Graph& graph, int start,
+                            const RandomWalkOptions& options, Rng& rng);
+
+struct SkipGramOptions {
+  int dim = 32;
+  int window = 5;
+  int negatives = 5;
+  int epochs = 2;
+  double lr = 0.025;
+};
+
+class DeepWalk final : public Embedder {
+ public:
+  DeepWalk(const RandomWalkOptions& walks, const SkipGramOptions& sg,
+           std::string display_name = "DeepWalk")
+      : walks_(walks), sg_(sg), name_(std::move(display_name)) {}
+
+  std::string name() const override { return name_; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  RandomWalkOptions walks_;
+  SkipGramOptions sg_;
+  std::string name_;
+};
+
+/// Node2Vec is DeepWalk with biased second-order walks.
+class Node2Vec final : public Embedder {
+ public:
+  Node2Vec(const RandomWalkOptions& walks, const SkipGramOptions& sg)
+      : inner_(walks, sg, "Node2Vec") {}
+
+  std::string name() const override { return "Node2Vec"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override {
+    return inner_.Embed(graph, rng);
+  }
+
+ private:
+  DeepWalk inner_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_DEEPWALK_H_

@@ -1,0 +1,73 @@
+#include "embed/dgi.h"
+
+#include <numeric>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "util/check.h"
+
+namespace aneci {
+
+using ag::VarPtr;
+
+Matrix Dgi::Embed(const Graph& graph, Rng& rng) {
+  const int n = graph.num_nodes();
+  ANECI_CHECK_GT(n, 0);
+
+  const SparseMatrix s_norm = graph.NormalizedAdjacency();
+  const Matrix features = graph.FeaturesOrIdentity();
+  const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
+
+  auto w1 = ag::MakeParameter(
+      Matrix::GlorotUniform(features.cols(), options_.dim, rng));
+  auto w_disc = ag::MakeParameter(
+      Matrix::GlorotUniform(options_.dim, options_.dim, rng));
+
+  ag::Adam::Options adam;
+  adam.lr = options_.lr;
+  ag::Adam optimizer({w1, w_disc}, adam);
+
+  // BCE targets: 1 for real patches, 0 for corrupted ones.
+  Matrix targets(2 * n, 1);
+  for (int i = 0; i < n; ++i) targets(i, 0) = 1.0;
+
+  Matrix final_h;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+
+    // Corruption: shuffle feature rows, keep the topology.
+    std::vector<int> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int i = n - 1; i > 0; --i)
+      std::swap(perm[i], perm[rng.NextInt(i + 1)]);
+    const SparseMatrix x_corrupt =
+        SparseMatrix::FromDense(features.SelectRows(perm));
+
+    // Encoder on the real and corrupted graphs.
+    VarPtr h = ag::Relu(ag::SpMM(&s_norm, ag::SpMM(&x_sparse, w1)));
+    VarPtr h_neg = ag::Relu(ag::SpMM(&s_norm, ag::SpMM(&x_corrupt, w1)));
+
+    // Readout: sigmoid of the mean patch representation.
+    VarPtr summary = ag::Sigmoid(ag::MeanRows(h));  // (1 x dim).
+
+    // Bilinear discriminator: score_i = h_i W s^T.
+    VarPtr ws = ag::MatMulTransB(w_disc, summary);   // (dim x 1).
+    VarPtr pos_scores = ag::MatMul(h, ws);           // (n x 1).
+    VarPtr neg_scores = ag::MatMul(h_neg, ws);
+
+    // Stack scores and apply BCE with the fixed targets. (Concatenate by
+    // building the loss as a sum of the two halves.)
+    Matrix ones(n, 1, 1.0), zeros(n, 1, 0.0);
+    VarPtr loss =
+        ag::Add(ag::BinaryCrossEntropySum(ag::Sigmoid(pos_scores), ones),
+                ag::BinaryCrossEntropySum(ag::Sigmoid(neg_scores), zeros));
+    loss = ag::Scale(loss, 1.0 / (2.0 * n));
+
+    ag::Backward(loss);
+    optimizer.Step();
+    if (epoch == options_.epochs - 1) final_h = h->value();
+  }
+  return final_h;
+}
+
+}  // namespace aneci

@@ -1,0 +1,31 @@
+// DGI (Velickovic et al., ICLR'19): Deep Graph Infomax. Maximises mutual
+// information between patch representations (GCN outputs) and a global
+// summary vector, contrasting against a corrupted graph (row-shuffled
+// features), via a bilinear discriminator.
+#ifndef ANECI_EMBED_DGI_H_
+#define ANECI_EMBED_DGI_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class Dgi final : public Embedder {
+ public:
+  struct Options {
+    int dim = 64;
+    int epochs = 150;
+    double lr = 0.01;
+  };
+
+  explicit Dgi(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "DGI"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_DGI_H_

@@ -1,0 +1,113 @@
+#include "embed/dominant.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "core/losses.h"
+#include "util/check.h"
+
+namespace aneci {
+
+using ag::VarPtr;
+
+void Dominant::Run(const Graph& graph, Rng& rng, Matrix* embedding,
+                   std::vector<double>* scores) const {
+  const int n = graph.num_nodes();
+  ANECI_CHECK_GT(n, 0);
+
+  const SparseMatrix s_norm = graph.NormalizedAdjacency();
+  const SparseMatrix a_target = graph.Adjacency(true).RowNormalizedL1();
+  const Matrix features = graph.FeaturesOrIdentity();
+  const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
+
+  auto w1 = ag::MakeParameter(
+      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+  auto w2 = ag::MakeParameter(
+      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
+  // Attribute decoder: one GCN layer back to the feature dimension.
+  auto w3 = ag::MakeParameter(
+      Matrix::GlorotUniform(options_.dim, features.cols(), rng));
+
+  ag::Adam::Options adam;
+  adam.lr = options_.lr;
+  ag::Adam optimizer({w1, w2, w3}, adam);
+
+  std::vector<ag::PairTarget> pairs =
+      SampleReconstructionPairs(a_target, options_.negatives_per_node, rng,
+                                /*binarize=*/true);
+
+  Matrix z_final, xhat_final;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    VarPtr h1 = ag::Relu(ag::SpMM(&s_norm, ag::SpMM(&x_sparse, w1)));
+    VarPtr z = ag::SpMM(&s_norm, ag::MatMul(h1, w2));
+    VarPtr xhat = ag::SpMM(&s_norm, ag::MatMul(z, w3));
+
+    VarPtr l_struct = ag::Scale(ag::InnerProductPairBce(z, pairs),
+                                1.0 / static_cast<double>(pairs.size()));
+    VarPtr l_attr = ag::Scale(
+        ag::SumSquares(ag::Sub(xhat, ag::MakeConstant(features))),
+        1.0 / static_cast<double>(features.size()));
+    VarPtr loss = ag::Add(ag::Scale(l_struct, options_.alpha),
+                          ag::Scale(l_attr, 1.0 - options_.alpha));
+    ag::Backward(loss);
+    optimizer.Step();
+
+    if (epoch == options_.epochs - 1) {
+      z_final = z->value();
+      xhat_final = xhat->value();
+    }
+  }
+
+  if (embedding != nullptr) *embedding = z_final;
+  if (scores != nullptr) {
+    scores->assign(n, 0.0);
+    // Structure error: mean residual over the node's decoder pairs.
+    std::vector<double> err_s(n, 0.0);
+    std::vector<int> cnt(n, 0);
+    for (const ag::PairTarget& pt : pairs) {
+      double d = 0.0;
+      const double* a = z_final.RowPtr(pt.u);
+      const double* b = z_final.RowPtr(pt.v);
+      for (int c = 0; c < z_final.cols(); ++c) d += a[c] * b[c];
+      const double s = 1.0 / (1.0 + std::exp(-d));
+      const double r = (s - pt.target) * (s - pt.target);
+      err_s[pt.u] += r;
+      err_s[pt.v] += r;
+      ++cnt[pt.u];
+      ++cnt[pt.v];
+    }
+    double max_s = 1e-12, max_a = 1e-12;
+    std::vector<double> err_a(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+      if (cnt[i] > 0) err_s[i] /= cnt[i];
+      const double* p = xhat_final.RowPtr(i);
+      const double* t = features.RowPtr(i);
+      for (int c = 0; c < features.cols(); ++c) {
+        const double d = p[c] - t[c];
+        err_a[i] += d * d;
+      }
+      max_s = std::max(max_s, err_s[i]);
+      max_a = std::max(max_a, err_a[i]);
+    }
+    for (int i = 0; i < n; ++i) {
+      (*scores)[i] = options_.alpha * err_s[i] / max_s +
+                     (1.0 - options_.alpha) * err_a[i] / max_a;
+    }
+  }
+}
+
+Matrix Dominant::Embed(const Graph& graph, Rng& rng) {
+  Matrix embedding;
+  Run(graph, rng, &embedding, nullptr);
+  return embedding;
+}
+
+std::vector<double> Dominant::ScoreAnomalies(const Graph& graph, Rng& rng) {
+  std::vector<double> scores;
+  Run(graph, rng, nullptr, &scores);
+  return scores;
+}
+
+}  // namespace aneci

@@ -1,0 +1,135 @@
+#include "embed/embedder.h"
+#include <algorithm>
+
+#include "embed/age.h"
+#include "embed/anomaly_dae.h"
+#include "embed/dane.h"
+#include "embed/deepwalk.h"
+#include "embed/dgi.h"
+#include "embed/dominant.h"
+#include "embed/done.h"
+#include "embed/gae.h"
+#include "embed/gat.h"
+#include "embed/graphsage.h"
+#include "embed/hope.h"
+#include "embed/line.h"
+#include "embed/one.h"
+#include "embed/sdne.h"
+#include "embed/spectral.h"
+
+namespace aneci {
+
+StatusOr<std::unique_ptr<Embedder>> CreateEmbedder(const std::string& name,
+                                                   int dim, int epochs) {
+  if (dim <= 1) return Status::InvalidArgument("dim must be > 1");
+  if (name == "DeepWalk" || name == "Node2Vec") {
+    RandomWalkOptions walks;
+    SkipGramOptions sg;
+    sg.dim = dim;
+    // `epochs` parameterises gradient-trained methods; one corpus pass of
+    // skip-gram already visits every node walks_per_node times, so cap the
+    // pass count instead of scaling it linearly.
+    if (epochs > 0) sg.epochs = std::clamp(epochs / 40, 1, 3);
+    if (name == "Node2Vec") {
+      walks.p = 0.5;
+      walks.q = 2.0;
+      return std::unique_ptr<Embedder>(new Node2Vec(walks, sg));
+    }
+    return std::unique_ptr<Embedder>(new DeepWalk(walks, sg));
+  }
+  if (name == "LINE") {
+    Line::Options opt;
+    opt.dim = dim;
+    return std::unique_ptr<Embedder>(new Line(opt));
+  }
+  if (name == "GAE" || name == "VGAE") {
+    Gae::Options opt;
+    opt.dim = dim;
+    opt.variational = (name == "VGAE");
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new Gae(opt));
+  }
+  if (name == "DGI") {
+    Dgi::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new Dgi(opt));
+  }
+  if (name == "DANE") {
+    Dane::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new Dane(opt));
+  }
+  if (name == "DONE" || name == "ADONE") {
+    Done::Options opt;
+    opt.dim = dim;
+    opt.adversarial = (name == "ADONE");
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new Done(opt));
+  }
+  if (name == "AGE") {
+    Age::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new Age(opt));
+  }
+  if (name == "GATE") {
+    Gate::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new Gate(opt));
+  }
+  if (name == "SDNE") {
+    Sdne::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new Sdne(opt));
+  }
+  if (name == "GraphSage") {
+    GraphSage::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new GraphSage(opt));
+  }
+  if (name == "HOPE") {
+    Hope::Options opt;
+    opt.dim = dim;
+    return std::unique_ptr<Embedder>(new Hope(opt));
+  }
+  if (name == "ONE") {
+    One::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.rounds = std::clamp(epochs / 8, 4, 30);
+    return std::unique_ptr<Embedder>(new One(opt));
+  }
+  if (name == "LapEigen") {
+    LaplacianEigenmaps::Options opt;
+    opt.dim = dim;
+    return std::unique_ptr<Embedder>(new LaplacianEigenmaps(opt));
+  }
+  if (name == "Dominant") {
+    Dominant::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new Dominant(opt));
+  }
+  if (name == "AnomalyDAE") {
+    AnomalyDae::Options opt;
+    opt.dim = dim;
+    if (epochs > 0) opt.epochs = epochs;
+    return std::unique_ptr<Embedder>(new AnomalyDae(opt));
+  }
+  return Status::NotFound("unknown embedder: " + name);
+}
+
+const std::vector<std::string>& EmbedderNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "DeepWalk", "Node2Vec", "LINE",      "SDNE",      "HOPE",
+      "LapEigen", "GAE",     "VGAE",      "GATE",      "DGI",
+      "GraphSage", "DANE",   "DONE",      "ADONE",     "AGE",
+      "ONE",      "Dominant", "AnomalyDAE"};
+  return *names;
+}
+
+}  // namespace aneci

@@ -1,0 +1,52 @@
+// Common interface for all unsupervised network-embedding methods (AnECI's
+// baselines): given an attributed graph, produce an (N x h) embedding.
+#ifndef ANECI_EMBED_EMBEDDER_H_
+#define ANECI_EMBED_EMBEDDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aneci {
+
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  /// Method name as used in the paper's tables ("DeepWalk", "GAE", ...).
+  virtual std::string name() const = 0;
+
+  /// Learns node embeddings for `graph`. Deterministic given `rng` state.
+  virtual Matrix Embed(const Graph& graph, Rng& rng) = 0;
+};
+
+/// Implemented by methods that natively produce per-node anomaly scores
+/// (Dominant, DONE, ADONE, AnomalyDAE). Higher score = more anomalous.
+/// Other embedders fall back to IsolationForest over their embeddings
+/// (see anomaly/anomaly_score.h), matching the paper's protocol.
+class AnomalyScorer {
+ public:
+  virtual ~AnomalyScorer() = default;
+  virtual std::vector<double> ScoreAnomalies(const Graph& graph, Rng& rng) = 0;
+};
+
+/// Factory over the baseline registry. Known names (case-sensitive):
+/// DeepWalk, Node2Vec, LINE, GAE, VGAE, DGI, DANE, DONE, ADONE, AGE,
+/// Dominant, AnomalyDAE. `dim` is the embedding width; methods with fixed
+/// internal structure round it as needed. `epochs` <= 0 keeps each method's
+/// default.
+StatusOr<std::unique_ptr<Embedder>> CreateEmbedder(const std::string& name,
+                                                   int dim = 32,
+                                                   int epochs = 0);
+
+/// Names accepted by CreateEmbedder, in the paper's ordering.
+const std::vector<std::string>& EmbedderNames();
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_EMBEDDER_H_

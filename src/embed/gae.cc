@@ -1,0 +1,83 @@
+#include "embed/gae.h"
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "util/check.h"
+
+namespace aneci {
+
+using ag::VarPtr;
+
+Matrix Gae::Embed(const Graph& graph, Rng& rng) {
+  const int n = graph.num_nodes();
+  ANECI_CHECK_GT(n, 0);
+
+  const SparseMatrix s_norm = graph.NormalizedAdjacency();
+  const Matrix features = graph.FeaturesOrIdentity();
+  const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
+
+  auto w1 = ag::MakeParameter(
+      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+  auto w_mu = ag::MakeParameter(
+      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
+  auto w_logstd = ag::MakeParameter(
+      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
+
+  std::vector<VarPtr> params = {w1, w_mu};
+  if (options_.variational) params.push_back(w_logstd);
+  ag::Adam::Options adam;
+  adam.lr = options_.lr;
+  ag::Adam optimizer(params, adam);
+
+  // Decoder targets: every edge is a positive; sampled non-edges negatives.
+  auto sample_pairs = [&]() {
+    std::vector<ag::PairTarget> pairs;
+    pairs.reserve(graph.num_edges() *
+                  static_cast<size_t>(1 + options_.negatives_per_edge));
+    for (const Edge& e : graph.edges()) {
+      pairs.push_back({e.u, e.v, 1.0});
+      for (int k = 0; k < options_.negatives_per_edge; ++k) {
+        const int a = static_cast<int>(rng.NextInt(n));
+        const int b = static_cast<int>(rng.NextInt(n));
+        if (a == b || graph.HasEdge(a, b)) continue;
+        pairs.push_back({a, b, 0.0});
+      }
+    }
+    return pairs;
+  };
+
+  Matrix final_z;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    VarPtr h1 = ag::Relu(ag::SpMM(&s_norm, ag::SpMM(&x_sparse, w1)));
+    VarPtr mu = ag::SpMM(&s_norm, ag::MatMul(h1, w_mu));
+
+    VarPtr z = mu;
+    VarPtr loss;
+    if (options_.variational) {
+      VarPtr logstd = ag::SpMM(&s_norm, ag::MatMul(h1, w_logstd));
+      // Reparameterise: z = mu + eps (.) exp(logstd).
+      Matrix eps = Matrix::RandomNormal(n, options_.dim, 1.0, rng);
+      z = ag::Add(mu, ag::Hadamard(ag::MakeConstant(std::move(eps)),
+                                   ag::Exp(logstd)));
+      // KL(q||N(0,I)) = -0.5 sum(1 + 2 logstd - mu^2 - exp(2 logstd)).
+      VarPtr kl = ag::Scale(
+          ag::Sub(ag::Add(ag::SumSquares(mu),
+                          ag::SumAll(ag::Exp(ag::Scale(logstd, 2.0)))),
+                  ag::Add(ag::Scale(ag::SumAll(logstd), 2.0),
+                          ag::SumAll(ag::MakeConstant(
+                              Matrix(n, options_.dim, 1.0))))),
+          0.5 * options_.kl_weight / n);
+      loss = ag::Add(ag::InnerProductPairBce(z, sample_pairs()), kl);
+    } else {
+      loss = ag::InnerProductPairBce(z, sample_pairs());
+    }
+
+    ag::Backward(loss);
+    optimizer.Step();
+    if (epoch == options_.epochs - 1) final_z = mu->value();
+  }
+  return final_z;
+}
+
+}  // namespace aneci

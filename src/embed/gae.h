@@ -1,0 +1,37 @@
+// GAE and VGAE (Kipf & Welling 2016): GCN encoder + inner-product decoder
+// reconstructing the (first-order) adjacency with cross-entropy; VGAE adds a
+// Gaussian latent with a KL term and the reparameterisation trick.
+#ifndef ANECI_EMBED_GAE_H_
+#define ANECI_EMBED_GAE_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class Gae final : public Embedder {
+ public:
+  struct Options {
+    int hidden_dim = 64;
+    int dim = 32;
+    int epochs = 150;
+    double lr = 0.01;
+    bool variational = false;  ///< true = VGAE.
+    double kl_weight = 1.0;
+    /// Negative pairs sampled per positive edge for the decoder loss.
+    int negatives_per_edge = 1;
+  };
+
+  explicit Gae(const Options& options) : options_(options) {}
+
+  std::string name() const override {
+    return options_.variational ? "VGAE" : "GAE";
+  }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_GAE_H_

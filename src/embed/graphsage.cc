@@ -1,0 +1,77 @@
+#include "embed/graphsage.h"
+
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "core/sage_encoder.h"
+#include "embed/deepwalk.h"
+#include "util/check.h"
+
+namespace aneci {
+
+using ag::VarPtr;
+
+Matrix GraphSage::Embed(const Graph& graph, Rng& rng) {
+  const int n = graph.num_nodes();
+  ANECI_CHECK_GT(n, 0);
+
+  const Matrix features = graph.FeaturesOrIdentity();
+  const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
+
+  auto w1 = ag::MakeParameter(
+      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+  auto w2 = ag::MakeParameter(
+      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
+
+  ag::Adam::Options adam;
+  adam.lr = options_.lr;
+  ag::Adam optimizer({w1, w2}, adam);
+
+  SageSamplerOptions sampler;
+  sampler.fanout = options_.fanout;
+
+  RandomWalkOptions walk_opt;
+  walk_opt.walk_length = options_.walk_length;
+  walk_opt.walks_per_node = options_.walks_per_node;
+
+  Matrix final_h;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+
+    // Fresh sampled aggregation operators each epoch (two-layer depth).
+    SparseMatrix s1 = SampleSageOperator(graph, sampler, rng);
+    SparseMatrix s2 = SampleSageOperator(graph, sampler, rng);
+    VarPtr h1 = ag::Relu(ag::SpMM(&s1, ag::SpMM(&x_sparse, w1)));
+    VarPtr h = ag::SpMM(&s2, ag::MatMul(h1, w2));
+
+    // Positive pairs from short random walks; uniform negatives.
+    std::vector<ag::PairTarget> pairs;
+    for (int w = 0; w < options_.walks_per_node; ++w) {
+      for (int start = 0; start < n; ++start) {
+        const std::vector<int> walk = RandomWalk(graph, start, walk_opt, rng);
+        for (size_t pos = 1; pos < walk.size(); ++pos) {
+          pairs.push_back({walk[0], walk[pos], 1.0});
+        }
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int s = 0; s < options_.negatives_per_node; ++s) {
+        const int j = static_cast<int>(rng.NextInt(n));
+        if (j != i && !graph.HasEdge(i, j)) pairs.push_back({i, j, 0.0});
+      }
+    }
+
+    VarPtr loss = ag::InnerProductPairBce(h, pairs);
+    ag::Backward(loss);
+    optimizer.Step();
+
+    if (epoch == options_.epochs - 1) {
+      // Deterministic full-neighbourhood forward for the final embedding.
+      const SparseMatrix full = graph.Adjacency(true).RowNormalizedL1();
+      VarPtr h1_full = ag::Relu(ag::SpMM(&full, ag::SpMM(&x_sparse, w1)));
+      final_h = ag::SpMM(&full, ag::MatMul(h1_full, w2))->value();
+    }
+  }
+  return final_h;
+}
+
+}  // namespace aneci

@@ -1,0 +1,37 @@
+// Unsupervised GraphSAGE (Hamilton et al., NeurIPS'17): mean-aggregation
+// over sampled neighbourhoods trained with a random-walk co-occurrence
+// objective (nearby nodes embed similarly, negatives pushed apart). This is
+// the inductive/sampled counterpart to the GCN encoder and the scalability
+// route the paper's conclusion points to.
+#ifndef ANECI_EMBED_GRAPHSAGE_H_
+#define ANECI_EMBED_GRAPHSAGE_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class GraphSage final : public Embedder {
+ public:
+  struct Options {
+    int hidden_dim = 64;
+    int dim = 32;
+    int epochs = 80;
+    double lr = 0.01;
+    int fanout = 10;        ///< Neighbours sampled per node per epoch.
+    int walk_length = 5;    ///< Positive pairs come from short walks.
+    int walks_per_node = 2;
+    int negatives_per_node = 3;
+  };
+
+  explicit GraphSage(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "GraphSage"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_GRAPHSAGE_H_

@@ -1,0 +1,34 @@
+// HOPE-style spectral embedding of a high-order proximity matrix (Ou et
+// al., KDD'16): embeds the symmetric Katz proximity K = sum_l beta^l A^l
+// via its dominant eigenpairs, z_i = V_i * sqrt(|lambda|). Matrix-
+// factorisation cousin of the random-walk methods in the paper's related
+// work.
+#ifndef ANECI_EMBED_HOPE_H_
+#define ANECI_EMBED_HOPE_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class Hope final : public Embedder {
+ public:
+  struct Options {
+    int dim = 16;
+    /// Katz decay; must keep beta * spectral_radius(A) < 1 for convergence.
+    /// Orders are truncated at `order`, so any beta < 1 is safe here.
+    double beta = 0.1;
+    int order = 4;
+  };
+
+  explicit Hope(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "HOPE"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_HOPE_H_

@@ -1,0 +1,32 @@
+// LINE (Tang et al., WWW'15): large-scale information network embedding
+// preserving first- and second-order proximity, trained by edge sampling
+// with negative sampling. The final embedding concatenates the two halves,
+// as the original paper recommends.
+#ifndef ANECI_EMBED_LINE_H_
+#define ANECI_EMBED_LINE_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class Line final : public Embedder {
+ public:
+  struct Options {
+    int dim = 32;          ///< Total width; split evenly across both orders.
+    int64_t samples = 0;   ///< Edge samples per order; 0 = 200 * M.
+    int negatives = 5;
+    double lr = 0.025;
+  };
+
+  explicit Line(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "LINE"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_LINE_H_

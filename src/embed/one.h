@@ -1,0 +1,36 @@
+// ONE (Bandyopadhyay et al., AAAI'19): Outlier-aware Network Embedding for
+// attributed networks via joint matrix factorisation — the method whose
+// outlier-seeding protocol the paper adopts (Section V-C). Structure
+// (adjacency) and attributes are factorised with shared node factors; each
+// node carries an outlier weight o_i that down-weights its residuals, and
+// the weights themselves are re-estimated from the residuals each round.
+// Exposes native anomaly scores (the final o_i).
+#ifndef ANECI_EMBED_ONE_H_
+#define ANECI_EMBED_ONE_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class One final : public Embedder {
+ public:
+  struct Options {
+    int dim = 16;
+    int rounds = 20;       ///< Alternating minimisation rounds.
+    int inner_steps = 3;   ///< Gradient steps per factor per round.
+    double lr = 0.05;
+    double attr_weight = 1.0;
+  };
+
+  explicit One(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "ONE"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_ONE_H_

@@ -1,0 +1,39 @@
+// SDNE (Wang et al., KDD'16): structural deep network embedding. A deep
+// autoencoder over neighbourhood vectors preserves second-order proximity
+// (with extra weight beta on observed links) while a first-order Laplacian
+// term pulls connected nodes together. Referenced in the paper's related
+// work as the canonical deep pairwise method.
+#ifndef ANECI_EMBED_SDNE_H_
+#define ANECI_EMBED_SDNE_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class Sdne final : public Embedder {
+ public:
+  struct Options {
+    int hidden_dim = 64;
+    int dim = 32;
+    int epochs = 100;
+    double lr = 0.01;
+    /// Extra weight on reconstructing observed (non-zero) entries; SDNE's
+    /// beta hyper-parameter.
+    double beta = 10.0;
+    /// Weight of the first-order Laplacian term (SDNE's alpha).
+    double alpha = 0.2;
+    int negatives_per_node = 3;
+  };
+
+  explicit Sdne(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "SDNE"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_SDNE_H_

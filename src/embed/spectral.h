@@ -1,0 +1,36 @@
+// Laplacian Eigenmaps (Belkin & Niyogi 2003) — the classical spectral
+// embedding the paper's related work traces modern methods back to — and
+// spectral clustering on top of it. Embeds nodes with the eigenvectors of
+// the symmetric normalised Laplacian L = I - D^{-1/2} A D^{-1/2}
+// corresponding to the smallest non-trivial eigenvalues.
+#ifndef ANECI_EMBED_SPECTRAL_H_
+#define ANECI_EMBED_SPECTRAL_H_
+
+#include "embed/embedder.h"
+
+namespace aneci {
+
+class LaplacianEigenmaps final : public Embedder {
+ public:
+  struct Options {
+    int dim = 16;
+    /// Krylov steps for the Lanczos solver; 0 = automatic.
+    int lanczos_steps = 0;
+  };
+
+  explicit LaplacianEigenmaps(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "LapEigen"; }
+  Matrix Embed(const Graph& graph, Rng& rng) override;
+
+ private:
+  Options options_;
+};
+
+/// Spectral clustering: Laplacian Eigenmaps into k dimensions, rows L2
+/// normalised, then k-means++. Returns the cluster assignment.
+std::vector<int> SpectralClustering(const Graph& graph, int k, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_EMBED_SPECTRAL_H_

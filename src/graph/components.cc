@@ -1,0 +1,53 @@
+#include "graph/components.h"
+
+#include <algorithm>
+
+namespace aneci {
+
+ComponentsResult ConnectedComponents(const Graph& graph) {
+  ComponentsResult result;
+  result.component.assign(graph.num_nodes(), -1);
+  std::vector<int> stack;
+  for (int s = 0; s < graph.num_nodes(); ++s) {
+    if (result.component[s] != -1) continue;
+    const int id = result.num_components++;
+    stack.push_back(s);
+    result.component[s] = id;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : graph.Neighbors(u)) {
+        if (result.component[v] == -1) {
+          result.component[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+int LargestComponentSize(const Graph& graph) {
+  ComponentsResult cc = ConnectedComponents(graph);
+  if (cc.num_components == 0) return 0;
+  std::vector<int> sizes(cc.num_components, 0);
+  for (int c : cc.component) ++sizes[c];
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  if (graph.num_nodes() == 0) return stats;
+  stats.min = graph.Degree(0);
+  double total = 0.0;
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const int d = graph.Degree(i);
+    total += d;
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  stats.mean = total / graph.num_nodes();
+  return stats;
+}
+
+}  // namespace aneci

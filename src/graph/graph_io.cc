@@ -1,0 +1,128 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace aneci {
+
+Status SaveGraph(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "# aneci-graph v1\n";
+  out << "nodes " << graph.num_nodes() << "\n";
+  out << "edges " << graph.num_edges() << "\n";
+  for (const Edge& e : graph.edges()) out << e.u << " " << e.v << "\n";
+  if (graph.has_labels()) {
+    out << "labels\n";
+    for (int i = 0; i < graph.num_nodes(); ++i) {
+      if (i) out << " ";
+      out << graph.labels()[i];
+    }
+    out << "\n";
+  }
+  if (graph.has_attributes()) {
+    const Matrix& x = graph.attributes();
+    out << "attributes " << x.cols() << "\n";
+    for (int r = 0; r < x.rows(); ++r) {
+      int nnz = 0;
+      for (int c = 0; c < x.cols(); ++c)
+        if (x(r, c) != 0.0) ++nnz;
+      out << nnz;
+      for (int c = 0; c < x.cols(); ++c)
+        if (x(r, c) != 0.0) out << " " << c << ":" << x(r, c);
+      out << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# aneci-graph", 0) != 0)
+    return Status::InvalidArgument("missing aneci-graph header in " + path);
+
+  std::string keyword;
+  int n = 0, m = 0;
+  if (!(in >> keyword >> n) || keyword != "nodes")
+    return Status::InvalidArgument("expected 'nodes <N>' in " + path);
+  if (!(in >> keyword >> m) || keyword != "edges")
+    return Status::InvalidArgument("expected 'edges <M>' in " + path);
+  if (n < 0 || m < 0)
+    return Status::InvalidArgument("negative counts in " + path);
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    int u, v;
+    if (!(in >> u >> v))
+      return Status::InvalidArgument("truncated edge list in " + path);
+    if (u < 0 || u >= n || v < 0 || v >= n)
+      return Status::OutOfRange("edge endpoint out of range in " + path);
+    edges.push_back({u, v});
+  }
+  Graph graph = Graph::FromEdges(n, edges);
+
+  while (in >> keyword) {
+    if (keyword == "labels") {
+      std::vector<int> labels(n);
+      for (int i = 0; i < n; ++i) {
+        if (!(in >> labels[i]))
+          return Status::InvalidArgument("truncated labels in " + path);
+      }
+      graph.SetLabels(std::move(labels));
+    } else if (keyword == "attributes") {
+      int d = 0;
+      if (!(in >> d) || d <= 0)
+        return Status::InvalidArgument("bad attribute dim in " + path);
+      Matrix x(n, d);
+      for (int r = 0; r < n; ++r) {
+        int nnz = 0;
+        if (!(in >> nnz))
+          return Status::InvalidArgument("truncated attributes in " + path);
+        for (int j = 0; j < nnz; ++j) {
+          std::string cell;
+          if (!(in >> cell))
+            return Status::InvalidArgument("truncated attribute row in " + path);
+          const size_t colon = cell.find(':');
+          if (colon == std::string::npos)
+            return Status::InvalidArgument("bad attribute cell: " + cell);
+          const int c = std::stoi(cell.substr(0, colon));
+          const double v = std::stod(cell.substr(colon + 1));
+          if (c < 0 || c >= d)
+            return Status::OutOfRange("attribute column out of range");
+          x(r, c) = v;
+        }
+      }
+      graph.SetAttributes(std::move(x));
+    } else {
+      return Status::InvalidArgument("unknown section: " + keyword);
+    }
+  }
+  return graph;
+}
+
+StatusOr<Graph> LoadEdgeList(const std::string& path, int num_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  std::vector<Edge> edges;
+  int max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    int u, v;
+    if (!(ss >> u >> v))
+      return Status::InvalidArgument("bad edge line: " + line);
+    if (u < 0 || v < 0) return Status::OutOfRange("negative node id");
+    max_id = std::max({max_id, u, v});
+    edges.push_back({u, v});
+  }
+  const int n = num_nodes > 0 ? num_nodes : max_id + 1;
+  if (max_id >= n) return Status::OutOfRange("node id exceeds num_nodes");
+  return Graph::FromEdges(n, edges);
+}
+
+}  // namespace aneci

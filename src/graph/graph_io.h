@@ -1,0 +1,34 @@
+// Graph serialisation: a simple text format (edge list + optional labels and
+// dense/sparse attributes) so real benchmark files (Cora etc.) can be dropped
+// in for the synthetic generators.
+//
+// Format:
+//   # aneci-graph v1
+//   nodes <N>
+//   edges <M>
+//   <u> <v>            (M lines)
+//   labels             (optional section)
+//   <y_0> ... <y_{N-1}>
+//   attributes <d>     (optional section; one sparse row per node)
+//   <nnz> <col:val>*
+#ifndef ANECI_GRAPH_GRAPH_IO_H_
+#define ANECI_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace aneci {
+
+Status SaveGraph(const Graph& graph, const std::string& path);
+
+StatusOr<Graph> LoadGraph(const std::string& path);
+
+/// Loads a bare whitespace-separated edge list ("u v" per line, '#' comments).
+/// Node count is 1 + max id unless `num_nodes` > 0.
+StatusOr<Graph> LoadEdgeList(const std::string& path, int num_nodes = 0);
+
+}  // namespace aneci
+
+#endif  // ANECI_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,160 @@
+#include "graph/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "graph/modularity.h"
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+// Weighted graph used across agglomeration levels.
+struct WeightedGraph {
+  int n = 0;
+  // Adjacency as per-node (neighbor, weight) lists; self-loops allowed and
+  // represent internal weight of a super-node.
+  std::vector<std::vector<std::pair<int, double>>> adj;
+  double total_weight = 0.0;  // Sum of edge weights (each edge counted once).
+};
+
+WeightedGraph FromGraph(const Graph& g) {
+  WeightedGraph wg;
+  wg.n = g.num_nodes();
+  wg.adj.assign(wg.n, {});
+  for (const Edge& e : g.edges()) {
+    wg.adj[e.u].push_back({e.v, 1.0});
+    wg.adj[e.v].push_back({e.u, 1.0});
+    wg.total_weight += 1.0;
+  }
+  return wg;
+}
+
+// One level of local moving; returns community per node of wg.
+std::vector<int> LocalMoving(const WeightedGraph& wg, Rng& rng,
+                             const LouvainOptions& options) {
+  const int n = wg.n;
+  const double two_m = 2.0 * wg.total_weight;
+  std::vector<int> community(n);
+  std::iota(community.begin(), community.end(), 0);
+
+  // Weighted degree per node (self-loops counted twice) and per community.
+  std::vector<double> node_degree(n, 0.0);
+  for (int u = 0; u < n; ++u)
+    for (auto [v, w] : wg.adj[u]) node_degree[u] += (v == u) ? 2.0 * w : w;
+  std::vector<double> comm_degree = node_degree;
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    // Shuffle visit order for tie-breaking diversity.
+    for (int i = n - 1; i > 0; --i)
+      std::swap(order[i], order[rng.NextInt(i + 1)]);
+
+    double total_gain = 0.0;
+    std::unordered_map<int, double> weight_to;
+    for (int u : order) {
+      weight_to.clear();
+      double self_weight = 0.0;
+      for (auto [v, w] : wg.adj[u]) {
+        if (v == u) {
+          self_weight += w;
+          continue;
+        }
+        weight_to[community[v]] += w;
+      }
+      const int old_c = community[u];
+      comm_degree[old_c] -= node_degree[u];
+
+      // Gain of moving u into community c:
+      //   dQ = w(u->c)/m - k_u * sum_deg(c) / (2 m^2)   (up to constants).
+      double best_gain = 0.0;
+      int best_c = old_c;
+      const double base = weight_to.count(old_c) ? weight_to[old_c] : 0.0;
+      const double base_score =
+          base - node_degree[u] * comm_degree[old_c] / two_m;
+      for (const auto& [c, w] : weight_to) {
+        const double score = w - node_degree[u] * comm_degree[c] / two_m;
+        const double gain = score - base_score;
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+      community[u] = best_c;
+      comm_degree[best_c] += node_degree[u];
+      total_gain += best_gain;
+      (void)self_weight;
+    }
+    if (total_gain < options.min_gain * std::max(1.0, wg.total_weight)) break;
+  }
+  return community;
+}
+
+// Renumbers communities to 0..k-1; returns k.
+int Compact(std::vector<int>& community) {
+  std::unordered_map<int, int> remap;
+  for (int& c : community) {
+    auto [it, inserted] = remap.insert({c, static_cast<int>(remap.size())});
+    c = it->second;
+  }
+  return static_cast<int>(remap.size());
+}
+
+WeightedGraph Aggregate(const WeightedGraph& wg,
+                        const std::vector<int>& community, int k) {
+  WeightedGraph out;
+  out.n = k;
+  out.adj.assign(k, {});
+  out.total_weight = wg.total_weight;
+  std::unordered_map<int64_t, double> weights;
+  for (int u = 0; u < wg.n; ++u) {
+    for (auto [v, w] : wg.adj[u]) {
+      if (v < u) continue;  // Count each undirected pair once.
+      const int cu = community[u], cv = community[v];
+      const int64_t key = static_cast<int64_t>(std::min(cu, cv)) * k +
+                          std::max(cu, cv);
+      weights[key] += w;
+    }
+  }
+  for (const auto& [key, w] : weights) {
+    const int a = static_cast<int>(key / k), b = static_cast<int>(key % k);
+    out.adj[a].push_back({b, w});
+    if (a != b) out.adj[b].push_back({a, w});
+  }
+  return out;
+}
+
+}  // namespace
+
+LouvainResult Louvain(const Graph& graph, Rng& rng,
+                      const LouvainOptions& options) {
+  LouvainResult result;
+  result.assignment.resize(graph.num_nodes());
+  std::iota(result.assignment.begin(), result.assignment.end(), 0);
+  if (graph.num_edges() == 0) {
+    result.num_communities = graph.num_nodes();
+    return result;
+  }
+
+  WeightedGraph wg = FromGraph(graph);
+  std::vector<int> node_to_comm = result.assignment;  // Original -> current.
+
+  for (int level = 0; level < options.max_levels; ++level) {
+    std::vector<int> community = LocalMoving(wg, rng, options);
+    const int k = Compact(community);
+    for (int i = 0; i < graph.num_nodes(); ++i)
+      node_to_comm[i] = community[node_to_comm[i]];
+    if (k == wg.n) break;  // No merge happened; converged.
+    wg = Aggregate(wg, community, k);
+  }
+
+  result.assignment = node_to_comm;
+  result.num_communities = Compact(result.assignment);
+  result.modularity = Modularity(graph, result.assignment);
+  return result;
+}
+
+}  // namespace aneci

@@ -1,0 +1,31 @@
+// Greedy modularity maximisation (Louvain-style, single-level local moving +
+// agglomeration). Serves as the non-embedding community-detection baseline in
+// the Fig. 7 reproduction (stand-in for vGraph/ComE's discrete stage).
+#ifndef ANECI_GRAPH_LOUVAIN_H_
+#define ANECI_GRAPH_LOUVAIN_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct LouvainOptions {
+  int max_passes = 10;        ///< Local-moving sweeps per level.
+  int max_levels = 10;        ///< Agglomeration rounds.
+  double min_gain = 1e-7;     ///< Stop a pass when total gain drops below.
+};
+
+struct LouvainResult {
+  std::vector<int> assignment;  ///< Final community per original node.
+  double modularity = 0.0;
+  int num_communities = 0;
+};
+
+LouvainResult Louvain(const Graph& graph, Rng& rng,
+                      const LouvainOptions& options = {});
+
+}  // namespace aneci
+
+#endif  // ANECI_GRAPH_LOUVAIN_H_

@@ -1,0 +1,78 @@
+#include "graph/modularity.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace aneci {
+
+double Modularity(const Graph& graph, const std::vector<int>& assignment) {
+  ANECI_CHECK_EQ(static_cast<int>(assignment.size()), graph.num_nodes());
+  const double m = graph.num_edges();
+  if (m == 0) return 0.0;
+
+  int k = 0;
+  for (int c : assignment) k = std::max(k, c + 1);
+  // Q = sum_c [ e_c / m - (d_c / 2m)^2 ], with e_c intra-community edges and
+  // d_c the total degree of community c.
+  std::vector<double> intra(k, 0.0), degree(k, 0.0);
+  for (const Edge& e : graph.edges()) {
+    if (assignment[e.u] == assignment[e.v]) intra[assignment[e.u]] += 1.0;
+  }
+  for (int i = 0; i < graph.num_nodes(); ++i)
+    degree[assignment[i]] += graph.Degree(i);
+
+  double q = 0.0;
+  for (int c = 0; c < k; ++c) {
+    const double frac = degree[c] / (2.0 * m);
+    q += intra[c] / m - frac * frac;
+  }
+  return q;
+}
+
+double GeneralizedModularity(const SparseMatrix& proximity, const Matrix& p) {
+  ANECI_CHECK_EQ(proximity.rows(), p.rows());
+  const double two_m = proximity.SumAll();
+  if (two_m <= 0.0) return 0.0;
+
+  // Observed term: sum(P (.) A~ P).
+  Matrix ap = proximity.Multiply(p);
+  double observed = 0.0;
+  for (int64_t i = 0; i < ap.size(); ++i)
+    observed += ap.data()[i] * p.data()[i];
+
+  // Null-model term: ||P^T k~||^2 / (2 M~), with k~ the generalised degrees.
+  const std::vector<double> k = proximity.RowSumsVec();
+  std::vector<double> v(p.cols(), 0.0);
+  for (int r = 0; r < p.rows(); ++r) {
+    const double* row = p.RowPtr(r);
+    for (int c = 0; c < p.cols(); ++c) v[c] += k[r] * row[c];
+  }
+  double null_model = 0.0;
+  for (double x : v) null_model += x * x;
+  null_model /= two_m;
+
+  return (observed - null_model) / two_m;
+}
+
+double Rigidity(const Matrix& p) {
+  ANECI_CHECK_GT(p.rows(), 0);
+  // tr(P^T P) = sum of squares of all entries.
+  double s = 0.0;
+  for (int64_t i = 0; i < p.size(); ++i) s += p.data()[i] * p.data()[i];
+  return s / p.rows();
+}
+
+std::vector<int> ArgmaxAssignment(const Matrix& p) {
+  std::vector<int> assignment(p.rows(), 0);
+  for (int r = 0; r < p.rows(); ++r) {
+    const double* row = p.RowPtr(r);
+    int best = 0;
+    for (int c = 1; c < p.cols(); ++c)
+      if (row[c] > row[best]) best = c;
+    assignment[r] = best;
+  }
+  return assignment;
+}
+
+}  // namespace aneci

@@ -1,0 +1,34 @@
+// Modularity functions: the classic Newman-Girvan Q over a hard partition
+// (Eq. 4, the paper's community-detection metric) and the generalised Q~ of
+// Eq. 13/14 over high-order proximity and soft (overlapping) memberships.
+#ifndef ANECI_GRAPH_MODULARITY_H_
+#define ANECI_GRAPH_MODULARITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace aneci {
+
+/// Classic modularity Q of a hard partition (Eq. 4) using first-order
+/// adjacency without self-loops. `assignment[i]` is node i's community.
+double Modularity(const Graph& graph, const std::vector<int>& assignment);
+
+/// Generalised modularity Q~ (Eq. 13):
+///   Q~ = 1/(2 M~) * [ sum(P (.) A~ P) - ||P^T k~||^2 / (2 M~) ]
+/// where k~ = row sums of A~ and M~ = sum(A~) / 2. Accepts any non-negative
+/// proximity matrix and any row-stochastic membership matrix P.
+double GeneralizedModularity(const SparseMatrix& proximity, const Matrix& p);
+
+/// Rigidity index of Section VI-E: tr(P^T P) / N in [1/K, 1]; 1 iff P is a
+/// hard partition.
+double Rigidity(const Matrix& p);
+
+/// Hard assignment from soft membership: argmax per row.
+std::vector<int> ArgmaxAssignment(const Matrix& p);
+
+}  // namespace aneci
+
+#endif  // ANECI_GRAPH_MODULARITY_H_

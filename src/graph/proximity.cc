@@ -1,0 +1,32 @@
+#include "graph/proximity.h"
+
+#include "util/check.h"
+
+namespace aneci {
+
+SparseMatrix HighOrderProximity(const Graph& graph,
+                                const ProximityOptions& options) {
+  return HighOrderProximityFromAdjacency(
+      graph.Adjacency(options.add_self_loops), options);
+}
+
+SparseMatrix HighOrderProximityFromAdjacency(const SparseMatrix& adjacency,
+                                             const ProximityOptions& options) {
+  ANECI_CHECK_GE(options.order, 1);
+  ANECI_CHECK(options.weights.empty() ||
+              static_cast<int>(options.weights.size()) >= options.order);
+  auto weight = [&](int o) {
+    return options.weights.empty() ? 1.0 : options.weights[o - 1];
+  };
+
+  SparseMatrix power = adjacency;            // A^o as o advances.
+  SparseMatrix accum(adjacency.rows(), adjacency.cols());
+  accum = accum.AddScaled(adjacency, weight(1));
+  for (int o = 2; o <= options.order; ++o) {
+    power = power.MultiplySparse(adjacency, options.drop_tol);
+    accum = accum.AddScaled(power, weight(o));
+  }
+  return accum.RowNormalizedL1();
+}
+
+}  // namespace aneci

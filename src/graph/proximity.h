@@ -1,0 +1,41 @@
+// High-order proximity (Definition 3):
+//   A~ = f(w_1 A + w_2 A^2 + ... + w_l A^l)
+// with f = row-wise L1 normalisation, A including self-loops, and the powers
+// computed sparsely. A~_ij in [0, 1] is interpreted as the probability that
+// node i is connected to node j in the high-order space.
+#ifndef ANECI_GRAPH_PROXIMITY_H_
+#define ANECI_GRAPH_PROXIMITY_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/sparse.h"
+
+namespace aneci {
+
+struct ProximityOptions {
+  /// Order l. 1 reduces to the (self-looped, row-normalised) adjacency.
+  int order = 2;
+  /// Per-order weights w; empty means w_o = 1 for all orders.
+  std::vector<double> weights;
+  /// Entries of each power with value below this (relative to the row max of
+  /// the accumulated matrix) are dropped to bound fill-in on large graphs.
+  /// 0 keeps everything.
+  double drop_tol = 0.0;
+  /// Include self-loops in A before taking powers (the paper's Definition 2
+  /// convention). Keeping them makes A^l include all paths of length <= l.
+  bool add_self_loops = true;
+};
+
+/// Builds the row-normalised high-order proximity matrix A~ of `graph`.
+SparseMatrix HighOrderProximity(const Graph& graph,
+                                const ProximityOptions& options = {});
+
+/// Same, starting from an explicit adjacency (used after attacks, when the
+/// perturbed adjacency is already materialised).
+SparseMatrix HighOrderProximityFromAdjacency(const SparseMatrix& adjacency,
+                                             const ProximityOptions& options);
+
+}  // namespace aneci
+
+#endif  // ANECI_GRAPH_PROXIMITY_H_

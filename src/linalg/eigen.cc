@@ -1,0 +1,156 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+// Sorts (values, columns-of-vectors) ascending by value.
+EigenResult SortedResult(std::vector<double> values, Matrix vectors) {
+  const int n = static_cast<int>(values.size());
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return values[a] < values[b]; });
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(vectors.rows(), n);
+  for (int c = 0; c < n; ++c) {
+    result.values[c] = values[order[c]];
+    for (int r = 0; r < vectors.rows(); ++r)
+      result.vectors(r, c) = vectors(r, order[c]);
+  }
+  return result;
+}
+
+}  // namespace
+
+EigenResult JacobiEigen(const Matrix& a, int max_sweeps, double tolerance) {
+  ANECI_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p)
+      for (int q = p + 1; q < n; ++q) off += m(p, q) * m(p, q);
+    if (off < tolerance) break;
+
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = m(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        // Rotation angle zeroing m(p, q).
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int i = 0; i < n; ++i) {
+          const double mip = m(i, p), miq = m(i, q);
+          m(i, p) = c * mip - s * miq;
+          m(i, q) = s * mip + c * miq;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double mpi = m(p, i), mqi = m(q, i);
+          m(p, i) = c * mpi - s * mqi;
+          m(q, i) = s * mpi + c * mqi;
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> values(n);
+  for (int i = 0; i < n; ++i) values[i] = m(i, i);
+  return SortedResult(std::move(values), std::move(v));
+}
+
+EigenResult LanczosSmallest(const SparseMatrix& a, int k, Rng& rng,
+                            int steps) {
+  ANECI_CHECK_EQ(a.rows(), a.cols());
+  const int n = a.rows();
+  ANECI_CHECK(k > 0 && k <= n);
+  int m = steps > 0 ? steps : std::max(4 * k, 60);
+  m = std::min(m, n);
+
+  // Krylov basis as columns of q (n x m).
+  Matrix q(n, m);
+  std::vector<double> alpha(m, 0.0), beta(m, 0.0);
+
+  // Random normalised start vector.
+  {
+    double norm = 0.0;
+    for (int i = 0; i < n; ++i) {
+      q(i, 0) = rng.NextGaussian();
+      norm += q(i, 0) * q(i, 0);
+    }
+    norm = std::sqrt(norm);
+    for (int i = 0; i < n; ++i) q(i, 0) /= norm;
+  }
+
+  Matrix col(n, 1);
+  int built = 0;
+  for (int j = 0; j < m; ++j) {
+    built = j + 1;
+    for (int i = 0; i < n; ++i) col(i, 0) = q(i, j);
+    Matrix w = a.Multiply(col);  // w = A q_j.
+    double aj = 0.0;
+    for (int i = 0; i < n; ++i) aj += w(i, 0) * q(i, j);
+    alpha[j] = aj;
+    if (j + 1 == m) break;
+    for (int i = 0; i < n; ++i) {
+      w(i, 0) -= aj * q(i, j);
+      if (j > 0) w(i, 0) -= beta[j - 1] * q(i, j - 1);
+    }
+    // Full reorthogonalisation for numerical stability.
+    for (int c = 0; c <= j; ++c) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) dot += w(i, 0) * q(i, c);
+      for (int i = 0; i < n; ++i) w(i, 0) -= dot * q(i, c);
+    }
+    double norm = 0.0;
+    for (int i = 0; i < n; ++i) norm += w(i, 0) * w(i, 0);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) break;  // Invariant subspace found.
+    beta[j] = norm;
+    for (int i = 0; i < n; ++i) q(i, j + 1) = w(i, 0) / norm;
+  }
+
+  // Diagonalise the tridiagonal T (built x built) with Jacobi (small).
+  Matrix t(built, built);
+  for (int i = 0; i < built; ++i) {
+    t(i, i) = alpha[i];
+    if (i + 1 < built) {
+      t(i, i + 1) = beta[i];
+      t(i + 1, i) = beta[i];
+    }
+  }
+  EigenResult tri = JacobiEigen(t);
+
+  const int take = std::min(k, built);
+  EigenResult result;
+  result.values.assign(tri.values.begin(), tri.values.begin() + take);
+  result.vectors = Matrix(n, take);
+  // Ritz vectors: y = Q * s.
+  for (int c = 0; c < take; ++c) {
+    for (int i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < built; ++j) sum += q(i, j) * tri.vectors(j, c);
+      result.vectors(i, c) = sum;
+    }
+  }
+  return result;
+}
+
+}  // namespace aneci

@@ -1,0 +1,37 @@
+// Symmetric eigensolvers: cyclic Jacobi for small dense matrices and a
+// Lanczos iteration with full reorthogonalisation for the extreme eigenpairs
+// of large sparse symmetric matrices. These power the spectral baselines
+// (Laplacian Eigenmaps, spectral clustering) that the paper's related-work
+// section traces modern embeddings back to.
+#ifndef ANECI_LINALG_EIGEN_H_
+#define ANECI_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct EigenResult {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Eigenvectors as columns, aligned with `values`.
+  Matrix vectors;
+};
+
+/// Cyclic Jacobi rotation method for a dense symmetric matrix. O(n^3) per
+/// sweep; intended for n up to a few hundred. `a` must be symmetric.
+EigenResult JacobiEigen(const Matrix& a, int max_sweeps = 50,
+                        double tolerance = 1e-12);
+
+/// Lanczos with full reorthogonalisation: the `k` *smallest* eigenpairs of a
+/// sparse symmetric matrix. `steps` controls the Krylov dimension
+/// (default max(3k, 30), capped at n).
+EigenResult LanczosSmallest(const SparseMatrix& a, int k, Rng& rng,
+                            int steps = 0);
+
+}  // namespace aneci
+
+#endif  // ANECI_LINALG_EIGEN_H_

@@ -1,0 +1,107 @@
+#include "linalg/gmm.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/kmeans.h"
+#include "util/check.h"
+
+namespace aneci {
+
+GmmResult FitGmm(const Matrix& points, int k, Rng& rng,
+                 const GmmOptions& options) {
+  const int n = points.rows(), d = points.cols();
+  ANECI_CHECK(k > 0 && n >= k);
+
+  GmmResult result;
+  // Initialise from k-means.
+  KMeansResult km = KMeans(points, k, rng);
+  result.means = km.centroids;
+  result.variances = Matrix(k, d, 1.0);
+  result.weights.assign(k, 1.0 / k);
+  {
+    // Per-cluster variances from the k-means assignment.
+    std::vector<int> counts(k, 0);
+    Matrix sq(k, d);
+    for (int i = 0; i < n; ++i) {
+      const int c = km.assignment[i];
+      ++counts[c];
+      for (int j = 0; j < d; ++j) {
+        const double diff = points(i, j) - result.means(c, j);
+        sq(c, j) += diff * diff;
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      result.weights[c] = std::max(1, counts[c]) / static_cast<double>(n);
+      for (int j = 0; j < d; ++j) {
+        result.variances(c, j) =
+            std::max(options.min_variance,
+                     counts[c] > 1 ? sq(c, j) / counts[c] : 1.0);
+      }
+    }
+  }
+
+  result.responsibilities = Matrix(n, k);
+  double prev_ll = -std::numeric_limits<double>::max();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // E step: responsibilities via log-sum-exp.
+    double ll = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double mx = -std::numeric_limits<double>::max();
+      std::vector<double> logp(k);
+      for (int c = 0; c < k; ++c) {
+        double lp = std::log(std::max(result.weights[c], 1e-12));
+        for (int j = 0; j < d; ++j) {
+          const double var = result.variances(c, j);
+          const double diff = points(i, j) - result.means(c, j);
+          lp += -0.5 * (std::log(2.0 * M_PI * var) + diff * diff / var);
+        }
+        logp[c] = lp;
+        mx = std::max(mx, lp);
+      }
+      double sum = 0.0;
+      for (int c = 0; c < k; ++c) sum += std::exp(logp[c] - mx);
+      ll += mx + std::log(sum);
+      for (int c = 0; c < k; ++c)
+        result.responsibilities(i, c) = std::exp(logp[c] - mx) / sum;
+    }
+    result.log_likelihood = ll;
+    result.iterations = iter + 1;
+    if (ll - prev_ll < options.tolerance * std::abs(ll)) break;
+    prev_ll = ll;
+
+    // M step.
+    for (int c = 0; c < k; ++c) {
+      double nk = 0.0;
+      for (int i = 0; i < n; ++i) nk += result.responsibilities(i, c);
+      nk = std::max(nk, 1e-10);
+      result.weights[c] = nk / n;
+      for (int j = 0; j < d; ++j) {
+        double mean = 0.0;
+        for (int i = 0; i < n; ++i)
+          mean += result.responsibilities(i, c) * points(i, j);
+        mean /= nk;
+        double var = 0.0;
+        for (int i = 0; i < n; ++i) {
+          const double diff = points(i, j) - mean;
+          var += result.responsibilities(i, c) * diff * diff;
+        }
+        result.means(c, j) = mean;
+        result.variances(c, j) = std::max(options.min_variance, var / nk);
+      }
+    }
+  }
+
+  result.assignment.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    int best = 0;
+    for (int c = 1; c < k; ++c)
+      if (result.responsibilities(i, c) > result.responsibilities(i, best))
+        best = c;
+    result.assignment[i] = best;
+  }
+  return result;
+}
+
+}  // namespace aneci

@@ -1,0 +1,37 @@
+// Diagonal-covariance Gaussian mixture model fit by EM, used by the
+// ComE-style community baseline (communities as Gaussian components in the
+// embedding space) and available as a soft alternative to k-means.
+#ifndef ANECI_LINALG_GMM_H_
+#define ANECI_LINALG_GMM_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct GmmOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-5;      ///< Stop when log-likelihood gain drops below.
+  double min_variance = 1e-4;   ///< Variance floor per dimension.
+};
+
+struct GmmResult {
+  Matrix means;                  ///< (k x dim).
+  Matrix variances;              ///< (k x dim), diagonal covariances.
+  std::vector<double> weights;   ///< Mixture weights, sum to 1.
+  Matrix responsibilities;       ///< (n x k) posterior memberships.
+  std::vector<int> assignment;   ///< Argmax responsibility per point.
+  double log_likelihood = 0.0;
+  int iterations = 0;
+};
+
+/// Fits a k-component diagonal GMM to the rows of `points` with k-means++
+/// initialised means.
+GmmResult FitGmm(const Matrix& points, int k, Rng& rng,
+                 const GmmOptions& options = {});
+
+}  // namespace aneci
+
+#endif  // ANECI_LINALG_GMM_H_

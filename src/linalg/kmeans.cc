@@ -1,0 +1,126 @@
+#include "linalg/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+double SquaredDistance(const double* a, const double* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+// k-means++ seeding: each next centroid sampled proportionally to squared
+// distance from the nearest chosen centroid.
+Matrix PlusPlusInit(const Matrix& points, int k, Rng& rng) {
+  const int n = points.rows(), dim = points.cols();
+  Matrix centroids(k, dim);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+
+  int first = static_cast<int>(rng.NextInt(n));
+  std::copy(points.RowPtr(first), points.RowPtr(first) + dim,
+            centroids.RowPtr(0));
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d2 =
+          SquaredDistance(points.RowPtr(i), centroids.RowPtr(c - 1), dim);
+      if (d2 < min_d2[i]) min_d2[i] = d2;
+      total += min_d2[i];
+    }
+    int chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng.NextDouble() * total;
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) {
+        acc += min_d2[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int>(rng.NextInt(n));
+    }
+    std::copy(points.RowPtr(chosen), points.RowPtr(chosen) + dim,
+              centroids.RowPtr(c));
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const Matrix& points, int k, Rng& rng,
+                     const KMeansOptions& options) {
+  const int n = points.rows(), dim = points.cols();
+  KMeansResult result;
+  result.centroids = PlusPlusInit(points, k, rng);
+  result.assignment.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d2 =
+            SquaredDistance(points.RowPtr(i), result.centroids.RowPtr(c), dim);
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+    if (prev_inertia - inertia < options.tolerance) break;
+    prev_inertia = inertia;
+
+    // Update step. Empty clusters get re-seeded from a random point.
+    Matrix sums(k, dim);
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      double* srow = sums.RowPtr(c);
+      const double* prow = points.RowPtr(i);
+      for (int d = 0; d < dim; ++d) srow[d] += prow[d];
+    }
+    for (int c = 0; c < k; ++c) {
+      double* crow = result.centroids.RowPtr(c);
+      if (counts[c] == 0) {
+        const int r = static_cast<int>(rng.NextInt(n));
+        std::copy(points.RowPtr(r), points.RowPtr(r) + dim, crow);
+      } else {
+        const double* srow = sums.RowPtr(c);
+        for (int d = 0; d < dim; ++d) crow[d] = srow[d] / counts[c];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Matrix& points, int k, Rng& rng,
+                    const KMeansOptions& options) {
+  ANECI_CHECK(k > 0 && points.rows() >= k);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    KMeansResult run = RunOnce(points, k, rng, options);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace aneci

@@ -1,0 +1,32 @@
+// K-means with k-means++ seeding, used to cluster baseline embeddings for
+// the community-detection evaluation (Section VI-D of the paper).
+#ifndef ANECI_LINALG_KMEANS_H_
+#define ANECI_LINALG_KMEANS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct KMeansResult {
+  std::vector<int> assignment;  ///< Cluster index per row of the input.
+  Matrix centroids;             ///< (k x dim).
+  double inertia = 0.0;         ///< Sum of squared distances to centroids.
+  int iterations = 0;
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;  ///< Stop when inertia improvement drops below.
+  int restarts = 1;         ///< Best of N runs (by inertia).
+};
+
+/// Lloyd's algorithm with k-means++ initialisation on the rows of `points`.
+KMeansResult KMeans(const Matrix& points, int k, Rng& rng,
+                    const KMeansOptions& options = {});
+
+}  // namespace aneci
+
+#endif  // ANECI_LINALG_KMEANS_H_

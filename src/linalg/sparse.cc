@@ -1,0 +1,244 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aneci {
+
+SparseMatrix SparseMatrix::FromTriplets(int rows, int cols,
+                                        std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    ANECI_CHECK(t.row >= 0 && t.row < rows);
+    ANECI_CHECK(t.col >= 0 && t.col < cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix m(rows, cols);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  size_t i = 0;
+  for (int r = 0; r < rows; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      double v = triplets[i].value;
+      const int c = triplets[i].col;
+      ++i;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      if (v != 0.0) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_[r + 1] = static_cast<int64_t>(m.col_idx_.size());
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::Identity(int n) {
+  SparseMatrix m(n, n);
+  m.col_idx_.resize(n);
+  m.values_.assign(n, 1.0);
+  for (int i = 0; i < n; ++i) {
+    m.col_idx_[i] = i;
+    m.row_ptr_[i + 1] = i + 1;
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense, double tol) {
+  std::vector<Triplet> trips;
+  for (int r = 0; r < dense.rows(); ++r)
+    for (int c = 0; c < dense.cols(); ++c)
+      if (std::abs(dense(r, c)) > tol) trips.push_back({r, c, dense(r, c)});
+  return FromTriplets(dense.rows(), dense.cols(), std::move(trips));
+}
+
+double SparseMatrix::At(int r, int c) const {
+  ANECI_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const int* begin = col_idx_.data() + row_ptr_[r];
+  const int* end = col_idx_.data() + row_ptr_[r + 1];
+  const int* it = std::lower_bound(begin, end, c);
+  if (it != end && *it == c) return values_[it - col_idx_.data()];
+  return 0.0;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix d(rows_, cols_);
+  for (int r = 0; r < rows_; ++r)
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      d(r, col_idx_[i]) = values_[i];
+  return d;
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& x) const {
+  ANECI_CHECK_EQ(cols_, x.rows());
+  Matrix y(rows_, x.cols());
+  const int k = x.cols();
+  for (int r = 0; r < rows_; ++r) {
+    double* yrow = y.RowPtr(r);
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const double v = values_[i];
+      const double* xrow = x.RowPtr(col_idx_[i]);
+      for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::MultiplyTransposed(const Matrix& x) const {
+  ANECI_CHECK_EQ(rows_, x.rows());
+  Matrix y(cols_, x.cols());
+  const int k = x.cols();
+  for (int r = 0; r < rows_; ++r) {
+    const double* xrow = x.RowPtr(r);
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const double v = values_[i];
+      double* yrow = y.RowPtr(col_idx_[i]);
+      for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+    }
+  }
+  return y;
+}
+
+SparseMatrix SparseMatrix::MultiplySparse(const SparseMatrix& other,
+                                          double drop_tol) const {
+  ANECI_CHECK_EQ(cols_, other.rows_);
+  SparseMatrix out(rows_, other.cols_);
+  // Gustavson's row-by-row SpGEMM with a dense accumulator.
+  std::vector<double> accum(other.cols_, 0.0);
+  std::vector<int> touched;
+  touched.reserve(256);
+  for (int r = 0; r < rows_; ++r) {
+    touched.clear();
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const double av = values_[i];
+      const int mid = col_idx_[i];
+      for (int64_t j = other.row_ptr_[mid]; j < other.row_ptr_[mid + 1]; ++j) {
+        const int c = other.col_idx_[j];
+        if (accum[c] == 0.0) touched.push_back(c);
+        accum[c] += av * other.values_[j];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int c : touched) {
+      if (std::abs(accum[c]) > drop_tol) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(accum[c]);
+      }
+      accum[c] = 0.0;
+    }
+    out.row_ptr_[r + 1] = static_cast<int64_t>(out.col_idx_.size());
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::AddScaled(const SparseMatrix& other,
+                                     double alpha) const {
+  ANECI_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  SparseMatrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    int64_t i = row_ptr_[r], j = other.row_ptr_[r];
+    const int64_t iend = row_ptr_[r + 1], jend = other.row_ptr_[r + 1];
+    while (i < iend || j < jend) {
+      int c;
+      double v;
+      if (j >= jend || (i < iend && col_idx_[i] < other.col_idx_[j])) {
+        c = col_idx_[i];
+        v = values_[i];
+        ++i;
+      } else if (i >= iend || other.col_idx_[j] < col_idx_[i]) {
+        c = other.col_idx_[j];
+        v = alpha * other.values_[j];
+        ++j;
+      } else {
+        c = col_idx_[i];
+        v = values_[i] + alpha * other.values_[j];
+        ++i;
+        ++j;
+      }
+      if (v != 0.0) {
+        out.col_idx_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+    out.row_ptr_[r + 1] = static_cast<int64_t>(out.col_idx_.size());
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  SparseMatrix out(cols_, rows_);
+  std::vector<int64_t> counts(cols_ + 1, 0);
+  for (int c : col_idx_) ++counts[c + 1];
+  for (int c = 0; c < cols_; ++c) counts[c + 1] += counts[c];
+  out.row_ptr_ = counts;
+  out.col_idx_.resize(values_.size());
+  out.values_.resize(values_.size());
+  std::vector<int64_t> next = counts;
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      const int c = col_idx_[i];
+      const int64_t pos = next[c]++;
+      out.col_idx_[pos] = r;
+      out.values_[pos] = values_[i];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::RowNormalizedL1() const {
+  SparseMatrix out = *this;
+  for (int r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      s += std::abs(values_[i]);
+    if (s > 0.0)
+      for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+        out.values_[i] /= s;
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::SymmetricallyNormalized() const {
+  ANECI_CHECK_EQ(rows_, cols_);
+  std::vector<double> dinv_sqrt(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) s += values_[i];
+    dinv_sqrt[r] = s > 0.0 ? 1.0 / std::sqrt(s) : 0.0;
+  }
+  SparseMatrix out = *this;
+  for (int r = 0; r < rows_; ++r)
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      out.values_[i] *= dinv_sqrt[r] * dinv_sqrt[col_idx_[i]];
+  return out;
+}
+
+std::vector<double> SparseMatrix::RowSumsVec() const {
+  std::vector<double> s(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r)
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) s[r] += values_[i];
+  return s;
+}
+
+double SparseMatrix::SumAll() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+std::vector<Triplet> SparseMatrix::ToTriplets() const {
+  std::vector<Triplet> trips;
+  trips.reserve(values_.size());
+  for (int r = 0; r < rows_; ++r)
+    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+      trips.push_back({r, col_idx_[i], values_[i]});
+  return trips;
+}
+
+}  // namespace aneci

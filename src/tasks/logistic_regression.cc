@@ -1,0 +1,120 @@
+#include "tasks/logistic_regression.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace aneci {
+
+void LogisticRegression::Fit(const Matrix& features,
+                             const std::vector<int>& labels, int num_classes,
+                             Rng& rng) {
+  ANECI_CHECK_EQ(features.rows(), static_cast<int>(labels.size()));
+  ANECI_CHECK_GT(num_classes, 1);
+  const int n = features.rows(), d = features.cols();
+  num_classes_ = num_classes;
+
+  mean_.assign(d, 0.0);
+  inv_std_.assign(d, 1.0);
+  if (options_.standardize) {
+    for (int i = 0; i < n; ++i) {
+      const double* row = features.RowPtr(i);
+      for (int j = 0; j < d; ++j) mean_[j] += row[j];
+    }
+    for (double& m : mean_) m /= n;
+    std::vector<double> var(d, 0.0);
+    for (int i = 0; i < n; ++i) {
+      const double* row = features.RowPtr(i);
+      for (int j = 0; j < d; ++j) {
+        const double c = row[j] - mean_[j];
+        var[j] += c * c;
+      }
+    }
+    for (int j = 0; j < d; ++j)
+      inv_std_[j] = var[j] > 1e-12 ? 1.0 / std::sqrt(var[j] / n) : 1.0;
+  }
+  const Matrix x = ApplyStandardization(features);
+
+  weights_ = Matrix::RandomNormal(d, num_classes, 0.01, rng);
+  bias_.assign(num_classes, 0.0);
+
+  // Adam-free full-batch GD with a mild 1/sqrt(t) decay: robust and cheap
+  // for the small training sets in the planetoid splits.
+  Matrix grad_w(d, num_classes);
+  std::vector<double> grad_b(num_classes);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    grad_w.SetZero();
+    std::fill(grad_b.begin(), grad_b.end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      const double* row = x.RowPtr(i);
+      // logits = x_i W + b, then softmax.
+      std::vector<double> logits(num_classes);
+      for (int c = 0; c < num_classes; ++c) logits[c] = bias_[c];
+      for (int j = 0; j < d; ++j) {
+        const double v = row[j];
+        if (v == 0.0) continue;
+        const double* wrow = weights_.RowPtr(j);
+        for (int c = 0; c < num_classes; ++c) logits[c] += v * wrow[c];
+      }
+      double mx = logits[0];
+      for (int c = 1; c < num_classes; ++c) mx = std::max(mx, logits[c]);
+      double sum = 0.0;
+      for (int c = 0; c < num_classes; ++c) {
+        logits[c] = std::exp(logits[c] - mx);
+        sum += logits[c];
+      }
+      for (int c = 0; c < num_classes; ++c) {
+        const double p = logits[c] / sum;
+        const double delta = p - (labels[i] == c ? 1.0 : 0.0);
+        grad_b[c] += delta;
+        for (int j = 0; j < d; ++j)
+          grad_w(j, c) += delta * row[j];
+      }
+    }
+    const double lr = options_.lr / std::sqrt(1.0 + epoch * 0.1);
+    for (int j = 0; j < d; ++j) {
+      double* wrow = weights_.RowPtr(j);
+      const double* grow = grad_w.RowPtr(j);
+      for (int c = 0; c < num_classes; ++c)
+        wrow[c] -= lr * (grow[c] / n + options_.l2 * wrow[c]);
+    }
+    for (int c = 0; c < num_classes; ++c) bias_[c] -= lr * grad_b[c] / n;
+  }
+}
+
+std::vector<int> LogisticRegression::Predict(const Matrix& features) const {
+  Matrix proba = PredictProba(features);
+  std::vector<int> out(proba.rows());
+  for (int i = 0; i < proba.rows(); ++i) {
+    const double* row = proba.RowPtr(i);
+    int best = 0;
+    for (int c = 1; c < proba.cols(); ++c)
+      if (row[c] > row[best]) best = c;
+    out[i] = best;
+  }
+  return out;
+}
+
+Matrix LogisticRegression::PredictProba(const Matrix& features) const {
+  ANECI_CHECK_EQ(features.cols(), weights_.rows());
+  const Matrix x = ApplyStandardization(features);
+  Matrix logits = MatMul(x, weights_);
+  for (int i = 0; i < logits.rows(); ++i) {
+    double* row = logits.RowPtr(i);
+    for (int c = 0; c < num_classes_; ++c) row[c] += bias_[c];
+  }
+  return RowSoftmax(logits);
+}
+
+Matrix LogisticRegression::ApplyStandardization(const Matrix& features) const {
+  if (!options_.standardize) return features;
+  Matrix x = features;
+  for (int i = 0; i < x.rows(); ++i) {
+    double* row = x.RowPtr(i);
+    for (int j = 0; j < x.cols(); ++j)
+      row[j] = (row[j] - mean_[j]) * inv_std_[j];
+  }
+  return x;
+}
+
+}  // namespace aneci

@@ -1,0 +1,50 @@
+// Multinomial logistic regression, the downstream probe the paper trains on
+// frozen embeddings for node classification ("we train a logistic regression
+// classifier with node embeddings as input features").
+#ifndef ANECI_TASKS_LOGISTIC_REGRESSION_H_
+#define ANECI_TASKS_LOGISTIC_REGRESSION_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+class LogisticRegression {
+ public:
+  struct Options {
+    int epochs = 300;
+    double lr = 0.1;
+    double l2 = 1e-4;
+    bool standardize = true;  ///< Z-score features from training statistics.
+  };
+
+  LogisticRegression() : options_() {}
+  explicit LogisticRegression(const Options& options) : options_(options) {}
+
+  /// Full-batch gradient descent on softmax cross-entropy.
+  /// `features` holds one row per training sample; labels in [0, k).
+  void Fit(const Matrix& features, const std::vector<int>& labels,
+           int num_classes, Rng& rng);
+
+  /// Argmax class per row.
+  std::vector<int> Predict(const Matrix& features) const;
+
+  /// Row-softmax probabilities (n x k).
+  Matrix PredictProba(const Matrix& features) const;
+
+ private:
+  Matrix ApplyStandardization(const Matrix& features) const;
+
+  Options options_;
+  Matrix weights_;  // (d x k).
+  std::vector<double> bias_;
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+  int num_classes_ = 0;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_TASKS_LOGISTIC_REGRESSION_H_

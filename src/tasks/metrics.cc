@@ -1,0 +1,134 @@
+#include "tasks/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace aneci {
+
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& expected) {
+  ANECI_CHECK_EQ(predicted.size(), expected.size());
+  ANECI_CHECK(!predicted.empty());
+  int correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i)
+    if (predicted[i] == expected[i]) ++correct;
+  return static_cast<double>(correct) / predicted.size();
+}
+
+double AreaUnderRoc(const std::vector<double>& scores,
+                    const std::vector<int>& labels) {
+  ANECI_CHECK_EQ(scores.size(), labels.size());
+  const size_t n = scores.size();
+  int64_t num_pos = 0;
+  for (int y : labels) {
+    ANECI_CHECK(y == 0 || y == 1);
+    num_pos += y;
+  }
+  const int64_t num_neg = static_cast<int64_t>(n) - num_pos;
+  if (num_pos == 0 || num_neg == 0) return 0.5;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Average ranks over tie groups, then Mann-Whitney U.
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t)
+      if (labels[order[t]] == 1) rank_sum_pos += avg_rank;
+    i = j + 1;
+  }
+  const double u =
+      rank_sum_pos - static_cast<double>(num_pos) * (num_pos + 1) / 2.0;
+  return u / (static_cast<double>(num_pos) * num_neg);
+}
+
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b) {
+  ANECI_CHECK_EQ(a.size(), b.size());
+  ANECI_CHECK(!a.empty());
+  const int n = static_cast<int>(a.size());
+  int ka = 0, kb = 0;
+  for (int v : a) ka = std::max(ka, v + 1);
+  for (int v : b) kb = std::max(kb, v + 1);
+
+  std::vector<std::vector<int>> joint(ka, std::vector<int>(kb, 0));
+  std::vector<int> ca(ka, 0), cb(kb, 0);
+  for (int i = 0; i < n; ++i) {
+    ++joint[a[i]][b[i]];
+    ++ca[a[i]];
+    ++cb[b[i]];
+  }
+
+  double mi = 0.0;
+  for (int i = 0; i < ka; ++i) {
+    for (int j = 0; j < kb; ++j) {
+      if (joint[i][j] == 0) continue;
+      const double pij = static_cast<double>(joint[i][j]) / n;
+      const double pi = static_cast<double>(ca[i]) / n;
+      const double pj = static_cast<double>(cb[j]) / n;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  double ha = 0.0, hb = 0.0;
+  for (int i = 0; i < ka; ++i)
+    if (ca[i] > 0) {
+      const double p = static_cast<double>(ca[i]) / n;
+      ha -= p * std::log(p);
+    }
+  for (int j = 0; j < kb; ++j)
+    if (cb[j] > 0) {
+      const double p = static_cast<double>(cb[j]) / n;
+      hb -= p * std::log(p);
+    }
+  const double denom = std::sqrt(ha * hb);
+  if (denom <= 0.0) return (ha == 0.0 && hb == 0.0) ? 1.0 : 0.0;
+  return mi / denom;
+}
+
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& expected) {
+  ANECI_CHECK_EQ(predicted.size(), expected.size());
+  int k = 0;
+  for (int v : expected) k = std::max(k, v + 1);
+  for (int v : predicted) k = std::max(k, v + 1);
+
+  double f1_sum = 0.0;
+  int classes_present = 0;
+  for (int c = 0; c < k; ++c) {
+    int tp = 0, fp = 0, fn = 0;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+      const bool p = predicted[i] == c, e = expected[i] == c;
+      tp += p && e;
+      fp += p && !e;
+      fn += !p && e;
+    }
+    if (tp + fn == 0) continue;  // Class absent from ground truth.
+    ++classes_present;
+    const double precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    const double recall = static_cast<double>(tp) / (tp + fn);
+    if (precision + recall > 0.0)
+      f1_sum += 2.0 * precision * recall / (precision + recall);
+  }
+  return classes_present > 0 ? f1_sum / classes_present : 0.0;
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  for (double v : values) out.mean += v;
+  out.mean /= values.size();
+  for (double v : values) out.std += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(out.std / values.size());
+  return out;
+}
+
+}  // namespace aneci

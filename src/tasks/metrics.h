@@ -1,0 +1,38 @@
+// Evaluation metrics used across the paper's three downstream tasks:
+// accuracy (node classification), AUC (anomaly detection), modularity is in
+// graph/modularity.h, plus NMI and macro-F1 for extended analysis.
+#ifndef ANECI_TASKS_METRICS_H_
+#define ANECI_TASKS_METRICS_H_
+
+#include <vector>
+
+namespace aneci {
+
+/// Fraction of positions where predicted == expected.
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& expected);
+
+/// Area under the ROC curve from scores and binary labels (1 = positive).
+/// Ties get the average rank (Mann-Whitney formulation).
+double AreaUnderRoc(const std::vector<double>& scores,
+                    const std::vector<int>& labels);
+
+/// Normalised mutual information between two labelings (sqrt normalisation).
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b);
+
+/// Macro-averaged F1 over the classes present in `expected`.
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& expected);
+
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+/// Sample mean and population standard deviation.
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace aneci
+
+#endif  // ANECI_TASKS_METRICS_H_

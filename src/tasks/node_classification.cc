@@ -1,0 +1,51 @@
+#include "tasks/node_classification.h"
+
+#include "tasks/logistic_regression.h"
+#include "tasks/metrics.h"
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+std::vector<int> LabelsAt(const Dataset& dataset,
+                          const std::vector<int>& idx) {
+  std::vector<int> out;
+  out.reserve(idx.size());
+  for (int i : idx) out.push_back(dataset.graph.labels()[i]);
+  return out;
+}
+
+}  // namespace
+
+ClassificationResult EvaluateEmbedding(const Matrix& embedding,
+                                       const Dataset& dataset, Rng& rng,
+                                       const std::vector<int>& eval_idx) {
+  const std::vector<int>& test =
+      eval_idx.empty() ? dataset.test_idx : eval_idx;
+  return EvaluateEmbeddingOnNodes(embedding, dataset, test, rng);
+}
+
+ClassificationResult EvaluateEmbeddingOnNodes(const Matrix& embedding,
+                                              const Dataset& dataset,
+                                              const std::vector<int>& targets,
+                                              Rng& rng) {
+  ANECI_CHECK_EQ(embedding.rows(), dataset.graph.num_nodes());
+  ANECI_CHECK(!targets.empty());
+  ANECI_CHECK(!dataset.train_idx.empty());
+
+  LogisticRegression probe;
+  probe.Fit(embedding.SelectRows(dataset.train_idx),
+            LabelsAt(dataset, dataset.train_idx),
+            dataset.graph.num_classes(), rng);
+
+  const std::vector<int> predicted =
+      probe.Predict(embedding.SelectRows(targets));
+  const std::vector<int> expected = LabelsAt(dataset, targets);
+
+  ClassificationResult result;
+  result.accuracy = Accuracy(predicted, expected);
+  result.macro_f1 = MacroF1(predicted, expected);
+  return result;
+}
+
+}  // namespace aneci

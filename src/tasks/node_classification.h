@@ -1,0 +1,35 @@
+// The paper's node-classification protocol: freeze an embedding matrix,
+// train a logistic-regression probe on the train split, report test-set
+// accuracy (Table III, Figs. 3-5).
+#ifndef ANECI_TASKS_NODE_CLASSIFICATION_H_
+#define ANECI_TASKS_NODE_CLASSIFICATION_H_
+
+#include <vector>
+
+#include "data/datasets.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace aneci {
+
+struct ClassificationResult {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+};
+
+/// Trains the probe on dataset.train_idx and evaluates on `eval_idx`
+/// (defaults to dataset.test_idx when empty).
+ClassificationResult EvaluateEmbedding(const Matrix& embedding,
+                                       const Dataset& dataset, Rng& rng,
+                                       const std::vector<int>& eval_idx = {});
+
+/// Evaluation restricted to targeted nodes (the attack experiments measure
+/// accuracy on the attacked targets only).
+ClassificationResult EvaluateEmbeddingOnNodes(const Matrix& embedding,
+                                              const Dataset& dataset,
+                                              const std::vector<int>& targets,
+                                              Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_TASKS_NODE_CLASSIFICATION_H_

@@ -1,0 +1,44 @@
+// Invariant-checking macros. ANECI_CHECK* abort with a message on violation;
+// ANECI_DCHECK* compile away in release builds (NDEBUG).
+#ifndef ANECI_UTIL_CHECK_H_
+#define ANECI_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ANECI_CHECK(cond)                                                      \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,  \
+                   #cond);                                                     \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+#define ANECI_CHECK_MSG(cond, msg)                                             \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,       \
+                   __LINE__, #cond, msg);                                      \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+#define ANECI_CHECK_EQ(a, b) ANECI_CHECK((a) == (b))
+#define ANECI_CHECK_NE(a, b) ANECI_CHECK((a) != (b))
+#define ANECI_CHECK_LT(a, b) ANECI_CHECK((a) < (b))
+#define ANECI_CHECK_LE(a, b) ANECI_CHECK((a) <= (b))
+#define ANECI_CHECK_GT(a, b) ANECI_CHECK((a) > (b))
+#define ANECI_CHECK_GE(a, b) ANECI_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define ANECI_DCHECK(cond) ((void)0)
+#define ANECI_DCHECK_EQ(a, b) ((void)0)
+#define ANECI_DCHECK_LT(a, b) ((void)0)
+#else
+#define ANECI_DCHECK(cond) ANECI_CHECK(cond)
+#define ANECI_DCHECK_EQ(a, b) ANECI_CHECK_EQ(a, b)
+#define ANECI_DCHECK_LT(a, b) ANECI_CHECK_LT(a, b)
+#endif
+
+#endif  // ANECI_UTIL_CHECK_H_

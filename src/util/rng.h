@@ -1,0 +1,112 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256** seeded by
+// SplitMix64). Every stochastic component in the library takes an explicit
+// Rng& so experiments are reproducible from a single seed.
+#ifndef ANECI_UTIL_RNG_H_
+#define ANECI_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace aneci {
+
+/// xoshiro256** PRNG. Not cryptographically secure; excellent statistical
+/// quality and speed for simulation workloads.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  int64_t NextInt(int64_t n) {
+    ANECI_DCHECK(n > 0);
+    // Rejection-free for our scale: modulo bias is negligible for n << 2^64,
+    // but use Lemire's method for exactness.
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) *
+                    static_cast<__uint128_t>(n);
+    return static_cast<int64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double NextGaussian() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return gauss_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    gauss_ = v * f;
+    has_gauss_ = true;
+    return u * f;
+  }
+
+  /// Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Poisson(lambda) via Knuth for small lambda, normal approx for large.
+  int NextPoisson(double lambda) {
+    ANECI_DCHECK(lambda >= 0.0);
+    if (lambda > 30.0) {
+      const int k =
+          static_cast<int>(std::lround(lambda + std::sqrt(lambda) * NextGaussian()));
+      return k < 0 ? 0 : k;
+    }
+    const double limit = std::exp(-lambda);
+    double prod = NextDouble();
+    int n = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_UTIL_RNG_H_

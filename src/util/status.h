@@ -1,0 +1,111 @@
+// Lightweight Status / StatusOr for fallible operations (IO, parsing, config
+// validation). Internal invariants use ANECI_CHECK instead. Modeled on the
+// Arrow/Abseil convention: functions that can fail return Status or
+// StatusOr<T>; Status::OK() is success.
+#ifndef ANECI_UTIL_STATUS_H_
+#define ANECI_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace aneci {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work,
+  // mirroring absl::StatusOr.
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT
+    ANECI_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                    "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    ANECI_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    ANECI_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    ANECI_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::move(std::get<T>(payload_));
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+#define ANECI_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::aneci::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace aneci
+
+#endif  // ANECI_UTIL_STATUS_H_

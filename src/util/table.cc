@@ -1,0 +1,74 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace aneci {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::AddRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Add(std::string cell) {
+  ANECI_CHECK_MSG(!rows_.empty(), "call AddRow() before Add()");
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::AddF(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return Add(buf);
+}
+
+Table& Table::AddMeanStd(double mean, double std, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, mean, precision, std);
+  return Add(buf);
+}
+
+void Table::Print(const std::string& title) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  std::printf("\n== %s ==\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(width[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+}  // namespace aneci

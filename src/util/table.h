@@ -1,0 +1,40 @@
+// Console table printer used by the benchmark harnesses to emit paper-style
+// tables (aligned columns, optional CSV dump).
+#ifndef ANECI_UTIL_TABLE_H_
+#define ANECI_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace aneci {
+
+/// Collects rows of string cells and renders them with aligned columns.
+/// Numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent Add* calls append cells to it.
+  Table& AddRow();
+  Table& Add(std::string cell);
+  Table& AddF(double value, int precision = 3);
+  /// "mean±std" cell, the paper's accuracy format.
+  Table& AddMeanStd(double mean, double std, int precision = 1);
+
+  /// Renders to stdout with a title line.
+  void Print(const std::string& title) const;
+
+  /// Renders as CSV (header + rows) to the given file. Returns false on IO
+  /// failure.
+  bool WriteCsv(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_UTIL_TABLE_H_

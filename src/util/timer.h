@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the runtime comparisons (Table V) and training
+// progress reporting.
+#ifndef ANECI_UTIL_TIMER_H_
+#define ANECI_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace aneci {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_UTIL_TIMER_H_

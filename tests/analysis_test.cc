@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "analysis/defense_score.h"
+#include "analysis/silhouette.h"
+#include "analysis/tsne.h"
+#include "attack/random_attack.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+TEST(DefenseScoreTest, SeparatingEmbeddingScoresAboveOne) {
+  // Two communities; real edges inside, fake edge across.
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  std::vector<Edge> fake = {{1, 2}};
+  Graph attacked = g;
+  attacked.AddEdge(1, 2);
+  Matrix z = Matrix::FromRows({{1, 0}, {1, 0.05}, {0, 1}, {0.05, 1}});
+  EXPECT_GT(DefenseScore(attacked, fake, z), 1.5);
+}
+
+TEST(DefenseScoreTest, OblividousEmbeddingScoresNearOne) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  std::vector<Edge> fake = {{1, 2}};
+  Graph attacked = g;
+  attacked.AddEdge(1, 2);
+  // Embedding that treats all nodes the same.
+  Rng rng(1);
+  Matrix z(4, 3, 1.0);
+  EXPECT_NEAR(DefenseScore(attacked, fake, z), 1.0, 0.1);
+}
+
+TEST(DefenseScoreTest, NoFakeEdgesGivesOne) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  Matrix z(3, 2, 1.0);
+  EXPECT_DOUBLE_EQ(DefenseScore(g, {}, z), 1.0);
+}
+
+TEST(DefenseScoreTest, IntegratesWithRandomAttack) {
+  // End-to-end: attack a graph, score with an embedding built from labels.
+  std::vector<Edge> edges;
+  for (int i = 0; i < 20; ++i)
+    for (int j = i + 1; j < 20; ++j)
+      if ((i < 10) == (j < 10)) edges.push_back({i, j});
+  Graph g = Graph::FromEdges(20, edges);
+  Rng rng(2);
+  RandomAttackResult res = RandomAttack(g, 0.2, rng);
+  Matrix z(20, 2);
+  for (int i = 0; i < 20; ++i) z(i, i < 10 ? 0 : 1) = 1.0;
+  // Fake edges mostly bridge the two blocks => high defense score.
+  EXPECT_GT(DefenseScore(res.attacked, res.fake_edges, z), 1.0);
+}
+
+TEST(SilhouetteTest, WellSeparatedClustersNearOne) {
+  Matrix pts = Matrix::FromRows(
+      {{0, 0}, {0.1, 0}, {0, 0.1}, {10, 10}, {10.1, 10}, {10, 10.1}});
+  std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  EXPECT_GT(MeanSilhouette(pts, labels), 0.9);
+}
+
+TEST(SilhouetteTest, RandomLabelsNearZeroOrNegative) {
+  Rng rng(3);
+  Matrix pts = Matrix::RandomNormal(40, 2, 1.0, rng);
+  std::vector<int> labels(40);
+  for (int i = 0; i < 40; ++i) labels[i] = static_cast<int>(rng.NextInt(2));
+  EXPECT_LT(MeanSilhouette(pts, labels), 0.25);
+}
+
+TEST(SilhouetteTest, SwappedLabelsScoreNegative) {
+  Matrix pts = Matrix::FromRows({{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}});
+  std::vector<int> bad = {0, 1, 0, 1};  // Crosses the true clusters.
+  EXPECT_LT(MeanSilhouette(pts, bad), 0.0);
+}
+
+TEST(TsneTest, OutputShapeAndFiniteness) {
+  Rng rng(4);
+  Matrix pts = Matrix::RandomNormal(60, 8, 1.0, rng);
+  TsneOptions opt;
+  opt.iterations = 60;
+  Matrix y = Tsne(pts, opt, rng);
+  EXPECT_EQ(y.rows(), 60);
+  EXPECT_EQ(y.cols(), 2);
+  for (int64_t i = 0; i < y.size(); ++i)
+    ASSERT_TRUE(std::isfinite(y.data()[i]));
+}
+
+TEST(TsneTest, PreservesClusterSeparation) {
+  // Two far-apart blobs in 10-D must stay separated in 2-D.
+  Rng rng(5);
+  const int per = 25;
+  Matrix pts(2 * per, 10);
+  std::vector<int> labels(2 * per);
+  for (int i = 0; i < 2 * per; ++i) {
+    const int c = i < per ? 0 : 1;
+    labels[i] = c;
+    for (int d = 0; d < 10; ++d)
+      pts(i, d) = (c ? 20.0 : 0.0) + rng.NextGaussian();
+  }
+  TsneOptions opt;
+  opt.iterations = 150;
+  opt.perplexity = 10.0;
+  Matrix y = Tsne(pts, opt, rng);
+  EXPECT_GT(MeanSilhouette(y, labels), 0.5);
+}
+
+}  // namespace
+}  // namespace aneci

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "core/aneci.h"
+#include "core/aneci_plus.h"
+#include "data/sbm.h"
+#include "graph/modularity.h"
+#include "tasks/metrics.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+Graph SmallSbm(uint64_t seed, int n = 200, int classes = 3) {
+  SbmOptions opt;
+  opt.num_nodes = n;
+  opt.num_classes = classes;
+  opt.num_edges = 3 * n;
+  opt.intra_fraction = 0.9;
+  opt.attribute_dim = 40;
+  opt.words_per_node = 8;
+  opt.topic_words_per_class = 12;
+  Rng rng(seed);
+  return GenerateSbm(opt, rng);
+}
+
+AneciConfig FastConfig() {
+  AneciConfig cfg;
+  cfg.hidden_dim = 32;
+  cfg.embed_dim = 8;
+  cfg.epochs = 60;
+  cfg.proximity.order = 2;
+  return cfg;
+}
+
+TEST(Aneci, OutputShapesAndMembershipRows) {
+  Graph g = SmallSbm(1);
+  Aneci model(FastConfig());
+  AneciResult result = model.Train(g);
+  EXPECT_EQ(result.z.rows(), g.num_nodes());
+  EXPECT_EQ(result.z.cols(), 8);
+  EXPECT_EQ(result.p.rows(), g.num_nodes());
+  for (int i = 0; i < result.p.rows(); ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < result.p.cols(); ++c) sum += result.p(i, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Aneci, ModularityImprovesDuringTraining) {
+  Graph g = SmallSbm(2);
+  Aneci model(FastConfig());
+  AneciResult result = model.Train(g);
+  ASSERT_GE(result.history.size(), 10u);
+  const double early = result.history[1].modularity;
+  const double late = result.history.back().modularity;
+  EXPECT_GT(late, early);
+  EXPECT_GT(late, 0.1);  // Communities actually found.
+}
+
+TEST(Aneci, MembershipRecoversPlantedCommunities) {
+  Graph g = SmallSbm(3, 240, 3);
+  AneciConfig cfg = FastConfig();
+  cfg.embed_dim = 3;
+  cfg.epochs = 120;
+  Aneci model(cfg);
+  AneciResult result = model.Train(g);
+  const std::vector<int> detected = ArgmaxAssignment(result.p);
+  const double nmi = NormalizedMutualInformation(detected, g.labels());
+  EXPECT_GT(nmi, 0.4) << "NMI vs planted labels too low";
+  EXPECT_GT(Modularity(g, detected), 0.3);
+}
+
+TEST(Aneci, DenseAndSampledModesBothTrain) {
+  Graph g = SmallSbm(4);
+  for (ReconstructionMode mode :
+       {ReconstructionMode::kDense, ReconstructionMode::kSampled}) {
+    AneciConfig cfg = FastConfig();
+    cfg.epochs = 30;
+    cfg.reconstruction = mode;
+    Aneci model(cfg);
+    AneciResult result = model.Train(g);
+    EXPECT_GT(result.history.back().modularity,
+              result.history.front().modularity);
+  }
+}
+
+TEST(Aneci, EarlyStoppingShortensTraining) {
+  // A tiny graph saturates its modularity quickly, so a patience-based stop
+  // must fire long before the epoch budget.
+  Graph g = SmallSbm(5, /*n=*/60, /*classes=*/2);
+  AneciConfig cfg = FastConfig();
+  cfg.embed_dim = 2;
+  cfg.epochs = 1000;
+  cfg.early_stop_patience = 10;
+  Aneci model(cfg);
+  AneciResult result = model.Train(g);
+  EXPECT_LT(result.history.size(), 1000u);
+}
+
+TEST(Aneci, EpochCallbackFires) {
+  Graph g = SmallSbm(6);
+  AneciConfig cfg = FastConfig();
+  cfg.epochs = 10;
+  Aneci model(cfg);
+  int calls = 0;
+  model.Train(g, [&](const AneciEpochStats& stats, const Matrix& z,
+                     const Matrix& p) {
+    EXPECT_EQ(stats.epoch, calls);
+    EXPECT_EQ(p.rows(), g.num_nodes());
+    EXPECT_GE(stats.rigidity, 0.0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(Aneci, DeterministicGivenSeed) {
+  Graph g = SmallSbm(7);
+  AneciConfig cfg = FastConfig();
+  cfg.epochs = 15;
+  Aneci a(cfg), b(cfg);
+  Matrix za = a.Train(g).z;
+  Matrix zb = b.Train(g).z;
+  for (int64_t i = 0; i < za.size(); ++i)
+    EXPECT_DOUBLE_EQ(za.data()[i], zb.data()[i]);
+}
+
+TEST(Aneci, WorksWithoutAttributes) {
+  SbmOptions opt;
+  opt.num_nodes = 120;
+  opt.num_classes = 2;
+  opt.num_edges = 500;
+  opt.attribute_dim = 0;
+  Rng rng(8);
+  Graph g = GenerateSbm(opt, rng);
+  AneciConfig cfg = FastConfig();
+  cfg.epochs = 40;
+  Aneci model(cfg);
+  AneciResult result = model.Train(g);
+  EXPECT_EQ(result.z.rows(), 120);
+  EXPECT_GT(result.history.back().modularity, 0.0);
+}
+
+TEST(Aneci, SampledNeighborEncoderTrains) {
+  Graph g = SmallSbm(12);
+  AneciConfig cfg = FastConfig();
+  cfg.encoder = EncoderMode::kSampledNeighbors;
+  cfg.sage.fanout = 5;
+  cfg.epochs = 80;
+  Aneci model(cfg);
+  AneciResult result = model.Train(g);
+  EXPECT_GT(result.history.back().modularity, 0.1);
+  const std::vector<int> detected = ArgmaxAssignment(result.p);
+  EXPECT_GT(NormalizedMutualInformation(detected, g.labels()), 0.3);
+}
+
+TEST(Aneci, MinimumModularityVariantTrains) {
+  Graph g = SmallSbm(13);
+  AneciConfig cfg = FastConfig();
+  cfg.modularity_variant = ModularityVariant::kMinimum;
+  cfg.epochs = 60;
+  Aneci model(cfg);
+  AneciResult result = model.Train(g);
+  EXPECT_GT(result.history.back().modularity,
+            result.history.front().modularity);
+}
+
+// --- Sampled propagation operator ------------------------------------------------
+
+TEST(SageOperator, RowsAreStochastic) {
+  Graph g = SmallSbm(14);
+  Rng rng(1);
+  SageSamplerOptions opt;
+  opt.fanout = 4;
+  SparseMatrix s = SampleSageOperator(g, opt, rng);
+  for (double sum : s.RowSumsVec()) EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (int u = 0; u < g.num_nodes(); ++u)
+    EXPECT_LE(s.RowNnz(u), opt.fanout + 1);
+}
+
+TEST(SageOperator, LowDegreeNodesKeepAllNeighbors) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {0, 2}});
+  Rng rng(2);
+  SageSamplerOptions opt;
+  opt.fanout = 10;
+  SparseMatrix s = SampleSageOperator(g, opt, rng);
+  EXPECT_EQ(s.RowNnz(0), 3);  // Self + both neighbours.
+  EXPECT_NEAR(s.At(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.RowNnz(3), 1);  // Isolated node keeps only itself.
+  EXPECT_NEAR(s.At(3, 3), 1.0, 1e-12);
+}
+
+TEST(SageOperator, ExpectationMatchesFullOperator) {
+  // Averaging many sampled operators approaches row-normalised (A + I).
+  Graph g = SmallSbm(15, 60, 2);
+  Rng rng(3);
+  SageSamplerOptions opt;
+  opt.fanout = 3;
+  Matrix mean(60, 60);
+  const int draws = 400;
+  for (int t = 0; t < draws; ++t)
+    mean += SampleSageOperator(g, opt, rng).ToDense();
+  mean *= 1.0 / draws;
+  SparseMatrix expected = g.Adjacency(true).RowNormalizedL1();
+  // Check a handful of high-degree rows.
+  for (int u = 0; u < 10; ++u) {
+    for (int v : g.Neighbors(u))
+      EXPECT_NEAR(mean(u, v), expected.At(u, v), 0.05);
+  }
+}
+
+// --- AnECI+ --------------------------------------------------------------------
+
+TEST(AneciPlus, PsiScheduleIsIncreasingAndBounded) {
+  AneciPlusConfig cfg;
+  cfg.psi_alpha = 5.0;
+  std::vector<double> low(10, 0.2), high(10, 1.6);
+  const double rho_low = AdaptiveDropRatio(low, cfg);
+  const double rho_high = AdaptiveDropRatio(high, cfg);
+  EXPECT_LT(rho_low, rho_high);
+  EXPECT_GE(rho_low, 0.0);
+  EXPECT_LE(rho_high, cfg.psi_gamma);
+}
+
+TEST(AneciPlus, FixedDropRatioOverrides) {
+  AneciPlusConfig cfg;
+  cfg.fixed_drop_ratio = 0.33;
+  EXPECT_DOUBLE_EQ(AdaptiveDropRatio({1.0, 1.0}, cfg), 0.33);
+}
+
+TEST(AneciPlus, EdgeScoresAlignWithEmbedding) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {2, 3}, {0, 2}});
+  Matrix z = Matrix::FromRows(
+      {{1, 0}, {1, 0.01}, {0, 1}, {0.01, 1}});  // Two tight pairs.
+  std::vector<double> scores = EdgeAnomalyScores(g, z);
+  ASSERT_EQ(scores.size(), 3u);
+  // The cross-pair edge (0,2) must be the most anomalous.
+  EXPECT_GT(scores[1], scores[0]);  // edges() sorted: (0,1), (0,2), (2,3).
+  EXPECT_GT(scores[1], scores[2]);
+}
+
+TEST(AneciPlus, RemovesPlantedNoiseEdgesFirst) {
+  Graph g = SmallSbm(9, 160, 2);
+  // Plant obvious cross-community noise.
+  Rng rng(10);
+  int planted = 0;
+  for (int t = 0; t < 400 && planted < 30; ++t) {
+    const int u = static_cast<int>(rng.NextInt(g.num_nodes()));
+    const int v = static_cast<int>(rng.NextInt(g.num_nodes()));
+    if (u != v && g.labels()[u] != g.labels()[v] && g.AddEdge(u, v)) ++planted;
+  }
+  AneciPlusConfig cfg;
+  cfg.base = FastConfig();
+  cfg.base.epochs = 60;
+  cfg.fixed_drop_ratio = 0.1;
+  AneciPlusResult result = TrainAneciPlus(g, cfg);
+  EXPECT_GT(result.edges_removed, 0);
+  EXPECT_EQ(result.denoised_graph.num_edges(),
+            g.num_edges() - result.edges_removed);
+  // Removed edges should be disproportionately cross-community.
+  int cross_removed = 0;
+  for (const Edge& e : g.edges()) {
+    if (!result.denoised_graph.HasEdge(e.u, e.v) &&
+        g.labels()[e.u] != g.labels()[e.v]) {
+      ++cross_removed;
+    }
+  }
+  EXPECT_GT(cross_removed, result.edges_removed / 2);
+}
+
+}  // namespace
+}  // namespace aneci

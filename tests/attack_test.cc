@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/dice.h"
+#include "attack/fga.h"
+#include "attack/nettack.h"
+#include "attack/random_attack.h"
+#include "attack/surrogate.h"
+#include "data/sbm.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+Dataset MakeToy(uint64_t seed) {
+  Dataset d;
+  SbmOptions opt;
+  opt.num_nodes = 150;
+  opt.num_classes = 3;
+  opt.num_edges = 700;
+  opt.intra_fraction = 0.9;
+  opt.attribute_dim = 30;
+  opt.words_per_node = 6;
+  opt.topic_words_per_class = 10;
+  Rng rng(seed);
+  d.name = "toy";
+  d.graph = GenerateSbm(opt, rng);
+  MakePlanetoidSplit(d.graph, 10, 30, 60, rng, &d);
+  return d;
+}
+
+TEST(RandomAttackTest, AddsRequestedEdgeCount) {
+  Dataset d = MakeToy(1);
+  Rng rng(2);
+  RandomAttackResult res = RandomAttack(d.graph, 0.2, rng);
+  const int expected = static_cast<int>(0.2 * d.graph.num_edges());
+  EXPECT_EQ(static_cast<int>(res.fake_edges.size()), expected);
+  EXPECT_EQ(res.attacked.num_edges(), d.graph.num_edges() + expected);
+}
+
+TEST(RandomAttackTest, FakeEdgesDisjointFromOriginal) {
+  Dataset d = MakeToy(3);
+  Rng rng(4);
+  RandomAttackResult res = RandomAttack(d.graph, 0.3, rng);
+  for (const Edge& e : res.fake_edges) {
+    EXPECT_FALSE(d.graph.HasEdge(e.u, e.v));
+    EXPECT_TRUE(res.attacked.HasEdge(e.u, e.v));
+  }
+}
+
+TEST(RandomAttackTest, ZeroDeltaIsNoop) {
+  Dataset d = MakeToy(5);
+  Rng rng(6);
+  RandomAttackResult res = RandomAttack(d.graph, 0.0, rng);
+  EXPECT_TRUE(res.fake_edges.empty());
+  EXPECT_EQ(res.attacked.num_edges(), d.graph.num_edges());
+}
+
+TEST(Dice, DeletesIntraAddsInterEdges) {
+  Dataset d = MakeToy(30);
+  Rng rng(31);
+  DiceOptions opt;
+  opt.budget = 0.2;
+  DiceResult res = DiceAttack(d.graph, opt, rng);
+  EXPECT_GT(res.edges_deleted, 0);
+  EXPECT_GT(res.edges_added, 0);
+  // Every deleted edge was intra-class; every added edge is inter-class.
+  for (const Edge& e : d.graph.edges()) {
+    if (!res.attacked.HasEdge(e.u, e.v))
+      EXPECT_EQ(d.graph.labels()[e.u], d.graph.labels()[e.v]);
+  }
+  for (const Edge& e : res.attacked.edges()) {
+    if (!d.graph.HasEdge(e.u, e.v))
+      EXPECT_NE(d.graph.labels()[e.u], d.graph.labels()[e.v]);
+  }
+}
+
+TEST(Dice, BudgetRespected) {
+  Dataset d = MakeToy(32);
+  Rng rng(33);
+  DiceOptions opt;
+  opt.budget = 0.1;
+  DiceResult res = DiceAttack(d.graph, opt, rng);
+  const int budget = static_cast<int>(0.1 * d.graph.num_edges());
+  EXPECT_LE(res.edges_deleted + res.edges_added, budget + 1);
+}
+
+TEST(Dice, ReducesMeasuredHomophily) {
+  Dataset d = MakeToy(34);
+  Rng rng(35);
+  auto homophily = [&](const Graph& g) {
+    int intra = 0;
+    for (const Edge& e : g.edges())
+      if (d.graph.labels()[e.u] == d.graph.labels()[e.v]) ++intra;
+    return static_cast<double>(intra) / g.num_edges();
+  };
+  DiceOptions opt;
+  opt.budget = 0.3;
+  DiceResult res = DiceAttack(d.graph, opt, rng);
+  EXPECT_LT(homophily(res.attacked), homophily(d.graph));
+}
+
+TEST(Surrogate, FitsAndPredictsAboveChance) {
+  Dataset d = MakeToy(7);
+  Rng rng(8);
+  SurrogateModel model;
+  model.Fit(d.graph, d, rng);
+  Matrix logits = model.Logits(d.graph);
+  int correct = 0;
+  for (int i : d.test_idx) {
+    const double* row = logits.RowPtr(i);
+    int best = 0;
+    for (int c = 1; c < logits.cols(); ++c)
+      if (row[c] > row[best]) best = c;
+    correct += best == d.graph.labels()[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / d.test_idx.size(), 0.5);
+}
+
+TEST(Surrogate, LocalLogitsMatchFullLogits) {
+  Dataset d = MakeToy(9);
+  Rng rng(10);
+  SurrogateModel model;
+  model.Fit(d.graph, d, rng);
+  Matrix full = model.Logits(d.graph);
+  for (int node : {0, 5, 42, 149}) {
+    const std::vector<double> local = model.LogitsForNode(d.graph, node);
+    for (int c = 0; c < full.cols(); ++c)
+      EXPECT_NEAR(local[c], full(node, c), 1e-9);
+  }
+}
+
+TEST(Surrogate, TargetSelectionPrefersHighDegreeTestNodes) {
+  Dataset d = MakeToy(11);
+  Rng rng(12);
+  std::vector<int> targets = SelectAttackTargets(d, 5, 10, rng);
+  EXPECT_GE(targets.size(), 5u);
+  EXPECT_LE(targets.size(), 10u);
+  std::set<int> test_set(d.test_idx.begin(), d.test_idx.end());
+  for (int t : targets) EXPECT_TRUE(test_set.count(t));
+}
+
+TEST(Fga, PerturbsEdgesAroundTargets) {
+  Dataset d = MakeToy(13);
+  Rng rng(14);
+  std::vector<int> targets = SelectAttackTargets(d, 3, 5, rng);
+  FgaOptions opt;
+  opt.perturbations_per_target = 2;
+  Graph attacked = FgaAttack(d, targets, opt, rng);
+  // Edge set changed and every change touches a target.
+  int changed = 0;
+  std::set<Edge> before(d.graph.edges().begin(), d.graph.edges().end());
+  std::set<Edge> after(attacked.edges().begin(), attacked.edges().end());
+  std::set<int> target_set(targets.begin(), targets.end());
+  for (const Edge& e : after) {
+    if (!before.count(e)) {
+      ++changed;
+      EXPECT_TRUE(target_set.count(e.u) || target_set.count(e.v));
+    }
+  }
+  for (const Edge& e : before) {
+    if (!after.count(e)) {
+      ++changed;
+      EXPECT_TRUE(target_set.count(e.u) || target_set.count(e.v));
+    }
+  }
+  EXPECT_GT(changed, 0);
+}
+
+TEST(Fga, DegradesSurrogateMarginOnTargets) {
+  Dataset d = MakeToy(15);
+  Rng rng(16);
+  std::vector<int> targets = SelectAttackTargets(d, 5, 8, rng);
+  SurrogateModel clean_model;
+  clean_model.Fit(d.graph, d, rng);
+
+  FgaOptions opt;
+  opt.perturbations_per_target = 3;
+  Graph attacked = FgaAttack(d, targets, opt, rng);
+
+  // Margin under the *same* weights drops on attacked structure.
+  double clean_margin = 0.0, attacked_margin = 0.0;
+  for (int t : targets) {
+    const int y = d.graph.labels()[t];
+    auto margin = [&](const Graph& g) {
+      const std::vector<double> z = clean_model.LogitsForNode(g, t);
+      double other = -1e300;
+      for (size_t c = 0; c < z.size(); ++c)
+        if (static_cast<int>(c) != y) other = std::max(other, z[c]);
+      return z[y] - other;
+    };
+    clean_margin += margin(d.graph);
+    attacked_margin += margin(attacked);
+  }
+  EXPECT_LT(attacked_margin, clean_margin);
+}
+
+TEST(Nettack, DegradesSurrogateMarginMoreGreedily) {
+  Dataset d = MakeToy(17);
+  Rng rng(18);
+  std::vector<int> targets = SelectAttackTargets(d, 4, 6, rng);
+
+  NettackOptions opt;
+  opt.perturbations_per_target = 3;
+  opt.candidate_sample = 60;
+  Graph attacked = NettackAttack(d, targets, opt, rng);
+  EXPECT_NE(attacked.num_edges(), 0);
+
+  SurrogateModel model;
+  Rng rng2(19);
+  model.Fit(d.graph, d, rng2);
+  double clean_margin = 0.0, attacked_margin = 0.0;
+  for (int t : targets) {
+    const int y = d.graph.labels()[t];
+    auto margin = [&](const Graph& g) {
+      const std::vector<double> z = model.LogitsForNode(g, t);
+      double other = -1e300;
+      for (size_t c = 0; c < z.size(); ++c)
+        if (static_cast<int>(c) != y) other = std::max(other, z[c]);
+      return z[y] - other;
+    };
+    clean_margin += margin(d.graph);
+    attacked_margin += margin(attacked);
+  }
+  EXPECT_LT(attacked_margin, clean_margin);
+}
+
+TEST(Nettack, RespectsPerturbationBudget) {
+  Dataset d = MakeToy(20);
+  Rng rng(21);
+  std::vector<int> targets = SelectAttackTargets(d, 2, 3, rng);
+  NettackOptions opt;
+  opt.perturbations_per_target = 2;
+  opt.candidate_sample = 40;
+  Graph attacked = NettackAttack(d, targets, opt, rng);
+
+  std::set<Edge> before(d.graph.edges().begin(), d.graph.edges().end());
+  std::set<Edge> after(attacked.edges().begin(), attacked.edges().end());
+  int flips = 0;
+  for (const Edge& e : after)
+    if (!before.count(e)) ++flips;
+  for (const Edge& e : before)
+    if (!after.count(e)) ++flips;
+  EXPECT_LE(flips,
+            opt.perturbations_per_target * static_cast<int>(targets.size()));
+}
+
+}  // namespace
+}  // namespace aneci

@@ -1,0 +1,190 @@
+// Deeper behavioural tests for the matrix-factorisation and attention
+// embedders beyond the registry smoke suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/sbm.h"
+#include "embed/gat.h"
+#include "embed/hope.h"
+#include "embed/one.h"
+#include "embed/sdne.h"
+#include "embed/spectral.h"
+#include "tasks/metrics.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+Graph TwoBlocks(uint64_t seed, int n = 150) {
+  SbmOptions opt;
+  opt.num_nodes = n;
+  opt.num_classes = 2;
+  opt.num_edges = 4 * n;
+  opt.intra_fraction = 0.93;
+  opt.attribute_dim = 30;
+  opt.words_per_node = 6;
+  Rng rng(seed);
+  return GenerateSbm(opt, rng);
+}
+
+double IntraInterGap(const Graph& g, const Matrix& z) {
+  // Mean cosine similarity within class minus across classes.
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (int i = 0; i < g.num_nodes(); i += 2) {
+    for (int j = i + 1; j < g.num_nodes(); j += 3) {
+      const double sim = CosineSimilarity(z.RowPtr(i), z.RowPtr(j), z.cols());
+      if (g.labels()[i] == g.labels()[j]) {
+        intra += sim;
+        ++n_intra;
+      } else {
+        inter += sim;
+        ++n_inter;
+      }
+    }
+  }
+  return intra / n_intra - inter / n_inter;
+}
+
+TEST(HopeTest, KatzFactorizationSeparatesBlocks) {
+  Graph g = TwoBlocks(1);
+  Hope::Options opt;
+  opt.dim = 4;
+  Hope model(opt);
+  Rng rng(2);
+  Matrix z = model.Embed(g, rng);
+  EXPECT_EQ(z.rows(), g.num_nodes());
+  EXPECT_GT(IntraInterGap(g, z), 0.05);
+}
+
+TEST(HopeTest, EmbeddingApproximatesKatzInnerProducts) {
+  // On a tiny graph, z_i . z_j should correlate with the Katz proximity:
+  // connected pairs score higher than random non-adjacent pairs.
+  Graph g = TwoBlocks(3, 60);
+  Hope::Options opt;
+  opt.dim = 8;
+  Hope model(opt);
+  Rng rng(4);
+  Matrix z = model.Embed(g, rng);
+  double edge_dot = 0.0;
+  for (const Edge& e : g.edges()) {
+    for (int c = 0; c < z.cols(); ++c) edge_dot += z(e.u, c) * z(e.v, c);
+  }
+  edge_dot /= g.num_edges();
+  double random_dot = 0.0;
+  int count = 0;
+  Rng pick(5);
+  while (count < 200) {
+    const int i = static_cast<int>(pick.NextInt(g.num_nodes()));
+    const int j = static_cast<int>(pick.NextInt(g.num_nodes()));
+    if (i == j || g.HasEdge(i, j)) continue;
+    for (int c = 0; c < z.cols(); ++c) random_dot += z(i, c) * z(j, c);
+    ++count;
+  }
+  random_dot /= count;
+  EXPECT_GT(edge_dot, random_dot);
+}
+
+TEST(SdneTest, FirstOrderTermPullsNeighborsTogether) {
+  Graph g = TwoBlocks(6);
+  Rng r1(7), r2(7);
+  Sdne::Options weak;
+  weak.epochs = 60;
+  weak.alpha = 0.0;  // No Laplacian term.
+  Sdne::Options strong = weak;
+  strong.alpha = 2.0;
+  Sdne m_weak(weak), m_strong(strong);
+  Matrix z_weak = m_weak.Embed(g, r1);
+  Matrix z_strong = m_strong.Embed(g, r2);
+
+  auto mean_edge_distance = [&](const Matrix& z) {
+    double total = 0.0;
+    for (const Edge& e : g.edges()) {
+      double d = 0.0;
+      for (int c = 0; c < z.cols(); ++c) {
+        const double diff = z(e.u, c) - z(e.v, c);
+        d += diff * diff;
+      }
+      total += std::sqrt(d);
+    }
+    return total / g.num_edges();
+  };
+  // Normalise by embedding scale so the comparison is fair.
+  const double scale_weak = z_weak.FrobeniusNorm();
+  const double scale_strong = z_strong.FrobeniusNorm();
+  EXPECT_LT(mean_edge_distance(z_strong) / scale_strong,
+            mean_edge_distance(z_weak) / scale_weak);
+}
+
+TEST(OneTest, SharedFactorSeparatesBlocks) {
+  Graph g = TwoBlocks(8, 200);
+  One::Options opt;
+  opt.rounds = 20;
+  One model(opt);
+  Rng rng(9);
+  Matrix u = model.Embed(g, rng);
+  EXPECT_EQ(u.rows(), 200);
+  EXPECT_GT(IntraInterGap(g, u), 0.05);
+}
+
+TEST(OneTest, OutlierWeightsDownweightNoisyNodes) {
+  // The alternating scheme must at least keep training stable when a few
+  // nodes are rewired across blocks (the weights absorb their residuals).
+  Graph g = TwoBlocks(9, 150);
+  Rng rng(10);
+  for (int t = 0; t < 8; ++t) {
+    const int node = static_cast<int>(rng.NextInt(g.num_nodes()));
+    const std::vector<int> nbrs = g.Neighbors(node);
+    for (int v : nbrs) g.RemoveEdge(node, v);
+    int added = 0;
+    while (added < static_cast<int>(nbrs.size())) {
+      const int v = static_cast<int>(rng.NextInt(g.num_nodes()));
+      if (v != node && g.AddEdge(node, v)) ++added;
+    }
+  }
+  One::Options opt;
+  opt.rounds = 15;
+  One model(opt);
+  Matrix u = model.Embed(g, rng);
+  for (int64_t i = 0; i < u.size(); ++i)
+    ASSERT_TRUE(std::isfinite(u.data()[i]));
+  EXPECT_GT(IntraInterGap(g, u), 0.0);
+}
+
+TEST(GateTest, EmbeddingSeparatesBlocks) {
+  Graph g = TwoBlocks(10);
+  Gate::Options opt;
+  opt.epochs = 40;
+  opt.dim = 8;
+  Gate model(opt);
+  Rng rng(11);
+  Matrix z = model.Embed(g, rng);
+  EXPECT_GT(IntraInterGap(g, z), 0.05);
+}
+
+TEST(GatClassifierExtra, AttentionHandlesIsolatedNodes) {
+  // Isolated nodes only attend to themselves; training must not blow up.
+  Graph g = TwoBlocks(12, 80);
+  Graph with_isolates(g.num_nodes() + 3);
+  for (const Edge& e : g.edges()) with_isolates.AddEdge(e.u, e.v);
+  std::vector<int> labels = g.labels();
+  labels.push_back(0);
+  labels.push_back(1);
+  labels.push_back(0);
+  with_isolates.SetLabels(labels);
+
+  Dataset ds;
+  ds.graph = with_isolates;
+  Rng rng(13);
+  MakePlanetoidSplit(with_isolates, 10, 20, 30, rng, &ds);
+  GatClassifier::Options opt;
+  opt.epochs = 30;
+  GatClassifier model(opt);
+  model.Fit(ds, rng);
+  EXPECT_EQ(model.predictions().size(),
+            static_cast<size_t>(with_isolates.num_nodes()));
+}
+
+}  // namespace
+}  // namespace aneci

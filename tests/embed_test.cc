@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/sbm.h"
+#include "embed/embedder.h"
+#include "embed/gat.h"
+#include "embed/gcn_classifier.h"
+#include "tasks/metrics.h"
+#include "tasks/node_classification.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+// One tiny dataset shared by all embedder smoke tests.
+const Dataset& TestDataset() {
+  static const Dataset* ds = [] {
+    auto* d = new Dataset();
+    SbmOptions opt;
+    opt.num_nodes = 160;
+    opt.num_classes = 3;
+    opt.num_edges = 640;
+    opt.intra_fraction = 0.9;
+    opt.attribute_dim = 32;
+    opt.words_per_node = 6;
+    opt.topic_words_per_class = 10;
+    Rng rng(99);
+    d->name = "toy";
+    d->graph = GenerateSbm(opt, rng);
+    MakePlanetoidSplit(d->graph, 10, 40, 60, rng, d);
+    return d;
+  }();
+  return *ds;
+}
+
+class EmbedderSmoke : public testing::TestWithParam<std::string> {};
+
+TEST_P(EmbedderSmoke, ProducesUsefulEmbedding) {
+  auto embedder = CreateEmbedder(GetParam(), 16, /*epochs=*/30);
+  ASSERT_TRUE(embedder.ok()) << embedder.status().ToString();
+  Rng rng(7);
+  const Dataset& ds = TestDataset();
+  Matrix z = embedder.value()->Embed(ds.graph, rng);
+  EXPECT_EQ(z.rows(), ds.graph.num_nodes());
+  EXPECT_GE(z.cols(), 2);
+  for (int64_t i = 0; i < z.size(); ++i)
+    ASSERT_TRUE(std::isfinite(z.data()[i])) << GetParam();
+  // Better than chance (1/3) on the planted classes.
+  Rng eval_rng(8);
+  ClassificationResult res = EvaluateEmbedding(z, ds, eval_rng);
+  EXPECT_GT(res.accuracy, 0.40) << GetParam() << " acc=" << res.accuracy;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEmbedders, EmbedderSmoke,
+                         testing::ValuesIn(EmbedderNames()));
+
+TEST(EmbedderRegistry, RejectsUnknownName) {
+  EXPECT_EQ(CreateEmbedder("word2vec").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EmbedderRegistry, RejectsBadDim) {
+  EXPECT_FALSE(CreateEmbedder("GAE", 1).ok());
+}
+
+TEST(EmbedderRegistry, NamesRoundTrip) {
+  for (const std::string& name : EmbedderNames()) {
+    auto e = CreateEmbedder(name, 8, 2);
+    ASSERT_TRUE(e.ok()) << name;
+    EXPECT_EQ(e.value()->name(), name);
+  }
+}
+
+TEST(AnomalyScorers, NativeScorersReturnPerNodeScores) {
+  const Dataset& ds = TestDataset();
+  for (const std::string& name : {"Dominant", "DONE", "ADONE", "AnomalyDAE"}) {
+    auto embedder = CreateEmbedder(name, 16, 20);
+    ASSERT_TRUE(embedder.ok());
+    auto* scorer = dynamic_cast<AnomalyScorer*>(embedder.value().get());
+    ASSERT_NE(scorer, nullptr) << name;
+    Rng rng(9);
+    std::vector<double> scores = scorer->ScoreAnomalies(ds.graph, rng);
+    EXPECT_EQ(scores.size(), static_cast<size_t>(ds.graph.num_nodes()));
+    for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+  }
+}
+
+TEST(GatClassifierTest, BeatsChanceOnPlantedClasses) {
+  const Dataset& ds = TestDataset();
+  GatClassifier::Options opt;
+  opt.epochs = 60;
+  GatClassifier model(opt);
+  Rng rng(13);
+  model.Fit(ds, rng);
+  EXPECT_GT(model.Accuracy(ds, ds.test_idx), 0.5);
+}
+
+TEST(GcnClassifier, BeatsChanceOnPlantedClasses) {
+  const Dataset& ds = TestDataset();
+  GcnClassifier::Options opt;
+  opt.epochs = 80;
+  GcnClassifier model(opt);
+  Rng rng(11);
+  model.Fit(ds, rng);
+  EXPECT_GT(model.Accuracy(ds, ds.test_idx), 0.55);
+}
+
+TEST(GcnClassifier, RobustVariantTrains) {
+  const Dataset& ds = TestDataset();
+  GcnClassifier::Options opt;
+  opt.epochs = 80;
+  opt.robust = true;
+  GcnClassifier model(opt);
+  Rng rng(12);
+  model.Fit(ds, rng);
+  EXPECT_GT(model.Accuracy(ds, ds.test_idx), 0.45);
+}
+
+}  // namespace
+}  // namespace aneci

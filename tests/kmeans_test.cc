@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "linalg/kmeans.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+// Three well-separated Gaussian blobs in 2-D.
+Matrix Blobs(int per_cluster, Rng& rng, std::vector<int>* truth) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix pts(3 * per_cluster, 2);
+  truth->resize(3 * per_cluster);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      const int row = c * per_cluster + i;
+      pts(row, 0) = centers[c][0] + 0.5 * rng.NextGaussian();
+      pts(row, 1) = centers[c][1] + 0.5 * rng.NextGaussian();
+      (*truth)[row] = c;
+    }
+  }
+  return pts;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  std::vector<int> truth;
+  Matrix pts = Blobs(50, rng, &truth);
+  KMeansResult result = KMeans(pts, 3, rng);
+  // Each true cluster maps to exactly one k-means cluster.
+  for (int c = 0; c < 3; ++c) {
+    const int rep = result.assignment[c * 50];
+    for (int i = 0; i < 50; ++i)
+      EXPECT_EQ(result.assignment[c * 50 + i], rep);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[50]);
+  EXPECT_NE(result.assignment[50], result.assignment[100]);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  Rng rng(2);
+  std::vector<int> truth;
+  Matrix pts = Blobs(40, rng, &truth);
+  KMeansOptions opt;
+  opt.restarts = 3;
+  const double inertia1 = KMeans(pts, 1, rng, opt).inertia;
+  const double inertia3 = KMeans(pts, 3, rng, opt).inertia;
+  const double inertia6 = KMeans(pts, 6, rng, opt).inertia;
+  EXPECT_GT(inertia1, inertia3);
+  EXPECT_GE(inertia3, inertia6);
+}
+
+TEST(KMeans, KEqualsNIsPerfect) {
+  Rng rng(3);
+  Matrix pts = Matrix::FromRows({{0, 0}, {5, 5}, {9, 1}});
+  KMeansResult result = KMeans(pts, 3, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, SingleCluster) {
+  Rng rng(4);
+  Matrix pts = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  KMeansResult result = KMeans(pts, 1, rng);
+  EXPECT_EQ(result.centroids.rows(), 1);
+  EXPECT_NEAR(result.centroids(0, 0), 2.0, 1e-9);
+  for (int a : result.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeans, DuplicatePointsDoNotCrash) {
+  Rng rng(5);
+  Matrix pts(10, 2, 1.0);  // All identical.
+  KMeansResult result = KMeans(pts, 3, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+TEST(KMeans, RestartsNeverWorse) {
+  Rng rng1(6), rng2(6);
+  std::vector<int> truth;
+  Matrix pts = Blobs(30, rng1, &truth);
+  KMeansOptions one, many;
+  one.restarts = 1;
+  many.restarts = 5;
+  Rng ra(7), rb(7);
+  const double single = KMeans(pts, 3, ra, one).inertia;
+  const double multi = KMeans(pts, 3, rb, many).inertia;
+  EXPECT_LE(multi, single + 1e-9);
+}
+
+}  // namespace
+}  // namespace aneci

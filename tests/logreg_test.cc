@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "tasks/logistic_regression.h"
+#include "tasks/metrics.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+// Linearly separable three-class data on a 2-D simplex.
+void MakeData(int per_class, Rng& rng, Matrix* x, std::vector<int>* y) {
+  const double centers[3][2] = {{0, 0}, {6, 0}, {0, 6}};
+  *x = Matrix(3 * per_class, 2);
+  y->resize(3 * per_class);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      const int row = c * per_class + i;
+      (*x)(row, 0) = centers[c][0] + rng.NextGaussian();
+      (*x)(row, 1) = centers[c][1] + rng.NextGaussian();
+      (*y)[row] = c;
+    }
+  }
+}
+
+TEST(LogisticRegression, LearnsSeparableClasses) {
+  Rng rng(1);
+  Matrix x;
+  std::vector<int> y;
+  MakeData(40, rng, &x, &y);
+  LogisticRegression model;
+  model.Fit(x, y, 3, rng);
+  EXPECT_GT(Accuracy(model.Predict(x), y), 0.95);
+}
+
+TEST(LogisticRegression, GeneralisesToHeldOut) {
+  Rng rng(2);
+  Matrix xtrain, xtest;
+  std::vector<int> ytrain, ytest;
+  MakeData(30, rng, &xtrain, &ytrain);
+  MakeData(30, rng, &xtest, &ytest);
+  LogisticRegression model;
+  model.Fit(xtrain, ytrain, 3, rng);
+  EXPECT_GT(Accuracy(model.Predict(xtest), ytest), 0.9);
+}
+
+TEST(LogisticRegression, ProbabilitiesAreDistributions) {
+  Rng rng(3);
+  Matrix x;
+  std::vector<int> y;
+  MakeData(20, rng, &x, &y);
+  LogisticRegression model;
+  model.Fit(x, y, 3, rng);
+  Matrix proba = model.PredictProba(x);
+  for (int i = 0; i < proba.rows(); ++i) {
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(proba(i, c), 0.0);
+      sum += proba(i, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(LogisticRegression, StandardizationHandlesScaleSkew) {
+  // One feature is 1000x the other; standardisation keeps it learnable.
+  Rng rng(4);
+  Matrix x(60, 2);
+  std::vector<int> y(60);
+  for (int i = 0; i < 60; ++i) {
+    const int c = i % 2;
+    x(i, 0) = (c ? 3000.0 : 1000.0) + 100.0 * rng.NextGaussian();
+    x(i, 1) = rng.NextGaussian();
+    y[i] = c;
+  }
+  LogisticRegression model;
+  model.Fit(x, y, 2, rng);
+  EXPECT_GT(Accuracy(model.Predict(x), y), 0.95);
+}
+
+TEST(LogisticRegression, ConstantFeatureDoesNotBlowUp) {
+  Rng rng(5);
+  Matrix x(20, 2);
+  std::vector<int> y(20);
+  for (int i = 0; i < 20; ++i) {
+    x(i, 0) = 1.0;  // Zero variance.
+    x(i, 1) = i < 10 ? -2.0 : 2.0;
+    y[i] = i < 10 ? 0 : 1;
+  }
+  LogisticRegression model;
+  model.Fit(x, y, 2, rng);
+  EXPECT_GT(Accuracy(model.Predict(x), y), 0.95);
+}
+
+}  // namespace
+}  // namespace aneci

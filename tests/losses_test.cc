@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/grad_check.h"
+#include "autograd/optimizer.h"
+#include "core/losses.h"
+#include "graph/graph.h"
+#include "graph/modularity.h"
+#include "graph/proximity.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+Graph TwoCliques() {
+  std::vector<Edge> edges;
+  for (int base : {0, 4})
+    for (int i = 0; i < 4; ++i)
+      for (int j = i + 1; j < 4; ++j) edges.push_back({base + i, base + j});
+  edges.push_back({3, 4});
+  return Graph::FromEdges(8, edges);
+}
+
+TEST(ModularityLoss, ValueMatchesNonDifferentiableImplementation) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Rng rng(1);
+  Matrix pm = RowSoftmax(Matrix::RandomNormal(8, 3, 1.0, rng));
+  auto p = ag::MakeParameter(pm);
+  const double via_loss =
+      GeneralizedModularityLoss(&prox, p)->value()(0, 0);
+  EXPECT_NEAR(via_loss, GeneralizedModularity(prox, pm), 1e-10);
+}
+
+TEST(ModularityLoss, GradientCheck) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Rng rng(2);
+  auto p = ag::MakeParameter(Matrix::RandomNormal(8, 3, 0.5, rng));
+  auto res = ag::CheckGradient(
+      p, [&] { return GeneralizedModularityLoss(&prox, p); });
+  EXPECT_TRUE(res.ok) << res.max_rel_error;
+}
+
+TEST(ModularityLoss, CommunityAlignedMembershipScoresHigher) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Matrix aligned(8, 2), anti(8, 2);
+  for (int i = 0; i < 8; ++i) {
+    aligned(i, i < 4 ? 0 : 1) = 1.0;
+    anti(i, i % 2) = 1.0;
+  }
+  auto pa = ag::MakeParameter(aligned);
+  auto pb = ag::MakeParameter(anti);
+  EXPECT_GT(GeneralizedModularityLoss(&prox, pa)->value()(0, 0),
+            GeneralizedModularityLoss(&prox, pb)->value()(0, 0));
+}
+
+TEST(DenseRecon, ValueMatchesManualDoubleSum) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 1;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Rng rng(3);
+  Matrix pm = Matrix::RandomNormal(8, 3, 0.6, rng);
+  auto p = ag::MakeParameter(pm);
+
+  double expected = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double d = 0.0;
+      for (int c = 0; c < 3; ++c) d += pm(i, c) * pm(j, c);
+      const double s = 1.0 / (1.0 + std::exp(-d));
+      const double t = prox.At(i, j);
+      expected -= t * std::log(s) + (1.0 - t) * std::log(1.0 - s);
+    }
+  }
+  EXPECT_NEAR(DenseReconstructionLoss(&prox, p)->value()(0, 0), expected,
+              1e-8);
+}
+
+TEST(DenseRecon, GradientCheck) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Rng rng(4);
+  auto p = ag::MakeParameter(Matrix::RandomNormal(8, 2, 0.5, rng));
+  auto res = ag::CheckGradient(
+      p, [&] { return DenseReconstructionLoss(&prox, p); }, 1e-5, 2e-4);
+  EXPECT_TRUE(res.ok) << res.max_rel_error;
+}
+
+TEST(MinModularityLoss, GradientCheck) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Rng rng(7);
+  // Spread values so min() argmins are stable under the finite-difference h.
+  auto p = ag::MakeParameter(Matrix::RandomNormal(8, 3, 1.0, rng));
+  auto res = ag::CheckGradient(
+      p, [&] { return GeneralizedModularityMinLoss(&prox, p); }, 1e-6, 5e-3);
+  EXPECT_TRUE(res.ok) << res.max_rel_error;
+}
+
+TEST(MinModularityLoss, AgreesWithProductOnHardPartition) {
+  // For one-hot memberships min(a, b) == a * b, so the two variants match
+  // (Property 1 of the paper holds for both definitions).
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Matrix hard(8, 2);
+  for (int i = 0; i < 8; ++i) hard(i, i < 4 ? 0 : 1) = 1.0;
+  auto p = ag::MakeParameter(hard);
+  EXPECT_NEAR(GeneralizedModularityMinLoss(&prox, p)->value()(0, 0),
+              GeneralizedModularityLoss(&prox, p)->value()(0, 0), 1e-9);
+}
+
+TEST(MinModularityLoss, NullModelBruteForceAgreement) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 1;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Rng rng(8);
+  Matrix pm = RowSoftmax(Matrix::RandomNormal(8, 3, 1.0, rng));
+  auto p = ag::MakeParameter(pm);
+
+  const double two_m = prox.SumAll();
+  const std::vector<double> deg = prox.RowSumsVec();
+  double observed = 0.0, null_model = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      double m = 0.0;
+      for (int c = 0; c < 3; ++c) m += std::min(pm(i, c), pm(j, c));
+      observed += prox.At(i, j) * m;
+      null_model += deg[i] * deg[j] * m;
+    }
+  }
+  const double expected = (observed - null_model / two_m) / two_m;
+  EXPECT_NEAR(GeneralizedModularityMinLoss(&prox, p)->value()(0, 0), expected,
+              1e-9);
+}
+
+TEST(SampledRecon, PairsCoverAllStoredEntries) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Rng rng(5);
+  auto pairs = SampleReconstructionPairs(prox, 2, rng);
+  int64_t positives = 0;
+  for (const auto& pt : pairs)
+    if (pt.target > 0.0) ++positives;
+  EXPECT_EQ(positives, prox.nnz());
+  // Negatives have target exactly zero and are unstored entries.
+  for (const auto& pt : pairs) {
+    if (pt.target == 0.0) EXPECT_DOUBLE_EQ(prox.At(pt.u, pt.v), 0.0);
+  }
+}
+
+TEST(SampledRecon, LossDecreasesUnderOptimization) {
+  Graph g = TwoCliques();
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  Rng rng(6);
+  auto p = ag::MakeParameter(Matrix::RandomNormal(8, 3, 0.1, rng));
+  auto pairs = SampleReconstructionPairs(prox, 3, rng);
+
+  ag::Adam::Options aopt;
+  aopt.lr = 0.05;
+  ag::Adam adam({p}, aopt);
+  const double initial = SampledReconstructionLoss(p, pairs)->value()(0, 0);
+  for (int i = 0; i < 100; ++i) {
+    adam.ZeroGrad();
+    ag::Backward(SampledReconstructionLoss(p, pairs));
+    adam.Step();
+  }
+  const double final_loss = SampledReconstructionLoss(p, pairs)->value()(0, 0);
+  // Fractional (0,1) targets put an entropy floor under the BCE, so assert a
+  // solid absolute improvement rather than a ratio.
+  EXPECT_LT(final_loss, initial - 0.5);
+}
+
+}  // namespace
+}  // namespace aneci

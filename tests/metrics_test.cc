@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tasks/metrics.h"
+
+namespace aneci {
+namespace {
+
+TEST(Accuracy, Basics) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({0}, {1}), 0.0);
+}
+
+TEST(Auc, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+}
+
+TEST(Auc, PerfectInversion) {
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+}
+
+TEST(Auc, HandComputedMixedCase) {
+  // scores: pos {0.8, 0.3}, neg {0.5, 0.1}. Pairs: (0.8>0.5), (0.8>0.1),
+  // (0.3<0.5), (0.3>0.1) => 3/4.
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({0.8, 0.3, 0.5, 0.1}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(Auc, TiesGetHalfCredit) {
+  // One pos and one neg with identical score => AUC 0.5.
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({0.5, 0.5}, {1, 0}), 0.5);
+}
+
+TEST(Auc, DegenerateSingleClass) {
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({0.1, 0.9}, {1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(AreaUnderRoc({0.1, 0.9}, {0, 0}), 0.5);
+}
+
+TEST(Nmi, IdenticalPartitionsGiveOne) {
+  EXPECT_NEAR(NormalizedMutualInformation({0, 0, 1, 1}, {1, 1, 0, 0}), 1.0,
+              1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsNearZero) {
+  // Perfectly crossed 2x2 design: MI = 0.
+  EXPECT_NEAR(NormalizedMutualInformation({0, 0, 1, 1}, {0, 1, 0, 1}), 0.0,
+              1e-12);
+}
+
+TEST(Nmi, PartialAgreementBetweenZeroAndOne) {
+  const double nmi = NormalizedMutualInformation({0, 0, 1, 1, 2, 2},
+                                                 {0, 0, 1, 1, 1, 2});
+  EXPECT_GT(nmi, 0.4);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(Nmi, SingleClusterBothSides) {
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation({0, 0}, {0, 0}), 1.0);
+}
+
+TEST(MacroF1, PerfectPrediction) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2}, {0, 1, 2}), 1.0);
+}
+
+TEST(MacroF1, HandComputed) {
+  // expected {0,0,1,1}; predicted {0,1,1,1}.
+  // class 0: tp=1 fp=0 fn=1 -> p=1, r=.5, f1=2/3.
+  // class 1: tp=2 fp=1 fn=0 -> p=2/3, r=1, f1=0.8.
+  EXPECT_NEAR(MacroF1({0, 1, 1, 1}, {0, 0, 1, 1}), (2.0 / 3.0 + 0.8) / 2.0,
+              1e-12);
+}
+
+TEST(MacroF1, ClassAbsentFromTruthIgnored) {
+  // Predicted class 2 never appears in the ground truth; macro averages
+  // over classes 0 and 1 only.
+  const double f1 = MacroF1({0, 2}, {0, 1});
+  EXPECT_NEAR(f1, (1.0 + 0.0) / 2.0, 1e-12);
+}
+
+TEST(MeanStdTest, KnownValues) {
+  MeanStd ms = ComputeMeanStd({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ms.std, 2.0);
+}
+
+TEST(MeanStdTest, EmptyAndSingle) {
+  MeanStd empty = ComputeMeanStd({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  MeanStd single = ComputeMeanStd({3.5});
+  EXPECT_DOUBLE_EQ(single.mean, 3.5);
+  EXPECT_DOUBLE_EQ(single.std, 0.0);
+}
+
+}  // namespace
+}  // namespace aneci

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/graph.h"
+#include "graph/louvain.h"
+#include "graph/modularity.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+// Two 4-cliques joined by one bridge edge.
+Graph TwoCliques() {
+  std::vector<Edge> edges;
+  for (int base : {0, 4})
+    for (int i = 0; i < 4; ++i)
+      for (int j = i + 1; j < 4; ++j) edges.push_back({base + i, base + j});
+  edges.push_back({3, 4});
+  return Graph::FromEdges(8, edges);
+}
+
+TEST(Modularity, BruteForceAgreement) {
+  // Q = 1/(2m) sum_ij [A_ij - k_i k_j / 2m] delta(c_i, c_j), over ordered
+  // pairs, A without self-loops.
+  Graph g = TwoCliques();
+  std::vector<int> assignment = {0, 0, 0, 0, 1, 1, 1, 1};
+  const double m = g.num_edges();
+  double q = 0.0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j = 0; j < g.num_nodes(); ++j) {
+      if (assignment[i] != assignment[j]) continue;
+      const double a = g.HasEdge(i, j) ? 1.0 : 0.0;
+      q += a - g.Degree(i) * g.Degree(j) / (2.0 * m);
+    }
+  }
+  q /= 2.0 * m;
+  EXPECT_NEAR(Modularity(g, assignment), q, 1e-12);
+}
+
+TEST(Modularity, GoodPartitionBeatsBadPartition) {
+  Graph g = TwoCliques();
+  std::vector<int> good = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int> bad = {0, 1, 0, 1, 0, 1, 0, 1};
+  std::vector<int> all_one(8, 0);
+  EXPECT_GT(Modularity(g, good), 0.3);
+  EXPECT_GT(Modularity(g, good), Modularity(g, bad));
+  EXPECT_NEAR(Modularity(g, all_one), 0.0, 1e-12);
+}
+
+TEST(Modularity, EmptyGraphIsZero) {
+  Graph g(5);
+  EXPECT_DOUBLE_EQ(Modularity(g, std::vector<int>(5, 0)), 0.0);
+}
+
+TEST(GeneralizedModularity, MatchesClassicOnHardPartitionFirstOrder) {
+  // With the raw (unnormalised, no self-loop) adjacency as proximity and a
+  // hard one-hot P, Q~ must equal the classic Q.
+  Graph g = TwoCliques();
+  std::vector<int> assignment = {0, 0, 0, 0, 1, 1, 1, 1};
+  Matrix p(8, 2);
+  for (int i = 0; i < 8; ++i) p(i, assignment[i]) = 1.0;
+  SparseMatrix a = g.Adjacency(false);
+  EXPECT_NEAR(GeneralizedModularity(a, p), Modularity(g, assignment), 1e-12);
+}
+
+TEST(GeneralizedModularity, SoftPartitionInterpolates) {
+  Graph g = TwoCliques();
+  SparseMatrix a = g.Adjacency(false);
+  Matrix hard(8, 2), soft(8, 2, 0.5);
+  for (int i = 0; i < 8; ++i) hard(i, i < 4 ? 0 : 1) = 1.0;
+  const double q_hard = GeneralizedModularity(a, hard);
+  const double q_soft = GeneralizedModularity(a, soft);
+  // The uniform membership carries no community information: Q~ = 0.
+  EXPECT_NEAR(q_soft, 0.0, 1e-12);
+  EXPECT_GT(q_hard, q_soft);
+}
+
+TEST(GeneralizedModularity, ZeroProximityGivesZero) {
+  SparseMatrix empty(4, 4);
+  Matrix p(4, 2, 0.5);
+  EXPECT_DOUBLE_EQ(GeneralizedModularity(empty, p), 0.0);
+}
+
+TEST(Rigidity, BoundsAndExtremes) {
+  Matrix hard(4, 2);
+  for (int i = 0; i < 4; ++i) hard(i, i % 2) = 1.0;
+  EXPECT_NEAR(Rigidity(hard), 1.0, 1e-12);  // Hard partition -> 1.
+
+  Matrix uniform(4, 2, 0.5);
+  EXPECT_NEAR(Rigidity(uniform), 0.5, 1e-12);  // 1/K for K = 2.
+}
+
+TEST(Rigidity, MonotoneInSharpness) {
+  Matrix soft(2, 2);
+  soft(0, 0) = soft(1, 1) = 0.7;
+  soft(0, 1) = soft(1, 0) = 0.3;
+  Matrix sharper(2, 2);
+  sharper(0, 0) = sharper(1, 1) = 0.9;
+  sharper(0, 1) = sharper(1, 0) = 0.1;
+  EXPECT_GT(Rigidity(sharper), Rigidity(soft));
+}
+
+TEST(ArgmaxAssignment, PicksRowMaxima) {
+  Matrix p = Matrix::FromRows({{0.2, 0.8}, {0.9, 0.1}, {0.5, 0.5}});
+  std::vector<int> a = ArgmaxAssignment(p);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(a[2], 0);  // Ties go to the first column.
+}
+
+// --- Louvain ---------------------------------------------------------------------
+
+TEST(Louvain, RecoversTwoCliques) {
+  Graph g = TwoCliques();
+  Rng rng(1);
+  LouvainResult result = Louvain(g, rng);
+  EXPECT_EQ(result.num_communities, 2);
+  // All clique members together.
+  for (int i = 1; i < 4; ++i)
+    EXPECT_EQ(result.assignment[i], result.assignment[0]);
+  for (int i = 5; i < 8; ++i)
+    EXPECT_EQ(result.assignment[i], result.assignment[4]);
+  EXPECT_NE(result.assignment[0], result.assignment[4]);
+  EXPECT_GT(result.modularity, 0.3);
+}
+
+TEST(Louvain, EmptyGraphTrivial) {
+  Graph g(4);
+  Rng rng(2);
+  LouvainResult result = Louvain(g, rng);
+  EXPECT_EQ(result.num_communities, 4);
+  EXPECT_DOUBLE_EQ(result.modularity, 0.0);
+}
+
+TEST(Louvain, RingOfCliquesFindsManyCommunities) {
+  // 6 triangles connected in a ring: the canonical Louvain test.
+  std::vector<Edge> edges;
+  const int k = 6;
+  for (int c = 0; c < k; ++c) {
+    const int b = 3 * c;
+    edges.push_back({b, b + 1});
+    edges.push_back({b + 1, b + 2});
+    edges.push_back({b, b + 2});
+    edges.push_back({b + 2, (b + 3) % (3 * k)});
+  }
+  Graph g = Graph::FromEdges(3 * k, edges);
+  Rng rng(3);
+  LouvainResult result = Louvain(g, rng);
+  EXPECT_GE(result.num_communities, 3);
+  EXPECT_LE(result.num_communities, k);
+  EXPECT_GT(result.modularity, 0.5);
+}
+
+}  // namespace
+}  // namespace aneci

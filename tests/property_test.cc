@@ -1,0 +1,193 @@
+// Property-based sweeps over randomised inputs: invariants that must hold
+// for any graph / matrix / membership produced by the library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/losses.h"
+#include "data/sbm.h"
+#include "graph/modularity.h"
+#include "graph/proximity.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+Graph RandomGraph(int n, int m, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  for (int i = 0; i < m; ++i) {
+    const int u = static_cast<int>(rng.NextInt(n));
+    const int v = static_cast<int>(rng.NextInt(n));
+    if (u != v) edges.push_back({u, v});
+  }
+  return Graph::FromEdges(n, edges);
+}
+
+class GraphSweep : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(GraphSweep, AdjacencyIsSymmetricZeroDiagonal) {
+  auto [n, m] = GetParam();
+  Graph g = RandomGraph(n, m, n * 31 + m);
+  SparseMatrix a = g.Adjacency(false);
+  for (const Triplet& t : a.ToTriplets()) {
+    EXPECT_NE(t.row, t.col);
+    EXPECT_DOUBLE_EQ(a.At(t.col, t.row), t.value);
+    EXPECT_DOUBLE_EQ(t.value, 1.0);
+  }
+}
+
+TEST_P(GraphSweep, NormalizedAdjacencySpectralBound) {
+  // Rows of D^{-1/2}(A+I)D^{-1/2} have values in (0, 1].
+  auto [n, m] = GetParam();
+  Graph g = RandomGraph(n, m, n * 37 + m);
+  SparseMatrix s = g.NormalizedAdjacency();
+  for (double v : s.values()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(GraphSweep, ProximityRowsAreDistributions) {
+  auto [n, m] = GetParam();
+  Graph g = RandomGraph(n, m, n * 41 + m);
+  for (int order : {1, 2, 3}) {
+    ProximityOptions opt;
+    opt.order = order;
+    SparseMatrix prox = HighOrderProximity(g, opt);
+    for (double v : prox.values()) {
+      EXPECT_GT(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+    for (double s : prox.RowSumsVec()) EXPECT_NEAR(s, 1.0, 1e-9);
+  }
+}
+
+TEST_P(GraphSweep, ModularityBounded) {
+  // Q in [-1, 1] for any labeling.
+  auto [n, m] = GetParam();
+  Graph g = RandomGraph(n, m, n * 43 + m);
+  Rng rng(n + m);
+  for (int k : {1, 2, 5}) {
+    std::vector<int> labels(n);
+    for (int i = 0; i < n; ++i) labels[i] = static_cast<int>(rng.NextInt(k));
+    const double q = Modularity(g, labels);
+    EXPECT_GE(q, -1.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+TEST_P(GraphSweep, GeneralizedModularityOfUniformMembershipIsZero) {
+  auto [n, m] = GetParam();
+  Graph g = RandomGraph(n, m, n * 47 + m);
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  for (int k : {2, 4}) {
+    Matrix p(n, k, 1.0 / k);
+    EXPECT_NEAR(GeneralizedModularity(prox, p), 0.0, 1e-9);
+  }
+}
+
+TEST_P(GraphSweep, RigidityWithinBounds) {
+  auto [n, m] = GetParam();
+  Rng rng(n * 53 + m);
+  for (int k : {2, 3, 8}) {
+    Matrix p = RowSoftmax(Matrix::RandomNormal(n, k, 1.0, rng));
+    const double r = Rigidity(p);
+    EXPECT_GE(r, 1.0 / k - 1e-9);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GraphSweep,
+                         testing::Values(std::make_tuple(10, 15),
+                                         std::make_tuple(30, 60),
+                                         std::make_tuple(50, 200),
+                                         std::make_tuple(80, 80),
+                                         std::make_tuple(120, 600)));
+
+class SbmSweep : public testing::TestWithParam<double> {};
+
+TEST_P(SbmSweep, HomophilyTracksTarget) {
+  SbmOptions opt;
+  opt.num_nodes = 500;
+  opt.num_classes = 4;
+  opt.num_edges = 2500;
+  opt.intra_fraction = GetParam();
+  Rng rng(static_cast<uint64_t>(GetParam() * 1000) + 3);
+  Graph g = GenerateSbm(opt, rng);
+  int intra = 0;
+  for (const Edge& e : g.edges())
+    if (g.labels()[e.u] == g.labels()[e.v]) ++intra;
+  EXPECT_NEAR(static_cast<double>(intra) / g.num_edges(), GetParam(), 0.07);
+}
+
+INSTANTIATE_TEST_SUITE_P(Homophily, SbmSweep,
+                         testing::Values(0.3, 0.5, 0.7, 0.9));
+
+class SoftmaxSweep : public testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxSweep, SoftmaxIsShiftInvariant) {
+  Rng rng(GetParam());
+  Matrix a = Matrix::RandomNormal(6, GetParam(), 2.0, rng);
+  Matrix shifted = a;
+  for (int r = 0; r < a.rows(); ++r)
+    for (int c = 0; c < a.cols(); ++c) shifted(r, c) += 123.456;
+  Matrix sa = RowSoftmax(a);
+  Matrix sb = RowSoftmax(shifted);
+  for (int64_t i = 0; i < sa.size(); ++i)
+    EXPECT_NEAR(sa.data()[i], sb.data()[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, SoftmaxSweep, testing::Values(2, 3, 7, 16));
+
+TEST(SampledPairsProperty, TargetsMatchProximityEntries) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    Graph g = RandomGraph(40, 120, seed);
+    ProximityOptions opt;
+    opt.order = 2;
+    SparseMatrix prox = HighOrderProximity(g, opt);
+    Rng rng(seed);
+    auto pairs = SampleReconstructionPairs(prox, 2, rng);
+    for (const auto& pt : pairs)
+      EXPECT_DOUBLE_EQ(pt.target, prox.At(pt.u, pt.v));
+  }
+}
+
+TEST(SparseProperty, TransposeOfTransposeIsIdentity) {
+  for (uint64_t seed : {11ull, 22ull, 33ull}) {
+    Rng rng(seed);
+    std::vector<Triplet> trips;
+    for (int r = 0; r < 20; ++r)
+      for (int c = 0; c < 25; ++c)
+        if (rng.NextBool(0.2)) trips.push_back({r, c, rng.Uniform(-3, 3)});
+    SparseMatrix a = SparseMatrix::FromTriplets(20, 25, trips);
+    SparseMatrix b = a.Transposed().Transposed();
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (const Triplet& t : a.ToTriplets())
+      EXPECT_DOUBLE_EQ(b.At(t.row, t.col), t.value);
+  }
+}
+
+TEST(SparseProperty, SpGemmAssociativity) {
+  Rng rng(7);
+  auto random_sparse = [&](int r, int c) {
+    std::vector<Triplet> trips;
+    for (int i = 0; i < r; ++i)
+      for (int j = 0; j < c; ++j)
+        if (rng.NextBool(0.3)) trips.push_back({i, j, rng.Uniform(-1, 1)});
+    return SparseMatrix::FromTriplets(r, c, trips);
+  };
+  SparseMatrix a = random_sparse(8, 10), b = random_sparse(10, 6),
+               c = random_sparse(6, 9);
+  Matrix left = a.MultiplySparse(b).MultiplySparse(c).ToDense();
+  Matrix right = a.MultiplySparse(b.MultiplySparse(c)).ToDense();
+  for (int64_t i = 0; i < left.size(); ++i)
+    EXPECT_NEAR(left.data()[i], right.data()[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace aneci

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/proximity.h"
+
+namespace aneci {
+namespace {
+
+// Path graph 0-1-2-3.
+Graph Path4() { return Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}}); }
+
+TEST(Proximity, OrderOneIsRowNormalizedSelfLoopedAdjacency) {
+  Graph g = Path4();
+  ProximityOptions opt;
+  opt.order = 1;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  SparseMatrix expected = g.Adjacency(true).RowNormalizedL1();
+  ASSERT_EQ(prox.nnz(), expected.nnz());
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(prox.At(i, j), expected.At(i, j), 1e-12);
+}
+
+TEST(Proximity, RowsSumToOne) {
+  Graph g = Path4();
+  for (int order = 1; order <= 4; ++order) {
+    ProximityOptions opt;
+    opt.order = order;
+    SparseMatrix prox = HighOrderProximity(g, opt);
+    for (double s : prox.RowSumsVec()) EXPECT_NEAR(s, 1.0, 1e-12);
+  }
+}
+
+TEST(Proximity, SecondOrderReachesTwoHopNeighbours) {
+  Graph g = Path4();
+  ProximityOptions o1, o2;
+  o1.order = 1;
+  o2.order = 2;
+  SparseMatrix p1 = HighOrderProximity(g, o1);
+  SparseMatrix p2 = HighOrderProximity(g, o2);
+  // Nodes 0 and 2 are two hops apart: invisible at order 1, visible at 2.
+  EXPECT_DOUBLE_EQ(p1.At(0, 2), 0.0);
+  EXPECT_GT(p2.At(0, 2), 0.0);
+  // Order 2 still gives the direct neighbour more mass than the 2-hop one.
+  EXPECT_GT(p2.At(0, 1), p2.At(0, 2));
+}
+
+TEST(Proximity, WeightsRescaleOrders) {
+  Graph g = Path4();
+  ProximityOptions heavy_first;
+  heavy_first.order = 2;
+  heavy_first.weights = {10.0, 0.1};
+  ProximityOptions heavy_second;
+  heavy_second.order = 2;
+  heavy_second.weights = {0.1, 10.0};
+  const double near_ratio_a =
+      HighOrderProximity(g, heavy_first).At(0, 2) /
+      HighOrderProximity(g, heavy_first).At(0, 1);
+  const double near_ratio_b =
+      HighOrderProximity(g, heavy_second).At(0, 2) /
+      HighOrderProximity(g, heavy_second).At(0, 1);
+  // Emphasising A^2 shifts relative mass toward the 2-hop neighbour.
+  EXPECT_GT(near_ratio_b, near_ratio_a);
+}
+
+TEST(Proximity, WithoutSelfLoops) {
+  Graph g = Path4();
+  ProximityOptions opt;
+  opt.order = 1;
+  opt.add_self_loops = false;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  EXPECT_DOUBLE_EQ(prox.At(0, 0), 0.0);
+  EXPECT_NEAR(prox.At(0, 1), 1.0, 1e-12);  // Only neighbour.
+}
+
+TEST(Proximity, FromExplicitAdjacencyMatchesGraphPath) {
+  Graph g = Path4();
+  ProximityOptions opt;
+  opt.order = 3;
+  SparseMatrix via_graph = HighOrderProximity(g, opt);
+  SparseMatrix via_adj =
+      HighOrderProximityFromAdjacency(g.Adjacency(true), opt);
+  ASSERT_EQ(via_graph.nnz(), via_adj.nnz());
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(via_graph.At(i, j), via_adj.At(i, j), 1e-12);
+}
+
+TEST(Proximity, IsolatedNodeKeepsSelfMassOnly) {
+  Graph g = Graph::FromEdges(3, {{0, 1}});
+  ProximityOptions opt;
+  opt.order = 2;
+  SparseMatrix prox = HighOrderProximity(g, opt);
+  EXPECT_NEAR(prox.At(2, 2), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(prox.At(2, 0), 0.0);
+}
+
+TEST(Proximity, HigherOrderSpreadsMass) {
+  // On a larger cycle, higher order increases the number of reachable
+  // (nonzero) pairs monotonically.
+  std::vector<Edge> edges;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  Graph g = Graph::FromEdges(n, edges);
+  int64_t prev = 0;
+  for (int order = 1; order <= 5; ++order) {
+    ProximityOptions opt;
+    opt.order = order;
+    const int64_t nnz = HighOrderProximity(g, opt).nnz();
+    EXPECT_GT(nnz, prev);
+    prev = nnz;
+  }
+}
+
+}  // namespace
+}  // namespace aneci

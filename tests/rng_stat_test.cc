@@ -1,0 +1,103 @@
+// Statistical stress tests for the PRNG and the stochastic utilities that
+// depend on tight distributional behaviour (negative sampling, k-means++
+// seeding, SAGE operator sampling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/sage_encoder.h"
+#include "data/sbm.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+TEST(RngStat, ChiSquareUniformity) {
+  Rng rng(101);
+  const int buckets = 16, samples = 160000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < samples; ++i) ++counts[rng.NextInt(buckets)];
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(samples) / buckets;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 15 dof; the 99.9th percentile is ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(RngStat, LaggedAutocorrelationNearZero) {
+  Rng rng(103);
+  const int n = 100000;
+  std::vector<double> x(n);
+  for (int i = 0; i < n; ++i) x[i] = rng.NextDouble() - 0.5;
+  for (int lag : {1, 2, 7}) {
+    double acc = 0.0;
+    for (int i = 0; i + lag < n; ++i) acc += x[i] * x[i + lag];
+    acc /= (n - lag) * (1.0 / 12.0);  // Normalise by the variance of U-0.5.
+    EXPECT_NEAR(acc, 0.0, 0.02) << "lag " << lag;
+  }
+}
+
+TEST(RngStat, GaussianTailMass) {
+  Rng rng(107);
+  const int n = 200000;
+  int beyond2 = 0;
+  for (int i = 0; i < n; ++i)
+    if (std::abs(rng.NextGaussian()) > 2.0) ++beyond2;
+  // P(|Z| > 2) ~ 4.55%.
+  EXPECT_NEAR(static_cast<double>(beyond2) / n, 0.0455, 0.004);
+}
+
+TEST(RngStat, PoissonVarianceMatchesMean) {
+  Rng rng(109);
+  const double lambda = 6.0;
+  const int n = 60000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int v = rng.NextPoisson(lambda);
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, lambda, 0.1);
+  EXPECT_NEAR(var, lambda, 0.25);
+}
+
+TEST(RngStat, SageSamplerIsUniformOverNeighbors) {
+  // Every neighbour of a high-degree node must be sampled equally often.
+  Graph g(12);
+  for (int v = 1; v < 12; ++v) g.AddEdge(0, v);  // Star, deg(0) = 11.
+  SageSamplerOptions opt;
+  opt.fanout = 3;
+  Rng rng(111);
+  std::map<int, int> counts;
+  const int draws = 30000;
+  for (int t = 0; t < draws; ++t) {
+    SparseMatrix s = SampleSageOperator(g, opt, rng);
+    for (int64_t e = s.row_ptr()[0]; e < s.row_ptr()[1]; ++e) {
+      const int j = s.col_idx()[e];
+      if (j != 0) ++counts[j];
+    }
+  }
+  const double expected = draws * 3.0 / 11.0;
+  for (int v = 1; v < 12; ++v) {
+    EXPECT_NEAR(counts[v], expected, expected * 0.08) << "neighbor " << v;
+  }
+}
+
+TEST(RngStat, SbmEdgeCountConcentration) {
+  // Realised edge counts should hit the target across seeds.
+  SbmOptions opt;
+  opt.num_nodes = 300;
+  opt.num_classes = 3;
+  opt.num_edges = 1200;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    Graph g = GenerateSbm(opt, rng);
+    EXPECT_NEAR(g.num_edges(), 1200, 24) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace aneci

@@ -1,0 +1,91 @@
+// Tests for the bench-harness utilities that live in bench/common.h:
+// the flag parser and environment resolution used by every experiment
+// binary (they gate reproducibility, so they get unit coverage too).
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+
+namespace aneci::bench {
+namespace {
+
+Flags MakeFlags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> argv;
+  argv.clear();
+  argv.push_back(const_cast<char*>("bench"));
+  for (std::string& a : storage) argv.push_back(a.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesTypedValues) {
+  Flags flags = MakeFlags({"--scale=0.5", "--rounds=3", "--dataset=pubmed"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(flags.GetInt("rounds", 1), 3);
+  EXPECT_EQ(flags.GetString("dataset", "cora"), "pubmed");
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  Flags flags = MakeFlags({});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0.25), 0.25);
+  EXPECT_EQ(flags.GetInt("rounds", 7), 7);
+  EXPECT_EQ(flags.GetString("dataset", "cora"), "cora");
+  EXPECT_FALSE(flags.Has("full"));
+}
+
+TEST(Flags, BooleanPresence) {
+  Flags flags = MakeFlags({"--full"});
+  EXPECT_TRUE(flags.Has("full"));
+}
+
+TEST(BenchEnvTest, DefaultsAreCpuBudgeted) {
+  Flags flags = MakeFlags({});
+  BenchEnv env = BenchEnv::FromFlags(flags);
+  EXPECT_FALSE(env.full);
+  EXPECT_DOUBLE_EQ(env.scale, 0.15);
+  EXPECT_EQ(env.rounds, 1);
+  EXPECT_EQ(env.epochs, 60);
+}
+
+TEST(BenchEnvTest, FullRestoresPaperProtocol) {
+  Flags flags = MakeFlags({"--full"});
+  BenchEnv env = BenchEnv::FromFlags(flags);
+  EXPECT_TRUE(env.full);
+  EXPECT_DOUBLE_EQ(env.scale, 1.0);
+  EXPECT_EQ(env.rounds, 10);   // Paper: average of 10 runs.
+  EXPECT_EQ(env.epochs, 150);  // Paper: 150 epochs for classification.
+}
+
+TEST(BenchEnvTest, ExplicitFlagsOverrideFull) {
+  Flags flags = MakeFlags({"--full", "--scale=0.3", "--rounds=2"});
+  BenchEnv env = BenchEnv::FromFlags(flags);
+  EXPECT_DOUBLE_EQ(env.scale, 0.3);
+  EXPECT_EQ(env.rounds, 2);
+}
+
+TEST(BenchEnvTest, MakeScaledProducesConsistentDataset) {
+  Flags flags = MakeFlags({"--scale=0.1"});
+  BenchEnv env = BenchEnv::FromFlags(flags);
+  Dataset a = MakeScaled("cora", env, 0);
+  Dataset b = MakeScaled("cora", env, 0);
+  EXPECT_EQ(a.graph.edges(), b.graph.edges());
+  EXPECT_EQ(a.train_idx, b.train_idx);
+  // Different rounds differ.
+  Dataset c = MakeScaled("cora", env, 1);
+  EXPECT_NE(a.graph.edges(), c.graph.edges());
+}
+
+TEST(BenchEnvTest, ValidatedTrainingReturnsUsableEmbedding) {
+  Flags flags = MakeFlags({"--scale=0.08"});
+  BenchEnv env = BenchEnv::FromFlags(flags);
+  Dataset ds = MakeScaled("cora", env, 0);
+  Rng rng(1);
+  AneciConfig cfg = DefaultAneciConfig(env);
+  cfg.epochs = 30;
+  Matrix z = TrainAneciValidated(ds, cfg, rng);
+  EXPECT_EQ(z.rows(), ds.graph.num_nodes());
+  EXPECT_EQ(z.cols(), cfg.embed_dim);
+}
+
+}  // namespace
+}  // namespace aneci::bench
