@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks for the thread-pool kernel layer:
+// serial (1 thread) vs N-thread MatMul / SpMM / SpGEMM / k-means, so the
+// parallel speedup is measured rather than asserted. Run e.g.:
+//   ./bench_kernels --benchmark_filter=MatMul
+// The second Args() value is the thread count; compare the 1-thread and
+// 4-thread rows of the same shape for the speedup (>= 2x at 4 threads on
+// 1024x1024 MatMul on hardware with >= 4 free cores).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "linalg/kmeans.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aneci {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedNumThreads guard(static_cast<int>(state.range(1)));
+  Rng rng(1);
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0, rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0, rng);
+  for (auto _ : state) {
+    Matrix c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["threads"] = static_cast<double>(NumThreads());
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({1024, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedNumThreads guard(static_cast<int>(state.range(1)));
+  Rng rng(2);
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0, rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0, rng);
+  for (auto _ : state) {
+    Matrix c = MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMulTransB)
+    ->Args({512, 1})
+    ->Args({512, 4})
+    ->Unit(benchmark::kMillisecond);
+
+SparseMatrix RandomAdjacency(int n, double density, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet> trips;
+  for (int r = 0; r < n; ++r) {
+    trips.push_back({r, r, 1.0});
+    for (int c = r + 1; c < n; ++c) {
+      if (rng.NextBool(density)) {
+        trips.push_back({r, c, 1.0});
+        trips.push_back({c, r, 1.0});
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, trips);
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedNumThreads guard(static_cast<int>(state.range(1)));
+  const SparseMatrix s = RandomAdjacency(n, 10.0 / n, 3);
+  Rng rng(4);
+  const Matrix x = Matrix::RandomNormal(n, 64, 1.0, rng);
+  for (auto _ : state) {
+    Matrix y = s.Multiply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["nnz"] = static_cast<double>(s.nnz());
+  state.SetItemsProcessed(state.iterations() * 2 * s.nnz() * 64);
+}
+BENCHMARK(BM_SpMM)
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({20000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpGemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedNumThreads guard(static_cast<int>(state.range(1)));
+  const SparseMatrix s = RandomAdjacency(n, 12.0 / n, 5);
+  for (auto _ : state) {
+    SparseMatrix p = s.MultiplySparse(s);
+    benchmark::DoNotOptimize(p.nnz());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpGemm)
+    ->Args({8000, 1})
+    ->Args({8000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_KMeans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScopedNumThreads guard(static_cast<int>(state.range(1)));
+  Rng data_rng(6);
+  const Matrix points = Matrix::RandomNormal(n, 32, 1.0, data_rng);
+  KMeansOptions options;
+  options.max_iterations = 10;
+  options.restarts = 1;
+  for (auto _ : state) {
+    Rng rng(7);
+    KMeansResult r = KMeans(points, 16, rng, options);
+    benchmark::DoNotOptimize(r.inertia);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n) * 16);
+}
+BENCHMARK(BM_KMeans)
+    ->Args({20000, 1})
+    ->Args({20000, 2})
+    ->Args({20000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace aneci
+
+BENCHMARK_MAIN();

@@ -4,9 +4,17 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace aneci {
 namespace {
+
+// Fixed chunking for the scalar reductions (P normaliser, student-t Z):
+// at most 64 chunks, a function of n only, so the chunk-ordered merges are
+// bit-identical for every ANECI_THREADS setting.
+int64_t ReductionGrain(int64_t n) {
+  return std::max<int64_t>(1, (n + 63) / 64);
+}
 
 // Binary-searches the Gaussian bandwidth of row i so the conditional
 // distribution has the requested perplexity; fills p_row (length n).
@@ -49,76 +57,103 @@ Matrix Tsne(const Matrix& points, const TsneOptions& options, Rng& rng) {
   const int n = points.rows();
   ANECI_CHECK_GT(n, 1);
 
-  // Pairwise squared distances.
+  // Pairwise squared distances, row-parallel. Each thread owns whole rows
+  // of d2; the mirrored entry (j, i) is recomputed rather than copied —
+  // (a-b)^2 and (b-a)^2 are bitwise equal, so the matrix stays symmetric.
   Matrix d2(n, n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      double s = 0.0;
+  ParallelFor(0, n, ReductionGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int i = static_cast<int>(lo); i < hi; ++i) {
       const double* a = points.RowPtr(i);
-      const double* b = points.RowPtr(j);
-      for (int c = 0; c < points.cols(); ++c) {
-        const double d = a[c] - b[c];
-        s += d * d;
+      double* drow = d2.RowPtr(i);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double* b = points.RowPtr(j);
+        double s = 0.0;
+        for (int c = 0; c < points.cols(); ++c) {
+          const double d = a[c] - b[c];
+          s += d * d;
+        }
+        drow[j] = s;
       }
-      d2(i, j) = s;
-      d2(j, i) = s;
     }
-  }
+  });
 
-  // Symmetrised joint P.
+  // Symmetrised joint P. The perplexity search is independent per row.
   Matrix p(n, n);
-  {
+  ParallelFor(0, n, ReductionGrain(n), [&](int64_t lo, int64_t hi) {
     std::vector<double> row(n);
-    for (int i = 0; i < n; ++i) {
+    for (int i = static_cast<int>(lo); i < hi; ++i) {
       RowConditional(d2, i, options.perplexity, row);
       for (int j = 0; j < n; ++j) p(i, j) = row[j];
     }
-  }
+  });
+  const int64_t sum_chunks = NumChunks(0, n, ReductionGrain(n));
+  std::vector<double> p_sum_part(sum_chunks, 0.0);
+  ParallelForChunks(0, n, ReductionGrain(n),
+                    [&](int64_t lo, int64_t hi, int64_t ci) {
+    double local = 0.0;
+    for (int i = static_cast<int>(lo); i < hi; ++i)
+      for (int j = 0; j < n; ++j) local += p(i, j);
+    p_sum_part[ci] = local;
+  });
   double p_sum = 0.0;
-  for (int i = 0; i < n; ++i)
-    for (int j = 0; j < n; ++j) p_sum += p(i, j);
-  for (int i = 0; i < n; ++i)
-    for (int j = i + 1; j < n; ++j) {
-      const double v = std::max((p(i, j) + p(j, i)) / (2.0 * p_sum), 1e-12);
-      p(i, j) = v;
-      p(j, i) = v;
-    }
+  for (double v : p_sum_part) p_sum += v;
+  // Pass 1 rewrites the upper triangle (reads the still-untouched lower
+  // one); pass 2 mirrors it down. Both passes only write rows they own.
+  ParallelFor(0, n, ReductionGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int i = static_cast<int>(lo); i < hi; ++i)
+      for (int j = i + 1; j < n; ++j)
+        p(i, j) = std::max((p(i, j) + p(j, i)) / (2.0 * p_sum), 1e-12);
+  });
+  ParallelFor(0, n, ReductionGrain(n), [&](int64_t lo, int64_t hi) {
+    for (int i = static_cast<int>(lo); i < hi; ++i)
+      for (int j = 0; j < i; ++j) p(i, j) = p(j, i);
+  });
 
   Matrix y = Matrix::RandomNormal(n, 2, 1e-2, rng);
   Matrix velocity(n, 2);
   Matrix grad(n, 2);
-  std::vector<double> qnum(n);
 
+  std::vector<double> z_part(sum_chunks, 0.0);
   for (int iter = 0; iter < options.iterations; ++iter) {
     const double exaggeration =
         iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
 
-    // Q numerators (student-t kernel) and normaliser.
-    double z = 0.0;
+    // Q numerators (student-t kernel): upper triangle only, row-parallel,
+    // with the Z normaliser reduced per chunk and merged in chunk order.
     grad.SetZero();
-    // First pass for Z.
     Matrix num(n, n);
-    for (int i = 0; i < n; ++i) {
-      for (int j = i + 1; j < n; ++j) {
-        const double dy0 = y(i, 0) - y(j, 0);
-        const double dy1 = y(i, 1) - y(j, 1);
-        const double v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
-        num(i, j) = v;
-        num(j, i) = v;
-        z += 2.0 * v;
+    ParallelForChunks(0, n, ReductionGrain(n),
+                      [&](int64_t lo, int64_t hi, int64_t ci) {
+      double local_z = 0.0;
+      for (int i = static_cast<int>(lo); i < hi; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          const double dy0 = y(i, 0) - y(j, 0);
+          const double dy1 = y(i, 1) - y(j, 1);
+          const double v = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+          num(i, j) = v;
+          local_z += 2.0 * v;
+        }
       }
-    }
+      z_part[ci] = local_z;
+    });
+    double z = 0.0;
+    for (double v : z_part) z += v;
     z = std::max(z, 1e-12);
-    for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < n; ++j) {
-        if (i == j) continue;
-        const double q = std::max(num(i, j) / z, 1e-12);
-        const double coeff =
-            4.0 * (exaggeration * p(i, j) - q) * num(i, j);
-        grad(i, 0) += coeff * (y(i, 0) - y(j, 0));
-        grad(i, 1) += coeff * (y(i, 1) - y(j, 1));
+
+    // Gradient rows are independent; num is read via the upper triangle.
+    ParallelFor(0, n, ReductionGrain(n), [&](int64_t lo, int64_t hi) {
+      for (int i = static_cast<int>(lo); i < hi; ++i) {
+        for (int j = 0; j < n; ++j) {
+          if (i == j) continue;
+          const double nv = i < j ? num(i, j) : num(j, i);
+          const double q = std::max(nv / z, 1e-12);
+          const double coeff = 4.0 * (exaggeration * p(i, j) - q) * nv;
+          grad(i, 0) += coeff * (y(i, 0) - y(j, 0));
+          grad(i, 1) += coeff * (y(i, 1) - y(j, 1));
+        }
       }
-    }
+    });
     for (int i = 0; i < n; ++i) {
       for (int c = 0; c < 2; ++c) {
         velocity(i, c) = options.momentum * velocity(i, c) -
@@ -126,7 +161,6 @@ Matrix Tsne(const Matrix& points, const TsneOptions& options, Rng& rng) {
         y(i, c) += velocity(i, c);
       }
     }
-    (void)qnum;
   }
   return y;
 }

@@ -19,6 +19,10 @@ SparseMatrix HighOrderProximityFromAdjacency(const SparseMatrix& adjacency,
     return options.weights.empty() ? 1.0 : options.weights[o - 1];
   };
 
+  // The O(order) SpGEMMs below dominate; they (and the final row
+  // normalisation) run on the global thread pool with deterministic row
+  // chunking, so the proximity matrix is bit-identical for any
+  // ANECI_THREADS setting. See docs/parallelism.md.
   SparseMatrix power = adjacency;            // A^o as o advances.
   SparseMatrix accum(adjacency.rows(), adjacency.cols());
   accum = accum.AddScaled(adjacency, weight(1));

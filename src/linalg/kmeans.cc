@@ -4,9 +4,19 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace aneci {
 namespace {
+
+// Chunk grain for the reductions below. The chunk count is capped at 64 and
+// depends only on n — never on the thread count — so the chunk-ordered
+// merges of the per-chunk partials give bit-identical results for every
+// ANECI_THREADS setting (including the serial path, which runs the same
+// chunks in order).
+int64_t ReductionGrain(int64_t n) {
+  return std::max<int64_t>(1, (n + 63) / 64);
+}
 
 double SquaredDistance(const double* a, const double* b, int n) {
   double s = 0.0;
@@ -63,37 +73,60 @@ KMeansResult RunOnce(const Matrix& points, int k, Rng& rng,
   result.assignment.assign(n, 0);
   double prev_inertia = std::numeric_limits<double>::max();
 
+  const int64_t grain = ReductionGrain(n);
+  const int64_t num_chunks = NumChunks(0, n, grain);
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // Assignment step.
-    double inertia = 0.0;
-    for (int i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      int best_c = 0;
-      for (int c = 0; c < k; ++c) {
-        const double d2 =
-            SquaredDistance(points.RowPtr(i), result.centroids.RowPtr(c), dim);
-        if (d2 < best) {
-          best = d2;
-          best_c = c;
+    // Assignment step: points are independent; each chunk owns a disjoint
+    // assignment slice plus its own inertia partial, merged in chunk order.
+    std::vector<double> inertia_part(num_chunks, 0.0);
+    ParallelForChunks(0, n, grain, [&](int64_t lo, int64_t hi, int64_t ci) {
+      double local = 0.0;
+      for (int i = static_cast<int>(lo); i < hi; ++i) {
+        double best = std::numeric_limits<double>::max();
+        int best_c = 0;
+        for (int c = 0; c < k; ++c) {
+          const double d2 = SquaredDistance(points.RowPtr(i),
+                                            result.centroids.RowPtr(c), dim);
+          if (d2 < best) {
+            best = d2;
+            best_c = c;
+          }
         }
+        result.assignment[i] = best_c;
+        local += best;
       }
-      result.assignment[i] = best_c;
-      inertia += best;
-    }
+      inertia_part[ci] = local;
+    });
+    double inertia = 0.0;
+    for (double v : inertia_part) inertia += v;
     result.inertia = inertia;
     result.iterations = iter + 1;
     if (prev_inertia - inertia < options.tolerance) break;
     prev_inertia = inertia;
 
-    // Update step. Empty clusters get re-seeded from a random point.
+    // Update step: per-chunk partial sums/counts, merged in fixed chunk
+    // order so centroids stay bit-identical run-to-run and across thread
+    // counts. Empty clusters get re-seeded from a random point.
+    std::vector<Matrix> sums_part(num_chunks, Matrix(k, dim));
+    std::vector<std::vector<int>> counts_part(num_chunks,
+                                              std::vector<int>(k, 0));
+    ParallelForChunks(0, n, grain, [&](int64_t lo, int64_t hi, int64_t ci) {
+      Matrix& local_sums = sums_part[ci];
+      std::vector<int>& local_counts = counts_part[ci];
+      for (int i = static_cast<int>(lo); i < hi; ++i) {
+        const int c = result.assignment[i];
+        ++local_counts[c];
+        double* srow = local_sums.RowPtr(c);
+        const double* prow = points.RowPtr(i);
+        for (int d = 0; d < dim; ++d) srow[d] += prow[d];
+      }
+    });
     Matrix sums(k, dim);
     std::vector<int> counts(k, 0);
-    for (int i = 0; i < n; ++i) {
-      const int c = result.assignment[i];
-      ++counts[c];
-      double* srow = sums.RowPtr(c);
-      const double* prow = points.RowPtr(i);
-      for (int d = 0; d < dim; ++d) srow[d] += prow[d];
+    for (int64_t ci = 0; ci < num_chunks; ++ci) {
+      sums += sums_part[ci];
+      for (int c = 0; c < k; ++c) counts[c] += counts_part[ci][c];
     }
     for (int c = 0; c < k; ++c) {
       double* crow = result.centroids.RowPtr(c);

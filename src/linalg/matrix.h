@@ -34,7 +34,11 @@ class Matrix {
   /// Entries iid Normal(0, std^2).
   static Matrix RandomNormal(int rows, int cols, double std, Rng& rng);
 
-  /// Glorot/Xavier uniform initialisation for a (fan_in x fan_out) weight.
+  /// Glorot/Xavier uniform initialisation for a weight applied as X * W:
+  /// returns a (fan_in rows x fan_out cols) matrix with entries iid
+  /// Uniform(-L, L), L = sqrt(6 / (fan_in + fan_out)). Orientation is
+  /// (rows, cols) = (fan_in, fan_out); all call sites pass
+  /// (input_dim, output_dim).
   static Matrix GlorotUniform(int fan_in, int fan_out, Rng& rng);
 
   int rows() const { return rows_; }

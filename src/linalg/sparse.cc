@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
 namespace aneci {
+namespace {
+
+// Row grain sized so one chunk covers ~64k multiply-adds of SpMM work;
+// tiny matrices collapse to one chunk and run serially.
+int64_t SpmmRowGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
+  constexpr int64_t kMinFlopsPerChunk = 1 << 16;
+  const int64_t flops_per_row =
+      2 * std::max<int64_t>(1, nnz / std::max<int64_t>(1, rows)) *
+      std::max<int64_t>(1, dense_cols);
+  return std::max<int64_t>(1, kMinFlopsPerChunk / flops_per_row);
+}
+
+}  // namespace
 
 SparseMatrix SparseMatrix::FromTriplets(int rows, int cols,
                                         std::vector<Triplet> triplets) {
@@ -79,14 +94,19 @@ Matrix SparseMatrix::Multiply(const Matrix& x) const {
   ANECI_CHECK_EQ(cols_, x.rows());
   Matrix y(rows_, x.cols());
   const int k = x.cols();
-  for (int r = 0; r < rows_; ++r) {
-    double* yrow = y.RowPtr(r);
-    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      const double v = values_[i];
-      const double* xrow = x.RowPtr(col_idx_[i]);
-      for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+  // Row-parallel: each output row is a disjoint slice computed with the
+  // serial per-row loop, so the result is bit-identical at any thread count.
+  ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), k),
+              [&](int64_t lo, int64_t hi) {
+    for (int r = static_cast<int>(lo); r < hi; ++r) {
+      double* yrow = y.RowPtr(r);
+      for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+        const double v = values_[i];
+        const double* xrow = x.RowPtr(col_idx_[i]);
+        for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+      }
     }
-  }
+  });
   return y;
 }
 
@@ -94,14 +114,29 @@ Matrix SparseMatrix::MultiplyTransposed(const Matrix& x) const {
   ANECI_CHECK_EQ(rows_, x.rows());
   Matrix y(cols_, x.cols());
   const int k = x.cols();
-  for (int r = 0; r < rows_; ++r) {
-    const double* xrow = x.RowPtr(r);
-    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      const double v = values_[i];
-      double* yrow = y.RowPtr(col_idx_[i]);
-      for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+  // Scattering into y rows indexed by col_idx_ races under a row partition
+  // of *this*, so partition y's rows instead: each thread scans every CSR
+  // row but touches only the (sorted, hence contiguous) column range it
+  // owns. Per output row the contributions still arrive in increasing r —
+  // exactly the serial accumulation order, so output is bit-identical.
+  const int64_t col_grain = std::max<int64_t>(
+      1, (cols_ + 2LL * NumThreads() - 1) / (2LL * NumThreads()));
+  ParallelFor(0, cols_, col_grain, [&](int64_t lo, int64_t hi) {
+    const int col_lo = static_cast<int>(lo), col_hi = static_cast<int>(hi);
+    for (int r = 0; r < rows_; ++r) {
+      const int* row_begin = col_idx_.data() + row_ptr_[r];
+      const int* row_end = col_idx_.data() + row_ptr_[r + 1];
+      const int* s = std::lower_bound(row_begin, row_end, col_lo);
+      const int* e = std::lower_bound(s, row_end, col_hi);
+      if (s == e) continue;
+      const double* xrow = x.RowPtr(r);
+      for (const int* p = s; p < e; ++p) {
+        const double v = values_[p - col_idx_.data()];
+        double* yrow = y.RowPtr(*p);
+        for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+      }
     }
-  }
+  });
   return y;
 }
 
@@ -109,30 +144,57 @@ SparseMatrix SparseMatrix::MultiplySparse(const SparseMatrix& other,
                                           double drop_tol) const {
   ANECI_CHECK_EQ(cols_, other.rows_);
   SparseMatrix out(rows_, other.cols_);
-  // Gustavson's row-by-row SpGEMM with a dense accumulator.
-  std::vector<double> accum(other.cols_, 0.0);
-  std::vector<int> touched;
-  touched.reserve(256);
-  for (int r = 0; r < rows_; ++r) {
-    touched.clear();
-    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-      const double av = values_[i];
-      const int mid = col_idx_[i];
-      for (int64_t j = other.row_ptr_[mid]; j < other.row_ptr_[mid + 1]; ++j) {
-        const int c = other.col_idx_[j];
-        if (accum[c] == 0.0) touched.push_back(c);
-        accum[c] += av * other.values_[j];
+  // Gustavson's row-by-row SpGEMM with a dense accumulator per chunk.
+  // Phase 1 computes each row chunk into its own buffer (per-row values are
+  // produced by the identical serial loop, so chunking never changes them);
+  // phase 2 stitches the buffers back in chunk order == row order.
+  const int64_t grain = std::max<int64_t>(
+      16, (rows_ + 4LL * NumThreads() - 1) / (4LL * NumThreads()));
+  const int64_t num_chunks = NumChunks(0, rows_, grain);
+  struct ChunkBuf {
+    std::vector<int> cols;
+    std::vector<double> vals;
+  };
+  std::vector<ChunkBuf> parts(num_chunks);
+  ParallelForChunks(0, rows_, grain, [&](int64_t lo, int64_t hi, int64_t ci) {
+    std::vector<double> accum(other.cols_, 0.0);
+    std::vector<int> touched;
+    touched.reserve(256);
+    ChunkBuf& part = parts[ci];
+    for (int r = static_cast<int>(lo); r < hi; ++r) {
+      touched.clear();
+      for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+        const double av = values_[i];
+        const int mid = col_idx_[i];
+        for (int64_t j = other.row_ptr_[mid]; j < other.row_ptr_[mid + 1];
+             ++j) {
+          const int c = other.col_idx_[j];
+          if (accum[c] == 0.0) touched.push_back(c);
+          accum[c] += av * other.values_[j];
+        }
       }
-    }
-    std::sort(touched.begin(), touched.end());
-    for (int c : touched) {
-      if (std::abs(accum[c]) > drop_tol) {
-        out.col_idx_.push_back(c);
-        out.values_.push_back(accum[c]);
+      std::sort(touched.begin(), touched.end());
+      const size_t row_start = part.cols.size();
+      for (int c : touched) {
+        if (std::abs(accum[c]) > drop_tol) {
+          part.cols.push_back(c);
+          part.vals.push_back(accum[c]);
+        }
+        accum[c] = 0.0;
       }
-      accum[c] = 0.0;
+      // Per-row count; turned into offsets by the prefix sum below.
+      out.row_ptr_[r + 1] =
+          static_cast<int64_t>(part.cols.size() - row_start);
     }
-    out.row_ptr_[r + 1] = static_cast<int64_t>(out.col_idx_.size());
+  });
+  for (int r = 0; r < rows_; ++r) out.row_ptr_[r + 1] += out.row_ptr_[r];
+  out.col_idx_.reserve(out.row_ptr_[rows_]);
+  out.values_.reserve(out.row_ptr_[rows_]);
+  for (const ChunkBuf& part : parts) {
+    out.col_idx_.insert(out.col_idx_.end(), part.cols.begin(),
+                        part.cols.end());
+    out.values_.insert(out.values_.end(), part.vals.begin(),
+                       part.vals.end());
   }
   return out;
 }
@@ -193,14 +255,18 @@ SparseMatrix SparseMatrix::Transposed() const {
 
 SparseMatrix SparseMatrix::RowNormalizedL1() const {
   SparseMatrix out = *this;
-  for (int r = 0; r < rows_; ++r) {
-    double s = 0.0;
-    for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
-      s += std::abs(values_[i]);
-    if (s > 0.0)
+  // Row-parallel: each row rescales its own disjoint value slice.
+  ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), 1),
+              [&](int64_t lo, int64_t hi) {
+    for (int r = static_cast<int>(lo); r < hi; ++r) {
+      double s = 0.0;
       for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
-        out.values_[i] /= s;
-  }
+        s += std::abs(values_[i]);
+      if (s > 0.0)
+        for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+          out.values_[i] /= s;
+    }
+  });
   return out;
 }
 

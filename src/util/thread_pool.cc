@@ -1,0 +1,207 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+namespace aneci {
+namespace {
+
+// Set while a thread (worker or caller) is inside a chunk body; nested
+// ParallelFor calls see it and fall back to the serial path.
+thread_local bool tl_in_parallel_region = false;
+
+int ThreadsFromEnv() {
+  const char* env = std::getenv("ANECI_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// State shared between the caller and the helper tasks of one ParallelFor.
+// Held by shared_ptr so a helper that wakes up after the caller has already
+// returned (all chunks claimed) still touches valid memory.
+struct ForJob {
+  int64_t begin = 0;
+  int64_t grain = 1;
+  int64_t end = 0;
+  int64_t num_chunks = 0;
+  const std::function<void(int64_t, int64_t, int64_t)>* fn = nullptr;
+
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int pending_helpers = 0;
+  std::exception_ptr error;
+
+  // Claims chunks off the shared counter until none remain (or a chunk
+  // threw). Dynamic claiming only decides WHICH thread runs a chunk; the
+  // chunk boundaries themselves are fixed, so outputs stay deterministic.
+  void RunChunks() {
+    const bool saved = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      const int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const int64_t lo = begin + c * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      try {
+        (*fn)(lo, hi, c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    tl_in_parallel_region = saved;
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) { Start(num_threads); }
+
+ThreadPool::~ThreadPool() { Stop(); }
+
+void ThreadPool::Start(int num_threads) {
+  num_threads_ = std::max(1, num_threads);
+  shutdown_ = false;
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+void ThreadPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  // Orphaned tasks (enqueued but never claimed) are dropped; ParallelFor
+  // never depends on helpers actually running.
+  tasks_.clear();
+}
+
+void ThreadPool::Resize(int num_threads) {
+  Stop();
+  Start(num_threads);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::InParallelRegion() { return tl_in_parallel_region; }
+
+void ThreadPool::ParallelForChunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = NumChunks(begin, end, grain);
+
+  // Serial path: pool of one, a single chunk, or a nested call from inside
+  // another chunk body. Executes the same chunks in the same order, so the
+  // result is identical to the threaded path by construction.
+  if (num_threads_ <= 1 || num_chunks == 1 || InParallelRegion()) {
+    const bool saved = tl_in_parallel_region;
+    tl_in_parallel_region = true;
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      const int64_t lo = begin + c * grain;
+      const int64_t hi = std::min(end, lo + grain);
+      try {
+        fn(lo, hi, c);
+      } catch (...) {
+        tl_in_parallel_region = saved;
+        throw;
+      }
+    }
+    tl_in_parallel_region = saved;
+    return;
+  }
+
+  auto job = std::make_shared<ForJob>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+
+  const int helpers = static_cast<int>(
+      std::min<int64_t>(num_threads_ - 1, num_chunks - 1));
+  job->pending_helpers = helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < helpers; ++i) {
+      tasks_.emplace_back([job] {
+        job->RunChunks();
+        {
+          std::lock_guard<std::mutex> jlock(job->mu);
+          --job->pending_helpers;
+        }
+        job->done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller works too; with one core this is where all chunks run.
+  job->RunChunks();
+
+  std::unique_lock<std::mutex> jlock(job->mu);
+  job->done_cv.wait(jlock, [&job] { return job->pending_helpers == 0; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&fn](int64_t lo, int64_t hi, int64_t) { fn(lo, hi); });
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked intentionally: workers must not be joined during static
+  // destruction (kernels may run from other static destructors).
+  static ThreadPool* pool = new ThreadPool(ThreadsFromEnv());
+  return *pool;
+}
+
+int NumThreads() { return ThreadPool::Global().num_threads(); }
+
+void SetNumThreads(int num_threads) {
+  ThreadPool::Global().Resize(std::max(1, num_threads));
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn);
+}
+
+void ParallelForChunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+  ThreadPool::Global().ParallelForChunks(begin, end, grain, fn);
+}
+
+}  // namespace aneci

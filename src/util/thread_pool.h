@@ -1,0 +1,120 @@
+// Fixed-size std::thread pool with a deterministic ParallelFor used by the
+// hot dense/sparse kernels. Design contract (see docs/parallelism.md):
+//
+//  * [begin, end) is split into ceil((end - begin) / grain) contiguous
+//    chunks of `grain` indices (the last chunk may be short). The chunk
+//    decomposition depends ONLY on the range and the grain — never on the
+//    thread count — so per-chunk partial results merged in chunk-index
+//    order are bit-identical for every ANECI_THREADS value.
+//  * Each chunk body must write to a disjoint output slice or to its own
+//    per-chunk accumulator; reductions are merged serially in chunk order
+//    after ParallelFor returns. No atomics on doubles anywhere.
+//  * A ParallelFor issued from inside a chunk body (nested parallelism)
+//    runs serially on the calling thread — documented fallback, not an
+//    error — so kernels may freely compose.
+//  * The first exception thrown by a chunk cancels the remaining chunks
+//    and is rethrown on the calling thread.
+//
+// The process-wide pool is sized by the ANECI_THREADS environment variable
+// (default std::thread::hardware_concurrency(); 1 forces the serial path,
+// which executes the same chunks in the same order on the calling thread).
+#ifndef ANECI_UTIL_THREAD_POOL_H_
+#define ANECI_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aneci {
+
+/// Number of chunks ParallelFor will create for the given range and grain.
+/// Depends only on (begin, end, grain) so callers can pre-size per-chunk
+/// accumulator arrays.
+inline int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  if (end <= begin) return 0;
+  if (grain < 1) grain = 1;
+  return (end - begin + grain - 1) / grain;
+}
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` worker threads (the caller participates in
+  /// every ParallelFor, so n threads of compute need n - 1 workers).
+  /// `num_threads < 1` is clamped to 1; 1 means no workers at all.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Joins all workers and restarts with a new size. Must not be called
+  /// concurrently with ParallelFor on the same pool.
+  void Resize(int num_threads);
+
+  /// Runs fn(chunk_begin, chunk_end) over every chunk of [begin, end).
+  /// Blocks until all chunks are done (or one throws).
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Like ParallelFor but also hands fn the chunk index, for kernels that
+  /// accumulate into per-chunk slots merged in index order afterwards.
+  void ParallelForChunks(
+      int64_t begin, int64_t end, int64_t grain,
+      const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+  /// True while the calling thread is executing a chunk body (worker or
+  /// caller). Nested ParallelFor calls detect this and run serially.
+  static bool InParallelRegion();
+
+  /// Process-wide pool, created on first use and sized by ANECI_THREADS.
+  static ThreadPool& Global();
+
+ private:
+  void Start(int num_threads);
+  void Stop();
+  void WorkerLoop();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutdown_ = false;
+};
+
+/// Current size of the global pool.
+int NumThreads();
+
+/// Resizes the global pool (clamped to >= 1). Intended for tests, benches
+/// and CLIs; not safe concurrently with in-flight ParallelFor calls.
+void SetNumThreads(int num_threads);
+
+/// RAII thread-count override: sets on construction, restores on scope exit.
+class ScopedNumThreads {
+ public:
+  explicit ScopedNumThreads(int num_threads) : saved_(NumThreads()) {
+    SetNumThreads(num_threads);
+  }
+  ~ScopedNumThreads() { SetNumThreads(saved_); }
+  ScopedNumThreads(const ScopedNumThreads&) = delete;
+  ScopedNumThreads& operator=(const ScopedNumThreads&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Convenience wrappers over ThreadPool::Global().
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+}  // namespace aneci
+
+#endif  // ANECI_UTIL_THREAD_POOL_H_

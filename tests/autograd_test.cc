@@ -2,11 +2,14 @@
 // differences, then sanity-checks the optimisers.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "autograd/grad_check.h"
 #include "autograd/ops.h"
 #include "autograd/optimizer.h"
 #include "linalg/sparse.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace aneci::ag {
 namespace {
@@ -232,6 +235,54 @@ TEST(Autograd, GraphAttentionRowsAreConvexCombinations) {
   auto out = GraphAttention(&adj, h, a_src, a_dst);
   EXPECT_NEAR(out->value()(0, 0), 3.0, 1e-9);
   EXPECT_NEAR(out->value()(0, 1), -1.0, 1e-9);
+}
+
+TEST(Autograd, GcnForwardGradCheckUnderThreading) {
+  // A two-layer GCN forward (SpMM -> ReLU -> SpMM -> MatMul) gradient-checked
+  // with the thread pool active: the parallel MatMul/SpMM kernels run in both
+  // the forward and backward passes, so a nondeterministic reduction anywhere
+  // would break the finite-difference comparison.
+  ScopedNumThreads guard(4);
+  Rng rng(50);
+  const int n = 8;
+  std::vector<Triplet> trips;
+  for (int i = 0; i < n; ++i) trips.push_back({i, i, 1.0});
+  for (int i = 0; i + 1 < n; ++i) {
+    trips.push_back({i, i + 1, 1.0});
+    trips.push_back({i + 1, i, 1.0});
+  }
+  SparseMatrix adj =
+      SparseMatrix::FromTriplets(n, n, trips).SymmetricallyNormalized();
+
+  auto x = MakeConstant(Matrix::RandomNormal(n, 5, 0.8, rng));
+  auto w1 = Param(5, 4, 51);
+  auto w2 = Param(4, 3, 52);
+  auto build = [&] {
+    auto h = Relu(SpMM(&adj, MatMul(x, w1)));
+    return SumSquares(SpMM(&adj, MatMul(h, w2)));
+  };
+  ExpectGradOk(w1, build, 5e-4);
+  ExpectGradOk(w2, build, 5e-4);
+}
+
+TEST(Autograd, GradientsBitIdenticalAcrossThreadCounts) {
+  // The same backward pass at 1 vs 7 threads must produce bitwise-equal
+  // gradients (deterministic parallel kernels, no atomics on doubles).
+  auto run = [](int threads) {
+    ScopedNumThreads guard(threads);
+    auto a = Param(13, 9, 53);
+    auto b = Param(9, 11, 54);
+    Backward(SumSquares(MatMul(a, b)));
+    return std::make_pair(a->grad(), b->grad());
+  };
+  const auto serial = run(1);
+  const auto threaded = run(7);
+  EXPECT_EQ(std::memcmp(serial.first.data(), threaded.first.data(),
+                        sizeof(double) * serial.first.size()),
+            0);
+  EXPECT_EQ(std::memcmp(serial.second.data(), threaded.second.data(),
+                        sizeof(double) * serial.second.size()),
+            0);
 }
 
 TEST(Autograd, GradAccumulatesOverSharedSubexpressions) {

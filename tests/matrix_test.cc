@@ -163,6 +163,30 @@ TEST(Matrix, GlorotUniformWithinLimit) {
   EXPECT_NEAR(w.Sum() / w.size(), 0.0, limit / 10.0);
 }
 
+TEST(Matrix, GlorotUniformOrientationAndLimitRegression) {
+  // Regression pin: GlorotUniform(fan_in, fan_out) returns a
+  // (fan_in rows x fan_out cols) matrix — the orientation every call site
+  // assumes when computing X * W with X (n x fan_in) — with entries in
+  // (-L, L), L = sqrt(6 / (fan_in + fan_out)).
+  Rng rng(99);
+  const int fan_in = 37, fan_out = 120;
+  Matrix w = Matrix::GlorotUniform(fan_in, fan_out, rng);
+  EXPECT_EQ(w.rows(), fan_in);
+  EXPECT_EQ(w.cols(), fan_out);
+  const double limit = std::sqrt(6.0 / (fan_in + fan_out));
+  EXPECT_LT(w.Max(), limit);
+  EXPECT_GT(w.Min(), -limit);
+  // With 4440 samples the extremes should approach the limit; this fails if
+  // the limit formula drifts (e.g. sqrt(6/fan_in) or swapped arguments
+  // changing the sample count).
+  EXPECT_GT(w.Max(), 0.9 * limit);
+  EXPECT_LT(w.Min(), -0.9 * limit);
+  // Asymmetric fan-in/out: swapping the arguments must swap the shape.
+  Matrix wt = Matrix::GlorotUniform(fan_out, fan_in, rng);
+  EXPECT_EQ(wt.rows(), fan_out);
+  EXPECT_EQ(wt.cols(), fan_in);
+}
+
 TEST(Matrix, CosineSimilarity) {
   std::vector<double> a = {1, 0}, b = {0, 1}, c = {2, 0};
   EXPECT_NEAR(CosineSimilarity(a.data(), b.data(), 2), 0.0, 1e-12);

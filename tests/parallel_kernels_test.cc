@@ -1,0 +1,249 @@
+// Serial-equivalence property tests for the parallelized kernels: for
+// randomized shapes/sparsities, outputs at ANECI_THREADS in {2, 7} must be
+// BIT-identical to the serial path (ANECI_THREADS=1). Exact == is valid —
+// not approximate — because every kernel either writes disjoint output
+// slices with unchanged per-element operation order, or merges per-chunk
+// partials in a fixed chunk order independent of the thread count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "analysis/tsne.h"
+#include "graph/proximity.h"
+#include "linalg/kmeans.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aneci {
+namespace {
+
+const int kThreadSettings[] = {2, 7};
+
+void ExpectBitEqual(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), sizeof(double) * a.size()), 0)
+      << what << ": parallel result differs bitwise from serial";
+}
+
+void ExpectBitEqual(const SparseMatrix& a, const SparseMatrix& b,
+                    const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  ASSERT_EQ(a.nnz(), b.nnz()) << what;
+  EXPECT_EQ(a.row_ptr(), b.row_ptr()) << what;
+  EXPECT_EQ(a.col_idx(), b.col_idx()) << what;
+  EXPECT_EQ(std::memcmp(a.values().data(), b.values().data(),
+                        sizeof(double) * a.nnz()),
+            0)
+      << what << ": parallel values differ bitwise from serial";
+}
+
+Matrix RandomMatrix(int rows, int cols, Rng& rng, double zero_fraction) {
+  Matrix m = Matrix::RandomNormal(rows, cols, 1.0, rng);
+  // Inject exact zeros to exercise the av == 0.0 skip branches.
+  for (int64_t i = 0; i < m.size(); ++i)
+    if (rng.NextBool(zero_fraction)) m.data()[i] = 0.0;
+  return m;
+}
+
+SparseMatrix RandomSparse(int rows, int cols, double density, Rng& rng) {
+  std::vector<Triplet> trips;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      if (rng.NextBool(density)) trips.push_back({r, c, rng.Uniform(-2, 2)});
+  return SparseMatrix::FromTriplets(rows, cols, trips);
+}
+
+// Runs `compute` serially, then at each threaded setting, comparing each
+// dense result bitwise against the serial one.
+void CheckDense(const std::function<Matrix()>& compute, const char* what) {
+  Matrix serial;
+  {
+    ScopedNumThreads guard(1);
+    serial = compute();
+  }
+  for (int threads : kThreadSettings) {
+    ScopedNumThreads guard(threads);
+    ExpectBitEqual(compute(), serial, what);
+  }
+}
+
+void CheckSparse(const std::function<SparseMatrix()>& compute,
+                 const char* what) {
+  SparseMatrix serial;
+  {
+    ScopedNumThreads guard(1);
+    serial = compute();
+  }
+  for (int threads : kThreadSettings) {
+    ScopedNumThreads guard(threads);
+    ExpectBitEqual(compute(), serial, what);
+  }
+}
+
+TEST(ParallelKernels, MatMulMatchesSerialBitwise) {
+  Rng shapes(101);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int m = 1 + static_cast<int>(shapes.NextInt(90));
+    const int k = 1 + static_cast<int>(shapes.NextInt(70));
+    const int n = 1 + static_cast<int>(shapes.NextInt(80));
+    Rng rng(1000 + trial);
+    const Matrix a = RandomMatrix(m, k, rng, 0.2);
+    const Matrix b = RandomMatrix(k, n, rng, 0.1);
+    CheckDense([&] { return MatMul(a, b); }, "MatMul");
+  }
+}
+
+TEST(ParallelKernels, MatMulTransAMatchesSerialBitwise) {
+  Rng shapes(102);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int k = 1 + static_cast<int>(shapes.NextInt(90));
+    const int m = 1 + static_cast<int>(shapes.NextInt(70));
+    const int n = 1 + static_cast<int>(shapes.NextInt(60));
+    Rng rng(2000 + trial);
+    const Matrix a = RandomMatrix(k, m, rng, 0.25);
+    const Matrix b = RandomMatrix(k, n, rng, 0.0);
+    CheckDense([&] { return MatMulTransA(a, b); }, "MatMulTransA");
+  }
+}
+
+TEST(ParallelKernels, MatMulTransBMatchesSerialBitwise) {
+  Rng shapes(103);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int m = 1 + static_cast<int>(shapes.NextInt(80));
+    const int k = 1 + static_cast<int>(shapes.NextInt(50));
+    const int n = 1 + static_cast<int>(shapes.NextInt(90));
+    Rng rng(3000 + trial);
+    const Matrix a = RandomMatrix(m, k, rng, 0.0);
+    const Matrix b = RandomMatrix(n, k, rng, 0.15);
+    CheckDense([&] { return MatMulTransB(a, b); }, "MatMulTransB");
+  }
+}
+
+TEST(ParallelKernels, SpmmMatchesSerialBitwise) {
+  Rng shapes(104);
+  for (double density : {0.02, 0.15, 0.6}) {
+    const int rows = 20 + static_cast<int>(shapes.NextInt(120));
+    const int cols = 20 + static_cast<int>(shapes.NextInt(120));
+    const int k = 1 + static_cast<int>(shapes.NextInt(40));
+    Rng rng(4000 + static_cast<uint64_t>(density * 100));
+    const SparseMatrix s = RandomSparse(rows, cols, density, rng);
+    const Matrix x = RandomMatrix(cols, k, rng, 0.0);
+    const Matrix xt = RandomMatrix(rows, k, rng, 0.0);
+    CheckDense([&] { return s.Multiply(x); }, "SparseMatrix::Multiply");
+    CheckDense([&] { return s.MultiplyTransposed(xt); },
+               "SparseMatrix::MultiplyTransposed");
+  }
+}
+
+TEST(ParallelKernels, SpGemmAndRowNormalizeMatchSerialBitwise) {
+  Rng shapes(105);
+  for (double density : {0.03, 0.2}) {
+    const int n = 30 + static_cast<int>(shapes.NextInt(100));
+    Rng rng(5000 + static_cast<uint64_t>(density * 100));
+    const SparseMatrix a = RandomSparse(n, n, density, rng);
+    const SparseMatrix b = RandomSparse(n, n, density, rng);
+    CheckSparse([&] { return a.MultiplySparse(b); },
+                "SparseMatrix::MultiplySparse");
+    CheckSparse([&] { return a.MultiplySparse(b, /*drop_tol=*/1e-3); },
+                "SparseMatrix::MultiplySparse(drop_tol)");
+    CheckSparse([&] { return a.RowNormalizedL1(); },
+                "SparseMatrix::RowNormalizedL1");
+  }
+}
+
+TEST(ParallelKernels, HighOrderProximityMatchesSerialBitwise) {
+  Rng rng(106);
+  const int n = 80;
+  std::vector<Triplet> trips;
+  for (int r = 0; r < n; ++r) {
+    for (int c = r + 1; c < n; ++c) {
+      if (rng.NextBool(0.06)) {
+        trips.push_back({r, c, 1.0});
+        trips.push_back({c, r, 1.0});
+      }
+    }
+  }
+  const SparseMatrix adj = SparseMatrix::FromTriplets(n, n, trips);
+  ProximityOptions options;
+  options.order = 3;
+  options.weights = {1.0, 0.5, 0.25};
+  CheckSparse([&] { return HighOrderProximityFromAdjacency(adj, options); },
+              "HighOrderProximity");
+}
+
+TEST(ParallelKernels, KMeansMatchesSerialBitwise) {
+  // Same seed per thread setting: identical assignment, centroids, inertia
+  // and rng consumption (empty-cluster reseeds happen in serial sections).
+  Rng data_rng(107);
+  const Matrix points = Matrix::RandomNormal(400, 12, 1.0, data_rng);
+  KMeansOptions options;
+  options.max_iterations = 25;
+  options.restarts = 2;
+
+  auto run = [&] {
+    Rng rng(77);
+    return KMeans(points, 5, rng, options);
+  };
+  KMeansResult serial;
+  {
+    ScopedNumThreads guard(1);
+    serial = run();
+  }
+  for (int threads : kThreadSettings) {
+    ScopedNumThreads guard(threads);
+    const KMeansResult parallel = run();
+    EXPECT_EQ(parallel.assignment, serial.assignment);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    // Bitwise, not approximate: the chunk-ordered merge is deterministic.
+    EXPECT_EQ(std::memcmp(&parallel.inertia, &serial.inertia,
+                          sizeof(double)),
+              0);
+    ExpectBitEqual(parallel.centroids, serial.centroids, "KMeans centroids");
+  }
+}
+
+TEST(ParallelKernels, TsneMatchesSerialBitwise) {
+  Rng data_rng(108);
+  const Matrix points = Matrix::RandomNormal(48, 8, 1.0, data_rng);
+  TsneOptions options;
+  options.iterations = 30;
+  options.exaggeration_iters = 10;
+
+  auto run = [&] {
+    Rng rng(9);
+    return Tsne(points, options, rng);
+  };
+  Matrix serial;
+  {
+    ScopedNumThreads guard(1);
+    serial = run();
+  }
+  for (int threads : kThreadSettings) {
+    ScopedNumThreads guard(threads);
+    ExpectBitEqual(run(), serial, "Tsne");
+  }
+}
+
+TEST(ParallelKernels, EnvThreadSettingOneForcesSerialPath) {
+  // With the pool at size 1 no workers exist, so everything runs on the
+  // calling thread; sanity-check a kernel still works there.
+  ScopedNumThreads guard(1);
+  Rng rng(109);
+  const Matrix a = RandomMatrix(17, 9, rng, 0.1);
+  const Matrix b = RandomMatrix(9, 13, rng, 0.1);
+  const Matrix c = MatMul(a, b);
+  for (int i = 0; i < 17; ++i)
+    for (int j = 0; j < 13; ++j) {
+      double s = 0.0;
+      for (int k = 0; k < 9; ++k) s += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), s, 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace aneci

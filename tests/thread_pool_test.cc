@@ -1,0 +1,161 @@
+// Unit tests for the deterministic ParallelFor thread pool: chunk
+// decomposition, edge cases, exception propagation, nested-call serial
+// fallback, and reuse across many dispatches.
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace aneci {
+namespace {
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 4, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(10, 10, 4, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 3, 4, [&](int64_t, int64_t) { ++calls; });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(NumChunks(0, 0, 4), 0);
+  EXPECT_EQ(NumChunks(5, 3, 4), 0);
+}
+
+TEST(ThreadPool, RangeSmallerThanGrainIsOneExactChunk) {
+  std::atomic<int> calls{0};
+  int64_t got_lo = -1, got_hi = -1, got_ci = -1;
+  ParallelForChunks(3, 8, 100, [&](int64_t lo, int64_t hi, int64_t ci) {
+    ++calls;
+    got_lo = lo;
+    got_hi = hi;
+    got_ci = ci;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(got_lo, 3);
+  EXPECT_EQ(got_hi, 8);
+  EXPECT_EQ(got_ci, 0);
+  EXPECT_EQ(NumChunks(3, 8, 100), 1);
+}
+
+TEST(ThreadPool, ChunksTileTheRangeExactly) {
+  for (int threads : {1, 2, 7}) {
+    ScopedNumThreads guard(threads);
+    for (int64_t grain : {1, 3, 16, 1000}) {
+      const int64_t n = 101;
+      std::vector<int> hits(n, 0);
+      std::mutex mu;
+      ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+        std::lock_guard<std::mutex> lock(mu);
+        for (int64_t i = lo; i < hi; ++i) ++hits[i];
+      });
+      EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), n)
+          << "threads=" << threads << " grain=" << grain;
+      EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                              [](int h) { return h == 1; }));
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkDecompositionIndependentOfThreadCount) {
+  auto chunks_at = [](int threads) {
+    ScopedNumThreads guard(threads);
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    std::mutex mu;
+    ParallelForChunks(5, 77, 9, [&](int64_t lo, int64_t hi, int64_t ci) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(ci, lo * 1000 + hi);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto serial = chunks_at(1);
+  EXPECT_EQ(serial.size(), static_cast<size_t>(NumChunks(5, 77, 9)));
+  EXPECT_EQ(chunks_at(2), serial);
+  EXPECT_EQ(chunks_at(7), serial);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  for (int threads : {1, 4}) {
+    ScopedNumThreads guard(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 100, 1,
+                    [&](int64_t lo, int64_t) {
+                      if (lo == 42) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // The pool must remain fully usable after a throwing dispatch.
+    std::atomic<int64_t> sum{0};
+    ParallelFor(0, 100, 7, [&](int64_t lo, int64_t hi) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  }
+}
+
+TEST(ThreadPool, NestedCallFallsBackToSerial) {
+  ScopedNumThreads guard(4);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  std::atomic<int64_t> inner_total{0};
+  std::atomic<bool> saw_region_flag{false};
+  ParallelFor(0, 8, 1, [&](int64_t, int64_t) {
+    if (ThreadPool::InParallelRegion()) saw_region_flag = true;
+    // The nested dispatch must complete (serially) without deadlock.
+    int64_t local = 0;
+    ParallelFor(0, 10, 3, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) local += i;
+    });
+    inner_total += local;
+  });
+  EXPECT_TRUE(saw_region_flag.load());
+  EXPECT_EQ(inner_total.load(), 8 * (9 * 10 / 2));
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPool, ReuseAcrossManyDispatches) {
+  ScopedNumThreads guard(3);
+  int64_t expected = 0;
+  std::atomic<int64_t> got{0};
+  for (int round = 1; round <= 500; ++round) {
+    expected += round;
+    ParallelFor(0, round, 4, [&](int64_t lo, int64_t hi) {
+      got += hi - lo;
+    });
+  }
+  EXPECT_EQ(got.load(), expected);
+}
+
+TEST(ThreadPool, ResizeAndScopedOverride) {
+  const int before = NumThreads();
+  {
+    ScopedNumThreads guard(5);
+    EXPECT_EQ(NumThreads(), 5);
+    SetNumThreads(2);
+    EXPECT_EQ(NumThreads(), 2);
+    std::atomic<int> n{0};
+    ParallelFor(0, 100, 1, [&](int64_t, int64_t) { ++n; });
+    EXPECT_EQ(n.load(), 100);
+  }
+  EXPECT_EQ(NumThreads(), before);
+  SetNumThreads(0);  // clamped to 1
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(before);
+}
+
+TEST(ThreadPool, GrainBelowOneIsClamped) {
+  std::vector<int> hits(10, 0);
+  std::mutex mu;
+  ParallelFor(0, 10, 0, [&](int64_t lo, int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (int64_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+}  // namespace
+}  // namespace aneci
