@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_defense_score.dir/bench_fig2_defense_score.cc.o"
+  "CMakeFiles/bench_fig2_defense_score.dir/bench_fig2_defense_score.cc.o.d"
+  "bench_fig2_defense_score"
+  "bench_fig2_defense_score.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_defense_score.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig2_defense_score.
+# This may be replaced when dependencies are built.

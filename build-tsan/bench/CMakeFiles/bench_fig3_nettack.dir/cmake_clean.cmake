@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_nettack.dir/bench_fig3_nettack.cc.o"
+  "CMakeFiles/bench_fig3_nettack.dir/bench_fig3_nettack.cc.o.d"
+  "bench_fig3_nettack"
+  "bench_fig3_nettack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_nettack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fga.dir/bench_fig4_fga.cc.o"
+  "CMakeFiles/bench_fig4_fga.dir/bench_fig4_fga.cc.o.d"
+  "bench_fig4_fga"
+  "bench_fig4_fga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_random_attack.dir/bench_fig5_random_attack.cc.o"
+  "CMakeFiles/bench_fig5_random_attack.dir/bench_fig5_random_attack.cc.o.d"
+  "bench_fig5_random_attack"
+  "bench_fig5_random_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_random_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_anomaly.dir/bench_fig6_anomaly.cc.o"
+  "CMakeFiles/bench_fig6_anomaly.dir/bench_fig6_anomaly.cc.o.d"
+  "bench_fig6_anomaly"
+  "bench_fig6_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_community.dir/bench_fig7_community.cc.o"
+  "CMakeFiles/bench_fig7_community.dir/bench_fig7_community.cc.o.d"
+  "bench_fig7_community"
+  "bench_fig7_community.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_community.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

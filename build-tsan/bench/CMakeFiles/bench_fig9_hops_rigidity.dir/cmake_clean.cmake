@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hops_rigidity.dir/bench_fig9_hops_rigidity.cc.o"
+  "CMakeFiles/bench_fig9_hops_rigidity.dir/bench_fig9_hops_rigidity.cc.o.d"
+  "bench_fig9_hops_rigidity"
+  "bench_fig9_hops_rigidity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hops_rigidity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_embedding.dir/robust_embedding.cpp.o"
+  "CMakeFiles/robust_embedding.dir/robust_embedding.cpp.o.d"
+  "robust_embedding"
+  "robust_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/defense_score.cc" "src/CMakeFiles/aneci_analysis.dir/analysis/defense_score.cc.o" "gcc" "src/CMakeFiles/aneci_analysis.dir/analysis/defense_score.cc.o.d"
+  "/root/repo/src/analysis/silhouette.cc" "src/CMakeFiles/aneci_analysis.dir/analysis/silhouette.cc.o" "gcc" "src/CMakeFiles/aneci_analysis.dir/analysis/silhouette.cc.o.d"
+  "/root/repo/src/analysis/tsne.cc" "src/CMakeFiles/aneci_analysis.dir/analysis/tsne.cc.o" "gcc" "src/CMakeFiles/aneci_analysis.dir/analysis/tsne.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

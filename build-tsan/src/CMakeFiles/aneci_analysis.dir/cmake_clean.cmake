@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_analysis.dir/analysis/defense_score.cc.o"
+  "CMakeFiles/aneci_analysis.dir/analysis/defense_score.cc.o.d"
+  "CMakeFiles/aneci_analysis.dir/analysis/silhouette.cc.o"
+  "CMakeFiles/aneci_analysis.dir/analysis/silhouette.cc.o.d"
+  "CMakeFiles/aneci_analysis.dir/analysis/tsne.cc.o"
+  "CMakeFiles/aneci_analysis.dir/analysis/tsne.cc.o.d"
+  "libaneci_analysis.a"
+  "libaneci_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

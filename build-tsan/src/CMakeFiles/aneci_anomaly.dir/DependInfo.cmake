@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/anomaly_score.cc" "src/CMakeFiles/aneci_anomaly.dir/anomaly/anomaly_score.cc.o" "gcc" "src/CMakeFiles/aneci_anomaly.dir/anomaly/anomaly_score.cc.o.d"
+  "/root/repo/src/anomaly/isolation_forest.cc" "src/CMakeFiles/aneci_anomaly.dir/anomaly/isolation_forest.cc.o" "gcc" "src/CMakeFiles/aneci_anomaly.dir/anomaly/isolation_forest.cc.o.d"
+  "/root/repo/src/anomaly/outlier_injection.cc" "src/CMakeFiles/aneci_anomaly.dir/anomaly/outlier_injection.cc.o" "gcc" "src/CMakeFiles/aneci_anomaly.dir/anomaly/outlier_injection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_anomaly.dir/anomaly/anomaly_score.cc.o"
+  "CMakeFiles/aneci_anomaly.dir/anomaly/anomaly_score.cc.o.d"
+  "CMakeFiles/aneci_anomaly.dir/anomaly/isolation_forest.cc.o"
+  "CMakeFiles/aneci_anomaly.dir/anomaly/isolation_forest.cc.o.d"
+  "CMakeFiles/aneci_anomaly.dir/anomaly/outlier_injection.cc.o"
+  "CMakeFiles/aneci_anomaly.dir/anomaly/outlier_injection.cc.o.d"
+  "libaneci_anomaly.a"
+  "libaneci_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

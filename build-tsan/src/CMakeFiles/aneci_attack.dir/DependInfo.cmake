@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/dice.cc" "src/CMakeFiles/aneci_attack.dir/attack/dice.cc.o" "gcc" "src/CMakeFiles/aneci_attack.dir/attack/dice.cc.o.d"
+  "/root/repo/src/attack/fga.cc" "src/CMakeFiles/aneci_attack.dir/attack/fga.cc.o" "gcc" "src/CMakeFiles/aneci_attack.dir/attack/fga.cc.o.d"
+  "/root/repo/src/attack/nettack.cc" "src/CMakeFiles/aneci_attack.dir/attack/nettack.cc.o" "gcc" "src/CMakeFiles/aneci_attack.dir/attack/nettack.cc.o.d"
+  "/root/repo/src/attack/random_attack.cc" "src/CMakeFiles/aneci_attack.dir/attack/random_attack.cc.o" "gcc" "src/CMakeFiles/aneci_attack.dir/attack/random_attack.cc.o.d"
+  "/root/repo/src/attack/surrogate.cc" "src/CMakeFiles/aneci_attack.dir/attack/surrogate.cc.o" "gcc" "src/CMakeFiles/aneci_attack.dir/attack/surrogate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

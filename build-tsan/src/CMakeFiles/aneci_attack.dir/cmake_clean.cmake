@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_attack.dir/attack/dice.cc.o"
+  "CMakeFiles/aneci_attack.dir/attack/dice.cc.o.d"
+  "CMakeFiles/aneci_attack.dir/attack/fga.cc.o"
+  "CMakeFiles/aneci_attack.dir/attack/fga.cc.o.d"
+  "CMakeFiles/aneci_attack.dir/attack/nettack.cc.o"
+  "CMakeFiles/aneci_attack.dir/attack/nettack.cc.o.d"
+  "CMakeFiles/aneci_attack.dir/attack/random_attack.cc.o"
+  "CMakeFiles/aneci_attack.dir/attack/random_attack.cc.o.d"
+  "CMakeFiles/aneci_attack.dir/attack/surrogate.cc.o"
+  "CMakeFiles/aneci_attack.dir/attack/surrogate.cc.o.d"
+  "libaneci_attack.a"
+  "libaneci_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/grad_check.cc" "src/CMakeFiles/aneci_autograd.dir/autograd/grad_check.cc.o" "gcc" "src/CMakeFiles/aneci_autograd.dir/autograd/grad_check.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/aneci_autograd.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/aneci_autograd.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/optimizer.cc" "src/CMakeFiles/aneci_autograd.dir/autograd/optimizer.cc.o" "gcc" "src/CMakeFiles/aneci_autograd.dir/autograd/optimizer.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/aneci_autograd.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/aneci_autograd.dir/autograd/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_autograd.dir/autograd/grad_check.cc.o"
+  "CMakeFiles/aneci_autograd.dir/autograd/grad_check.cc.o.d"
+  "CMakeFiles/aneci_autograd.dir/autograd/ops.cc.o"
+  "CMakeFiles/aneci_autograd.dir/autograd/ops.cc.o.d"
+  "CMakeFiles/aneci_autograd.dir/autograd/optimizer.cc.o"
+  "CMakeFiles/aneci_autograd.dir/autograd/optimizer.cc.o.d"
+  "CMakeFiles/aneci_autograd.dir/autograd/variable.cc.o"
+  "CMakeFiles/aneci_autograd.dir/autograd/variable.cc.o.d"
+  "libaneci_autograd.a"
+  "libaneci_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aneci.cc" "src/CMakeFiles/aneci_core.dir/core/aneci.cc.o" "gcc" "src/CMakeFiles/aneci_core.dir/core/aneci.cc.o.d"
+  "/root/repo/src/core/aneci_plus.cc" "src/CMakeFiles/aneci_core.dir/core/aneci_plus.cc.o" "gcc" "src/CMakeFiles/aneci_core.dir/core/aneci_plus.cc.o.d"
+  "/root/repo/src/core/losses.cc" "src/CMakeFiles/aneci_core.dir/core/losses.cc.o" "gcc" "src/CMakeFiles/aneci_core.dir/core/losses.cc.o.d"
+  "/root/repo/src/core/sage_encoder.cc" "src/CMakeFiles/aneci_core.dir/core/sage_encoder.cc.o" "gcc" "src/CMakeFiles/aneci_core.dir/core/sage_encoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

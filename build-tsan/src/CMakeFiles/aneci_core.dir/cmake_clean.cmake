@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_core.dir/core/aneci.cc.o"
+  "CMakeFiles/aneci_core.dir/core/aneci.cc.o.d"
+  "CMakeFiles/aneci_core.dir/core/aneci_plus.cc.o"
+  "CMakeFiles/aneci_core.dir/core/aneci_plus.cc.o.d"
+  "CMakeFiles/aneci_core.dir/core/losses.cc.o"
+  "CMakeFiles/aneci_core.dir/core/losses.cc.o.d"
+  "CMakeFiles/aneci_core.dir/core/sage_encoder.cc.o"
+  "CMakeFiles/aneci_core.dir/core/sage_encoder.cc.o.d"
+  "libaneci_core.a"
+  "libaneci_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_data.dir/data/datasets.cc.o"
+  "CMakeFiles/aneci_data.dir/data/datasets.cc.o.d"
+  "CMakeFiles/aneci_data.dir/data/sbm.cc.o"
+  "CMakeFiles/aneci_data.dir/data/sbm.cc.o.d"
+  "libaneci_data.a"
+  "libaneci_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/age.cc" "src/CMakeFiles/aneci_embed.dir/embed/age.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/age.cc.o.d"
+  "/root/repo/src/embed/aneci_embedder.cc" "src/CMakeFiles/aneci_embed.dir/embed/aneci_embedder.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/aneci_embedder.cc.o.d"
+  "/root/repo/src/embed/anomaly_dae.cc" "src/CMakeFiles/aneci_embed.dir/embed/anomaly_dae.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/anomaly_dae.cc.o.d"
+  "/root/repo/src/embed/dane.cc" "src/CMakeFiles/aneci_embed.dir/embed/dane.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/dane.cc.o.d"
+  "/root/repo/src/embed/deepwalk.cc" "src/CMakeFiles/aneci_embed.dir/embed/deepwalk.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/deepwalk.cc.o.d"
+  "/root/repo/src/embed/dgi.cc" "src/CMakeFiles/aneci_embed.dir/embed/dgi.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/dgi.cc.o.d"
+  "/root/repo/src/embed/dominant.cc" "src/CMakeFiles/aneci_embed.dir/embed/dominant.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/dominant.cc.o.d"
+  "/root/repo/src/embed/done.cc" "src/CMakeFiles/aneci_embed.dir/embed/done.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/done.cc.o.d"
+  "/root/repo/src/embed/embedder.cc" "src/CMakeFiles/aneci_embed.dir/embed/embedder.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/embedder.cc.o.d"
+  "/root/repo/src/embed/gae.cc" "src/CMakeFiles/aneci_embed.dir/embed/gae.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/gae.cc.o.d"
+  "/root/repo/src/embed/gat.cc" "src/CMakeFiles/aneci_embed.dir/embed/gat.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/gat.cc.o.d"
+  "/root/repo/src/embed/gcn_classifier.cc" "src/CMakeFiles/aneci_embed.dir/embed/gcn_classifier.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/gcn_classifier.cc.o.d"
+  "/root/repo/src/embed/graphsage.cc" "src/CMakeFiles/aneci_embed.dir/embed/graphsage.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/graphsage.cc.o.d"
+  "/root/repo/src/embed/hope.cc" "src/CMakeFiles/aneci_embed.dir/embed/hope.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/hope.cc.o.d"
+  "/root/repo/src/embed/line.cc" "src/CMakeFiles/aneci_embed.dir/embed/line.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/line.cc.o.d"
+  "/root/repo/src/embed/one.cc" "src/CMakeFiles/aneci_embed.dir/embed/one.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/one.cc.o.d"
+  "/root/repo/src/embed/sdne.cc" "src/CMakeFiles/aneci_embed.dir/embed/sdne.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/sdne.cc.o.d"
+  "/root/repo/src/embed/spectral.cc" "src/CMakeFiles/aneci_embed.dir/embed/spectral.cc.o" "gcc" "src/CMakeFiles/aneci_embed.dir/embed/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_tasks.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

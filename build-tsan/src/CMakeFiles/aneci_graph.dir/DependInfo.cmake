@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cc" "src/CMakeFiles/aneci_graph.dir/graph/components.cc.o" "gcc" "src/CMakeFiles/aneci_graph.dir/graph/components.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/aneci_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/aneci_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/aneci_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/aneci_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/louvain.cc" "src/CMakeFiles/aneci_graph.dir/graph/louvain.cc.o" "gcc" "src/CMakeFiles/aneci_graph.dir/graph/louvain.cc.o.d"
+  "/root/repo/src/graph/modularity.cc" "src/CMakeFiles/aneci_graph.dir/graph/modularity.cc.o" "gcc" "src/CMakeFiles/aneci_graph.dir/graph/modularity.cc.o.d"
+  "/root/repo/src/graph/proximity.cc" "src/CMakeFiles/aneci_graph.dir/graph/proximity.cc.o" "gcc" "src/CMakeFiles/aneci_graph.dir/graph/proximity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

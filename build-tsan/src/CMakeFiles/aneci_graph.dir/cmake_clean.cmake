@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_graph.dir/graph/components.cc.o"
+  "CMakeFiles/aneci_graph.dir/graph/components.cc.o.d"
+  "CMakeFiles/aneci_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/aneci_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/aneci_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/aneci_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/aneci_graph.dir/graph/louvain.cc.o"
+  "CMakeFiles/aneci_graph.dir/graph/louvain.cc.o.d"
+  "CMakeFiles/aneci_graph.dir/graph/modularity.cc.o"
+  "CMakeFiles/aneci_graph.dir/graph/modularity.cc.o.d"
+  "CMakeFiles/aneci_graph.dir/graph/proximity.cc.o"
+  "CMakeFiles/aneci_graph.dir/graph/proximity.cc.o.d"
+  "libaneci_graph.a"
+  "libaneci_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/aneci_linalg.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/aneci_linalg.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/gmm.cc" "src/CMakeFiles/aneci_linalg.dir/linalg/gmm.cc.o" "gcc" "src/CMakeFiles/aneci_linalg.dir/linalg/gmm.cc.o.d"
+  "/root/repo/src/linalg/kmeans.cc" "src/CMakeFiles/aneci_linalg.dir/linalg/kmeans.cc.o" "gcc" "src/CMakeFiles/aneci_linalg.dir/linalg/kmeans.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/aneci_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/aneci_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/sparse.cc" "src/CMakeFiles/aneci_linalg.dir/linalg/sparse.cc.o" "gcc" "src/CMakeFiles/aneci_linalg.dir/linalg/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

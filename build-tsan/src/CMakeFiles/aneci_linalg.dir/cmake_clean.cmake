@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_linalg.dir/linalg/eigen.cc.o"
+  "CMakeFiles/aneci_linalg.dir/linalg/eigen.cc.o.d"
+  "CMakeFiles/aneci_linalg.dir/linalg/gmm.cc.o"
+  "CMakeFiles/aneci_linalg.dir/linalg/gmm.cc.o.d"
+  "CMakeFiles/aneci_linalg.dir/linalg/kmeans.cc.o"
+  "CMakeFiles/aneci_linalg.dir/linalg/kmeans.cc.o.d"
+  "CMakeFiles/aneci_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/aneci_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/aneci_linalg.dir/linalg/sparse.cc.o"
+  "CMakeFiles/aneci_linalg.dir/linalg/sparse.cc.o.d"
+  "libaneci_linalg.a"
+  "libaneci_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tasks/community.cc" "src/CMakeFiles/aneci_tasks.dir/tasks/community.cc.o" "gcc" "src/CMakeFiles/aneci_tasks.dir/tasks/community.cc.o.d"
+  "/root/repo/src/tasks/logistic_regression.cc" "src/CMakeFiles/aneci_tasks.dir/tasks/logistic_regression.cc.o" "gcc" "src/CMakeFiles/aneci_tasks.dir/tasks/logistic_regression.cc.o.d"
+  "/root/repo/src/tasks/metrics.cc" "src/CMakeFiles/aneci_tasks.dir/tasks/metrics.cc.o" "gcc" "src/CMakeFiles/aneci_tasks.dir/tasks/metrics.cc.o.d"
+  "/root/repo/src/tasks/node_classification.cc" "src/CMakeFiles/aneci_tasks.dir/tasks/node_classification.cc.o" "gcc" "src/CMakeFiles/aneci_tasks.dir/tasks/node_classification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_autograd.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/aneci_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_tasks.dir/tasks/community.cc.o"
+  "CMakeFiles/aneci_tasks.dir/tasks/community.cc.o.d"
+  "CMakeFiles/aneci_tasks.dir/tasks/logistic_regression.cc.o"
+  "CMakeFiles/aneci_tasks.dir/tasks/logistic_regression.cc.o.d"
+  "CMakeFiles/aneci_tasks.dir/tasks/metrics.cc.o"
+  "CMakeFiles/aneci_tasks.dir/tasks/metrics.cc.o.d"
+  "CMakeFiles/aneci_tasks.dir/tasks/node_classification.cc.o"
+  "CMakeFiles/aneci_tasks.dir/tasks/node_classification.cc.o.d"
+  "libaneci_tasks.a"
+  "libaneci_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

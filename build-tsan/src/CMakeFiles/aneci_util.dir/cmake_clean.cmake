@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_util.dir/util/status.cc.o"
+  "CMakeFiles/aneci_util.dir/util/status.cc.o.d"
+  "CMakeFiles/aneci_util.dir/util/table.cc.o"
+  "CMakeFiles/aneci_util.dir/util/table.cc.o.d"
+  "CMakeFiles/aneci_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/aneci_util.dir/util/thread_pool.cc.o.d"
+  "libaneci_util.a"
+  "libaneci_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

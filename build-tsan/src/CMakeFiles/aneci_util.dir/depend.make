@@ -1,0 +1,2 @@
+# Empty dependencies file for aneci_util.
+# This may be replaced when dependencies are built.

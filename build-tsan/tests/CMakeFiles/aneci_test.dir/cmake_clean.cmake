@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_test.dir/aneci_test.cc.o"
+  "CMakeFiles/aneci_test.dir/aneci_test.cc.o.d"
+  "aneci_test"
+  "aneci_test.pdb"
+  "aneci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embed_extra_test.dir/embed_extra_test.cc.o"
+  "CMakeFiles/embed_extra_test.dir/embed_extra_test.cc.o.d"
+  "embed_extra_test"
+  "embed_extra_test.pdb"
+  "embed_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embed_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/losses_test.dir/losses_test.cc.o"
+  "CMakeFiles/losses_test.dir/losses_test.cc.o.d"
+  "losses_test"
+  "losses_test.pdb"
+  "losses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/losses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

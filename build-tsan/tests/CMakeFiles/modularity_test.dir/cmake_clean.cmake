@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modularity_test.dir/modularity_test.cc.o"
+  "CMakeFiles/modularity_test.dir/modularity_test.cc.o.d"
+  "modularity_test"
+  "modularity_test.pdb"
+  "modularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_kernels_test.dir/parallel_kernels_test.cc.o"
+  "CMakeFiles/parallel_kernels_test.dir/parallel_kernels_test.cc.o.d"
+  "parallel_kernels_test"
+  "parallel_kernels_test.pdb"
+  "parallel_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

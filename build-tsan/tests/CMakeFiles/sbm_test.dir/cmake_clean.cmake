@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbm_test.dir/sbm_test.cc.o"
+  "CMakeFiles/sbm_test.dir/sbm_test.cc.o.d"
+  "sbm_test"
+  "sbm_test.pdb"
+  "sbm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

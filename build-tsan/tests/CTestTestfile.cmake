@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/util_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/thread_pool_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/parallel_kernels_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/matrix_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/kmeans_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/autograd_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/graph_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/proximity_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/modularity_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/sbm_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/logreg_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/losses_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/aneci_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/embed_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/attack_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/anomaly_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/eigen_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/embed_extra_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rng_stat_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/table_flags_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aneci_cli.dir/aneci_cli.cc.o"
+  "CMakeFiles/aneci_cli.dir/aneci_cli.cc.o.d"
+  "aneci_cli"
+  "aneci_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aneci_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
