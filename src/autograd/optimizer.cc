@@ -28,6 +28,19 @@ Adam::Adam(std::vector<VarPtr> params, const Options& options)
   }
 }
 
+void Adam::SetMoments(std::vector<Matrix> m, std::vector<Matrix> v) {
+  ANECI_CHECK_EQ(m.size(), params_.size());
+  ANECI_CHECK_EQ(v.size(), params_.size());
+  for (size_t k = 0; k < params_.size(); ++k) {
+    ANECI_CHECK_EQ(m[k].rows(), params_[k]->value().rows());
+    ANECI_CHECK_EQ(m[k].cols(), params_[k]->value().cols());
+    ANECI_CHECK_EQ(v[k].rows(), params_[k]->value().rows());
+    ANECI_CHECK_EQ(v[k].cols(), params_[k]->value().cols());
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+}
+
 void Adam::Step() {
   ++t_;
   double scale = 1.0;

@@ -61,6 +61,23 @@ class Adam final : public Optimizer {
 
   void Step() override;
 
+  // --- Checkpointable state (util/checkpoint.h) ------------------------------
+  // Step counter, moment buffers and the (watchdog-adjustable) learning rate
+  // are exposed so a training run can be snapshotted and later resumed
+  // bit-identically.
+
+  int step() const { return t_; }
+  void set_step(int t) { t_ = t; }
+
+  double lr() const { return options_.lr; }
+  void set_lr(double lr) { options_.lr = lr; }
+
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+
+  /// Replaces both moment buffers; shapes must match the parameters.
+  void SetMoments(std::vector<Matrix> m, std::vector<Matrix> v);
+
  private:
   Options options_;
   int t_ = 0;

@@ -1,5 +1,7 @@
 #include "core/aneci.h"
 
+#include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "autograd/ops.h"
@@ -7,16 +9,86 @@
 #include "core/losses.h"
 #include "graph/modularity.h"
 #include "util/check.h"
+#include "util/checkpoint.h"
 
 namespace aneci {
 
 using ag::VarPtr;
 
-AneciResult Aneci::Train(const Graph& graph,
-                         const EpochCallback& on_epoch) const {
+namespace {
+
+TensorBlob ToBlob(const Matrix& m) {
+  TensorBlob b;
+  b.rows = m.rows();
+  b.cols = m.cols();
+  b.data.assign(m.data(), m.data() + m.size());
+  return b;
+}
+
+Matrix BlobToMatrix(const TensorBlob& b) {
+  Matrix m(b.rows, b.cols);
+  std::copy(b.data.begin(), b.data.end(), m.data());
+  return m;
+}
+
+bool BlobShapeMatches(const TensorBlob& b, const Matrix& m) {
+  return b.rows == m.rows() && b.cols == m.cols();
+}
+
+void HashMix(uint64_t* h, uint64_t v) {
+  // FNV-1a over the value's bytes.
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xff;
+    *h *= 1099511628211ULL;
+  }
+}
+
+void HashMixDouble(uint64_t* h, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  HashMix(h, bits);
+}
+
+/// Fingerprint of everything that shapes the training trajectory besides the
+/// snapshotted state: structural config plus graph dimensions. Deliberately
+/// excludes `epochs` (resuming with a larger budget extends a run) and
+/// `seed` (the restored RNG state supersedes it).
+uint64_t ResilienceFingerprint(const AneciConfig& cfg, const Graph& graph) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis.
+  HashMix(&h, static_cast<uint64_t>(cfg.hidden_dim));
+  HashMix(&h, static_cast<uint64_t>(cfg.embed_dim));
+  HashMix(&h, static_cast<uint64_t>(cfg.proximity.order));
+  HashMix(&h, static_cast<uint64_t>(cfg.proximity.weights.size()));
+  for (double w : cfg.proximity.weights) HashMixDouble(&h, w);
+  HashMixDouble(&h, cfg.proximity.drop_tol);
+  HashMix(&h, cfg.proximity.add_self_loops ? 1 : 0);
+  HashMixDouble(&h, cfg.beta1);
+  HashMixDouble(&h, cfg.beta2);
+  HashMix(&h, static_cast<uint64_t>(cfg.modularity_variant));
+  HashMixDouble(&h, cfg.lr);
+  HashMixDouble(&h, cfg.weight_decay);
+  HashMixDouble(&h, cfg.leaky_relu_alpha);
+  HashMix(&h, static_cast<uint64_t>(cfg.encoder));
+  HashMix(&h, static_cast<uint64_t>(cfg.reconstruction));
+  HashMix(&h, static_cast<uint64_t>(cfg.dense_threshold));
+  HashMix(&h, static_cast<uint64_t>(cfg.negatives_per_node));
+  HashMix(&h, static_cast<uint64_t>(cfg.resample_every));
+  HashMix(&h, static_cast<uint64_t>(cfg.early_stop_patience));
+  HashMixDouble(&h, cfg.early_stop_min_delta);
+  HashMix(&h, static_cast<uint64_t>(graph.num_nodes()));
+  HashMix(&h, static_cast<uint64_t>(graph.num_edges()));
+  HashMix(&h, static_cast<uint64_t>(graph.attribute_dim()));
+  return h;
+}
+
+}  // namespace
+
+StatusOr<AneciResult> Aneci::TrainWithResilience(
+    const Graph& graph, const EpochCallback& on_epoch) const {
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
   Rng rng(config_.seed);
+  Env* env = config_.env ? config_.env : Env::Default();
 
   // Precompute the constant operators: GCN propagation S, sparse features X,
   // and the high-order proximity A~ (both the training target and the
@@ -39,11 +111,12 @@ AneciResult Aneci::Train(const Graph& graph,
   auto w2 = ag::MakeParameter(
       Matrix::GlorotUniform(config_.hidden_dim, config_.embed_dim, rng));
   auto b2 = ag::MakeParameter(Matrix(1, config_.embed_dim));
+  const std::vector<VarPtr> params = {w1, b1, w2, b2};
 
   ag::Adam::Options adam;
   adam.lr = config_.lr;
   adam.weight_decay = config_.weight_decay;
-  ag::Adam optimizer({w1, b1, w2, b2}, adam);
+  ag::Adam optimizer(params, adam);
 
   auto forward = [&](const SparseMatrix* prop) {
     // H1 = LeakyReLU(S X W1 + b1); Z = S H1 W2 + b2.
@@ -64,7 +137,114 @@ AneciResult Aneci::Train(const Graph& graph,
   double best_mod_loss = std::numeric_limits<double>::max();
   int since_best = 0;
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  TrainingWatchdog watchdog(config_.watchdog);
+  const uint64_t fingerprint = ResilienceFingerprint(config_, graph);
+
+  // Snapshot of the complete loop state at an epoch boundary (the state seen
+  // at the top of epoch `next_epoch`, before any of its RNG draws).
+  auto capture = [&](int next_epoch) {
+    TrainingCheckpoint c;
+    c.config_fingerprint = fingerprint;
+    c.next_epoch = next_epoch;
+    c.adam_step = optimizer.step();
+    c.lr = optimizer.lr();
+    c.best_mod_loss = best_mod_loss;
+    c.since_best = since_best;
+    c.watchdog_rollbacks = watchdog.rollbacks();
+    c.watchdog_best_abs_loss = watchdog.best_abs_loss();
+    const Rng::State st = rng.state();
+    for (int i = 0; i < 4; ++i) c.rng_state[i] = st.s[i];
+    c.rng_has_gauss = st.has_gauss ? 1 : 0;
+    c.rng_gauss = st.gauss;
+    for (const VarPtr& p : params) c.params.push_back(ToBlob(p->value()));
+    for (const Matrix& m : optimizer.first_moments())
+      c.opt_m.push_back(ToBlob(m));
+    for (const Matrix& m : optimizer.second_moments())
+      c.opt_v.push_back(ToBlob(m));
+    c.pairs.reserve(pairs.size());
+    for (const ag::PairTarget& p : pairs)
+      c.pairs.push_back({p.u, p.v, p.target});
+    c.history.reserve(result.history.size());
+    for (const AneciEpochStats& s : result.history)
+      c.history.push_back({s.epoch, s.loss, s.modularity, s.rigidity});
+    return c;
+  };
+
+  auto restore = [&](const TrainingCheckpoint& c) -> Status {
+    if (c.config_fingerprint != fingerprint)
+      return Status::FailedPrecondition(
+          "checkpoint fingerprint mismatch: snapshot was written by a "
+          "different configuration or graph");
+    if (c.params.size() != params.size() ||
+        c.opt_m.size() != params.size() || c.opt_v.size() != params.size())
+      return Status::FailedPrecondition(
+          "checkpoint parameter count mismatch");
+    for (size_t k = 0; k < params.size(); ++k) {
+      if (!BlobShapeMatches(c.params[k], params[k]->value()) ||
+          !BlobShapeMatches(c.opt_m[k], params[k]->value()) ||
+          !BlobShapeMatches(c.opt_v[k], params[k]->value()))
+        return Status::FailedPrecondition(
+            "checkpoint tensor shape mismatch at parameter " +
+            std::to_string(k));
+    }
+    std::vector<Matrix> m, v;
+    for (size_t k = 0; k < params.size(); ++k) {
+      params[k]->mutable_value() = BlobToMatrix(c.params[k]);
+      m.push_back(BlobToMatrix(c.opt_m[k]));
+      v.push_back(BlobToMatrix(c.opt_v[k]));
+    }
+    optimizer.SetMoments(std::move(m), std::move(v));
+    optimizer.set_step(c.adam_step);
+    optimizer.set_lr(c.lr);
+    best_mod_loss = c.best_mod_loss;
+    since_best = c.since_best;
+    watchdog.Restore(c.watchdog_rollbacks, c.watchdog_best_abs_loss);
+    Rng::State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = c.rng_state[i];
+    st.has_gauss = c.rng_has_gauss != 0;
+    st.gauss = c.rng_gauss;
+    rng.set_state(st);
+    pairs.clear();
+    pairs.reserve(c.pairs.size());
+    for (const PairBlob& p : c.pairs) pairs.push_back({p.u, p.v, p.target});
+    result.history.clear();
+    result.history.reserve(c.history.size());
+    for (const EpochStatBlob& h : c.history)
+      result.history.push_back({h.epoch, h.loss, h.modularity, h.rigidity});
+    return Status::OK();
+  };
+
+  int epoch = 0;
+  if (!config_.resume_from.empty()) {
+    StatusOr<TrainingCheckpoint> c =
+        LoadLatestCheckpoint(config_.resume_from, env);
+    if (c.ok()) {
+      ANECI_RETURN_IF_ERROR(restore(c.value()));
+      epoch = c.value().next_epoch;
+      result.resumed_from_epoch = epoch;
+    } else if (c.status().code() != StatusCode::kNotFound) {
+      // Corrupt beyond the .bak fallback — surface it rather than silently
+      // retraining from scratch.
+      return c.status();
+    }
+  }
+
+  TrainingCheckpoint last_good;  // In-memory rollback target.
+  bool have_snapshot = false;
+  int last_snapshot_epoch = 0;
+
+  while (epoch < config_.epochs) {
+    // Watchdog snapshot at the epoch boundary, before this epoch's RNG
+    // draws, so a rollback replays the exact same trajectory modulo the
+    // decayed learning rate.
+    if (config_.watchdog.enabled &&
+        (!have_snapshot ||
+         epoch - last_snapshot_epoch >= config_.watchdog.snapshot_every)) {
+      last_good = capture(epoch);
+      have_snapshot = true;
+      last_snapshot_epoch = epoch;
+    }
+
     if (!dense_recon && config_.resample_every > 0 && epoch > 0 &&
         epoch % config_.resample_every == 0) {
       pairs =
@@ -98,25 +278,64 @@ AneciResult Aneci::Train(const Graph& graph,
         ag::Add(ag::Scale(q, -config_.beta1 * two_m_scale),
                 ag::Scale(recon, config_.beta2 * n / recon_pairs));
     ag::Backward(loss);
+
+    double loss_value = loss->value()(0, 0);
+    if (config_.divergence_fault_hook && config_.divergence_fault_hook(epoch))
+      loss_value = std::numeric_limits<double>::quiet_NaN();
+
+    const WatchdogVerdict verdict = watchdog.Inspect(loss_value, params);
+    if (verdict != WatchdogVerdict::kHealthy) {
+      if (!have_snapshot || !watchdog.RecordRollback())
+        return Status::Internal(
+            std::string("training diverged (") + WatchdogVerdictName(verdict) +
+            " at epoch " + std::to_string(epoch) + ") after " +
+            std::to_string(watchdog.rollbacks()) +
+            " rollback(s); lr reached " + std::to_string(optimizer.lr()));
+      // Roll back to the last good boundary and retry with a decayed
+      // learning rate. The restore would also rewind the rollback
+      // accounting, so it is re-applied afterwards.
+      const int rollbacks_taken = watchdog.rollbacks();
+      ANECI_RETURN_IF_ERROR(restore(last_good));
+      watchdog.Restore(rollbacks_taken, watchdog.best_abs_loss());
+      const double decayed_lr = optimizer.lr() * config_.watchdog.lr_backoff;
+      optimizer.set_lr(decayed_lr);
+      last_good.lr = decayed_lr;
+      last_good.watchdog_rollbacks = rollbacks_taken;
+      epoch = last_good.next_epoch;
+      continue;
+    }
+
     optimizer.Step();
 
     AneciEpochStats stats;
     stats.epoch = epoch;
-    stats.loss = loss->value()(0, 0);
+    stats.loss = loss_value;
     stats.modularity = q->value()(0, 0);
     stats.rigidity = Rigidity(p->value());
     result.history.push_back(stats);
     if (on_epoch) on_epoch(stats, z->value(), p->value());
 
+    bool stop_early = false;
     if (config_.early_stop_patience > 0) {
       const double mod_loss = -stats.modularity;
       if (mod_loss < best_mod_loss - config_.early_stop_min_delta) {
         best_mod_loss = mod_loss;
         since_best = 0;
       } else if (++since_best >= config_.early_stop_patience) {
-        break;
+        stop_early = true;
       }
     }
+
+    ++epoch;
+
+    if (!config_.checkpoint_dir.empty() && config_.checkpoint_every > 0 &&
+        (epoch % config_.checkpoint_every == 0 || epoch == config_.epochs ||
+         stop_early)) {
+      ANECI_RETURN_IF_ERROR(
+          SaveRotatingCheckpoint(capture(epoch), config_.checkpoint_dir, env));
+    }
+
+    if (stop_early) break;
   }
 
   // Final forward pass with trained weights; inference always uses the
@@ -124,7 +343,16 @@ AneciResult Aneci::Train(const Graph& graph,
   VarPtr z = forward(&s_norm);
   result.z = z->value();
   result.p = RowSoftmax(result.z);
+  result.watchdog_rollbacks = watchdog.rollbacks();
+  result.final_lr = optimizer.lr();
   return result;
+}
+
+AneciResult Aneci::Train(const Graph& graph,
+                         const EpochCallback& on_epoch) const {
+  StatusOr<AneciResult> result = TrainWithResilience(graph, on_epoch);
+  ANECI_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 }  // namespace aneci

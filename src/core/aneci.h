@@ -8,13 +8,17 @@
 #define ANECI_CORE_ANECI_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/sage_encoder.h"
+#include "core/watchdog.h"
 #include "graph/graph.h"
 #include "graph/proximity.h"
 #include "linalg/matrix.h"
+#include "util/env.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace aneci {
 
@@ -76,6 +80,30 @@ struct AneciConfig {
   double early_stop_min_delta = 1e-4;
 
   uint64_t seed = 42;
+
+  // --- Training resilience (docs/robustness.md) ----------------------------
+
+  /// Directory for periodic on-disk snapshots (util/checkpoint.h); empty
+  /// disables checkpointing.
+  std::string checkpoint_dir;
+  /// Epochs between snapshots when checkpoint_dir is set; a final snapshot
+  /// is always written when training finishes.
+  int checkpoint_every = 10;
+  /// Directory to resume from (usually == checkpoint_dir); empty disables.
+  /// A missing checkpoint starts fresh; a corrupt newest snapshot falls back
+  /// to the previous rotation slot; a fingerprint mismatch or fully corrupt
+  /// directory is an error. A resumed run continues bit-identically with an
+  /// uninterrupted one.
+  std::string resume_from;
+  /// Divergence watchdog policy (NaN/Inf/explosion detection + rollback).
+  WatchdogOptions watchdog;
+  /// Checkpoint I/O goes through this Env; nullptr means Env::Default().
+  /// Tests inject a FaultInjectingEnv here.
+  Env* env = nullptr;
+  /// Test hook: epochs for which this returns true get their loss forced to
+  /// NaN after the backward pass, simulating numerical divergence so the
+  /// watchdog's rollback path can be exercised deterministically.
+  std::function<bool(int)> divergence_fault_hook;
 };
 
 /// Per-epoch training telemetry (drives Fig. 9b).
@@ -91,6 +119,11 @@ struct AneciResult {
   Matrix z;  ///< Node embeddings (N x h).
   Matrix p;  ///< Soft community memberships, softmax(Z) (N x h).
   std::vector<AneciEpochStats> history;
+
+  // Resilience telemetry.
+  int resumed_from_epoch = -1;  ///< Epoch a checkpoint resume started at.
+  int watchdog_rollbacks = 0;   ///< Divergence rollbacks taken.
+  double final_lr = 0.0;        ///< Learning rate after any backoff.
 };
 
 class Aneci {
@@ -105,7 +138,14 @@ class Aneci {
   using EpochCallback = std::function<void(const AneciEpochStats&,
                                            const Matrix& z, const Matrix& p)>;
 
-  /// Trains on the graph and returns embeddings.
+  /// Trains on the graph and returns embeddings. Divergence past the
+  /// watchdog's rollback budget and checkpoint corruption are surfaced as a
+  /// Status instead of garbage embeddings or a crash.
+  StatusOr<AneciResult> TrainWithResilience(
+      const Graph& graph, const EpochCallback& on_epoch = nullptr) const;
+
+  /// Convenience wrapper over TrainWithResilience that aborts (with the
+  /// status message) on failure — for callers without an error channel.
   AneciResult Train(const Graph& graph,
                     const EpochCallback& on_epoch = nullptr) const;
 

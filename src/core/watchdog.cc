@@ -1,0 +1,46 @@
+#include "core/watchdog.h"
+
+#include <cmath>
+
+namespace aneci {
+
+const char* WatchdogVerdictName(WatchdogVerdict verdict) {
+  switch (verdict) {
+    case WatchdogVerdict::kHealthy:
+      return "healthy";
+    case WatchdogVerdict::kNonFiniteLoss:
+      return "non-finite loss";
+    case WatchdogVerdict::kNonFiniteGradient:
+      return "non-finite gradient";
+    case WatchdogVerdict::kLossExplosion:
+      return "loss explosion";
+  }
+  return "?";
+}
+
+WatchdogVerdict TrainingWatchdog::Inspect(
+    double loss, const std::vector<ag::VarPtr>& params) {
+  if (!options_.enabled) return WatchdogVerdict::kHealthy;
+  if (!std::isfinite(loss)) return WatchdogVerdict::kNonFiniteLoss;
+  for (const ag::VarPtr& p : params) {
+    const Matrix& g = p->grad();
+    for (int64_t i = 0; i < g.size(); ++i)
+      if (!std::isfinite(g.data()[i]))
+        return WatchdogVerdict::kNonFiniteGradient;
+  }
+  const double abs_loss = std::fabs(loss);
+  if (best_abs_loss_ >= 0.0 &&
+      abs_loss > options_.explosion_factor * (1.0 + best_abs_loss_))
+    return WatchdogVerdict::kLossExplosion;
+  if (best_abs_loss_ < 0.0 || abs_loss < best_abs_loss_)
+    best_abs_loss_ = abs_loss;
+  return WatchdogVerdict::kHealthy;
+}
+
+bool TrainingWatchdog::RecordRollback() {
+  if (rollbacks_ >= options_.max_rollbacks) return false;
+  ++rollbacks_;
+  return true;
+}
+
+}  // namespace aneci

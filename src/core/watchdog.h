@@ -1,0 +1,70 @@
+// Divergence watchdog for the training loop. Each epoch, after the backward
+// pass and *before* the optimizer step, the trainer asks the watchdog to
+// inspect the loss and the parameter gradients. A non-finite value or a loss
+// explosion vetoes the step; the trainer then rolls back to its last good
+// in-memory snapshot, decays the learning rate, and retries — up to a
+// bounded rollback budget, after which training surfaces a Status instead of
+// emitting garbage embeddings. Inspection is read-only, so a healthy run
+// with the watchdog enabled is bit-identical to one without it.
+#ifndef ANECI_CORE_WATCHDOG_H_
+#define ANECI_CORE_WATCHDOG_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace aneci {
+
+struct WatchdogOptions {
+  bool enabled = true;
+  /// An epoch is "exploded" when |loss| exceeds this factor times
+  /// (1 + smallest |loss| seen so far). Generous by design: it must never
+  /// trip on the early-epoch loss swings of a healthy run.
+  double explosion_factor = 1e4;
+  /// Rollbacks allowed before training gives up with a Status.
+  int max_rollbacks = 3;
+  /// Learning-rate multiplier applied on every rollback.
+  double lr_backoff = 0.5;
+  /// Epochs between in-memory snapshots (rollback granularity).
+  int snapshot_every = 10;
+};
+
+enum class WatchdogVerdict {
+  kHealthy,
+  kNonFiniteLoss,
+  kNonFiniteGradient,
+  kLossExplosion,
+};
+
+const char* WatchdogVerdictName(WatchdogVerdict verdict);
+
+class TrainingWatchdog {
+ public:
+  explicit TrainingWatchdog(const WatchdogOptions& options)
+      : options_(options) {}
+
+  /// Inspects one epoch's loss and the gradients currently stored on
+  /// `params`. Healthy epochs update the explosion baseline.
+  WatchdogVerdict Inspect(double loss, const std::vector<ag::VarPtr>& params);
+
+  /// Accounts one rollback; false when the budget is exhausted.
+  bool RecordRollback();
+
+  int rollbacks() const { return rollbacks_; }
+  double best_abs_loss() const { return best_abs_loss_; }
+
+  /// Restores accounting state from a checkpoint.
+  void Restore(int rollbacks, double best_abs_loss) {
+    rollbacks_ = rollbacks;
+    best_abs_loss_ = best_abs_loss;
+  }
+
+ private:
+  WatchdogOptions options_;
+  int rollbacks_ = 0;
+  double best_abs_loss_ = -1.0;  ///< < 0 until the first healthy epoch.
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_CORE_WATCHDOG_H_

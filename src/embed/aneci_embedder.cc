@@ -44,9 +44,12 @@ Matrix AneciEmbedder::Embed(const Graph& graph, Rng& rng) {
     return x;
   }
   Aneci model(EffectiveConfig(rng));
-  AneciResult result = model.Train(graph);
-  last_p_ = result.p;
-  return result.z;
+  // Embed() has no error channel, so divergence past the watchdog's rollback
+  // budget aborts with the status message instead of returning garbage.
+  StatusOr<AneciResult> result = model.TrainWithResilience(graph);
+  ANECI_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  last_p_ = result.value().p;
+  return std::move(result).value().z;
 }
 
 std::vector<double> AneciEmbedder::ScoreAnomalies(const Graph& graph,

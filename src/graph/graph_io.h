@@ -17,11 +17,16 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "util/env.h"
 #include "util/status.h"
 
 namespace aneci {
 
-Status SaveGraph(const Graph& graph, const std::string& path);
+/// Serialises the graph and writes it atomically (temp file + rename, via
+/// `env`; nullptr means Env::Default()), so an interrupted save never leaves
+/// a torn file behind.
+Status SaveGraph(const Graph& graph, const std::string& path,
+                 Env* env = nullptr);
 
 StatusOr<Graph> LoadGraph(const std::string& path);
 

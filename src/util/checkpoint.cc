@@ -1,0 +1,282 @@
+#include "util/checkpoint.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace aneci {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'N', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
+
+// --- Little-endian scalar encoding ------------------------------------------
+// Serialisation is byte-order-explicit so checkpoint files are portable
+// across hosts (doubles are carried via their IEEE-754 bit pattern).
+
+template <typename T>
+void PutScalar(std::string* out, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (size_t i = 0; i < sizeof(T); ++i)
+    out->push_back(static_cast<char>(
+        (static_cast<uint64_t>(value) >> (8 * i)) & 0xff));
+}
+
+void PutDouble(std::string* out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutScalar<uint64_t>(out, bits);
+}
+
+class Reader {
+ public:
+  Reader(std::string_view bytes, const std::string& origin)
+      : bytes_(bytes), origin_(origin) {}
+
+  template <typename T>
+  Status Get(T* value) {
+    static_assert(std::is_integral_v<T>);
+    if (bytes_.size() - pos_ < sizeof(T))
+      return Status::InvalidArgument("checkpoint payload truncated: " +
+                                     origin_);
+    uint64_t v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i)
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    pos_ += sizeof(T);
+    *value = static_cast<T>(v);
+    return Status::OK();
+  }
+
+  Status GetDouble(double* value) {
+    uint64_t bits = 0;
+    ANECI_RETURN_IF_ERROR(Get(&bits));
+    std::memcpy(value, &bits, sizeof(bits));
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::string origin_;
+  size_t pos_ = 0;
+};
+
+void PutTensors(std::string* out, const std::vector<TensorBlob>& tensors) {
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(tensors.size()));
+  for (const TensorBlob& t : tensors) {
+    PutScalar<int32_t>(out, t.rows);
+    PutScalar<int32_t>(out, t.cols);
+    for (double v : t.data) PutDouble(out, v);
+  }
+}
+
+Status GetTensors(Reader* reader, const std::string& origin,
+                  std::vector<TensorBlob>* tensors) {
+  uint32_t count = 0;
+  ANECI_RETURN_IF_ERROR(reader->Get(&count));
+  tensors->resize(count);
+  for (TensorBlob& t : *tensors) {
+    ANECI_RETURN_IF_ERROR(reader->Get(&t.rows));
+    ANECI_RETURN_IF_ERROR(reader->Get(&t.cols));
+    if (t.rows < 0 || t.cols < 0)
+      return Status::InvalidArgument("checkpoint tensor has negative shape: " +
+                                     origin);
+    t.data.resize(static_cast<size_t>(t.rows) * t.cols);
+    for (double& v : t.data) ANECI_RETURN_IF_ERROR(reader->GetDouble(&v));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  // Reflected CRC-32 with the IEEE 802.3 polynomial; table built on first use.
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  return crc ^ 0xffffffffu;
+}
+
+std::string SerializeCheckpoint(const TrainingCheckpoint& c) {
+  std::string payload;
+  PutScalar<uint64_t>(&payload, c.config_fingerprint);
+  PutScalar<int32_t>(&payload, c.next_epoch);
+  PutScalar<int32_t>(&payload, c.adam_step);
+  PutDouble(&payload, c.lr);
+  PutDouble(&payload, c.best_mod_loss);
+  PutScalar<int32_t>(&payload, c.since_best);
+  PutScalar<int32_t>(&payload, c.watchdog_rollbacks);
+  PutDouble(&payload, c.watchdog_best_abs_loss);
+  for (uint64_t s : c.rng_state) PutScalar<uint64_t>(&payload, s);
+  PutScalar<uint8_t>(&payload, c.rng_has_gauss);
+  PutDouble(&payload, c.rng_gauss);
+  PutTensors(&payload, c.params);
+  PutTensors(&payload, c.opt_m);
+  PutTensors(&payload, c.opt_v);
+  PutScalar<uint32_t>(&payload, static_cast<uint32_t>(c.pairs.size()));
+  for (const PairBlob& p : c.pairs) {
+    PutScalar<int32_t>(&payload, p.u);
+    PutScalar<int32_t>(&payload, p.v);
+    PutDouble(&payload, p.target);
+  }
+  PutScalar<uint32_t>(&payload, static_cast<uint32_t>(c.history.size()));
+  for (const EpochStatBlob& h : c.history) {
+    PutScalar<int32_t>(&payload, h.epoch);
+    PutDouble(&payload, h.loss);
+    PutDouble(&payload, h.modularity);
+    PutDouble(&payload, h.rigidity);
+  }
+
+  std::string file;
+  file.reserve(kHeaderSize + payload.size());
+  file.append(kMagic, sizeof(kMagic));
+  PutScalar<uint32_t>(&file, kVersion);
+  PutScalar<uint64_t>(&file, static_cast<uint64_t>(payload.size()));
+  PutScalar<uint32_t>(&file, Crc32(payload.data(), payload.size()));
+  file += payload;
+  return file;
+}
+
+StatusOr<TrainingCheckpoint> ParseCheckpoint(std::string_view bytes,
+                                             const std::string& origin) {
+  if (bytes.size() < kHeaderSize)
+    return Status::InvalidArgument("checkpoint too short for header: " +
+                                   origin);
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return Status::InvalidArgument("not a checkpoint (bad magic): " + origin);
+
+  Reader header(bytes.substr(4, kHeaderSize - 4), origin);
+  uint32_t version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  ANECI_RETURN_IF_ERROR(header.Get(&version));
+  ANECI_RETURN_IF_ERROR(header.Get(&payload_size));
+  ANECI_RETURN_IF_ERROR(header.Get(&crc));
+  if (version != kVersion)
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) + ": " +
+        origin);
+  if (bytes.size() - kHeaderSize != payload_size)
+    return Status::InvalidArgument(
+        "checkpoint truncated: header declares " +
+        std::to_string(payload_size) + " payload bytes, file has " +
+        std::to_string(bytes.size() - kHeaderSize) + ": " + origin);
+
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  const uint32_t actual_crc = Crc32(payload.data(), payload.size());
+  if (actual_crc != crc)
+    return Status::InvalidArgument("checkpoint CRC mismatch (corrupt): " +
+                                   origin);
+
+  TrainingCheckpoint c;
+  Reader reader(payload, origin);
+  ANECI_RETURN_IF_ERROR(reader.Get(&c.config_fingerprint));
+  ANECI_RETURN_IF_ERROR(reader.Get(&c.next_epoch));
+  ANECI_RETURN_IF_ERROR(reader.Get(&c.adam_step));
+  ANECI_RETURN_IF_ERROR(reader.GetDouble(&c.lr));
+  ANECI_RETURN_IF_ERROR(reader.GetDouble(&c.best_mod_loss));
+  ANECI_RETURN_IF_ERROR(reader.Get(&c.since_best));
+  ANECI_RETURN_IF_ERROR(reader.Get(&c.watchdog_rollbacks));
+  ANECI_RETURN_IF_ERROR(reader.GetDouble(&c.watchdog_best_abs_loss));
+  for (uint64_t& s : c.rng_state) ANECI_RETURN_IF_ERROR(reader.Get(&s));
+  ANECI_RETURN_IF_ERROR(reader.Get(&c.rng_has_gauss));
+  ANECI_RETURN_IF_ERROR(reader.GetDouble(&c.rng_gauss));
+  ANECI_RETURN_IF_ERROR(GetTensors(&reader, origin, &c.params));
+  ANECI_RETURN_IF_ERROR(GetTensors(&reader, origin, &c.opt_m));
+  ANECI_RETURN_IF_ERROR(GetTensors(&reader, origin, &c.opt_v));
+  uint32_t count = 0;
+  ANECI_RETURN_IF_ERROR(reader.Get(&count));
+  c.pairs.resize(count);
+  for (PairBlob& p : c.pairs) {
+    ANECI_RETURN_IF_ERROR(reader.Get(&p.u));
+    ANECI_RETURN_IF_ERROR(reader.Get(&p.v));
+    ANECI_RETURN_IF_ERROR(reader.GetDouble(&p.target));
+  }
+  ANECI_RETURN_IF_ERROR(reader.Get(&count));
+  c.history.resize(count);
+  for (EpochStatBlob& h : c.history) {
+    ANECI_RETURN_IF_ERROR(reader.Get(&h.epoch));
+    ANECI_RETURN_IF_ERROR(reader.GetDouble(&h.loss));
+    ANECI_RETURN_IF_ERROR(reader.GetDouble(&h.modularity));
+    ANECI_RETURN_IF_ERROR(reader.GetDouble(&h.rigidity));
+  }
+  if (!reader.exhausted())
+    return Status::InvalidArgument("checkpoint has trailing bytes: " + origin);
+  return c;
+}
+
+Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
+                      const std::string& path, Env* env) {
+  if (!env) env = Env::Default();
+  return env->WriteFileAtomic(path, SerializeCheckpoint(checkpoint));
+}
+
+StatusOr<TrainingCheckpoint> LoadCheckpoint(const std::string& path,
+                                            Env* env) {
+  if (!env) env = Env::Default();
+  StatusOr<std::string> bytes = env->ReadFile(path);
+  if (!bytes.ok()) return bytes.status();
+  return ParseCheckpoint(bytes.value(), path);
+}
+
+std::string CheckpointBinPath(const std::string& dir) {
+  return dir + "/checkpoint.bin";
+}
+
+std::string CheckpointBakPath(const std::string& dir) {
+  return dir + "/checkpoint.bak";
+}
+
+Status SaveRotatingCheckpoint(const TrainingCheckpoint& checkpoint,
+                              const std::string& dir, Env* env) {
+  if (!env) env = Env::Default();
+  ANECI_RETURN_IF_ERROR(env->CreateDir(dir));
+  const std::string bin = CheckpointBinPath(dir);
+  if (env->FileExists(bin))
+    ANECI_RETURN_IF_ERROR(env->RenameFile(bin, CheckpointBakPath(dir)));
+  return SaveCheckpoint(checkpoint, bin, env);
+}
+
+StatusOr<TrainingCheckpoint> LoadLatestCheckpoint(const std::string& dir,
+                                                  Env* env,
+                                                  std::string* loaded_path) {
+  if (!env) env = Env::Default();
+  const std::string bin = CheckpointBinPath(dir);
+  const std::string bak = CheckpointBakPath(dir);
+  const bool have_bin = env->FileExists(bin);
+  const bool have_bak = env->FileExists(bak);
+  if (!have_bin && !have_bak)
+    return Status::NotFound("no checkpoint in " + dir);
+  Status primary_error = Status::OK();
+  if (have_bin) {
+    StatusOr<TrainingCheckpoint> c = LoadCheckpoint(bin, env);
+    if (c.ok()) {
+      if (loaded_path) *loaded_path = bin;
+      return c;
+    }
+    primary_error = c.status();
+  }
+  if (have_bak) {
+    StatusOr<TrainingCheckpoint> c = LoadCheckpoint(bak, env);
+    if (c.ok()) {
+      if (loaded_path) *loaded_path = bak;
+      return c;
+    }
+    if (primary_error.ok()) primary_error = c.status();
+  }
+  return primary_error;
+}
+
+}  // namespace aneci

@@ -1,0 +1,103 @@
+#include "util/env.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace aneci {
+
+StatusOr<std::string> Env::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return buffer.str();
+}
+
+Status Env::WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+bool Env::FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+Status Env::RenameFile(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0)
+    return Status::IoError("rename failed: " + from + " -> " + to);
+  return Status::OK();
+}
+
+Status Env::RemoveFile(const std::string& path) {
+  if (std::remove(path.c_str()) != 0)
+    return Status::IoError("remove failed: " + path);
+  return Status::OK();
+}
+
+Status Env::CreateDir(const std::string& path) {
+  if (mkdir(path.c_str(), 0755) != 0 && errno != EEXIST)
+    return Status::IoError("mkdir failed: " + path);
+  return Status::OK();
+}
+
+Env* Env::Default() {
+  static Env* env = new Env();
+  return env;
+}
+
+StatusOr<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  return base_->ReadFile(path);
+}
+
+Status FaultInjectingEnv::WriteFileAtomic(const std::string& path,
+                                          std::string_view data) {
+  const int index = writes_++;
+  if (index == plan.fail_write)
+    return Status::IoError("injected write failure: " + path);
+  std::string mutated(data);
+  if (index == plan.truncate_write && plan.truncate_bytes < mutated.size())
+    mutated.resize(plan.truncate_bytes);
+  if (index == plan.bitflip_write && plan.bitflip_byte < mutated.size())
+    mutated[plan.bitflip_byte] ^=
+        static_cast<char>(1u << (plan.bitflip_bit & 7));
+  return base_->WriteFileAtomic(path, mutated);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
+}
+
+}  // namespace aneci

@@ -1,0 +1,88 @@
+// Filesystem access behind a virtual interface so durability-critical writes
+// (checkpoints, graph files) can be tested against injected faults. The
+// production Env writes atomically: data goes to `<path>.tmp` first and is
+// renamed over the destination only after a successful close, so readers
+// never observe a torn file — they see either the old content or the new.
+//
+// FaultInjectingEnv wraps any Env and corrupts a chosen write (fail it
+// outright, truncate it, or flip one bit) so tests can prove that corrupted
+// or half-written files are *detected* downstream instead of half-parsed.
+#ifndef ANECI_UTIL_ENV_H_
+#define ANECI_UTIL_ENV_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace aneci {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Reads the whole file into a string (binary-exact).
+  virtual StatusOr<std::string> ReadFile(const std::string& path);
+
+  /// Writes `data` to `<path>.tmp`, then renames it over `path`. On any
+  /// error the destination keeps its previous content and the temp file is
+  /// removed.
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 std::string_view data);
+
+  virtual bool FileExists(const std::string& path);
+
+  virtual Status RenameFile(const std::string& from, const std::string& to);
+
+  virtual Status RemoveFile(const std::string& path);
+
+  /// Creates a directory (one level); success if it already exists.
+  virtual Status CreateDir(const std::string& path);
+
+  /// Process-wide default environment (plain POSIX filesystem).
+  static Env* Default();
+};
+
+/// One planned fault against the Nth WriteFileAtomic call (0-based). A plan
+/// member left at its sentinel (-1) is inactive; multiple members may target
+/// the same write. Reads are never faulted — corruption is injected at write
+/// time and must be *caught* at read time.
+struct FaultPlan {
+  /// Fail this write with an IoError before any byte reaches disk.
+  int fail_write = -1;
+  /// Persist only the first `truncate_bytes` bytes of this write. The
+  /// truncated data still goes through the atomic rename, simulating a torn
+  /// write that an application-level integrity check must catch.
+  int truncate_write = -1;
+  size_t truncate_bytes = 0;
+  /// Flip `bitflip_bit` (0-7) of byte `bitflip_byte` of this write.
+  int bitflip_write = -1;
+  size_t bitflip_byte = 0;
+  int bitflip_bit = 0;
+};
+
+class FaultInjectingEnv final : public Env {
+ public:
+  explicit FaultInjectingEnv(Env* base = Env::Default()) : base_(base) {}
+
+  FaultPlan plan;
+
+  StatusOr<std::string> ReadFile(const std::string& path) override;
+  Status WriteFileAtomic(const std::string& path,
+                         std::string_view data) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+
+  /// Number of WriteFileAtomic calls observed so far.
+  int writes() const { return writes_; }
+
+ private:
+  Env* base_;
+  int writes_ = 0;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_UTIL_ENV_H_

@@ -81,6 +81,29 @@ class Rng {
   /// Bernoulli(p).
   bool NextBool(double p) { return NextDouble() < p; }
 
+  /// Complete generator state: the xoshiro256** words plus the cached
+  /// Gaussian pair. Restoring it makes the stream continue exactly where the
+  /// capture left off — the basis of bit-identical checkpoint resume.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_gauss = false;
+    double gauss = 0.0;
+  };
+
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.has_gauss = has_gauss_;
+    st.gauss = gauss_;
+    return st;
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    has_gauss_ = st.has_gauss;
+    gauss_ = st.gauss;
+  }
+
   /// Poisson(lambda) via Knuth for small lambda, normal approx for large.
   int NextPoisson(double lambda) {
     ANECI_DCHECK(lambda >= 0.0);

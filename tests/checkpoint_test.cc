@@ -1,0 +1,302 @@
+// The checkpoint container format and its integrity guarantees: CRC-32
+// vectors, byte-exact roundtrips, rejection of truncated / bit-flipped /
+// mislabelled files, the .bin/.bak rotation fallback, and atomicity of
+// writes under injected I/O faults.
+#include "util/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "util/env.h"
+
+namespace aneci {
+namespace {
+
+std::string TestDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  EXPECT_TRUE(Env::Default()->CreateDir(dir).ok());
+  return dir;
+}
+
+TrainingCheckpoint MakeCheckpoint(int next_epoch) {
+  TrainingCheckpoint c;
+  c.config_fingerprint = 0xdeadbeefcafef00dULL;
+  c.next_epoch = next_epoch;
+  c.adam_step = next_epoch;
+  c.lr = 0.01;
+  c.best_mod_loss = -0.375;
+  c.since_best = 2;
+  c.watchdog_rollbacks = 1;
+  c.watchdog_best_abs_loss = 17.25;
+  for (int i = 0; i < 4; ++i) c.rng_state[i] = 0x1111111111111111ULL * (i + 1);
+  c.rng_has_gauss = 1;
+  c.rng_gauss = -0.5;
+  TensorBlob w;
+  w.rows = 2;
+  w.cols = 3;
+  w.data = {1.0, -2.0, 0.25, 1e-300, -0.0, 3.5};
+  c.params = {w, w};
+  c.opt_m = {w, w};
+  c.opt_v = {w, w};
+  c.pairs = {{0, 1, 0.75}, {3, 2, 0.0}};
+  c.history = {{0, 1.5, -0.1, 0.9}, {1, 1.25, -0.05, 0.8}};
+  return c;
+}
+
+void ExpectCheckpointsEqual(const TrainingCheckpoint& a,
+                            const TrainingCheckpoint& b) {
+  EXPECT_EQ(a.config_fingerprint, b.config_fingerprint);
+  EXPECT_EQ(a.next_epoch, b.next_epoch);
+  EXPECT_EQ(a.adam_step, b.adam_step);
+  EXPECT_EQ(a.since_best, b.since_best);
+  EXPECT_EQ(a.watchdog_rollbacks, b.watchdog_rollbacks);
+  EXPECT_EQ(a.rng_has_gauss, b.rng_has_gauss);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a.rng_state[i], b.rng_state[i]);
+  // Doubles must survive bit-exactly (including -0.0 and denormals).
+  EXPECT_EQ(std::memcmp(&a.lr, &b.lr, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&a.best_mod_loss, &b.best_mod_loss, sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&a.rng_gauss, &b.rng_gauss, sizeof(double)), 0);
+  ASSERT_EQ(a.params.size(), b.params.size());
+  for (size_t k = 0; k < a.params.size(); ++k) {
+    EXPECT_EQ(a.params[k].rows, b.params[k].rows);
+    EXPECT_EQ(a.params[k].cols, b.params[k].cols);
+    ASSERT_EQ(a.params[k].data.size(), b.params[k].data.size());
+    EXPECT_EQ(std::memcmp(a.params[k].data.data(), b.params[k].data.data(),
+                          a.params[k].data.size() * sizeof(double)),
+              0);
+  }
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (size_t k = 0; k < a.pairs.size(); ++k) {
+    EXPECT_EQ(a.pairs[k].u, b.pairs[k].u);
+    EXPECT_EQ(a.pairs[k].v, b.pairs[k].v);
+    EXPECT_EQ(a.pairs[k].target, b.pairs[k].target);
+  }
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (size_t k = 0; k < a.history.size(); ++k) {
+    EXPECT_EQ(a.history[k].epoch, b.history[k].epoch);
+    EXPECT_EQ(a.history[k].loss, b.history[k].loss);
+  }
+}
+
+// --- CRC-32 -----------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  // IEEE 802.3 check value for the standard test string.
+  EXPECT_EQ(Crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32, SensitiveToSingleBit) {
+  std::string data(64, '\x5a');
+  const uint32_t base = Crc32(data.data(), data.size());
+  data[17] ^= 0x01;
+  EXPECT_NE(Crc32(data.data(), data.size()), base);
+}
+
+// --- Roundtrip --------------------------------------------------------------
+
+TEST(Checkpoint, SerializeParseRoundtrip) {
+  const TrainingCheckpoint original = MakeCheckpoint(7);
+  StatusOr<TrainingCheckpoint> loaded =
+      ParseCheckpoint(SerializeCheckpoint(original), "mem");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectCheckpointsEqual(original, loaded.value());
+}
+
+TEST(Checkpoint, SaveLoadRoundtripOnDisk) {
+  const std::string path = TestDir("ckpt_roundtrip") + "/checkpoint.bin";
+  const TrainingCheckpoint original = MakeCheckpoint(42);
+  ASSERT_TRUE(SaveCheckpoint(original, path).ok());
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectCheckpointsEqual(original, loaded.value());
+}
+
+TEST(Checkpoint, AtomicSaveLeavesNoTempFile) {
+  const std::string dir = TestDir("ckpt_no_tmp");
+  const std::string path = dir + "/checkpoint.bin";
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(1), path).ok());
+  EXPECT_TRUE(Env::Default()->FileExists(path));
+  EXPECT_FALSE(Env::Default()->FileExists(path + ".tmp"));
+}
+
+// --- Corruption detection ---------------------------------------------------
+
+TEST(Checkpoint, MissingFileIsIoError) {
+  StatusOr<TrainingCheckpoint> loaded =
+      LoadCheckpoint(testing::TempDir() + "/does_not_exist.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(Checkpoint, BadMagicRejected) {
+  std::string bytes = SerializeCheckpoint(MakeCheckpoint(3));
+  bytes[0] = 'X';
+  StatusOr<TrainingCheckpoint> loaded = ParseCheckpoint(bytes, "mem");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST(Checkpoint, UnsupportedVersionRejected) {
+  std::string bytes = SerializeCheckpoint(MakeCheckpoint(3));
+  bytes[4] = 99;  // Version field.
+  StatusOr<TrainingCheckpoint> loaded = ParseCheckpoint(bytes, "mem");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+}
+
+TEST(Checkpoint, TruncationRejected) {
+  const std::string bytes = SerializeCheckpoint(MakeCheckpoint(3));
+  // Every strict prefix must be rejected, never half-parsed.
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{19}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    StatusOr<TrainingCheckpoint> loaded =
+        ParseCheckpoint(bytes.substr(0, keep), "mem");
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << keep << " bytes accepted";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(Checkpoint, PayloadBitFlipRejectedByCrc) {
+  const std::string bytes = SerializeCheckpoint(MakeCheckpoint(3));
+  // Flip one bit in every payload byte position in turn; CRC must catch all.
+  for (size_t pos = 20; pos < bytes.size(); pos += 7) {
+    std::string corrupt = bytes;
+    corrupt[pos] ^= 0x10;
+    StatusOr<TrainingCheckpoint> loaded = ParseCheckpoint(corrupt, "mem");
+    ASSERT_FALSE(loaded.ok()) << "bit flip at byte " << pos << " accepted";
+    EXPECT_NE(loaded.status().message().find("CRC mismatch"),
+              std::string::npos);
+  }
+}
+
+TEST(Checkpoint, TrailingBytesRejected) {
+  TrainingCheckpoint c = MakeCheckpoint(3);
+  std::string bytes = SerializeCheckpoint(c);
+  bytes += "extra";
+  StatusOr<TrainingCheckpoint> loaded = ParseCheckpoint(bytes, "mem");
+  ASSERT_FALSE(loaded.ok());
+  // Appending bytes breaks the declared-size check before the CRC runs.
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+// --- Rotation and fallback --------------------------------------------------
+
+TEST(Checkpoint, RotationKeepsPreviousSnapshot) {
+  const std::string dir = TestDir("ckpt_rotation");
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(5), dir).ok());
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(10), dir).ok());
+  std::string used;
+  StatusOr<TrainingCheckpoint> latest = LoadLatestCheckpoint(dir, nullptr,
+                                                             &used);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().next_epoch, 10);
+  EXPECT_EQ(used, CheckpointBinPath(dir));
+  StatusOr<TrainingCheckpoint> previous =
+      LoadCheckpoint(CheckpointBakPath(dir));
+  ASSERT_TRUE(previous.ok());
+  EXPECT_EQ(previous.value().next_epoch, 5);
+}
+
+TEST(Checkpoint, CorruptNewestFallsBackToPrevious) {
+  const std::string dir = TestDir("ckpt_fallback");
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(5), dir).ok());
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(10), dir).ok());
+  // Flip a payload bit in the newest snapshot.
+  {
+    std::fstream f(CheckpointBinPath(dir),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x01;
+    f.seekp(40);
+    f.write(&byte, 1);
+  }
+  std::string used;
+  StatusOr<TrainingCheckpoint> latest = LoadLatestCheckpoint(dir, nullptr,
+                                                             &used);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().next_epoch, 5);
+  EXPECT_EQ(used, CheckpointBakPath(dir));
+}
+
+TEST(Checkpoint, BothCorruptReportsPrimaryError) {
+  const std::string dir = TestDir("ckpt_both_corrupt");
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(5), dir).ok());
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(10), dir).ok());
+  for (const std::string& path :
+       {CheckpointBinPath(dir), CheckpointBakPath(dir)}) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "garbage";
+  }
+  StatusOr<TrainingCheckpoint> latest = LoadLatestCheckpoint(dir);
+  ASSERT_FALSE(latest.ok());
+  EXPECT_EQ(latest.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Checkpoint, EmptyDirIsNotFound) {
+  const std::string dir = TestDir("ckpt_empty");
+  StatusOr<TrainingCheckpoint> latest = LoadLatestCheckpoint(dir);
+  ASSERT_FALSE(latest.ok());
+  EXPECT_EQ(latest.status().code(), StatusCode::kNotFound);
+}
+
+// --- Injected I/O faults ----------------------------------------------------
+
+TEST(FaultInjection, FailedWriteSurfacesStatusAndPreservesOldSnapshot) {
+  const std::string dir = TestDir("ckpt_fail_write");
+  FaultInjectingEnv env;
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(5), dir, &env).ok());
+  env.plan.fail_write = env.writes();  // Fail the next write.
+  Status st = SaveRotatingCheckpoint(MakeCheckpoint(10), dir, &env);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  // The epoch-5 snapshot survives (rotated into the .bak slot).
+  StatusOr<TrainingCheckpoint> latest = LoadLatestCheckpoint(dir);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().next_epoch, 5);
+}
+
+TEST(FaultInjection, TruncatedWriteDetectedOnLoad) {
+  const std::string dir = TestDir("ckpt_trunc_write");
+  FaultInjectingEnv env;
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(5), dir, &env).ok());
+  env.plan.truncate_write = env.writes();
+  env.plan.truncate_bytes = 64;
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(10), dir, &env).ok());
+  // The torn epoch-10 snapshot is rejected; recovery lands on epoch 5.
+  std::string used;
+  StatusOr<TrainingCheckpoint> latest = LoadLatestCheckpoint(dir, &env, &used);
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().next_epoch, 5);
+  EXPECT_EQ(used, CheckpointBakPath(dir));
+  StatusOr<TrainingCheckpoint> direct =
+      LoadCheckpoint(CheckpointBinPath(dir), &env);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(FaultInjection, BitFlippedWriteDetectedOnLoad) {
+  const std::string dir = TestDir("ckpt_flip_write");
+  FaultInjectingEnv env;
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(5), dir, &env).ok());
+  env.plan.bitflip_write = env.writes();
+  env.plan.bitflip_byte = 100;  // Deep in the payload.
+  env.plan.bitflip_bit = 3;
+  ASSERT_TRUE(SaveRotatingCheckpoint(MakeCheckpoint(10), dir, &env).ok());
+  StatusOr<TrainingCheckpoint> direct =
+      LoadCheckpoint(CheckpointBinPath(dir), &env);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().message().find("CRC mismatch"), std::string::npos);
+  StatusOr<TrainingCheckpoint> latest = LoadLatestCheckpoint(dir, &env);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().next_epoch, 5);
+}
+
+}  // namespace
+}  // namespace aneci

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/status.h"
@@ -53,6 +55,87 @@ TEST(StatusOr, MoveOutValue) {
   StatusOr<std::string> v(std::string("hello"));
   std::string s = std::move(v).value();
   EXPECT_EQ(s, "hello");
+}
+
+// A type that can be moved but not copied; StatusOr must support it, since
+// StatusOr<Graph>-style payloads are moved out of loaders.
+struct MoveOnly {
+  explicit MoveOnly(int v) : value(v) {}
+  MoveOnly(MoveOnly&&) = default;
+  MoveOnly& operator=(MoveOnly&&) = default;
+  MoveOnly(const MoveOnly&) = delete;
+  MoveOnly& operator=(const MoveOnly&) = delete;
+  int value;
+};
+
+TEST(StatusOr, MoveOnlyPayload) {
+  StatusOr<MoveOnly> v(MoveOnly(7));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().value, 7);
+  MoveOnly out = std::move(v).value();
+  EXPECT_EQ(out.value, 7);
+
+  StatusOr<MoveOnly> err(Status::Internal("boom"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, MutableValueReference) {
+  StatusOr<std::vector<int>> v(std::vector<int>{1, 2});
+  v.value().push_back(3);
+  EXPECT_EQ(v.value().size(), 3u);
+}
+
+namespace statusor_chain {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative: " + std::to_string(x));
+  return Status::OK();
+}
+
+// Mirrors the loader idiom: validate with ANECI_RETURN_IF_ERROR, then return
+// a value that converts implicitly into StatusOr.
+StatusOr<int> DoubleIfValid(int x) {
+  ANECI_RETURN_IF_ERROR(FailIfNegative(x));
+  return 2 * x;
+}
+
+StatusOr<std::string> Describe(int x) {
+  StatusOr<int> doubled = DoubleIfValid(x);
+  if (!doubled.ok()) return doubled.status();  // Error propagates across T.
+  return std::string("value=") + std::to_string(doubled.value());
+}
+
+}  // namespace statusor_chain
+
+TEST(StatusOr, ReturnIfErrorPropagates) {
+  StatusOr<int> good = statusor_chain::DoubleIfValid(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+
+  StatusOr<int> bad = statusor_chain::DoubleIfValid(-5);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(bad.status().message().find("-5"), std::string::npos);
+}
+
+TEST(StatusOr, ErrorPropagatesAcrossPayloadTypes) {
+  StatusOr<std::string> good = statusor_chain::Describe(3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), "value=6");
+
+  // The original code and message survive two layers of propagation.
+  StatusOr<std::string> bad = statusor_chain::Describe(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(bad.status().message().find("negative"), std::string::npos);
+}
+
+TEST(Status, ToStringFormatsCodeAndMessage) {
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  const std::string s = Status::IoError("disk gone").ToString();
+  EXPECT_NE(s.find("disk gone"), std::string::npos);
+  EXPECT_NE(s.find("IoError"), std::string::npos);
 }
 
 // --- Rng ---------------------------------------------------------------------

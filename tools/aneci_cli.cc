@@ -5,7 +5,8 @@
 // Usage:
 //   aneci_cli generate  --dataset=cora --scale=0.2 --seed=42 --out=g.txt
 //   aneci_cli train     --graph=g.txt --out=z.csv [--epochs=150 --dim=16
-//                        --order=2 --plus]
+//                        --order=2 --plus --checkpoint-dir=ckpt
+//                        --checkpoint-every=10 --resume]
 //   aneci_cli embed     --graph=g.txt --method=GAE --out=z.csv [--epochs=..]
 //   aneci_cli attack    --graph=g.txt --type=random --rate=0.2 --out=ga.txt
 //   aneci_cli detect    --graph=g.txt --kind=Mix --fraction=0.05
@@ -111,6 +112,13 @@ int CmdTrain(const Args& args) {
   cfg.epochs = args.GetInt("epochs", 150);
   cfg.proximity.order = args.GetInt("order", 2);
   cfg.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  cfg.checkpoint_dir = args.Get("checkpoint-dir", "");
+  cfg.checkpoint_every = args.GetInt("checkpoint-every", 10);
+  if (args.Has("resume")) {
+    if (cfg.checkpoint_dir.empty())
+      return Fail("--resume requires --checkpoint-dir=<dir>");
+    cfg.resume_from = cfg.checkpoint_dir;
+  }
 
   Matrix z;
   if (args.Has("plus")) {
@@ -122,7 +130,15 @@ int CmdTrain(const Args& args) {
     z = result.stage2.z;
   } else {
     Aneci model(cfg);
-    AneciResult result = model.Train(graph.value());
+    StatusOr<AneciResult> trained = model.TrainWithResilience(graph.value());
+    if (!trained.ok()) return Fail(trained.status().ToString());
+    const AneciResult& result = trained.value();
+    if (result.resumed_from_epoch >= 0)
+      std::printf("resumed from checkpoint at epoch %d\n",
+                  result.resumed_from_epoch);
+    if (result.watchdog_rollbacks > 0)
+      std::printf("watchdog took %d rollback(s); lr decayed to %g\n",
+                  result.watchdog_rollbacks, result.final_lr);
     std::printf("trained %zu epochs, Q~=%.4f rigidity=%.3f\n",
                 result.history.size(), result.history.back().modularity,
                 result.history.back().rigidity);
