@@ -12,65 +12,21 @@ Graph FgaAttack(const Dataset& dataset, const std::vector<int>& targets,
   Graph attacked = dataset.graph;
   SurrogateModel surrogate(options.surrogate);
   surrogate.Fit(dataset.graph, dataset, rng);
-  const Matrix& r = surrogate.projected();  // R = X W (N x k).
   const int n = attacked.num_nodes();
-  const int k = r.cols();
 
   for (int target : targets) {
     const int y = dataset.graph.labels()[target];
     for (int step = 0; step < options.perturbations_per_target; ++step) {
-      const SparseMatrix s_norm = attacked.NormalizedAdjacency();
-
-      // Target logits and loss gradient g = softmax(z_t) - onehot(y).
-      Matrix u = s_norm.Multiply(r);
-      std::vector<double> z(k, 0.0);
-      for (int64_t e = s_norm.row_ptr()[target];
-           e < s_norm.row_ptr()[target + 1]; ++e) {
-        const double w = s_norm.values()[e];
-        const double* urow = u.RowPtr(s_norm.col_idx()[e]);
-        for (int c = 0; c < k; ++c) z[c] += w * urow[c];
-      }
-      double mx = z[0];
-      for (int c = 1; c < k; ++c) mx = std::max(mx, z[c]);
-      double sum = 0.0;
-      std::vector<double> g(k);
-      for (int c = 0; c < k; ++c) {
-        g[c] = std::exp(z[c] - mx);
-        sum += g[c];
-      }
-      for (int c = 0; c < k; ++c) g[c] = g[c] / sum - (c == y ? 1.0 : 0.0);
-
-      // Gvec_j = g . R_j; sg = S~ Gvec. Gradient of the target CE loss wrt
-      // A_tv (normalisation constants frozen):
-      //   dL/dA_tv ~ [ (S~ Gvec)_v + s_tt Gvec_v + s_tv Gvec_t ]
-      //              / sqrt((d_t+1)(d_v+1)).
-      std::vector<double> gvec(n, 0.0);
-      for (int j = 0; j < n; ++j) {
-        const double* rrow = r.RowPtr(j);
-        for (int c = 0; c < k; ++c) gvec[j] += g[c] * rrow[c];
-      }
-      std::vector<double> sg(n, 0.0);
-      for (int a = 0; a < n; ++a) {
-        for (int64_t e = s_norm.row_ptr()[a]; e < s_norm.row_ptr()[a + 1];
-             ++e) {
-          sg[a] += s_norm.values()[e] * gvec[s_norm.col_idx()[e]];
-        }
-      }
-
-      const double dt = attacked.Degree(target) + 1.0;
-      const double s_tt = 1.0 / dt;
+      const std::vector<double> grad =
+          SurrogateEdgeGradient(surrogate, attacked, target, y);
       double best_score = 0.0;
       int best_v = -1;
       for (int v = 0; v < n; ++v) {
         if (v == target) continue;
-        const double dv = attacked.Degree(v) + 1.0;
-        const bool has = attacked.HasEdge(target, v);
-        const double s_tv = has ? 1.0 / std::sqrt(dt * dv) : 0.0;
-        const double grad =
-            (sg[v] + s_tt * gvec[v] + s_tv * gvec[target]) / std::sqrt(dt * dv);
         // Increasing the loss means raising A_tv when grad > 0 (add edge) or
         // lowering it when grad < 0 (remove edge).
-        const double score = has ? -grad : grad;
+        const double score =
+            attacked.HasEdge(target, v) ? -grad[v] : grad[v];
         if (score > best_score) {
           best_score = score;
           best_v = v;

@@ -27,4 +27,28 @@ RandomAttackResult RandomAttack(const Graph& graph, double delta, Rng& rng) {
   return result;
 }
 
+Graph BudgetedEdgeFlips(const Graph& graph, int flips, Rng& rng) {
+  Graph flipped = graph;
+  const int n = graph.num_nodes();
+  if (n < 2) return flipped;
+  for (int f = 0; f < flips; ++f) {
+    const bool remove = rng.NextBool(0.5) && flipped.num_edges() > 0;
+    if (remove) {
+      const Edge e = flipped.edges()[rng.NextInt(flipped.num_edges())];
+      flipped.RemoveEdge(e.u, e.v);
+    } else {
+      // Rejection-sample an absent pair; bounded attempts keep the flip
+      // count deterministic even on near-complete graphs.
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        const int u = static_cast<int>(rng.NextInt(n));
+        const int v = static_cast<int>(rng.NextInt(n));
+        if (u == v || flipped.HasEdge(u, v)) continue;
+        flipped.AddEdge(u, v);
+        break;
+      }
+    }
+  }
+  return flipped;
+}
+
 }  // namespace aneci

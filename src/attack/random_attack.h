@@ -19,6 +19,12 @@ struct RandomAttackResult {
 /// Perturbation rate delta in [0, 1): adds round(delta * M) fake edges.
 RandomAttackResult RandomAttack(const Graph& graph, double delta, Rng& rng);
 
+/// Symmetric perturbation used by adversarial training and randomised
+/// smoothing: performs `flips` edge flips, each removing a uniformly chosen
+/// existing edge or adding a uniformly chosen absent pair with equal
+/// probability. The graph stays simple (no self-loops, no duplicates).
+Graph BudgetedEdgeFlips(const Graph& graph, int flips, Rng& rng);
+
 }  // namespace aneci
 
 #endif  // ANECI_ATTACK_RANDOM_ATTACK_H_

@@ -81,6 +81,61 @@ std::vector<double> SurrogateModel::LogitsForNode(const Graph& graph,
   return z;
 }
 
+std::vector<double> SurrogateEdgeGradient(const SurrogateModel& model,
+                                          const Graph& graph, int target,
+                                          int label) {
+  const Matrix& r = model.projected();
+  ANECI_CHECK(!r.empty());
+  const int n = graph.num_nodes();
+  const int k = r.cols();
+  const SparseMatrix s_norm = graph.NormalizedAdjacency();
+
+  // Target logits and loss gradient g = softmax(z_t) - onehot(label).
+  Matrix u = s_norm.Multiply(r);
+  std::vector<double> z(k, 0.0);
+  for (int64_t e = s_norm.row_ptr()[target]; e < s_norm.row_ptr()[target + 1];
+       ++e) {
+    const double w = s_norm.values()[e];
+    const double* urow = u.RowPtr(s_norm.col_idx()[e]);
+    for (int c = 0; c < k; ++c) z[c] += w * urow[c];
+  }
+  double mx = z[0];
+  for (int c = 1; c < k; ++c) mx = std::max(mx, z[c]);
+  double sum = 0.0;
+  std::vector<double> g(k);
+  for (int c = 0; c < k; ++c) {
+    g[c] = std::exp(z[c] - mx);
+    sum += g[c];
+  }
+  for (int c = 0; c < k; ++c) g[c] = g[c] / sum - (c == label ? 1.0 : 0.0);
+
+  // Gvec_j = g . R_j; sg = S~ Gvec.
+  std::vector<double> gvec(n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    const double* rrow = r.RowPtr(j);
+    for (int c = 0; c < k; ++c) gvec[j] += g[c] * rrow[c];
+  }
+  std::vector<double> sg(n, 0.0);
+  for (int a = 0; a < n; ++a) {
+    for (int64_t e = s_norm.row_ptr()[a]; e < s_norm.row_ptr()[a + 1]; ++e) {
+      sg[a] += s_norm.values()[e] * gvec[s_norm.col_idx()[e]];
+    }
+  }
+
+  const double dt = graph.Degree(target) + 1.0;
+  const double s_tt = 1.0 / dt;
+  std::vector<double> grad(n, 0.0);
+  for (int v = 0; v < n; ++v) {
+    if (v == target) continue;
+    const double dv = graph.Degree(v) + 1.0;
+    const double s_tv =
+        graph.HasEdge(target, v) ? 1.0 / std::sqrt(dt * dv) : 0.0;
+    grad[v] =
+        (sg[v] + s_tt * gvec[v] + s_tv * gvec[target]) / std::sqrt(dt * dv);
+  }
+  return grad;
+}
+
 std::vector<int> SelectAttackTargets(const Dataset& dataset, int min_targets,
                                      int max_targets, Rng& rng) {
   const Graph& graph = dataset.graph;

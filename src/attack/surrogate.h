@@ -55,6 +55,18 @@ class SurrogateModel {
 std::vector<int> SelectAttackTargets(const Dataset& dataset, int min_targets,
                                      int max_targets, Rng& rng);
 
+/// Gradient of the target's surrogate cross-entropy loss wrt each potential
+/// edge A_{target,v}, with the degree normalisation frozen at `graph`:
+///   dL/dA_tv = [ (S~ Gvec)_v + s_tt Gvec_v + s_tv Gvec_t ]
+///              / sqrt((d_t+1)(d_v+1)),
+/// where Gvec = R (softmax(z_t) - onehot(label)) and s_tv is the current
+/// normalised weight (0 when the edge is absent). Entry `target` is 0. This
+/// is the saliency FGA ranks candidate flips by; exposed so tests can check
+/// it against finite differences of the frozen-normalisation loss.
+std::vector<double> SurrogateEdgeGradient(const SurrogateModel& model,
+                                          const Graph& graph, int target,
+                                          int label);
+
 }  // namespace aneci
 
 #endif  // ANECI_ATTACK_SURROGATE_H_

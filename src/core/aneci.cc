@@ -4,6 +4,8 @@
 #include <cstring>
 #include <limits>
 
+#include "attack/dice.h"
+#include "attack/random_attack.h"
 #include "autograd/ops.h"
 #include "autograd/optimizer.h"
 #include "core/losses.h"
@@ -75,6 +77,15 @@ uint64_t ResilienceFingerprint(const AneciConfig& cfg, const Graph& graph) {
   HashMix(&h, static_cast<uint64_t>(cfg.resample_every));
   HashMix(&h, static_cast<uint64_t>(cfg.early_stop_patience));
   HashMixDouble(&h, cfg.early_stop_min_delta);
+  if (cfg.adversarial.enabled) {
+    // Mixed only when enabled so fingerprints of non-adversarial runs stay
+    // compatible with their pre-adversarial-training snapshots.
+    HashMix(&h, 0xADuLL);
+    HashMixDouble(&h, cfg.adversarial.budget);
+    HashMix(&h, static_cast<uint64_t>(cfg.adversarial.every));
+    HashMix(&h, static_cast<uint64_t>(cfg.adversarial.kind));
+    HashMix(&h, cfg.adversarial.seed);
+  }
   HashMix(&h, static_cast<uint64_t>(graph.num_nodes()));
   HashMix(&h, static_cast<uint64_t>(graph.num_edges()));
   HashMix(&h, static_cast<uint64_t>(graph.attribute_dim()));
@@ -88,6 +99,10 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
   Rng rng(config_.seed);
+  const AdversarialTrainingOptions& adv = config_.adversarial;
+  // Dedicated perturbation stream: enabling adversarial training must not
+  // shift any draw of the main stream, and vice versa.
+  Rng adv_rng(adv.seed);
   Env* env = config_.env ? config_.env : Env::Default();
 
   // Precompute the constant operators: GCN propagation S, sparse features X,
@@ -156,6 +171,10 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
     for (int i = 0; i < 4; ++i) c.rng_state[i] = st.s[i];
     c.rng_has_gauss = st.has_gauss ? 1 : 0;
     c.rng_gauss = st.gauss;
+    const Rng::State adv_st = adv_rng.state();
+    for (int i = 0; i < 4; ++i) c.adv_rng_state[i] = adv_st.s[i];
+    c.adv_rng_has_gauss = adv_st.has_gauss ? 1 : 0;
+    c.adv_rng_gauss = adv_st.gauss;
     for (const VarPtr& p : params) c.params.push_back(ToBlob(p->value()));
     for (const Matrix& m : optimizer.first_moments())
       c.opt_m.push_back(ToBlob(m));
@@ -204,6 +223,11 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
     st.has_gauss = c.rng_has_gauss != 0;
     st.gauss = c.rng_gauss;
     rng.set_state(st);
+    Rng::State adv_st;
+    for (int i = 0; i < 4; ++i) adv_st.s[i] = c.adv_rng_state[i];
+    adv_st.has_gauss = c.adv_rng_has_gauss != 0;
+    adv_st.gauss = c.adv_rng_gauss;
+    adv_rng.set_state(adv_st);
     pairs.clear();
     pairs.reserve(c.pairs.size());
     for (const PairBlob& p : c.pairs) pairs.push_back({p.u, p.v, p.target});
@@ -251,6 +275,42 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
           SampleReconstructionPairs(proximity, config_.negatives_per_node, rng);
     }
 
+    // Adversarial inner step: rebuild the proximity target from a budgeted
+    // edge-flip perturbation drawn from the dedicated stream. The encoder
+    // still propagates over the clean operator S — only the supervision
+    // target moves — so the model learns memberships that survive the
+    // perturbation family. All quantities are pure functions of the
+    // adv_rng state captured at the epoch boundary, which makes the step
+    // both watchdog-rollback-safe and checkpoint-resumable.
+    const bool adv_epoch =
+        adv.enabled && (adv.every <= 1 || epoch % adv.every == 0);
+    SparseMatrix adv_proximity;
+    const SparseMatrix* target = &proximity;
+    double target_scale = two_m_scale;
+    std::vector<ag::PairTarget> adv_pairs;
+    const std::vector<ag::PairTarget>* epoch_pairs = &pairs;
+    if (adv_epoch) {
+      const int flips = static_cast<int>(
+          std::lround(adv.budget * graph.num_edges()));
+      Graph perturbed;
+      if (adv.kind == AdversarialTrainingOptions::Kind::kDice &&
+          graph.has_labels()) {
+        DiceOptions dice;
+        dice.budget = adv.budget;
+        perturbed = DiceAttack(graph, dice, adv_rng).attacked;
+      } else {
+        perturbed = BudgetedEdgeFlips(graph, flips, adv_rng);
+      }
+      adv_proximity = HighOrderProximity(perturbed, config_.proximity);
+      target = &adv_proximity;
+      target_scale = adv_proximity.SumAll();
+      if (!dense_recon) {
+        adv_pairs = SampleReconstructionPairs(
+            adv_proximity, config_.negatives_per_node, adv_rng);
+        epoch_pairs = &adv_pairs;
+      }
+    }
+
     optimizer.ZeroGrad();
     // The sampled operator must stay alive through Backward().
     SparseMatrix s_epoch;
@@ -262,10 +322,10 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
     VarPtr z = forward(prop);
     VarPtr p = ag::RowSoftmax(z);
     VarPtr q = config_.modularity_variant == ModularityVariant::kProduct
-                   ? GeneralizedModularityLoss(&proximity, p)
-                   : GeneralizedModularityMinLoss(&proximity, p);
-    VarPtr recon = dense_recon ? DenseReconstructionLoss(&proximity, p)
-                               : SampledReconstructionLoss(p, pairs);
+                   ? GeneralizedModularityLoss(target, p)
+                   : GeneralizedModularityMinLoss(target, p);
+    VarPtr recon = dense_recon ? DenseReconstructionLoss(target, p)
+                               : SampledReconstructionLoss(p, *epoch_pairs);
     // Balance the two objectives at O(N) magnitude each: Q~ carries a
     // 1/(2M~) normalisation that would otherwise make its gradient O(1/N^2)
     // against the pair-summed reconstruction, so the loss uses the
@@ -273,9 +333,9 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
     // scaled back to N.
     const double recon_pairs =
         dense_recon ? static_cast<double>(n) * n
-                    : static_cast<double>(pairs.size());
+                    : static_cast<double>(epoch_pairs->size());
     VarPtr loss =
-        ag::Add(ag::Scale(q, -config_.beta1 * two_m_scale),
+        ag::Add(ag::Scale(q, -config_.beta1 * target_scale),
                 ag::Scale(recon, config_.beta2 * n / recon_pairs));
     ag::Backward(loss);
 

@@ -36,6 +36,28 @@ enum class EncoderMode {
   kSampledNeighbors,
 };
 
+/// Adversarial training (docs/robustness.md §10): on adversarial epochs the
+/// proximity target A~ is rebuilt from a budgeted edge-flip perturbation of
+/// the graph, so the encoder learns memberships that survive the attack
+/// family instead of memorising the clean structure. The perturbation draws
+/// from a dedicated RNG stream that is checkpointed alongside the model, so
+/// adversarially trained runs resume bit-identically; the perturbation
+/// itself flows through the deterministic SpGEMM kernels and is therefore
+/// identical at every ANECI_THREADS value.
+struct AdversarialTrainingOptions {
+  bool enabled = false;
+  /// Fraction of |E| flipped per adversarial epoch.
+  double budget = 0.05;
+  /// Apply the perturbed target every this many epochs (1 = every epoch).
+  int every = 1;
+  /// Perturbation family: label-agnostic random flips, or the label-aware
+  /// DICE heuristic (falls back to random when the graph has no labels).
+  enum class Kind { kRandom, kDice };
+  Kind kind = Kind::kRandom;
+  /// Seed of the dedicated perturbation stream.
+  uint64_t seed = 0x5eedULL;
+};
+
 /// Choice of the adapting-factor F in the generalised modularity
 /// (Section IV-C4 allows "the product or minimum between the corresponding
 /// two weights"; the paper's experiments use the product).
@@ -80,6 +102,9 @@ struct AneciConfig {
   double early_stop_min_delta = 1e-4;
 
   uint64_t seed = 42;
+
+  /// Optional adversarial inner step (docs/robustness.md §10).
+  AdversarialTrainingOptions adversarial;
 
   // --- Training resilience (docs/robustness.md) ----------------------------
 

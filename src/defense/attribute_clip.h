@@ -1,0 +1,38 @@
+// Attribute-outlier clipping: node pollution (the paper's outlier-injection
+// protocol) plants nodes whose attribute rows disagree with their
+// neighbourhood. An IsolationForest over the attribute rows (reusing
+// src/anomaly) flags the most anomalous fraction; each flagged node's
+// attributes are clipped to the mean of its unflagged neighbours, pulling
+// polluted rows back toward their community's attribute profile.
+#ifndef ANECI_DEFENSE_ATTRIBUTE_CLIP_H_
+#define ANECI_DEFENSE_ATTRIBUTE_CLIP_H_
+
+#include "defense/defense.h"
+
+namespace aneci {
+
+struct AttributeClipOptions {
+  /// Fraction of nodes (highest IsolationForest score) to clip.
+  double fraction = 0.05;
+  /// Forest size; smaller than the anomaly-detection default because the
+  /// defense only needs a coarse ranking.
+  int num_trees = 50;
+};
+
+class AttributeClip final : public GraphDefense {
+ public:
+  explicit AttributeClip(const AttributeClipOptions& options = {})
+      : options_(options) {}
+
+  const char* name() const override { return "clip"; }
+
+  /// No-op (with an explanatory report) on graphs without attributes.
+  DefenseReport Apply(Graph* graph, Rng& rng) const override;
+
+ private:
+  AttributeClipOptions options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_DEFENSE_ATTRIBUTE_CLIP_H_

@@ -1,0 +1,169 @@
+#include "defense/defense.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "defense/attribute_clip.h"
+#include "defense/jaccard_prune.h"
+#include "defense/lowrank.h"
+
+namespace aneci {
+namespace {
+
+/// Splits "name:key=v:key=v" into the name and key/value pairs.
+struct ParsedSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> options;
+};
+
+StatusOr<ParsedSpec> SplitSpec(const std::string& spec) {
+  ParsedSpec parsed;
+  size_t pos = spec.find(':');
+  parsed.name = spec.substr(0, pos);
+  if (parsed.name.empty())
+    return Status::InvalidArgument("empty defense name in spec '" + spec + "'");
+  while (pos != std::string::npos) {
+    const size_t next = spec.find(':', pos + 1);
+    const std::string item = spec.substr(
+        pos + 1, next == std::string::npos ? std::string::npos : next - pos - 1);
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size())
+      return Status::InvalidArgument("defense option '" + item + "' in '" +
+                                     spec + "' is not key=value");
+    parsed.options.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+    pos = next;
+  }
+  return parsed;
+}
+
+Status UnknownOption(const ParsedSpec& spec,
+                     const std::pair<std::string, std::string>& kv) {
+  return Status::InvalidArgument("defense '" + spec.name +
+                                 "' does not take option '" + kv.first + "'");
+}
+
+}  // namespace
+
+std::string DefenseReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[%s] edges %d -> %d (dropped %d)%s%s%s", defense.c_str(),
+                edges_before, edges_before - edges_dropped, edges_dropped,
+                rank_used > 0 ? (", rank " + std::to_string(rank_used)).c_str()
+                              : "",
+                nodes_clipped > 0
+                    ? (", clipped " + std::to_string(nodes_clipped) + " nodes")
+                          .c_str()
+                    : "",
+                note.empty() ? "" : (" — " + note).c_str());
+  return buf;
+}
+
+int PurifiedGraph::total_edges_dropped() const {
+  int total = 0;
+  for (const DefenseReport& r : reports) total += r.edges_dropped;
+  return total;
+}
+
+int PurifiedGraph::total_nodes_clipped() const {
+  int total = 0;
+  for (const DefenseReport& r : reports) total += r.nodes_clipped;
+  return total;
+}
+
+StatusOr<std::unique_ptr<GraphDefense>> CreateDefense(const std::string& spec) {
+  StatusOr<ParsedSpec> parsed = SplitSpec(spec);
+  if (!parsed.ok()) return parsed.status();
+  const ParsedSpec& p = parsed.value();
+
+  if (p.name == "jaccard") {
+    JaccardPruneOptions opt;
+    for (const auto& kv : p.options) {
+      if (kv.first == "tau") {
+        opt.threshold = std::atof(kv.second.c_str());
+      } else if (kv.first == "hops") {
+        opt.hops = std::atoi(kv.second.c_str());
+      } else if (kv.first == "guard") {
+        opt.min_residual_degree = std::atoi(kv.second.c_str());
+      } else if (kv.first == "cn") {
+        opt.protect_common_neighbors = std::atoi(kv.second.c_str()) != 0;
+      } else {
+        return UnknownOption(p, kv);
+      }
+    }
+    if (opt.hops < 0 || opt.hops > 1)
+      return Status::InvalidArgument("jaccard hops must be 0 or 1");
+    if (opt.min_residual_degree < 0)
+      return Status::InvalidArgument("jaccard guard must be >= 0");
+    return std::unique_ptr<GraphDefense>(new JaccardPrune(opt));
+  }
+  if (p.name == "lowrank") {
+    LowRankOptions opt;
+    for (const auto& kv : p.options) {
+      if (kv.first == "rank") {
+        opt.rank = std::atoi(kv.second.c_str());
+      } else if (kv.first == "drop") {
+        opt.drop_fraction = std::atof(kv.second.c_str());
+      } else if (kv.first == "steps") {
+        opt.lanczos_steps = std::atoi(kv.second.c_str());
+      } else {
+        return UnknownOption(p, kv);
+      }
+    }
+    if (opt.rank < 1)
+      return Status::InvalidArgument("lowrank rank must be >= 1");
+    if (opt.drop_fraction < 0.0 || opt.drop_fraction >= 1.0)
+      return Status::InvalidArgument("lowrank drop must be in [0, 1)");
+    return std::unique_ptr<GraphDefense>(new LowRankReconstruction(opt));
+  }
+  if (p.name == "clip") {
+    AttributeClipOptions opt;
+    for (const auto& kv : p.options) {
+      if (kv.first == "fraction") {
+        opt.fraction = std::atof(kv.second.c_str());
+      } else if (kv.first == "trees") {
+        opt.num_trees = std::atoi(kv.second.c_str());
+      } else {
+        return UnknownOption(p, kv);
+      }
+    }
+    if (opt.fraction < 0.0 || opt.fraction >= 1.0)
+      return Status::InvalidArgument("clip fraction must be in [0, 1)");
+    return std::unique_ptr<GraphDefense>(new AttributeClip(opt));
+  }
+  return Status::InvalidArgument(
+      "unknown defense '" + p.name + "' (expected jaccard, lowrank or clip)");
+}
+
+StatusOr<DefensePipeline> ParseDefensePipeline(const std::string& specs) {
+  DefensePipeline pipeline;
+  size_t start = 0;
+  while (start <= specs.size()) {
+    const size_t comma = specs.find(',', start);
+    const std::string item = specs.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) {
+      StatusOr<std::unique_ptr<GraphDefense>> defense = CreateDefense(item);
+      if (!defense.ok()) return defense.status();
+      pipeline.push_back(std::move(defense).value());
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (pipeline.empty())
+    return Status::InvalidArgument("empty defense pipeline spec '" + specs +
+                                   "'");
+  return pipeline;
+}
+
+PurifiedGraph RunDefensePipeline(const Graph& graph,
+                                 const DefensePipeline& pipeline, Rng& rng) {
+  PurifiedGraph result;
+  result.graph = graph;
+  result.reports.reserve(pipeline.size());
+  for (const std::unique_ptr<GraphDefense>& stage : pipeline)
+    result.reports.push_back(stage->Apply(&result.graph, rng));
+  return result;
+}
+
+}  // namespace aneci

@@ -1,0 +1,76 @@
+// Graph purification defenses: composable preprocessors that take a
+// (possibly poisoned) attributed network and return a cleaned copy plus a
+// report of what was changed. The three concrete defenses mirror the
+// literature's standard purification family:
+//   - JaccardPrune      edge pruning by endpoint attribute similarity
+//                       (Wu et al., IJCAI'19 "deep insights");
+//   - LowRankReconstruction  spectral low-rank filtering of the adjacency
+//                       (Entezari et al., WSDM'20 "all you need is low rank");
+//   - AttributeClip     attribute-outlier clipping driven by the
+//                       src/anomaly IsolationForest scores.
+// Defenses compose left-to-right into a pipeline ("jaccard,lowrank"), and
+// every stage is deterministic for a fixed Rng seed and ANECI_THREADS value.
+#ifndef ANECI_DEFENSE_DEFENSE_H_
+#define ANECI_DEFENSE_DEFENSE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aneci {
+
+/// What a purification stage did to the graph it was handed.
+struct DefenseReport {
+  std::string defense;    ///< Stage name ("jaccard", "lowrank", "clip").
+  int edges_before = 0;
+  int edges_dropped = 0;
+  int nodes_clipped = 0;  ///< Attribute rows rewritten (AttributeClip only).
+  int rank_used = 0;      ///< Spectral rank (LowRankReconstruction only).
+  std::string note;       ///< Free-form detail, e.g. "no attributes, skipped".
+
+  std::string ToString() const;
+};
+
+/// A purification preprocessor. Apply() mutates `graph` in place and
+/// describes the mutation; stages must be deterministic given (graph, rng).
+class GraphDefense {
+ public:
+  virtual ~GraphDefense() = default;
+  virtual const char* name() const = 0;
+  virtual DefenseReport Apply(Graph* graph, Rng& rng) const = 0;
+};
+
+/// Output of a pipeline run: the purified graph plus one report per stage,
+/// in application order.
+struct PurifiedGraph {
+  Graph graph;
+  std::vector<DefenseReport> reports;
+
+  int total_edges_dropped() const;
+  int total_nodes_clipped() const;
+};
+
+using DefensePipeline = std::vector<std::unique_ptr<GraphDefense>>;
+
+/// Builds one defense from a spec string: a name optionally followed by
+/// colon-separated key=value options, e.g.
+///   "jaccard"            "jaccard:tau=0.02"
+///   "lowrank:rank=32:drop=0.1"
+///   "clip:fraction=0.08"
+/// Unknown names or options are an InvalidArgument.
+StatusOr<std::unique_ptr<GraphDefense>> CreateDefense(const std::string& spec);
+
+/// Comma-separated list of specs, applied left to right.
+StatusOr<DefensePipeline> ParseDefensePipeline(const std::string& specs);
+
+/// Runs every stage in order on a copy of `graph`.
+PurifiedGraph RunDefensePipeline(const Graph& graph,
+                                 const DefensePipeline& pipeline, Rng& rng);
+
+}  // namespace aneci
+
+#endif  // ANECI_DEFENSE_DEFENSE_H_

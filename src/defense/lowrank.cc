@@ -1,0 +1,70 @@
+#include "defense/lowrank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+
+namespace aneci {
+
+std::vector<double> LowRankEdgeScores(const Graph& graph, int rank,
+                                      int lanczos_steps, Rng& rng,
+                                      int* rank_used) {
+  const int n = graph.num_nodes();
+  const int r = std::max(1, std::min(rank, n - 1));
+  if (rank_used) *rank_used = r;
+
+  // LanczosSmallest(-A) yields the r algebraically largest eigenpairs of A
+  // (the smallest of -A), which carry the community structure of an
+  // adjacency-like matrix.
+  SparseMatrix neg = graph.Adjacency();
+  for (double& v : neg.mutable_values()) v = -v;
+  const EigenResult eig = LanczosSmallest(neg, r, rng, lanczos_steps);
+
+  std::vector<double> scores;
+  scores.reserve(graph.edges().size());
+  const int found = static_cast<int>(eig.values.size());
+  for (const Edge& e : graph.edges()) {
+    double s = 0.0;
+    for (int k = 0; k < found; ++k)
+      s += -eig.values[k] * eig.vectors(e.u, k) * eig.vectors(e.v, k);
+    scores.push_back(s);
+  }
+  return scores;
+}
+
+DefenseReport LowRankReconstruction::Apply(Graph* graph, Rng& rng) const {
+  DefenseReport report;
+  report.defense = name();
+  report.edges_before = graph->num_edges();
+  const int m = graph->num_edges();
+  if (m == 0 || graph->num_nodes() < 3) {
+    report.note = "graph too small, skipped";
+    return report;
+  }
+
+  int rank_used = 0;
+  const std::vector<double> scores = LowRankEdgeScores(
+      *graph, options_.rank, options_.lanczos_steps, rng, &rank_used);
+  report.rank_used = rank_used;
+
+  const int to_drop = std::min(
+      m, static_cast<int>(std::llround(options_.drop_fraction * m)));
+  if (to_drop <= 0) return report;
+
+  // Drop the `to_drop` edges least supported by the rank-r reconstruction.
+  // Ties break by edge order (sorted, unique), keeping the stage
+  // deterministic at every thread count.
+  std::vector<int> order(m);
+  for (int i = 0; i < m; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return scores[a] < scores[b]; });
+  std::vector<Edge> doomed;
+  doomed.reserve(to_drop);
+  for (int i = 0; i < to_drop; ++i) doomed.push_back(graph->edges()[order[i]]);
+  for (const Edge& e : doomed) graph->RemoveEdge(e.u, e.v);
+  report.edges_dropped = to_drop;
+  return report;
+}
+
+}  // namespace aneci

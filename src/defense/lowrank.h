@@ -1,0 +1,46 @@
+// Low-rank spectral purification (Entezari et al., WSDM'20): adversarial
+// edge flips are a high-frequency perturbation, so the rank-r spectral
+// reconstruction of the adjacency suppresses them. This variant is
+// drop-only — every existing edge is scored by its weight in the rank-r
+// reconstruction A_r = V_r diag(lambda_r) V_r^T (top-r eigenpairs via the
+// existing Lanczos solver) and the least-supported fraction is removed —
+// so the defense never fabricates edges and never densifies A.
+#ifndef ANECI_DEFENSE_LOWRANK_H_
+#define ANECI_DEFENSE_LOWRANK_H_
+
+#include "defense/defense.h"
+
+namespace aneci {
+
+struct LowRankOptions {
+  /// Spectral rank r; clamped to [1, N - 1].
+  int rank = 16;
+  /// Fraction of edges (the lowest-scored under A_r) to drop.
+  double drop_fraction = 0.1;
+  /// Lanczos Krylov steps (0 = solver default).
+  int lanczos_steps = 0;
+};
+
+/// Reconstruction score of every edge of `graph` (aligned with
+/// graph.edges()): score(u,v) = sum_k lambda_k V[u,k] V[v,k] over the top
+/// `rank` (largest-eigenvalue) eigenpairs of the adjacency.
+std::vector<double> LowRankEdgeScores(const Graph& graph, int rank,
+                                      int lanczos_steps, Rng& rng,
+                                      int* rank_used = nullptr);
+
+class LowRankReconstruction final : public GraphDefense {
+ public:
+  explicit LowRankReconstruction(const LowRankOptions& options = {})
+      : options_(options) {}
+
+  const char* name() const override { return "lowrank"; }
+
+  DefenseReport Apply(Graph* graph, Rng& rng) const override;
+
+ private:
+  LowRankOptions options_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_DEFENSE_LOWRANK_H_

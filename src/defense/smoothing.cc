@@ -1,0 +1,92 @@
+#include "defense/smoothing.h"
+
+#include <cmath>
+
+#include "attack/random_attack.h"
+#include "tasks/logistic_regression.h"
+#include "util/check.h"
+
+namespace aneci {
+namespace {
+
+Matrix RowsOf(const Matrix& z, const std::vector<int>& idx) {
+  Matrix out(static_cast<int>(idx.size()), z.cols());
+  for (size_t r = 0; r < idx.size(); ++r)
+    for (int c = 0; c < z.cols(); ++c)
+      out(static_cast<int>(r), c) = z(idx[r], c);
+  return out;
+}
+
+}  // namespace
+
+SmoothedClassification SmoothedClassify(const Dataset& dataset,
+                                        const AneciConfig& config,
+                                        const SmoothingOptions& options,
+                                        const std::vector<int>& eval_idx) {
+  ANECI_CHECK_MSG(dataset.graph.has_labels(),
+                  "SmoothedClassify needs labels for the probe");
+  ANECI_CHECK_GT(options.num_samples, 0);
+  const std::vector<int>& eval =
+      eval_idx.empty() ? dataset.test_idx : eval_idx;
+  ANECI_CHECK_MSG(!eval.empty(), "SmoothedClassify: empty evaluation set");
+  ANECI_CHECK_MSG(!dataset.train_idx.empty(),
+                  "SmoothedClassify: empty train split");
+
+  const int k = dataset.graph.num_classes();
+  const int flips = static_cast<int>(
+      std::llround(options.radius * dataset.graph.num_edges()));
+  std::vector<int> train_labels;
+  for (int i : dataset.train_idx)
+    train_labels.push_back(dataset.graph.labels()[i]);
+
+  // votes[e][c] = number of sampled models predicting class c for eval[e].
+  std::vector<std::vector<int>> votes(eval.size(), std::vector<int>(k, 0));
+
+  for (int sample = 0; sample < options.num_samples; ++sample) {
+    // Each sample has its own perturbation + training streams so the vote
+    // set is an iid draw from the smoothing distribution.
+    Rng perturb_rng(options.seed + 7919ULL * sample);
+    const Graph perturbed =
+        BudgetedEdgeFlips(dataset.graph, flips, perturb_rng);
+
+    AneciConfig cfg = config;
+    cfg.seed = options.seed + 104729ULL * sample + 1;
+    // Smoothed inference never checkpoints its inner runs.
+    cfg.checkpoint_dir.clear();
+    cfg.resume_from.clear();
+    Aneci model(cfg);
+    const AneciResult trained = model.Train(perturbed);
+
+    Rng probe_rng(options.seed + 1299709ULL * sample + 2);
+    LogisticRegression probe;
+    probe.Fit(RowsOf(trained.z, dataset.train_idx), train_labels, k,
+              probe_rng);
+    const std::vector<int> predicted = probe.Predict(RowsOf(trained.z, eval));
+    for (size_t e = 0; e < eval.size(); ++e) ++votes[e][predicted[e]];
+  }
+
+  SmoothedClassification result;
+  result.num_samples = options.num_samples;
+  result.radius = options.radius;
+  result.predicted.resize(eval.size());
+  result.vote_share.resize(eval.size());
+  int smooth_correct = 0, certified_correct = 0;
+  for (size_t e = 0; e < eval.size(); ++e) {
+    int best = 0;
+    for (int c = 1; c < k; ++c)
+      if (votes[e][c] > votes[e][best]) best = c;
+    result.predicted[e] = best;
+    result.vote_share[e] =
+        static_cast<double>(votes[e][best]) / options.num_samples;
+    const bool correct = best == dataset.graph.labels()[eval[e]];
+    smooth_correct += correct;
+    certified_correct += correct && 2 * votes[e][best] > options.num_samples;
+  }
+  result.smoothed_accuracy =
+      static_cast<double>(smooth_correct) / static_cast<double>(eval.size());
+  result.certified_accuracy = static_cast<double>(certified_correct) /
+                              static_cast<double>(eval.size());
+  return result;
+}
+
+}  // namespace aneci

@@ -7,7 +7,11 @@ namespace aneci {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'N', 'C', 'K'};
-constexpr uint32_t kVersion = 1;
+// v2 appends the adversarial-training RNG block after the epoch history;
+// v1 files (no adversarial training existed then) still parse, with the
+// block left zeroed.
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
 
 // --- Little-endian scalar encoding ------------------------------------------
@@ -139,6 +143,10 @@ std::string SerializeCheckpoint(const TrainingCheckpoint& c) {
     PutDouble(&payload, h.modularity);
     PutDouble(&payload, h.rigidity);
   }
+  // v2 trailer: adversarial-training perturbation stream.
+  for (uint64_t s : c.adv_rng_state) PutScalar<uint64_t>(&payload, s);
+  PutScalar<uint8_t>(&payload, c.adv_rng_has_gauss);
+  PutDouble(&payload, c.adv_rng_gauss);
 
   std::string file;
   file.reserve(kHeaderSize + payload.size());
@@ -164,7 +172,7 @@ StatusOr<TrainingCheckpoint> ParseCheckpoint(std::string_view bytes,
   ANECI_RETURN_IF_ERROR(header.Get(&version));
   ANECI_RETURN_IF_ERROR(header.Get(&payload_size));
   ANECI_RETURN_IF_ERROR(header.Get(&crc));
-  if (version != kVersion)
+  if (version < kMinVersion || version > kVersion)
     return Status::InvalidArgument(
         "unsupported checkpoint version " + std::to_string(version) + ": " +
         origin);
@@ -211,6 +219,11 @@ StatusOr<TrainingCheckpoint> ParseCheckpoint(std::string_view bytes,
     ANECI_RETURN_IF_ERROR(reader.GetDouble(&h.loss));
     ANECI_RETURN_IF_ERROR(reader.GetDouble(&h.modularity));
     ANECI_RETURN_IF_ERROR(reader.GetDouble(&h.rigidity));
+  }
+  if (version >= 2) {
+    for (uint64_t& s : c.adv_rng_state) ANECI_RETURN_IF_ERROR(reader.Get(&s));
+    ANECI_RETURN_IF_ERROR(reader.Get(&c.adv_rng_has_gauss));
+    ANECI_RETURN_IF_ERROR(reader.GetDouble(&c.adv_rng_gauss));
   }
   if (!reader.exhausted())
     return Status::InvalidArgument("checkpoint has trailing bytes: " + origin);

@@ -7,7 +7,8 @@
 //
 // File layout:
 //   bytes 0..3   magic "ANCK"
-//   bytes 4..7   u32 format version (currently 1)
+//   bytes 4..7   u32 format version (currently 2; v1 still loads — it lacks
+//                only the trailing adversarial-RNG block, which is zeroed)
 //   bytes 8..15  u64 payload size in bytes
 //   bytes 16..19 u32 CRC-32 (IEEE 802.3) of the payload
 //   bytes 20..   payload (fixed little-endian field order, IEEE-754 doubles)
@@ -79,6 +80,12 @@ struct TrainingCheckpoint {
   uint64_t rng_state[4] = {0, 0, 0, 0};
   uint8_t rng_has_gauss = 0;
   double rng_gauss = 0.0;
+
+  // Adversarial-training perturbation stream (format v2; zeroed when loading
+  // a v1 file, which can only have been written by a non-adversarial run).
+  uint64_t adv_rng_state[4] = {0, 0, 0, 0};
+  uint8_t adv_rng_has_gauss = 0;
+  double adv_rng_gauss = 0.0;
 
   std::vector<TensorBlob> params;
   std::vector<TensorBlob> opt_m;

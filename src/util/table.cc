@@ -1,7 +1,6 @@
 #include "util/table.h"
 
 #include <cstdio>
-#include <fstream>
 
 #include "util/check.h"
 
@@ -56,19 +55,23 @@ void Table::Print(const std::string& title) const {
   std::fflush(stdout);
 }
 
-bool Table::WriteCsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return false;
+std::string Table::ToCsv() const {
+  std::string out;
   auto write_row = [&](const std::vector<std::string>& row) {
     for (size_t c = 0; c < row.size(); ++c) {
-      if (c) out << ',';
-      out << row[c];
+      if (c) out += ',';
+      out += row[c];
     }
-    out << '\n';
+    out += '\n';
   };
   write_row(header_);
   for (const auto& row : rows_) write_row(row);
-  return static_cast<bool>(out);
+  return out;
+}
+
+bool Table::WriteCsv(const std::string& path, Env* env) const {
+  if (!env) env = Env::Default();
+  return env->WriteFileAtomic(path, ToCsv()).ok();
 }
 
 }  // namespace aneci

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/env.h"
+
 namespace aneci {
 
 /// Collects rows of string cells and renders them with aligned columns.
@@ -24,9 +26,14 @@ class Table {
   /// Renders to stdout with a title line.
   void Print(const std::string& title) const;
 
-  /// Renders as CSV (header + rows) to the given file. Returns false on IO
-  /// failure.
-  bool WriteCsv(const std::string& path) const;
+  /// Renders as CSV (header + rows) and writes it atomically through `env`
+  /// (temp file + rename; nullptr means Env::Default()), so a killed bench
+  /// run never leaves a truncated CSV behind — readers see the previous
+  /// complete file or the new one. Returns false on IO failure.
+  bool WriteCsv(const std::string& path, Env* env = nullptr) const;
+
+  /// The CSV bytes WriteCsv would persist.
+  std::string ToCsv() const;
 
   int num_rows() const { return static_cast<int>(rows_.size()); }
 

@@ -43,6 +43,10 @@ TrainingCheckpoint MakeCheckpoint(int next_epoch) {
   c.opt_v = {w, w};
   c.pairs = {{0, 1, 0.75}, {3, 2, 0.0}};
   c.history = {{0, 1.5, -0.1, 0.9}, {1, 1.25, -0.05, 0.8}};
+  for (int i = 0; i < 4; ++i)
+    c.adv_rng_state[i] = 0x2222222222222222ULL * (i + 1);
+  c.adv_rng_has_gauss = 1;
+  c.adv_rng_gauss = 2.75;
   return c;
 }
 
@@ -80,6 +84,27 @@ void ExpectCheckpointsEqual(const TrainingCheckpoint& a,
     EXPECT_EQ(a.history[k].epoch, b.history[k].epoch);
     EXPECT_EQ(a.history[k].loss, b.history[k].loss);
   }
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(a.adv_rng_state[i], b.adv_rng_state[i]);
+  EXPECT_EQ(a.adv_rng_has_gauss, b.adv_rng_has_gauss);
+  EXPECT_EQ(std::memcmp(&a.adv_rng_gauss, &b.adv_rng_gauss, sizeof(double)),
+            0);
+}
+
+/// Rewrites v2 bytes into the v1 format: strip the 41-byte adversarial-RNG
+/// trailer, stamp version 1, fix the payload size and CRC. This is exactly
+/// what a PR-2-era writer produced.
+std::string DowngradeToV1(std::string bytes) {
+  constexpr size_t kHeader = 4 + 4 + 8 + 4;
+  constexpr size_t kAdvTrailer = 4 * 8 + 1 + 8;
+  bytes.resize(bytes.size() - kAdvTrailer);
+  const uint32_t version = 1;
+  std::memcpy(&bytes[4], &version, sizeof(version));
+  const uint64_t payload_size = bytes.size() - kHeader;
+  std::memcpy(&bytes[8], &payload_size, sizeof(payload_size));
+  const uint32_t crc = Crc32(bytes.data() + kHeader, payload_size);
+  std::memcpy(&bytes[16], &crc, sizeof(crc));
+  return bytes;
 }
 
 // --- CRC-32 -----------------------------------------------------------------
@@ -105,6 +130,21 @@ TEST(Checkpoint, SerializeParseRoundtrip) {
       ParseCheckpoint(SerializeCheckpoint(original), "mem");
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   ExpectCheckpointsEqual(original, loaded.value());
+}
+
+TEST(Checkpoint, V1FilesParseWithZeroedAdvBlock) {
+  // Backward compatibility with pre-adversarial checkpoints: a v1 file (no
+  // trailer) must load, with the adversarial RNG block left at its zero
+  // defaults.
+  const TrainingCheckpoint original = MakeCheckpoint(3);
+  StatusOr<TrainingCheckpoint> loaded =
+      ParseCheckpoint(DowngradeToV1(SerializeCheckpoint(original)), "mem-v1");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().next_epoch, 3);
+  EXPECT_EQ(loaded.value().rng_state[0], original.rng_state[0]);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(loaded.value().adv_rng_state[i], 0u);
+  EXPECT_EQ(loaded.value().adv_rng_has_gauss, 0);
+  EXPECT_EQ(loaded.value().adv_rng_gauss, 0.0);
 }
 
 TEST(Checkpoint, SaveLoadRoundtripOnDisk) {

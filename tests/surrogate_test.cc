@@ -1,0 +1,146 @@
+// Coverage for src/attack/surrogate.cc: the frozen-normalisation edge
+// gradient that FGA ranks candidate flips by (and NETTACK's surrogate shares
+// weights with) is checked against central finite differences of the exact
+// loss it linearises, and the whole surrogate is checked to be bitwise
+// deterministic at any ANECI_THREADS value.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "attack/surrogate.h"
+#include "data/sbm.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aneci {
+namespace {
+
+Dataset MakeToy(uint64_t seed) {
+  Dataset d;
+  SbmOptions opt;
+  opt.num_nodes = 40;
+  opt.num_classes = 3;
+  opt.num_edges = 120;
+  opt.intra_fraction = 0.9;
+  opt.attribute_dim = 20;
+  opt.words_per_node = 5;
+  opt.topic_words_per_class = 7;
+  Rng rng(seed);
+  d.name = "toy";
+  d.graph = GenerateSbm(opt, rng);
+  MakePlanetoidSplit(d.graph, 5, 6, 12, rng, &d);
+  return d;
+}
+
+/// Dense S~ = D^{-1/2} (A + I) D^{-1/2} of `graph`.
+Matrix DenseNormalizedAdjacency(const Graph& graph) {
+  const int n = graph.num_nodes();
+  Matrix s(n, n);
+  auto inv_sqrt = [&](int v) {
+    return 1.0 / std::sqrt(static_cast<double>(graph.Degree(v)) + 1.0);
+  };
+  for (int i = 0; i < n; ++i) {
+    s(i, i) = inv_sqrt(i) * inv_sqrt(i);
+    for (int j : graph.Neighbors(i)) s(i, j) = inv_sqrt(i) * inv_sqrt(j);
+  }
+  return s;
+}
+
+/// Cross-entropy of the target's logit row under S(w) = S~ + w * delta_tv,
+/// where delta_tv carries the frozen normalisation 1/sqrt((d_t+1)(d_v+1)) at
+/// entries (t,v) and (v,t). This is exactly the function whose derivative at
+/// w = 0 SurrogateEdgeGradient claims to be.
+double FrozenLoss(const Matrix& s_norm, const Matrix& r, const Graph& graph,
+                  int target, int v, int label, double w) {
+  Matrix s = s_norm;
+  const double delta =
+      w / std::sqrt((graph.Degree(target) + 1.0) * (graph.Degree(v) + 1.0));
+  s(target, v) += delta;
+  s(v, target) += delta;
+  const Matrix z = MatMul(s, MatMul(s, r));
+  const int k = r.cols();
+  double mx = z(target, 0);
+  for (int c = 1; c < k; ++c) mx = std::max(mx, z(target, c));
+  double sum = 0.0;
+  for (int c = 0; c < k; ++c) sum += std::exp(z(target, c) - mx);
+  return -(z(target, label) - mx - std::log(sum));
+}
+
+TEST(SurrogateEdgeGradientTest, MatchesFiniteDifferences) {
+  Dataset d = MakeToy(7);
+  Rng rng(11);
+  SurrogateModel model;
+  model.Fit(d.graph, d, rng);
+
+  const int target = d.test_idx[0];
+  const int label = d.graph.labels()[target];
+  const std::vector<double> grad =
+      SurrogateEdgeGradient(model, d.graph, target, label);
+  ASSERT_EQ(static_cast<int>(grad.size()), d.graph.num_nodes());
+  EXPECT_EQ(grad[target], 0.0);
+
+  const Matrix s_norm = DenseNormalizedAdjacency(d.graph);
+  const double h = 1e-5;
+  int existing_checked = 0, absent_checked = 0;
+  for (int v = 0; v < d.graph.num_nodes(); ++v) {
+    if (v == target) continue;
+    const double fd = (FrozenLoss(s_norm, model.projected(), d.graph, target,
+                                  v, label, h) -
+                       FrozenLoss(s_norm, model.projected(), d.graph, target,
+                                  v, label, -h)) /
+                      (2.0 * h);
+    EXPECT_NEAR(grad[v], fd, 1e-6 + 1e-5 * std::fabs(fd)) << "v=" << v;
+    (d.graph.HasEdge(target, v) ? existing_checked : absent_checked)++;
+  }
+  // The check must have exercised both flip directions.
+  EXPECT_GT(existing_checked, 0);
+  EXPECT_GT(absent_checked, 0);
+}
+
+TEST(SurrogateEdgeGradientTest, NonTrivialAndFlipDirectionsAvailable) {
+  Dataset d = MakeToy(13);
+  Rng rng(17);
+  SurrogateModel model;
+  model.Fit(d.graph, d, rng);
+  const int target = d.test_idx[1];
+  const std::vector<double> grad =
+      SurrogateEdgeGradient(model, d.graph, target,
+                            d.graph.labels()[target]);
+  double mx = 0.0;
+  for (double g : grad) mx = std::max(mx, std::fabs(g));
+  EXPECT_GT(mx, 0.0);
+}
+
+TEST(SurrogateDeterminismTest, FitAndGradientBitwiseEqualAcrossThreadCounts) {
+  Dataset d = MakeToy(23);
+
+  auto run = [&](int threads) {
+    ScopedNumThreads scoped(threads);
+    Rng rng(29);
+    SurrogateModel model;
+    model.Fit(d.graph, d, rng);
+    std::vector<double> out(model.weights().data(),
+                            model.weights().data() +
+                                static_cast<size_t>(model.weights().rows()) *
+                                    model.weights().cols());
+    for (int t : {d.test_idx[0], d.test_idx[1]}) {
+      const std::vector<double> grad =
+          SurrogateEdgeGradient(model, d.graph, t, d.graph.labels()[t]);
+      out.insert(out.end(), grad.begin(), grad.end());
+    }
+    return out;
+  };
+
+  const std::vector<double> serial = run(1);
+  const std::vector<double> four = run(4);
+  const std::vector<double> three = run(3);
+  ASSERT_EQ(serial.size(), four.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], four[i]) << "i=" << i;    // bitwise, not approx
+    EXPECT_EQ(serial[i], three[i]) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace aneci

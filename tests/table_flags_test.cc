@@ -1,9 +1,10 @@
-// Tests for the bench-harness utilities that live in bench/common.h:
-// the flag parser and environment resolution used by every experiment
-// binary (they gate reproducibility, so they get unit coverage too).
+// Tests for the bench-harness utilities that live in bench/common.h (flag
+// parser and environment resolution) and the CLI argument validation in
+// tools/cli_args.h — both gate reproducibility, so they get unit coverage.
 #include <gtest/gtest.h>
 
 #include "bench/common.h"
+#include "tools/cli_args.h"
 
 namespace aneci::bench {
 namespace {
@@ -85,6 +86,53 @@ TEST(BenchEnvTest, ValidatedTrainingReturnsUsableEmbedding) {
   Matrix z = TrainAneciValidated(ds, cfg, rng);
   EXPECT_EQ(z.rows(), ds.graph.num_nodes());
   EXPECT_EQ(z.cols(), cfg.embed_dim);
+}
+
+// CLI args: argv[0] is the binary and argv[1] the subcommand, so flags
+// start at index 2 — unlike the bench Flags above.
+cli::Args MakeCliArgs(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> argv;
+  argv.clear();
+  argv.push_back(const_cast<char*>("aneci_cli"));
+  argv.push_back(const_cast<char*>("train"));
+  for (std::string& a : storage) argv.push_back(a.data());
+  return cli::Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, ParsesTypedValuesAndPresence) {
+  cli::Args args =
+      MakeCliArgs({"--graph=g.txt", "--epochs=25", "--adv-budget=0.1",
+                   "--resume"});
+  EXPECT_EQ(args.Get("graph", ""), "g.txt");
+  EXPECT_EQ(args.GetInt("epochs", 1), 25);
+  EXPECT_DOUBLE_EQ(args.GetDouble("adv-budget", 0.0), 0.1);
+  EXPECT_TRUE(args.Has("resume"));
+  EXPECT_FALSE(args.Has("plus"));
+  EXPECT_EQ(args.GetInt("dim", 16), 16);
+}
+
+TEST(CliArgs, UnknownFlagsAcceptsAllowedForms) {
+  cli::Args args = MakeCliArgs({"--graph=g.txt", "--resume", "--epochs=5"});
+  EXPECT_TRUE(args.UnknownFlags({"graph", "resume", "epochs"}).empty());
+}
+
+TEST(CliArgs, UnknownFlagsCatchesTyposAndPositionals) {
+  cli::Args args =
+      MakeCliArgs({"--graph=g.txt", "--epocs=5", "stray", "--unknown"});
+  const std::vector<std::string> unknown =
+      args.UnknownFlags({"graph", "epochs"});
+  ASSERT_EQ(unknown.size(), 3u);
+  EXPECT_EQ(unknown[0], "--epocs=5");
+  EXPECT_EQ(unknown[1], "stray");
+  EXPECT_EQ(unknown[2], "--unknown");
+}
+
+TEST(CliArgs, UnknownFlagsRejectsPrefixConfusion) {
+  // "--dim" must not legitimise "--dimension=8".
+  cli::Args args = MakeCliArgs({"--dimension=8"});
+  EXPECT_EQ(args.UnknownFlags({"dim"}).size(), 1u);
 }
 
 }  // namespace

@@ -1,20 +1,32 @@
 // Command-line interface over the AnECI library: generate synthetic
-// benchmark graphs, train embeddings, poison graphs, detect anomalies and
-// communities — all on the text graph format of graph/graph_io.h.
+// benchmark graphs, train embeddings, poison graphs, purify poisoned graphs,
+// detect anomalies and communities — all on the text graph format of
+// graph/graph_io.h.
 //
 // Usage:
 //   aneci_cli generate  --dataset=cora --scale=0.2 --seed=42 --out=g.txt
 //   aneci_cli train     --graph=g.txt --out=z.csv [--epochs=150 --dim=16
 //                        --order=2 --plus --checkpoint-dir=ckpt
-//                        --checkpoint-every=10 --resume]
+//                        --checkpoint-every=10 --resume
+//                        --defense=jaccard,lowrank --adv-train
+//                        --adv-budget=0.05 --adv-every=1 --adv-kind=random
+//                        --certify --certify-samples=7 --certify-radius=0.05
+//                        --certify-seeds=3]
+//   aneci_cli defend    --graph=g.txt --defense=jaccard,lowrank,clip
+//                        --out=purified.txt [--seed=42]
 //   aneci_cli embed     --graph=g.txt --method=GAE --out=z.csv [--epochs=..]
 //   aneci_cli attack    --graph=g.txt --type=random --rate=0.2 --out=ga.txt
 //   aneci_cli detect    --graph=g.txt --kind=Mix --fraction=0.05
 //   aneci_cli community --graph=g.txt --k=7
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage error (unknown
+// subcommand or flag).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 
 #include "anomaly/anomaly_score.h"
 #include "anomaly/outlier_injection.h"
@@ -22,49 +34,58 @@
 #include "core/aneci.h"
 #include "core/aneci_plus.h"
 #include "data/datasets.h"
+#include "defense/defense.h"
+#include "defense/smoothing.h"
 #include "embed/aneci_embedder.h"
 #include "embed/embedder.h"
 #include "graph/graph_io.h"
 #include "graph/louvain.h"
 #include "tasks/community.h"
 #include "tasks/metrics.h"
+#include "tools/cli_args.h"
 
 namespace aneci::cli {
 namespace {
 
-// Minimal flag access over argv (same convention as bench/common.h).
-class Args {
- public:
-  Args(int argc, char** argv) {
-    for (int i = 2; i < argc; ++i) args_.emplace_back(argv[i]);
-  }
-  std::string Get(const std::string& name, const std::string& fallback) const {
-    const std::string prefix = "--" + name + "=";
-    for (const std::string& a : args_)
-      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
-    return fallback;
-  }
-  double GetDouble(const std::string& name, double fallback) const {
-    const std::string v = Get(name, "");
-    return v.empty() ? fallback : std::atof(v.c_str());
-  }
-  int GetInt(const std::string& name, int fallback) const {
-    const std::string v = Get(name, "");
-    return v.empty() ? fallback : std::atoi(v.c_str());
-  }
-  bool Has(const std::string& name) const {
-    for (const std::string& a : args_)
-      if (a == "--" + name) return true;
-    return false;
-  }
-
- private:
-  std::vector<std::string> args_;
-};
+int Usage(std::FILE* stream) {
+  std::fprintf(
+      stream,
+      "usage: aneci_cli <command> [--flags]\n"
+      "commands:\n"
+      "  generate   --dataset=cora --scale=1.0 --seed=42 --out=g.txt\n"
+      "  train      --graph=g.txt [--out=z.csv --epochs=150 --dim=16\n"
+      "              --hidden=64 --order=2 --seed=42 --plus\n"
+      "              --checkpoint-dir=ckpt --checkpoint-every=10 --resume\n"
+      "              --defense=jaccard,lowrank,clip --adv-train\n"
+      "              --adv-budget=0.05 --adv-every=1 --adv-kind=random|dice\n"
+      "              --certify --certify-samples=7 --certify-radius=0.05\n"
+      "              --certify-seeds=3]\n"
+      "  defend     --graph=g.txt [--defense=jaccard --out=purified.txt\n"
+      "              --seed=42]\n"
+      "  embed      --graph=g.txt [--method=GAE --dim=32 --epochs=0\n"
+      "              --seed=42 --out=z.csv]\n"
+      "  attack     --graph=g.txt [--type=random --rate=0.2 --seed=42\n"
+      "              --out=attacked.txt]\n"
+      "  detect     --graph=g.txt [--kind=Mix --fraction=0.05 --epochs=100\n"
+      "              --seed=42]\n"
+      "  community  --graph=g.txt [--k=7 --epochs=300 --seed=42 --out=c.txt]\n");
+  return 2;
+}
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
   return 1;
+}
+
+/// 0 when every flag is recognised; otherwise prints the offenders plus the
+/// usage text and returns 2.
+int RejectUnknownFlags(const Args& args,
+                       const std::vector<std::string>& allowed) {
+  const std::vector<std::string> unknown = args.UnknownFlags(allowed);
+  if (unknown.empty()) return 0;
+  for (const std::string& flag : unknown)
+    std::fprintf(stderr, "error: unknown flag '%s'\n", flag.c_str());
+  return Usage(stderr);
 }
 
 StatusOr<Graph> LoadRequiredGraph(const Args& args) {
@@ -87,6 +108,8 @@ bool WriteEmbeddingCsv(const Matrix& z, const std::string& path) {
 }
 
 int CmdGenerate(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {"dataset", "scale", "seed", "out"}))
+    return rc;
   const std::string out = args.Get("out", "graph.txt");
   StatusOr<Dataset> ds =
       MakeDataset(args.Get("dataset", "cora"),
@@ -102,9 +125,69 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
-int CmdTrain(const Args& args) {
+int CmdDefend(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {"graph", "defense", "out", "seed"}))
+    return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
+  StatusOr<DefensePipeline> pipeline =
+      ParseDefensePipeline(args.Get("defense", "jaccard"));
+  if (!pipeline.ok()) return Fail(pipeline.status().ToString());
+
+  Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  PurifiedGraph purified =
+      RunDefensePipeline(graph.value(), pipeline.value(), rng);
+  for (const DefenseReport& report : purified.reports)
+    std::printf("%s\n", report.ToString().c_str());
+  std::printf("total: dropped %d of %d edges, clipped %d nodes\n",
+              purified.total_edges_dropped(), graph.value().num_edges(),
+              purified.total_nodes_clipped());
+
+  const std::string out = args.Get("out", "purified.txt");
+  Status st = SaveGraph(purified.graph, out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %s (%d nodes, %d edges)\n", out.c_str(),
+              purified.graph.num_nodes(), purified.graph.num_edges());
+  return 0;
+}
+
+/// Deterministic planetoid-style split for CLI certification (graph files
+/// carry no splits).
+Dataset MakeCertifySplit(const Graph& graph, uint64_t seed) {
+  Dataset ds;
+  ds.name = "cli";
+  ds.graph = graph;
+  const int n = graph.num_nodes();
+  const int val = std::min(500, n / 5);
+  const int test = std::min(1000, n / 3);
+  Rng rng(seed);
+  MakePlanetoidSplit(ds.graph, 10, val, test, rng, &ds);
+  return ds;
+}
+
+int CmdTrain(const Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args,
+          {"graph", "out", "dim", "hidden", "epochs", "order", "seed", "plus",
+           "checkpoint-dir", "checkpoint-every", "resume", "defense",
+           "adv-train", "adv-budget", "adv-every", "adv-kind", "certify",
+           "certify-samples", "certify-radius", "certify-seeds"}))
+    return rc;
+  StatusOr<Graph> loaded = LoadRequiredGraph(args);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  Graph graph = std::move(loaded).value();
+
+  const std::string defense_spec = args.Get("defense", "");
+  if (!defense_spec.empty()) {
+    StatusOr<DefensePipeline> pipeline = ParseDefensePipeline(defense_spec);
+    if (!pipeline.ok()) return Fail(pipeline.status().ToString());
+    Rng defense_rng(static_cast<uint64_t>(args.GetInt("seed", 42)) + 77);
+    PurifiedGraph purified =
+        RunDefensePipeline(graph, pipeline.value(), defense_rng);
+    for (const DefenseReport& report : purified.reports)
+      std::printf("%s\n", report.ToString().c_str());
+    graph = std::move(purified.graph);
+  }
 
   AneciConfig cfg;
   cfg.embed_dim = args.GetInt("dim", 16);
@@ -119,18 +202,29 @@ int CmdTrain(const Args& args) {
       return Fail("--resume requires --checkpoint-dir=<dir>");
     cfg.resume_from = cfg.checkpoint_dir;
   }
+  if (args.Has("adv-train")) {
+    cfg.adversarial.enabled = true;
+    cfg.adversarial.budget = args.GetDouble("adv-budget", 0.05);
+    cfg.adversarial.every = args.GetInt("adv-every", 1);
+    const std::string kind = args.Get("adv-kind", "random");
+    if (kind == "dice") {
+      cfg.adversarial.kind = AdversarialTrainingOptions::Kind::kDice;
+    } else if (kind != "random") {
+      return Fail("--adv-kind must be random or dice, got '" + kind + "'");
+    }
+  }
 
   Matrix z;
   if (args.Has("plus")) {
     AneciPlusConfig plus;
     plus.base = cfg;
-    AneciPlusResult result = TrainAneciPlus(graph.value(), plus);
+    AneciPlusResult result = TrainAneciPlus(graph, plus);
     std::printf("AnECI+ removed %d suspicious edges (rho=%.2f)\n",
                 result.edges_removed, result.drop_ratio);
     z = result.stage2.z;
   } else {
     Aneci model(cfg);
-    StatusOr<AneciResult> trained = model.TrainWithResilience(graph.value());
+    StatusOr<AneciResult> trained = model.TrainWithResilience(graph);
     if (!trained.ok()) return Fail(trained.status().ToString());
     const AneciResult& result = trained.value();
     if (result.resumed_from_epoch >= 0)
@@ -147,10 +241,39 @@ int CmdTrain(const Args& args) {
   const std::string out = args.Get("out", "embedding.csv");
   if (!WriteEmbeddingCsv(z, out)) return Fail("cannot write " + out);
   std::printf("wrote %s (%d x %d)\n", out.c_str(), z.rows(), z.cols());
+
+  if (args.Has("certify")) {
+    if (!graph.has_labels())
+      return Fail("--certify needs a labelled graph (the probe and the "
+                  "certificate are label-based)");
+    SmoothingOptions smooth;
+    smooth.num_samples = args.GetInt("certify-samples", 7);
+    smooth.radius = args.GetDouble("certify-radius", 0.05);
+    const int seeds = args.GetInt("certify-seeds", 3);
+    if (seeds < 1) return Fail("--certify-seeds must be >= 1");
+    Dataset ds = MakeCertifySplit(graph, cfg.seed + 101);
+    std::vector<double> smoothed, certified;
+    for (int s = 0; s < seeds; ++s) {
+      smooth.seed = 9001 + 131 * static_cast<uint64_t>(s);
+      SmoothedClassification cls = SmoothedClassify(ds, cfg, smooth);
+      smoothed.push_back(cls.smoothed_accuracy);
+      certified.push_back(cls.certified_accuracy);
+    }
+    const MeanStd sm = ComputeMeanStd(smoothed);
+    const MeanStd ct = ComputeMeanStd(certified);
+    std::printf(
+        "smoothed inference (K=%d, r=%.3f, %d seed(s)): "
+        "accuracy %.3f±%.3f, certified-at-r %.3f±%.3f\n",
+        smooth.num_samples, smooth.radius, seeds, sm.mean, sm.std, ct.mean,
+        ct.std);
+  }
   return 0;
 }
 
 int CmdEmbed(const Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, {"graph", "method", "dim", "epochs", "seed", "out"}))
+    return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
   const std::string method = args.Get("method", "GAE");
@@ -167,6 +290,9 @@ int CmdEmbed(const Args& args) {
 }
 
 int CmdAttack(const Args& args) {
+  if (int rc = RejectUnknownFlags(args, {"graph", "type", "rate", "seed",
+                                         "out"}))
+    return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
   const std::string type = args.Get("type", "random");
@@ -185,6 +311,9 @@ int CmdAttack(const Args& args) {
 }
 
 int CmdDetect(const Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args, {"graph", "kind", "fraction", "epochs", "seed"}))
+    return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
@@ -210,6 +339,9 @@ int CmdDetect(const Args& args) {
 }
 
 int CmdCommunity(const Args& args) {
+  if (int rc =
+          RejectUnknownFlags(args, {"graph", "k", "epochs", "seed", "out"}))
+    return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
@@ -239,21 +371,18 @@ int CmdCommunity(const Args& args) {
 }
 
 int Run(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: aneci_cli <generate|train|embed|attack|detect|"
-                 "community> [--flags]\n");
-    return 1;
-  }
+  if (argc < 2) return Usage(stderr);
   const Args args(argc, argv);
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "train") return CmdTrain(args);
+  if (cmd == "defend") return CmdDefend(args);
   if (cmd == "embed") return CmdEmbed(args);
   if (cmd == "attack") return CmdAttack(args);
   if (cmd == "detect") return CmdDetect(args);
   if (cmd == "community") return CmdCommunity(args);
-  return Fail("unknown command: " + cmd);
+  std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+  return Usage(stderr);
 }
 
 }  // namespace

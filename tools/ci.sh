@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass.
+#
+#   tools/ci.sh [build-dir-prefix]
+#
+# Stage 1 builds the default configuration and runs the full ctest suite
+# (the tier-1 gate). Stage 2 rebuilds the concurrency-sensitive targets
+# under -DANECI_TSAN=ON and runs the thread-pool and defense tests, which
+# exercise the parallel kernels and the determinism-at-any-thread-count
+# contracts where a data race would actually bite.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+
+echo "== stage 1: tier-1 build + full test suite =="
+cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${prefix}" -j "$(nproc)"
+ctest --test-dir "${prefix}" --output-on-failure -j "$(nproc)"
+
+echo "== stage 2: ThreadSanitizer build (thread_pool + defense tests) =="
+cmake -B "${prefix}-tsan" -S . -DANECI_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${prefix}-tsan" -j "$(nproc)" --target thread_pool_test defense_test
+ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
+  -R 'ThreadPool|Defense|Jaccard|LowRank|AttributeClip|Smoothing|AdversarialTraining'
+
+echo "== ci.sh: all stages passed =="

@@ -1,0 +1,71 @@
+// Flag access for aneci_cli (same --name=value convention as bench/common.h)
+// plus strict validation: every flag passed on the command line must appear
+// in the command's allowlist, so a typo ("--epocs=10") fails loudly with a
+// usage message instead of silently training with defaults. Lives in a
+// header so tests/table_flags_test.cc can cover the parsing and the
+// unknown-flag detection without spawning the binary.
+#ifndef ANECI_TOOLS_CLI_ARGS_H_
+#define ANECI_TOOLS_CLI_ARGS_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace aneci::cli {
+
+class Args {
+ public:
+  /// Consumes argv after the subcommand (argv[1]).
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string Get(const std::string& name, const std::string& fallback) const {
+    const std::string prefix = "--" + name + "=";
+    for (const std::string& a : args_)
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    return fallback;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    const std::string v = Get(name, "");
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    const std::string v = Get(name, "");
+    return v.empty() ? fallback : std::atoi(v.c_str());
+  }
+
+  bool Has(const std::string& name) const {
+    for (const std::string& a : args_)
+      if (a == "--" + name) return true;
+    return false;
+  }
+
+  /// Arguments that are not "--name" or "--name=value" for any allowed
+  /// name — including positional garbage, which a flags-only CLI should
+  /// also reject.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& allowed) const {
+    std::vector<std::string> unknown;
+    for (const std::string& a : args_) {
+      bool ok = false;
+      for (const std::string& name : allowed) {
+        if (a == "--" + name || a.rfind("--" + name + "=", 0) == 0) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) unknown.push_back(a);
+    }
+    return unknown;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+}  // namespace aneci::cli
+
+#endif  // ANECI_TOOLS_CLI_ARGS_H_
