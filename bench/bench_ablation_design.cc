@@ -78,7 +78,7 @@ int Run(int argc, char** argv) {
   }
 
   table.Print("Design ablation — internal AnECI choices");
-  table.WriteCsv("ablation_design.csv");
+  WriteBenchCsv(table, env, "ablation_design.csv");
   return 0;
 }
 

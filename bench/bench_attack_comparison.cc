@@ -70,7 +70,7 @@ int Run(int argc, char** argv) {
   }
 
   table.Print("Attack comparison — accuracy at equal perturbation budget");
-  table.WriteCsv("attack_comparison.csv");
+  WriteBenchCsv(table, env, "attack_comparison.csv");
   return 0;
 }
 

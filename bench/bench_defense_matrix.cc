@@ -122,7 +122,7 @@ int Run(int argc, char** argv) {
   }
 
   table.Print("Defense matrix (defense x attack x budget)");
-  table.WriteCsv("defense_matrix.csv");
+  WriteBenchCsv(table, env, "defense_matrix.csv");
   std::printf("jaccard beats undefended under DICE/NETTACK at every budget: "
               "%s\n",
               jaccard_wins ? "yes" : "NO");

@@ -49,7 +49,7 @@ int Run(int argc, char** argv) {
   }
 
   table.Print("Fig. 2 — defense score DS(delta), higher is more robust");
-  table.WriteCsv("fig2_defense_score.csv");
+  WriteBenchCsv(table, env, "fig2_defense_score.csv");
   return 0;
 }
 

@@ -73,7 +73,7 @@ int Run(int argc, char** argv) {
   }
 
   table.Print("Fig. 5 — test accuracy vs noise-edge ratio (random attack)");
-  table.WriteCsv("fig5_random_attack.csv");
+  WriteBenchCsv(table, env, "fig5_random_attack.csv");
   return 0;
 }
 

@@ -68,7 +68,7 @@ int Run(int argc, char** argv) {
   }
 
   table.Print("Fig. 6 — anomaly detection AUC");
-  table.WriteCsv("fig6_anomaly.csv");
+  WriteBenchCsv(table, env, "fig6_anomaly.csv");
   return 0;
 }
 

@@ -72,7 +72,7 @@ int Run(int argc, char** argv) {
   }
 
   table.Print("Fig. 7 — community detection modularity (structure only)");
-  table.WriteCsv("fig7_community.csv");
+  WriteBenchCsv(table, env, "fig7_community.csv");
   return 0;
 }
 

@@ -63,13 +63,13 @@ int Run(int argc, char** argv) {
       dump.AddRow().AddF(coords(i, 0), 4).AddF(coords(i, 1), 4).Add(
           std::to_string(labels[i]));
     }
-    dump.WriteCsv(csv);
-    std::fprintf(stderr, "  %s done -> %s\n", AneciVariantName(variant),
-                 csv.c_str());
+    WriteBenchCsv(dump, env, csv);
+    std::fprintf(stderr, "  %s done -> %s/%s\n", AneciVariantName(variant),
+                 env.outdir.c_str(), csv.c_str());
   }
 
   table.Print("Fig. 8 — class separation per ablation stage");
-  table.WriteCsv("fig8_tsne_summary.csv");
+  WriteBenchCsv(table, env, "fig8_tsne_summary.csv");
   return 0;
 }
 

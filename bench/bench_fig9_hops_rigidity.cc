@@ -42,7 +42,7 @@ int Run(int argc, char** argv) {
   }
   hops.Print("Fig. 9(a) — accuracy vs proximity order (noise ratio " +
              std::to_string(noise) + ")");
-  hops.WriteCsv("fig9a_hops.csv");
+  WriteBenchCsv(hops, env, "fig9a_hops.csv");
 
   // --- (b) rigidity & accuracy during training ---------------------------
   Dataset ds = MakeScaled(dataset_name, env, 0);
@@ -66,7 +66,7 @@ int Run(int argc, char** argv) {
         .AddF(acc, 3);
   });
   traj.Print("Fig. 9(b) — rigidity / modularity / accuracy vs epoch");
-  traj.WriteCsv("fig9b_rigidity.csv");
+  WriteBenchCsv(traj, env, "fig9b_rigidity.csv");
   return 0;
 }
 

@@ -76,7 +76,7 @@ int Run(int argc, char** argv) {
     }
   }
   table.Print("Table III — node classification accuracy (%) on clean graphs");
-  table.WriteCsv("table3_node_classification.csv");
+  WriteBenchCsv(table, env, "table3_node_classification.csv");
   return 0;
 }
 

@@ -63,7 +63,7 @@ int Run(int argc, char** argv) {
   }
 
   table.Print("Table IV — module ablation on " + dataset_name);
-  table.WriteCsv("table4_ablation.csv");
+  WriteBenchCsv(table, env, "table4_ablation.csv");
   return 0;
 }
 

@@ -5,6 +5,7 @@
 //   --rounds=<n>   independent repetitions averaged per cell
 //   --seed=<n>     base RNG seed
 //   --epochs=<n>   training epochs for the neural methods
+//   --outdir=<d>   directory for generated CSVs (default "results")
 //   --full         paper-scale datasets (scale = 1), paper epoch budgets
 #ifndef ANECI_BENCH_COMMON_H_
 #define ANECI_BENCH_COMMON_H_
@@ -21,6 +22,8 @@
 #include "embed/embedder.h"
 #include "tasks/node_classification.h"
 #include "util/check.h"
+#include "util/env.h"
+#include "util/table.h"
 
 namespace aneci::bench {
 
@@ -74,6 +77,9 @@ struct BenchEnv {
   uint64_t seed = 42;
   int epochs = 60;
   bool full = false;
+  /// Generated CSVs land here (created on first write) instead of polluting
+  /// the repo root; results/ is gitignored.
+  std::string outdir = "results";
 
   static BenchEnv FromFlags(const Flags& flags) {
     BenchEnv env;
@@ -82,9 +88,21 @@ struct BenchEnv {
     env.rounds = flags.GetInt("rounds", env.full ? 10 : 1);
     env.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
     env.epochs = flags.GetInt("epochs", env.full ? 150 : 60);
+    env.outdir = flags.GetString("outdir", env.outdir);
     return env;
   }
 };
+
+/// Writes `table` as CSV to `<env.outdir>/<filename>` (directory created on
+/// demand, write is atomic via Env) and aborts the bench on IO failure: a
+/// run whose results cannot be persisted must not look like a success.
+inline void WriteBenchCsv(const Table& table, const BenchEnv& env,
+                          const std::string& filename) {
+  Status st = Env::Default()->CreateDir(env.outdir);
+  if (st.ok()) st = table.WriteCsv(env.outdir + "/" + filename);
+  ANECI_CHECK_MSG(st.ok(), st.ToString().c_str());
+  std::printf("csv: %s/%s\n", env.outdir.c_str(), filename.c_str());
+}
 
 inline void PrintEnv(const char* bench_name, const BenchEnv& env) {
   std::printf(

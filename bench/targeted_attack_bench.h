@@ -94,7 +94,7 @@ inline int RunTargetedAttackBench(const char* title, const char* csv_name,
   }
 
   table.Print(title);
-  table.WriteCsv(csv_name);
+  WriteBenchCsv(table, env, csv_name);
   return 0;
 }
 

@@ -72,9 +72,7 @@ int PurifiedGraph::total_nodes_clipped() const {
 }
 
 StatusOr<std::unique_ptr<GraphDefense>> CreateDefense(const std::string& spec) {
-  StatusOr<ParsedSpec> parsed = SplitSpec(spec);
-  if (!parsed.ok()) return parsed.status();
-  const ParsedSpec& p = parsed.value();
+  ANECI_ASSIGN_OR_RETURN(const ParsedSpec p, SplitSpec(spec));
 
   if (p.name == "jaccard") {
     JaccardPruneOptions opt;
@@ -143,9 +141,9 @@ StatusOr<DefensePipeline> ParseDefensePipeline(const std::string& specs) {
     const std::string item = specs.substr(
         start, comma == std::string::npos ? std::string::npos : comma - start);
     if (!item.empty()) {
-      StatusOr<std::unique_ptr<GraphDefense>> defense = CreateDefense(item);
-      if (!defense.ok()) return defense.status();
-      pipeline.push_back(std::move(defense).value());
+      ANECI_ASSIGN_OR_RETURN(std::unique_ptr<GraphDefense> defense,
+                             CreateDefense(item));
+      pipeline.push_back(std::move(defense));
     }
     if (comma == std::string::npos) break;
     start = comma + 1;

@@ -239,9 +239,8 @@ Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
 StatusOr<TrainingCheckpoint> LoadCheckpoint(const std::string& path,
                                             Env* env) {
   if (!env) env = Env::Default();
-  StatusOr<std::string> bytes = env->ReadFile(path);
-  if (!bytes.ok()) return bytes.status();
-  return ParseCheckpoint(bytes.value(), path);
+  ANECI_ASSIGN_OR_RETURN(const std::string bytes, env->ReadFile(path));
+  return ParseCheckpoint(bytes, path);
 }
 
 std::string CheckpointBinPath(const std::string& dir) {

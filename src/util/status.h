@@ -24,29 +24,32 @@ enum class StatusCode {
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
-class Status {
+/// [[nodiscard]] on the class makes silently dropping any returned Status a
+/// compile-time diagnostic (-Werror=unused-result); aneci_lint's
+/// discarded-status check enforces the same invariant pre-build.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -64,7 +67,7 @@ class Status {
 
 /// Holds either a value of T or an error Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work,
   // mirroring absl::StatusOr.
@@ -105,6 +108,22 @@ class StatusOr {
     ::aneci::Status _st = (expr);              \
     if (!_st.ok()) return _st;                 \
   } while (0)
+
+// Unwraps a StatusOr<T> into `lhs` (which may be a declaration) or
+// early-returns its error, replacing the hand-rolled
+//   auto v = Fallible(); if (!v.ok()) return v.status();
+// ladder:
+//   ANECI_ASSIGN_OR_RETURN(const std::string bytes, env->ReadFile(path));
+// Works in functions returning Status or StatusOr<U> (Status converts).
+#define ANECI_ASSIGN_OR_RETURN(lhs, expr)                                   \
+  ANECI_ASSIGN_OR_RETURN_IMPL_(ANECI_STATUS_CONCAT_(_status_or_, __LINE__), \
+                               lhs, expr)
+#define ANECI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+#define ANECI_STATUS_CONCAT_(a, b) ANECI_STATUS_CONCAT_IMPL_(a, b)
+#define ANECI_STATUS_CONCAT_IMPL_(a, b) a##b
 
 }  // namespace aneci
 

@@ -69,9 +69,9 @@ std::string Table::ToCsv() const {
   return out;
 }
 
-bool Table::WriteCsv(const std::string& path, Env* env) const {
+Status Table::WriteCsv(const std::string& path, Env* env) const {
   if (!env) env = Env::Default();
-  return env->WriteFileAtomic(path, ToCsv()).ok();
+  return env->WriteFileAtomic(path, ToCsv());
 }
 
 }  // namespace aneci

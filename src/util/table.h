@@ -29,8 +29,8 @@ class Table {
   /// Renders as CSV (header + rows) and writes it atomically through `env`
   /// (temp file + rename; nullptr means Env::Default()), so a killed bench
   /// run never leaves a truncated CSV behind — readers see the previous
-  /// complete file or the new one. Returns false on IO failure.
-  bool WriteCsv(const std::string& path, Env* env = nullptr) const;
+  /// complete file or the new one.
+  Status WriteCsv(const std::string& path, Env* env = nullptr) const;
 
   /// The CSV bytes WriteCsv would persist.
   std::string ToCsv() const;

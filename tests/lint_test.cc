@@ -1,0 +1,316 @@
+// Tests for aneci_lint itself: tokenizer correctness on the lexical edge
+// cases that would otherwise cause false findings (raw strings, line
+// continuations, block comments), one positive and one negative fixture per
+// check, and the NOLINT suppression contract (reason required, suppression
+// scoped to its line).
+#include "tools/lint/lint.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tools/lint/tokenizer.h"
+
+namespace aneci::lint {
+namespace {
+
+std::vector<std::string> CheckNames(const std::vector<Finding>& findings) {
+  std::vector<std::string> names;
+  for (const Finding& f : findings) names.push_back(f.check);
+  return names;
+}
+
+int CountCheck(const std::vector<Finding>& findings, const std::string& name) {
+  int n = 0;
+  for (const Finding& f : findings) n += f.check == name;
+  return n;
+}
+
+// --- Tokenizer ---------------------------------------------------------------
+
+TEST(Tokenizer, StripsLineAndBlockComments) {
+  const TokenizedFile tf = Tokenize(
+      "int a; // trailing comment with rand() inside\n"
+      "/* block with std::ofstream\n   spanning lines */ int b;\n");
+  for (const Token& t : tf.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "ofstream");
+  }
+  ASSERT_EQ(tf.comments.size(), 2u);
+  EXPECT_FALSE(tf.comments[0].block);
+  EXPECT_TRUE(tf.comments[1].block);
+  EXPECT_EQ(tf.comments[1].line, 2);
+  // `int b;` sits on the physical line where the block comment closes.
+  EXPECT_EQ(tf.tokens.back().line, 3);
+}
+
+TEST(Tokenizer, StringAndCharLiteralsAreOpaque) {
+  const TokenizedFile tf = Tokenize(
+      "const char* s = \"call rand() and std::cout here\";\n"
+      "char c = 'r'; const char* esc = \"quote \\\" rand() after escape\";\n");
+  for (const Token& t : tf.tokens) {
+    if (t.kind == TokenKind::kIdentifier) {
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "cout");
+    }
+  }
+}
+
+TEST(Tokenizer, RawStringsSwallowEverythingUpToDelimiter) {
+  const TokenizedFile tf = Tokenize(
+      "auto s = R\"(contains \" quote, rand(), and // not-a-comment)\";\n"
+      "auto d = R\"xy(nested )\" not the end, std::ofstream)xy\"; int tail;\n");
+  EXPECT_TRUE(tf.comments.empty());
+  int strings = 0;
+  for (const Token& t : tf.tokens) {
+    strings += t.kind == TokenKind::kString;
+    if (t.kind == TokenKind::kIdentifier) {
+      EXPECT_NE(t.text, "rand");
+      EXPECT_NE(t.text, "ofstream");
+    }
+  }
+  EXPECT_EQ(strings, 2);
+  ASSERT_GE(tf.tokens.size(), 2u);
+  EXPECT_EQ(tf.tokens[tf.tokens.size() - 2].text, "tail");
+}
+
+TEST(Tokenizer, LineContinuationsSpliceButKeepLineNumbers) {
+  const TokenizedFile tf = Tokenize(
+      "#define MAC(x) \\\n  do_thing(x)\n"
+      "int af\\\nter;\n");
+  ASSERT_FALSE(tf.tokens.empty());
+  // The directive is one logical token covering two physical lines.
+  EXPECT_EQ(tf.tokens[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(tf.tokens[0].text.find("do_thing"), std::string::npos);
+  // `af\<newline>ter` splices into one identifier...
+  bool found = false;
+  for (const Token& t : tf.tokens) found |= t.text == "after";
+  EXPECT_TRUE(found);
+  // ...and the token after it is on physical line 4.
+  EXPECT_EQ(tf.tokens.back().text, ";");
+  EXPECT_EQ(tf.tokens.back().line, 4);
+}
+
+TEST(Tokenizer, BackslashContinuedLineCommentSwallowsNextLine) {
+  const TokenizedFile tf = Tokenize(
+      "// comment that continues \\\nrand(); onto this line\nint x;\n");
+  for (const Token& t : tf.tokens) EXPECT_NE(t.text, "rand");
+  ASSERT_EQ(tf.comments.size(), 1u);
+}
+
+TEST(Tokenizer, FusesQualifierAndArrowPunctuation) {
+  const TokenizedFile tf = Tokenize("a::b; c->d; eerase;");
+  ASSERT_GE(tf.tokens.size(), 4u);
+  EXPECT_EQ(tf.tokens[1].text, "::");
+  EXPECT_EQ(tf.tokens[5].text, "->");
+}
+
+// --- discarded-status --------------------------------------------------------
+
+constexpr const char* kStatusDecls =
+    "Status Save(int x);\n"
+    "StatusOr<int> Load(int x);\n";
+
+TEST(DiscardedStatus, FlagsBareCallStatement) {
+  const auto findings = LintContent(
+      "src/x.cc", std::string(kStatusDecls) + "void f() { Save(1); }\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "discarded-status");
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_EQ(findings[0].ToString().rfind("src/x.cc:3: discarded-status:", 0),
+            0u);
+}
+
+TEST(DiscardedStatus, FlagsStatusOrAndMemberCalls) {
+  const auto findings = LintContent(
+      "src/x.cc", std::string(kStatusDecls) +
+                      "struct E { Status Write(int); };\n"
+                      "void f(E* e) { Load(1); e->Write(2); }\n");
+  EXPECT_EQ(CountCheck(findings, "discarded-status"), 2);
+}
+
+TEST(DiscardedStatus, IgnoresConsumedResults) {
+  const auto findings = LintContent(
+      "src/x.cc",
+      std::string(kStatusDecls) +
+          "Status g() {\n"
+          "  Status st = Save(1);\n"
+          "  if (!Save(2).ok()) return Save(3);\n"
+          "  (void)Save(4);\n"
+          "  ANECI_RETURN_IF_ERROR(Save(5));\n"
+          "  return Save(6);\n"
+          "}\n");
+  EXPECT_EQ(CountCheck(findings, "discarded-status"), 0);
+}
+
+TEST(DiscardedStatus, CrossFileSymbolTableAndLocalOverride) {
+  Linter linter;
+  linter.AddFile("src/io.h",
+                 "#ifndef IO_H_\n#define IO_H_\n"
+                 "Status Persist(int x);\n#endif\n");
+  linter.AddFile("src/user.cc", "void f() { Persist(7); }\n");
+  // This file's Get returns char, even though another file's Get returns
+  // Status — the local declaration wins, no finding.
+  linter.AddFile("src/reader.h",
+                 "#ifndef READER_H_\n#define READER_H_\n"
+                 "struct R { Status Get(int*); };\n#endif\n");
+  linter.AddFile("src/cursor.cc",
+                 "struct C { char Get(); };\n"
+                 "void g(C* c) { c->Get(); }\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/user.cc");
+  EXPECT_EQ(findings[0].check, "discarded-status");
+}
+
+// --- banned-nondeterminism ---------------------------------------------------
+
+TEST(BannedNondeterminism, FlagsEachSourceInSrc) {
+  const auto findings = LintContent(
+      "src/core/x.cc",
+      "void f() {\n"
+      "  srand(42);\n"
+      "  int r = rand();\n"
+      "  long t = time(nullptr);\n"
+      "  std::random_device rd;\n"
+      "  auto n = std::chrono::steady_clock::now();\n"
+      "}\n");
+  EXPECT_EQ(CountCheck(findings, "banned-nondeterminism"), 5);
+}
+
+TEST(BannedNondeterminism, AllowsTimerHeaderAndNonSrcTrees) {
+  EXPECT_TRUE(LintContent("src/util/timer.h",
+                          "#ifndef T\n#define T\nauto t = "
+                          "std::chrono::steady_clock::now();\n#endif\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintContent("bench/b.cc", "auto t = std::chrono::steady_clock::now();\n")
+          .empty());
+  // Identifiers that merely *contain* banned names are fine.
+  EXPECT_TRUE(LintContent("src/x.cc", "int timeout = randomize_seed;\n")
+                  .empty());
+}
+
+// --- banned-raw-io -----------------------------------------------------------
+
+TEST(BannedRawIo, FlagsWritePathsInSrcOnly) {
+  const auto in_src = LintContent(
+      "src/data/x.cc",
+      "void f() { std::ofstream o(\"p\"); FILE* g = fopen(\"p\", \"w\"); }\n");
+  EXPECT_EQ(CountCheck(in_src, "banned-raw-io"), 2);
+  EXPECT_TRUE(LintContent("tools/t.cc", "std::ofstream o(\"p\");\n").empty());
+  // env.cc is the designated raw-IO site.
+  EXPECT_TRUE(
+      LintContent("src/util/env.cc", "std::ofstream o(\"p\");\n").empty());
+  // Reads do not have to route through Env.
+  EXPECT_TRUE(
+      LintContent("src/graph/g.cc", "std::ifstream in(\"p\");\n").empty());
+}
+
+// --- no-iostream-in-library --------------------------------------------------
+
+TEST(NoIostream, FlagsCoutCerrAndIncludeInSrcOnly) {
+  const auto findings = LintContent(
+      "src/core/x.cc",
+      "#include <iostream>\nvoid f() { std::cout << 1; std::cerr << 2; }\n");
+  EXPECT_EQ(CountCheck(findings, "no-iostream-in-library"), 3);
+  EXPECT_TRUE(
+      LintContent("tests/t.cc", "void f() { std::cerr << 1; }\n").empty());
+}
+
+// --- header-hygiene ----------------------------------------------------------
+
+TEST(HeaderHygiene, RequiresGuardAndBansUsingNamespace) {
+  const auto unguarded =
+      LintContent("src/x.h", "#include <string>\nint f();\n");
+  EXPECT_EQ(CountCheck(unguarded, "header-hygiene"), 1);
+
+  const auto leaky = LintContent(
+      "src/y.h", "#ifndef Y_H_\n#define Y_H_\nusing namespace std;\n#endif\n");
+  ASSERT_EQ(CountCheck(leaky, "header-hygiene"), 1);
+  EXPECT_EQ(leaky[0].line, 3);
+
+  EXPECT_TRUE(LintContent("src/ok.h",
+                          "// comment first is fine\n#ifndef OK_H_\n#define "
+                          "OK_H_\nint f();\n#endif\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintContent("src/pragma.h", "#pragma once\nint f();\n").empty());
+  // .cc files are exempt.
+  EXPECT_TRUE(LintContent("src/x.cc", "#include <string>\nint f();\n")
+                  .empty());
+}
+
+// --- NOLINT suppression ------------------------------------------------------
+
+TEST(Nolint, SuppressionWithReasonIsHonoredOnItsLineOnly) {
+  const auto findings = LintContent(
+      "src/x.cc",
+      std::string(kStatusDecls) +
+          "void f() {\n"
+          "  Save(1);  // NOLINT(discarded-status): fire-and-forget probe\n"
+          "  Save(2);\n"
+          "}\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(Nolint, ReasonIsRequired) {
+  const auto findings = LintContent(
+      "src/x.cc", std::string(kStatusDecls) +
+                      "void f() {\n"
+                      "  Save(1);  // NOLINT(discarded-status)\n"
+                      "}\n");
+  // The reasonless NOLINT does not suppress, and is itself a finding.
+  EXPECT_EQ(CountCheck(findings, "discarded-status"), 1);
+  EXPECT_EQ(CountCheck(findings, "nolint-reason"), 1);
+}
+
+TEST(Nolint, NextlineAndForeignChecksAndMultipleNames) {
+  const auto next = LintContent(
+      "src/x.cc", std::string(kStatusDecls) +
+                      "void f() {\n"
+                      "  // NOLINTNEXTLINE(discarded-status): warm-up call\n"
+                      "  Save(1);\n"
+                      "}\n");
+  EXPECT_TRUE(next.empty());
+
+  // clang-tidy style NOLINTs naming foreign checks are none of our business.
+  const auto foreign = LintContent(
+      "src/x.cc", "int x = 0;  // NOLINT(runtime/int)\nint y = 0;  // NOLINT\n");
+  EXPECT_TRUE(foreign.empty());
+
+  const auto multi = LintContent(
+      "src/x.cc",
+      "#include <ctime>\n"
+      "Status Save(int);\n"
+      "void f() {\n"
+      "  Status s = Save(time(nullptr));  "
+      "// NOLINT(banned-nondeterminism): wall-clock label, not RNG\n"
+      "}\n");
+  EXPECT_TRUE(multi.empty());
+}
+
+// --- check filtering ---------------------------------------------------------
+
+TEST(Options, OnlyCheckFiltersFindings) {
+  LintOptions opts;
+  opts.only_check = "banned-raw-io";
+  const auto findings = LintContent(
+      "src/x.cc",
+      std::string(kStatusDecls) +
+          "void f() { Save(1); std::ofstream o(\"p\"); }\n",
+      opts);
+  EXPECT_EQ(CheckNames(findings),
+            std::vector<std::string>{"banned-raw-io"});
+}
+
+TEST(Registry, ListsAllSixChecks) {
+  EXPECT_EQ(RegisteredChecks().size(), 6u);
+  EXPECT_TRUE(IsRegisteredCheck("discarded-status"));
+  EXPECT_TRUE(IsRegisteredCheck("header-hygiene"));
+  EXPECT_FALSE(IsRegisteredCheck("made-up-check"));
+}
+
+}  // namespace
+}  // namespace aneci::lint

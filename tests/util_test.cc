@@ -217,7 +217,8 @@ TEST(Table, RowsAndCsv) {
   EXPECT_EQ(t.num_rows(), 2);
 
   const std::string path = testing::TempDir() + "/table_test.csv";
-  ASSERT_TRUE(t.WriteCsv(path));
+  const Status st = t.WriteCsv(path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
   FILE* f = std::fopen(path.c_str(), "r");
   ASSERT_NE(f, nullptr);
   char buf[256];
@@ -231,7 +232,9 @@ TEST(Table, RowsAndCsv) {
 TEST(Table, CsvFailsOnBadPath) {
   Table t({"a"});
   t.AddRow().Add("x");
-  EXPECT_FALSE(t.WriteCsv("/nonexistent_dir_zzz/t.csv"));
+  const Status st = t.WriteCsv("/nonexistent_dir_zzz/t.csv");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
 }
 
 }  // namespace

@@ -24,7 +24,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 
@@ -43,6 +43,7 @@
 #include "tasks/community.h"
 #include "tasks/metrics.h"
 #include "tools/cli_args.h"
+#include "util/env.h"
 
 namespace aneci::cli {
 namespace {
@@ -94,9 +95,10 @@ StatusOr<Graph> LoadRequiredGraph(const Args& args) {
   return LoadGraph(path);
 }
 
-bool WriteEmbeddingCsv(const Matrix& z, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return false;
+/// Writes the embedding as CSV through Env's atomic temp+rename path, so a
+/// killed run never leaves a truncated embedding behind.
+Status WriteEmbeddingCsv(const Matrix& z, const std::string& path) {
+  std::ostringstream out;
   for (int i = 0; i < z.rows(); ++i) {
     for (int c = 0; c < z.cols(); ++c) {
       if (c) out << ',';
@@ -104,7 +106,7 @@ bool WriteEmbeddingCsv(const Matrix& z, const std::string& path) {
     }
     out << '\n';
   }
-  return static_cast<bool>(out);
+  return Env::Default()->WriteFileAtomic(path, out.str());
 }
 
 int CmdGenerate(const Args& args) {
@@ -239,7 +241,7 @@ int CmdTrain(const Args& args) {
     z = result.z;
   }
   const std::string out = args.Get("out", "embedding.csv");
-  if (!WriteEmbeddingCsv(z, out)) return Fail("cannot write " + out);
+  if (Status st = WriteEmbeddingCsv(z, out); !st.ok()) return Fail(st.ToString());
   std::printf("wrote %s (%d x %d)\n", out.c_str(), z.rows(), z.cols());
 
   if (args.Has("certify")) {
@@ -283,7 +285,7 @@ int CmdEmbed(const Args& args) {
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
   Matrix z = embedder.value()->Embed(graph.value(), rng);
   const std::string out = args.Get("out", "embedding.csv");
-  if (!WriteEmbeddingCsv(z, out)) return Fail("cannot write " + out);
+  if (Status st = WriteEmbeddingCsv(z, out); !st.ok()) return Fail(st.ToString());
   std::printf("%s embedding written to %s (%d x %d)\n", method.c_str(),
               out.c_str(), z.rows(), z.cols());
   return 0;
@@ -363,8 +365,12 @@ int CmdCommunity(const Args& args) {
               louvain.num_communities);
   const std::string out = args.Get("out", "");
   if (!out.empty()) {
-    std::ofstream f(out);
-    for (int c : aneci_comm.assignment) f << c << '\n';
+    // Previously written with an unchecked ofstream: a bad path still
+    // printed "assignment written". Atomic write + checked Status now.
+    std::string lines;
+    for (int c : aneci_comm.assignment) lines += std::to_string(c) + '\n';
+    Status st = Env::Default()->WriteFileAtomic(out, lines);
+    if (!st.ok()) return Fail(st.ToString());
     std::printf("assignment written to %s\n", out.c_str());
   }
   return 0;

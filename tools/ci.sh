@@ -1,26 +1,60 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass.
+# Static analysis, tier-1 verification, and a three-way sanitizer matrix.
 #
 #   tools/ci.sh [build-dir-prefix]
 #
+# Stage 0 builds and runs aneci_lint over the whole tree — a hard-fail gate:
+# any unsuppressed finding (or a suppression without a reason) stops CI
+# before a single test runs, and failures name the exact check as
+# `file:line: check-name: message`. Use `aneci_lint --check=<name>` locally
+# to reproduce one check in isolation (see `aneci_lint --list-checks`).
+#
 # Stage 1 builds the default configuration and runs the full ctest suite
-# (the tier-1 gate). Stage 2 rebuilds the concurrency-sensitive targets
-# under -DANECI_TSAN=ON and runs the thread-pool and defense tests, which
-# exercise the parallel kernels and the determinism-at-any-thread-count
-# contracts where a data race would actually bite.
+# (the tier-1 gate), which includes the linter's own test suite (-L lint).
+#
+# Stage 2 is the sanitizer matrix: the fault-injection and attack test
+# subsets (-L 'fault|attack') run under ASan, UBSan, and TSan — the subsets
+# that exercise error paths over partially written buffers (ASan), integer/
+# float conversions in the perturbation math (UBSan), and the parallel
+# kernels (TSan). The TSan build additionally re-runs the thread-pool and
+# defense determinism suites, where a data race would actually bite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 prefix="${1:-build-ci}"
 
-echo "== stage 1: tier-1 build + full test suite =="
+echo "== stage 0: aneci_lint (static analysis, hard fail) =="
 cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${prefix}" -j "$(nproc)" --target aneci_lint
+"./${prefix}/tools/aneci_lint" --root=.
+
+echo "== stage 1: tier-1 build + full test suite =="
 cmake --build "${prefix}" -j "$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure -j "$(nproc)"
 
-echo "== stage 2: ThreadSanitizer build (thread_pool + defense tests) =="
+# Test binaries exercised by the sanitizer matrix (fault + attack labels).
+matrix_targets=(checkpoint_test resilience_test graph_io_robustness_test
+                attack_test surrogate_test)
+
+echo "== stage 2a: AddressSanitizer (fault + attack tests) =="
+cmake -B "${prefix}-asan" -S . -DANECI_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${prefix}-asan" -j "$(nproc)" --target "${matrix_targets[@]}"
+ctest --test-dir "${prefix}-asan" --output-on-failure -j "$(nproc)" \
+  -L 'fault|attack'
+
+echo "== stage 2b: UndefinedBehaviorSanitizer (fault + attack tests) =="
+cmake -B "${prefix}-ubsan" -S . -DANECI_UBSAN=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${prefix}-ubsan" -j "$(nproc)" --target "${matrix_targets[@]}"
+ctest --test-dir "${prefix}-ubsan" --output-on-failure -j "$(nproc)" \
+  -L 'fault|attack'
+
+echo "== stage 2c: ThreadSanitizer (fault + attack + concurrency tests) =="
 cmake -B "${prefix}-tsan" -S . -DANECI_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${prefix}-tsan" -j "$(nproc)" --target thread_pool_test defense_test
+cmake --build "${prefix}-tsan" -j "$(nproc)" \
+  --target "${matrix_targets[@]}" thread_pool_test defense_test
+ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
+  -L 'fault|attack'
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
   -R 'ThreadPool|Defense|Jaccard|LowRank|AttributeClip|Smoothing|AdversarialTraining'
 

@@ -1,0 +1,421 @@
+#include "tools/lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace aneci::lint {
+namespace {
+
+// --- Path scoping -----------------------------------------------------------
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when `path` lives under top-level directory `dir` ("src/x.cc" or
+/// "repo/src/x.cc" both count as inside "src").
+bool InDir(const std::string& path, const std::string& dir) {
+  const std::string needle = dir + "/";
+  return path.rfind(needle, 0) == 0 ||
+         path.find("/" + needle) != std::string::npos;
+}
+
+bool IsHeader(const std::string& path) {
+  return EndsWith(path, ".h") || EndsWith(path, ".hpp");
+}
+
+// --- Suppressions -----------------------------------------------------------
+
+/// NOLINT suppressions for one file: line -> set of suppressed check names.
+using SuppressionMap = std::map<int, std::set<std::string>>;
+
+std::string Trim(std::string s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Parses every NOLINT / NOLINTNEXTLINE marker in a comment. Markers naming
+/// only foreign checks (clang-tidy's NOLINT(runtime/int) style) or bare
+/// NOLINTs are ignored; markers naming one of our checks must carry a
+/// ": reason" or they produce a nolint-reason finding themselves.
+void CollectSuppressions(const std::string& file, const Comment& comment,
+                         SuppressionMap* map, std::vector<Finding>* findings) {
+  const std::string& text = comment.text;
+  for (size_t pos = text.find("NOLINT"); pos != std::string::npos;
+       pos = text.find("NOLINT", pos + 1)) {
+    int line = comment.line +
+               static_cast<int>(std::count(text.begin(), text.begin() + pos,
+                                           '\n'));
+    size_t i = pos + 6;  // past "NOLINT"
+    if (text.compare(i, 8, "NEXTLINE") == 0) {
+      i += 8;
+      ++line;
+    }
+    if (i >= text.size() || text[i] != '(') continue;  // bare NOLINT: foreign
+    const size_t close = text.find(')', i);
+    if (close == std::string::npos) continue;
+
+    std::vector<std::string> names;
+    for (size_t start = i + 1; start < close;) {
+      size_t comma = text.find(',', start);
+      if (comma == std::string::npos || comma > close) comma = close;
+      const std::string name = Trim(text.substr(start, comma - start));
+      if (!name.empty()) names.push_back(name);
+      start = comma + 1;
+    }
+    std::vector<std::string> ours;
+    for (const std::string& name : names)
+      if (IsRegisteredCheck(name)) ours.push_back(name);
+    if (ours.empty()) continue;  // names only foreign checks
+
+    // Required reason: "NOLINT(check): why this is safe".
+    size_t r = close + 1;
+    while (r < text.size() && (text[r] == ' ' || text[r] == '\t')) ++r;
+    const size_t eol = text.find('\n', close);
+    const bool has_reason =
+        r < text.size() && text[r] == ':' &&
+        !Trim(text.substr(r + 1, (eol == std::string::npos ? text.size() : eol) -
+                                     (r + 1)))
+             .empty();
+    if (!has_reason) {
+      findings->push_back(
+          {file, line, "nolint-reason",
+           "NOLINT(" + ours.front() +
+               ") needs a reason: write `NOLINT(check): why this is safe`"});
+      continue;  // a reasonless suppression does not suppress
+    }
+    for (const std::string& name : ours) (*map)[line].insert(name);
+  }
+}
+
+// --- Token helpers ----------------------------------------------------------
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Index just past a balanced bracket run starting at `i` (tokens[i] must be
+/// the opener). Returns tokens.size() when unbalanced.
+size_t SkipBalanced(const std::vector<Token>& toks, size_t i,
+                    const char* open, const char* close) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], open)) ++depth;
+    if (IsPunct(toks[i], close) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+// --- Pass 1: status-returning function names --------------------------------
+
+/// Records names declared as `Status Name(...)` or `StatusOr<...> Name(...)`.
+void CollectStatusFunctions(const TokenizedFile& file,
+                            std::set<std::string>* out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const bool plain = IsIdent(toks[i], "Status");
+    const bool wrapped = IsIdent(toks[i], "StatusOr");
+    if (!plain && !wrapped) continue;
+    size_t j = i + 1;
+    if (wrapped) {
+      if (j >= toks.size() || !IsPunct(toks[j], "<")) continue;
+      j = SkipBalanced(toks, j, "<", ">");
+    }
+    if (j + 1 < toks.size() && toks[j].kind == TokenKind::kIdentifier &&
+        IsPunct(toks[j + 1], "(")) {
+      out->insert(toks[j].text);
+    }
+  }
+}
+
+/// Records names declared as `<type> Name(...)` for any non-Status type
+/// (pattern: identifier identifier `(` where the first identifier is not a
+/// statement keyword). Used to override bare-name collisions across files.
+void CollectNonStatusFunctions(const TokenizedFile& file,
+                               std::set<std::string>* out) {
+  static const std::set<std::string> kNotATypePrefix = {
+      "return",    "new",     "throw",    "delete", "case",   "goto",
+      "co_return", "co_await", "co_yield", "else",   "do",     "sizeof",
+      "alignof",   "decltype", "using",    "typedef", "operator",
+      "Status",    "StatusOr"};
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        toks[i + 1].kind != TokenKind::kIdentifier ||
+        !IsPunct(toks[i + 2], "("))
+      continue;
+    if (kNotATypePrefix.count(toks[i].text)) continue;
+    out->insert(toks[i + 1].text);
+  }
+}
+
+// --- Checks -----------------------------------------------------------------
+
+using Findings = std::vector<Finding>;
+
+/// discarded-status: an expression statement that is exactly a call chain
+/// ending in a function known to return Status/StatusOr. `(void)call();` and
+/// values consumed by =, return, if(...) etc. never match, because the call
+/// is then not the whole statement.
+void CheckDiscardedStatus(const std::string& file, const TokenizedFile& tf,
+                          const std::set<std::string>& status_fns,
+                          const std::set<std::string>& local_status,
+                          const std::set<std::string>& local_non_status,
+                          Findings* out) {
+  // Preprocessor directives are invisible to statement structure.
+  std::vector<const Token*> toks;
+  for (const Token& t : tf.tokens)
+    if (t.kind != TokenKind::kPreprocessor) toks.push_back(&t);
+
+  // open_of[k]: index of the '(' matching the ')' at k (-1 if unbalanced).
+  std::vector<int> open_of(toks.size(), -1);
+  {
+    std::vector<int> stack;
+    for (size_t k = 0; k < toks.size(); ++k) {
+      if (IsPunct(*toks[k], "(")) stack.push_back(static_cast<int>(k));
+      if (IsPunct(*toks[k], ")") && !stack.empty()) {
+        open_of[k] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+
+  auto stmt_start = [&](size_t i) {
+    if (i == 0) return true;
+    const Token& p = *toks[i - 1];
+    if (IsPunct(p, ";") || IsPunct(p, "{") || IsPunct(p, "}") ||
+        IsIdent(p, "else") || IsIdent(p, "do"))
+      return true;
+    // After `if (...)` / `while (...)` / `for (...)` a braceless statement
+    // begins; after any other `)` — e.g. the `(void)` discard cast or a
+    // parenthesised subexpression — it does not.
+    if (IsPunct(p, ")") && open_of[i - 1] > 0) {
+      const Token& before = *toks[open_of[i - 1] - 1];
+      return IsIdent(before, "if") || IsIdent(before, "while") ||
+             IsIdent(before, "for") || IsIdent(before, "switch");
+    }
+    return false;
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i]->kind != TokenKind::kIdentifier || !stmt_start(i)) continue;
+    // Walk the call chain: name (:: name | . name | -> name)*
+    size_t j = i;
+    std::string callee = toks[j]->text;
+    while (j + 2 < toks.size() &&
+           (IsPunct(*toks[j + 1], "::") || IsPunct(*toks[j + 1], ".") ||
+            IsPunct(*toks[j + 1], "->")) &&
+           toks[j + 2]->kind == TokenKind::kIdentifier) {
+      j += 2;
+      callee = toks[j]->text;
+    }
+    if (j + 1 >= toks.size() || !IsPunct(*toks[j + 1], "(")) continue;
+    if (!status_fns.count(callee)) continue;
+    if (local_non_status.count(callee) && !local_status.count(callee))
+      continue;  // this file's own `callee` demonstrably isn't Status
+    // Balanced-paren skip over the argument list (argument lists contain
+    // nested parens/lambdas; only the statement-final `;` matters).
+    int depth = 0;
+    size_t k = j + 1;
+    for (; k < toks.size(); ++k) {
+      if (toks[k]->kind != TokenKind::kPunct) continue;
+      if (toks[k]->text == "(") ++depth;
+      if (toks[k]->text == ")" && --depth == 0) break;
+    }
+    if (k + 1 < toks.size() && IsPunct(*toks[k + 1], ";")) {
+      out->push_back(
+          {file, toks[i]->line, "discarded-status",
+           "result of '" + callee +
+               "' (returns Status/StatusOr) is ignored; check it, wrap in "
+               "ANECI_RETURN_IF_ERROR, or cast to (void) with a NOLINT "
+               "reason"});
+    }
+  }
+}
+
+void CheckBannedNondeterminism(const std::string& file,
+                               const TokenizedFile& tf, Findings* out) {
+  const std::vector<Token>& toks = tf.tokens;
+  auto flag = [&](const Token& t, const std::string& what) {
+    out->push_back({file, t.line, "banned-nondeterminism",
+                    what + " is nondeterministic and breaks the bit-identical "
+                           "checkpoint/resume guarantee; use util/rng.h "
+                           "(seeded) or util/timer.h"});
+  };
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+    const bool call_next = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
+    if (t.text == "random_device") {
+      flag(t, "std::random_device");
+    } else if (call_next &&
+               (t.text == "rand" || t.text == "srand" || t.text == "rand_r" ||
+                t.text == "drand48")) {
+      flag(t, "'" + t.text + "()'");
+    } else if (call_next && (t.text == "time" || t.text == "clock")) {
+      flag(t, "'" + t.text + "()'");
+    } else if (t.text.size() > 6 &&
+               t.text.compare(t.text.size() - 6, 6, "_clock") == 0 &&
+               i + 2 < toks.size() && IsPunct(toks[i + 1], "::") &&
+               IsIdent(toks[i + 2], "now")) {
+      flag(t, "std::chrono::" + t.text + "::now()");
+    }
+  }
+}
+
+void CheckBannedRawIo(const std::string& file, const TokenizedFile& tf,
+                      Findings* out) {
+  for (const Token& t : tf.tokens) {
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "fopen" || t.text == "freopen" || t.text == "tmpfile" ||
+        t.text == "ofstream" || t.text == "fstream") {
+      out->push_back({file, t.line, "banned-raw-io",
+                      "'" + t.text +
+                          "' bypasses Env's atomic temp+rename write path; "
+                          "route file writes through util/env.h"});
+    }
+  }
+}
+
+void CheckNoIostream(const std::string& file, const TokenizedFile& tf,
+                     Findings* out) {
+  for (const Token& t : tf.tokens) {
+    if (t.kind == TokenKind::kPreprocessor &&
+        t.text.find("<iostream>") != std::string::npos) {
+      out->push_back({file, t.line, "no-iostream-in-library",
+                      "library code must not include <iostream>; report "
+                      "errors via Status and progress via callbacks"});
+    }
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (t.text == "cout" || t.text == "cerr" || t.text == "clog") {
+      out->push_back({file, t.line, "no-iostream-in-library",
+                      "'std::" + t.text +
+                          "' in library code; report errors via Status and "
+                          "progress via callbacks"});
+    }
+  }
+}
+
+void CheckHeaderHygiene(const std::string& file, const TokenizedFile& tf,
+                        Findings* out) {
+  const Token* first_pp = nullptr;
+  for (const Token& t : tf.tokens) {
+    if (t.kind == TokenKind::kPreprocessor) {
+      first_pp = &t;
+      break;
+    }
+  }
+  const bool guarded =
+      first_pp && (first_pp->text.rfind("#pragma once", 0) == 0 ||
+                   first_pp->text.rfind("#ifndef", 0) == 0);
+  if (!tf.tokens.empty() && !guarded) {
+    out->push_back({file, 1, "header-hygiene",
+                    "header must open with an include guard (#ifndef) or "
+                    "#pragma once"});
+  }
+  for (size_t i = 0; i + 1 < tf.tokens.size(); ++i) {
+    if (IsIdent(tf.tokens[i], "using") &&
+        IsIdent(tf.tokens[i + 1], "namespace")) {
+      out->push_back({file, tf.tokens[i].line, "header-hygiene",
+                      "'using namespace' in a header leaks into every "
+                      "includer; qualify names instead"});
+    }
+  }
+}
+
+}  // namespace
+
+std::string Finding::ToString() const {
+  return file + ":" + std::to_string(line) + ": " + check + ": " + message;
+}
+
+const std::vector<CheckInfo>& RegisteredChecks() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"discarded-status",
+       "a call returning Status/StatusOr used as a bare expression statement"},
+      {"banned-nondeterminism",
+       "rand/srand/std::random_device/time()/clock()/*_clock::now in src/ "
+       "(allowlist: util/timer.h)"},
+      {"banned-raw-io",
+       "fopen/std::ofstream/std::fstream in src/ outside util/env.cc; writes "
+       "must route through Env"},
+      {"no-iostream-in-library", "std::cout/cerr/clog or <iostream> in src/"},
+      {"header-hygiene",
+       "headers must open with a guard and must not 'using namespace'"},
+      {"nolint-reason",
+       "a NOLINT(<check>) suppression must carry ': reason'"},
+  };
+  return kChecks;
+}
+
+bool IsRegisteredCheck(const std::string& name) {
+  for (const CheckInfo& c : RegisteredChecks())
+    if (c.name == name) return true;
+  return false;
+}
+
+void Linter::AddFile(const std::string& path, std::string_view content) {
+  FileEntry entry;
+  entry.path = path;
+  entry.tokens = Tokenize(content);
+  CollectStatusFunctions(entry.tokens, &entry.local_status);
+  CollectNonStatusFunctions(entry.tokens, &entry.local_non_status);
+  status_functions_.insert(entry.local_status.begin(),
+                           entry.local_status.end());
+  files_.push_back(std::move(entry));
+}
+
+std::vector<Finding> Linter::Run(const LintOptions& options) const {
+  std::vector<Finding> all;
+  for (const FileEntry& file : files_) {
+    SuppressionMap suppressions;
+    std::vector<Finding> raw;
+    for (const Comment& c : file.tokens.comments)
+      CollectSuppressions(file.path, c, &suppressions, &raw);
+
+    CheckDiscardedStatus(file.path, file.tokens, status_functions_,
+                         file.local_status, file.local_non_status, &raw);
+    if (InDir(file.path, "src")) {
+      if (!EndsWith(file.path, "util/timer.h"))
+        CheckBannedNondeterminism(file.path, file.tokens, &raw);
+      if (!EndsWith(file.path, "util/env.cc"))
+        CheckBannedRawIo(file.path, file.tokens, &raw);
+      CheckNoIostream(file.path, file.tokens, &raw);
+    }
+    if (IsHeader(file.path)) CheckHeaderHygiene(file.path, file.tokens, &raw);
+
+    for (Finding& f : raw) {
+      auto it = suppressions.find(f.line);
+      if (it != suppressions.end() && it->second.count(f.check)) continue;
+      // nolint-reason findings always surface: a malformed suppression can
+      // silently mask any other check.
+      if (!options.only_check.empty() && f.check != options.only_check &&
+          f.check != "nolint-reason")
+        continue;
+      all.push_back(std::move(f));
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.check < b.check;
+  });
+  return all;
+}
+
+std::vector<Finding> LintContent(const std::string& path,
+                                 std::string_view content,
+                                 const LintOptions& options) {
+  Linter linter;
+  linter.AddFile(path, content);
+  return linter.Run(options);
+}
+
+}  // namespace aneci::lint

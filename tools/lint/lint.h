@@ -1,0 +1,97 @@
+// aneci_lint core: a registry of named checks over tokenized C++ sources
+// that enforce repo invariants the compiler cannot see (see
+// docs/static_analysis.md for the rationale behind each check):
+//
+//   discarded-status          a call returning Status/StatusOr used as a bare
+//                             expression statement
+//   banned-nondeterminism     rand/srand/std::random_device/time()/
+//                             std::chrono::*_clock::now in src/ outside the
+//                             timer allowlist
+//   banned-raw-io             fopen/std::ofstream/std::fstream writes in src/
+//                             outside env.cc (writes must route through Env)
+//   no-iostream-in-library    std::cout/cerr/clog in src/
+//   header-hygiene            headers must open with an include guard or
+//                             #pragma once, and must not `using namespace`
+//   nolint-reason             a NOLINT(<check>) suppression without a reason
+//
+// Suppression: `// NOLINT(check-name): reason` on the offending line. The
+// reason is mandatory; a bare NOLINT or one naming only foreign (clang-tidy
+// style) checks is ignored by this tool.
+#ifndef ANECI_TOOLS_LINT_LINT_H_
+#define ANECI_TOOLS_LINT_LINT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/tokenizer.h"
+
+namespace aneci::lint {
+
+struct Finding {
+  std::string file;
+  int line;
+  std::string check;
+  std::string message;
+
+  /// The "file:line: check: message" form CI and terminals understand.
+  std::string ToString() const;
+};
+
+struct CheckInfo {
+  std::string name;
+  std::string description;
+};
+
+/// All checks, in the order they are listed by `aneci_lint --list-checks`.
+const std::vector<CheckInfo>& RegisteredChecks();
+
+/// True if `name` names a registered check.
+bool IsRegisteredCheck(const std::string& name);
+
+struct LintOptions {
+  /// When non-empty, only findings of this check are reported
+  /// (nolint-reason findings are always kept: a malformed suppression can
+  /// mask any check).
+  std::string only_check;
+};
+
+/// Two-pass linter: AddFile() every source first (pass 1 collects the names
+/// of functions declared to return Status/StatusOr across the whole tree),
+/// then Run() reports findings (pass 2). Paths are repo-relative; checks
+/// scope themselves by the top-level directory (src/, tools/, ...).
+class Linter {
+ public:
+  void AddFile(const std::string& path, std::string_view content);
+  std::vector<Finding> Run(const LintOptions& options = {}) const;
+
+  /// Names collected by pass 1 (exposed for tests).
+  const std::set<std::string>& status_functions() const {
+    return status_functions_;
+  }
+
+ private:
+  struct FileEntry {
+    std::string path;
+    TokenizedFile tokens;
+    /// Names this file declares with a Status/StatusOr return type...
+    std::set<std::string> local_status;
+    /// ...and with any other return type. A cross-file match on a bare name
+    /// is overridden when the calling file itself declares that name
+    /// non-Status (e.g. two unrelated `Get` methods in different classes).
+    std::set<std::string> local_non_status;
+  };
+  std::vector<FileEntry> files_;
+  std::set<std::string> status_functions_;
+};
+
+/// One-shot convenience: lints a single file in isolation (the
+/// status-function table is seeded from that file alone).
+std::vector<Finding> LintContent(const std::string& path,
+                                 std::string_view content,
+                                 const LintOptions& options = {});
+
+}  // namespace aneci::lint
+
+#endif  // ANECI_TOOLS_LINT_LINT_H_

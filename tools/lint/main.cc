@@ -1,0 +1,131 @@
+// aneci_lint driver: walks src/, tools/, bench/ and tests/ (or explicit
+// paths), runs every registered check, and prints findings as
+// `file:line: check-name: message` — the format terminals and CI annotate.
+//
+//   aneci_lint [--root=DIR] [--check=NAME] [--list-checks] [paths...]
+//
+// Exit codes: 0 clean, 1 findings, 2 usage error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint.h"
+
+namespace aneci::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+/// Collects lintable files under `path` (file or directory), repo-relative
+/// to `root`. Build trees and hidden directories are skipped.
+void CollectFiles(const fs::path& root, const fs::path& path,
+                  std::vector<std::string>* out) {
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec)) {
+    if (IsSourceFile(path))
+      out->push_back(path.lexically_relative(root).generic_string());
+    return;
+  }
+  for (fs::recursive_directory_iterator it(path, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    const std::string name = it->path().filename().string();
+    if (it->is_directory(ec) &&
+        (name.rfind("build", 0) == 0 || name.rfind(".", 0) == 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file(ec) && IsSourceFile(it->path()))
+      out->push_back(it->path().lexically_relative(root).generic_string());
+  }
+}
+
+int Run(int argc, char** argv) {
+  std::string root = ".";
+  LintOptions options;
+  std::vector<std::string> explicit_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-checks") {
+      for (const CheckInfo& c : RegisteredChecks())
+        std::printf("%-24s %s\n", c.name.c_str(), c.description.c_str());
+      return 0;
+    }
+    if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--check=", 0) == 0) {
+      options.only_check = arg.substr(8);
+      if (!IsRegisteredCheck(options.only_check)) {
+        std::fprintf(stderr,
+                     "aneci_lint: unknown check '%s' (see --list-checks)\n",
+                     options.only_check.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "aneci_lint: unknown flag '%s'\n"
+                   "usage: aneci_lint [--root=DIR] [--check=NAME] "
+                   "[--list-checks] [paths...]\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      explicit_paths.push_back(arg);
+    }
+  }
+
+  const fs::path root_path(root);
+  std::vector<std::string> files;
+  if (explicit_paths.empty()) {
+    for (const char* dir : {"src", "tools", "bench", "tests"})
+      CollectFiles(root_path, root_path / dir, &files);
+  } else {
+    for (const std::string& p : explicit_paths)
+      CollectFiles(root_path, root_path / p, &files);
+  }
+  std::sort(files.begin(), files.end());
+
+  Linter linter;
+  int unreadable = 0;
+  for (const std::string& rel : files) {
+    std::ifstream in(root_path / rel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "aneci_lint: cannot read %s\n", rel.c_str());
+      ++unreadable;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    linter.AddFile(rel, buf.str());
+  }
+  if (files.empty() || unreadable > 0) {
+    std::fprintf(stderr, "aneci_lint: no lintable files under '%s'\n",
+                 root.c_str());
+    return 2;
+  }
+
+  const std::vector<Finding> findings = linter.Run(options);
+  for (const Finding& f : findings) std::printf("%s\n", f.ToString().c_str());
+  if (findings.empty()) {
+    std::fprintf(stderr, "aneci_lint: clean (%zu files)\n", files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "aneci_lint: %zu finding(s) in %zu files\n",
+               findings.size(), files.size());
+  return 1;
+}
+
+}  // namespace
+}  // namespace aneci::lint
+
+int main(int argc, char** argv) { return aneci::lint::Run(argc, argv); }

@@ -1,0 +1,255 @@
+#include "tools/lint/tokenizer.h"
+
+#include <cctype>
+
+namespace aneci::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Cursor over the source that tracks physical line numbers and transparently
+/// splices backslash-newline line continuations (phase-2 translation), except
+/// where the caller opts out (raw string bodies).
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  int line() const { return line_; }
+  size_t pos() const { return pos_; }
+
+  /// Current character after splicing continuations; '\0' at end.
+  char Peek() {
+    SkipContinuations();
+    return done() ? '\0' : src_[pos_];
+  }
+
+  char PeekAt(size_t ahead) {
+    SkipContinuations();
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  /// Consumes and returns the current (spliced) character.
+  char Get() {
+    SkipContinuations();
+    if (done()) return '\0';
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  /// Consumes one character WITHOUT splicing continuations (raw strings).
+  char GetRaw() {
+    if (done()) return '\0';
+    const char c = src_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+ private:
+  void SkipContinuations() {
+    while (pos_ + 1 < src_.size() && src_[pos_] == '\\' &&
+           (src_[pos_ + 1] == '\n' ||
+            (src_[pos_ + 1] == '\r' && pos_ + 2 < src_.size() &&
+             src_[pos_ + 2] == '\n'))) {
+      pos_ += src_[pos_ + 1] == '\r' ? 3 : 2;
+      ++line_;
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+/// True if `prefix` (the identifier just lexed) is a string-literal encoding
+/// prefix, i.e. `u8"x"` / `R"(x)"` style literals.
+bool IsStringPrefix(const std::string& prefix) {
+  return prefix == "R" || prefix == "L" || prefix == "u" || prefix == "U" ||
+         prefix == "u8" || prefix == "LR" || prefix == "uR" || prefix == "UR" ||
+         prefix == "u8R";
+}
+
+}  // namespace
+
+TokenizedFile Tokenize(std::string_view source) {
+  TokenizedFile out;
+  Cursor cur(source);
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto push = [&](TokenKind kind, std::string text, int line) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  // Consumes a quoted literal. The opening quote is already consumed;
+  // `quote` is '"' or '\''. Returns the literal body including both quotes.
+  auto lex_quoted = [&](char quote) {
+    std::string text(1, quote);
+    while (!cur.done()) {
+      const char c = cur.Get();
+      text += c;
+      if (c == '\\') {
+        if (!cur.done()) text += cur.Get();  // escaped quote or backslash
+        continue;
+      }
+      if (c == quote || c == '\n') break;  // newline: unterminated, recover
+    }
+    return text;
+  };
+
+  // Consumes R"delim( ... )delim". The R and opening quote are consumed.
+  auto lex_raw_string = [&] {
+    std::string delim;
+    while (!cur.done() && cur.Peek() != '(' && cur.Peek() != '\n' &&
+           delim.size() < 16)
+      delim += cur.Get();
+    if (cur.Peek() == '(') cur.Get();
+    const std::string closer = ")" + delim + "\"";
+    std::string body;
+    while (!cur.done()) {
+      body += cur.GetRaw();  // no splicing: raw string bodies are verbatim
+      if (body.size() >= closer.size() &&
+          body.compare(body.size() - closer.size(), closer.size(), closer) ==
+              0) {
+        break;
+      }
+    }
+    return "R\"" + delim + "(" + body;
+  };
+
+  while (!cur.done()) {
+    const char c = cur.Peek();
+    const int line = cur.line();
+
+    if (c == '\n') {
+      cur.Get();
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.Get();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.PeekAt(1) == '/') {
+      cur.Get();
+      cur.Get();
+      std::string text;
+      // Peek() splices backslash-newlines, so a line comment ending in a
+      // backslash correctly swallows the next physical line too.
+      while (!cur.done() && cur.Peek() != '\n') text += cur.Get();
+      out.comments.push_back(Comment{std::move(text), line, false});
+      continue;
+    }
+    if (c == '/' && cur.PeekAt(1) == '*') {
+      cur.Get();
+      cur.Get();
+      std::string text;
+      while (!cur.done()) {
+        const char d = cur.GetRaw();
+        if (d == '*' && cur.Peek() == '/') {
+          cur.Get();
+          break;
+        }
+        text += d;
+      }
+      out.comments.push_back(Comment{std::move(text), line, true});
+      continue;
+    }
+
+    // Preprocessor directive: '#' first on the line; eat the logical line
+    // (Get() splices backslash-newline continuations automatically).
+    if (c == '#' && at_line_start) {
+      std::string text;
+      while (!cur.done() && cur.Peek() != '\n') {
+        if (cur.Peek() == '/' && cur.PeekAt(1) == '/') break;
+        if (cur.Peek() == '/' && cur.PeekAt(1) == '*') break;
+        text += cur.Get();
+      }
+      while (!text.empty() && std::isspace(static_cast<unsigned char>(
+                                  text.back())))
+        text.pop_back();
+      push(TokenKind::kPreprocessor, std::move(text), line);
+      at_line_start = false;
+      continue;
+    }
+
+    at_line_start = false;
+
+    if (c == '"') {
+      cur.Get();
+      push(TokenKind::kString, lex_quoted('"'), line);
+      continue;
+    }
+    if (c == '\'') {
+      cur.Get();
+      push(TokenKind::kChar, lex_quoted('\''), line);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      std::string ident;
+      while (!cur.done() && IsIdentChar(cur.Peek())) ident += cur.Get();
+      if (cur.Peek() == '"' && IsStringPrefix(ident)) {
+        cur.Get();
+        if (ident.back() == 'R') {
+          push(TokenKind::kString, lex_raw_string(), line);
+        } else {
+          push(TokenKind::kString, ident + lex_quoted('"'), line);
+        }
+        continue;
+      }
+      push(TokenKind::kIdentifier, std::move(ident), line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.PeekAt(1))))) {
+      // pp-number: digits, idents, quotes as digit separators, and exponent
+      // signs. Over-accepting here is fine; checks never look at numbers.
+      std::string num;
+      num += cur.Get();
+      while (!cur.done()) {
+        const char d = cur.Peek();
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          num += cur.Get();
+        } else if ((d == '+' || d == '-') && !num.empty() &&
+                   (num.back() == 'e' || num.back() == 'E' ||
+                    num.back() == 'p' || num.back() == 'P')) {
+          num += cur.Get();
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumber, std::move(num), line);
+      continue;
+    }
+
+    // Punctuation. "::" and "->" are fused because the checks match
+    // qualified names and member calls; everything else is one char.
+    if (c == ':' && cur.PeekAt(1) == ':') {
+      cur.Get();
+      cur.Get();
+      push(TokenKind::kPunct, "::", line);
+      continue;
+    }
+    if (c == '-' && cur.PeekAt(1) == '>') {
+      cur.Get();
+      cur.Get();
+      push(TokenKind::kPunct, "->", line);
+      continue;
+    }
+    push(TokenKind::kPunct, std::string(1, cur.Get()), line);
+  }
+
+  return out;
+}
+
+}  // namespace aneci::lint

@@ -1,0 +1,55 @@
+// Lightweight C++ tokenizer for aneci_lint. It does NOT parse C++; it
+// produces a stream of lexical tokens with comments, string/char literals
+// and preprocessor directives correctly stripped out of the token stream,
+// which is exactly the precision the lint checks need: a banned identifier
+// inside a string literal or a comment must not fire, and a `// NOLINT(...)`
+// comment must be attributable to the physical line it sits on.
+//
+// Handled lexical edge cases (each covered by tests/lint_test.cc):
+//   - line comments, including backslash-continued ones
+//   - block comments spanning lines
+//   - string/char literals with escape sequences and encoding prefixes
+//   - raw string literals R"delim(...)delim" (no escape processing inside)
+//   - preprocessor directives with backslash-newline continuations
+#ifndef ANECI_TOOLS_LINT_TOKENIZER_H_
+#define ANECI_TOOLS_LINT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aneci::lint {
+
+enum class TokenKind {
+  kIdentifier,    // foo, std, NOLINT-like words outside comments
+  kNumber,        // 123, 0xff, 1.5e-3
+  kString,        // "..."; text holds the raw literal including quotes
+  kChar,          // '...'
+  kPreprocessor,  // whole logical directive line, e.g. "#pragma once"
+  kPunct,         // one operator/punctuator; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based physical line of the token's first character
+};
+
+struct Comment {
+  std::string text;  // comment body without the // or /* */ markers
+  int line;          // 1-based physical line where the comment starts
+  bool block;        // true for /* */ comments
+};
+
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: unterminated constructs are closed at
+/// end of input (a linter must degrade gracefully on in-progress code).
+TokenizedFile Tokenize(std::string_view source);
+
+}  // namespace aneci::lint
+
+#endif  // ANECI_TOOLS_LINT_TOKENIZER_H_
