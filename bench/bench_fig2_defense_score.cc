@@ -33,13 +33,14 @@ int Run(int argc, char** argv) {
         attack.attacked.SetLabels(ds.graph.labels());
 
         Matrix z;
+        const EmbedOptions eo = BenchEmbedOptions(rng, env);
         if (method == "AnECI") {
           AneciEmbedder embedder(DefaultAneciConfig(env));
-          z = embedder.Embed(attack.attacked, rng);
+          z = embedder.Embed(attack.attacked, eo);
         } else {
-          auto embedder = CreateEmbedder(method, 16, env.epochs);
+          auto embedder = CreateEmbedder(method);
           ANECI_CHECK(embedder.ok());
-          z = embedder.value()->Embed(attack.attacked, rng);
+          z = embedder.value()->Embed(attack.attacked, eo);
         }
         scores.push_back(DefenseScore(attack.attacked, attack.fake_edges, z));
       }

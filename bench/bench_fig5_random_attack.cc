@@ -33,9 +33,9 @@ double Evaluate(const std::string& method, const Dataset& clean,
     cfg.base.seed = rng.NextU64();
     z = TrainAneciPlus(poisoned.graph, cfg).stage2.z;
   } else {
-    auto embedder = CreateEmbedder(method, 16, env.epochs);
+    auto embedder = CreateEmbedder(method);
     ANECI_CHECK(embedder.ok());
-    z = embedder.value()->Embed(poisoned.graph, rng);
+    z = embedder.value()->Embed(poisoned.graph, BenchEmbedOptions(rng, env));
   }
   return EvaluateEmbedding(z, poisoned, rng).accuracy;
 }

@@ -13,16 +13,17 @@ namespace {
 
 std::vector<double> ScoreWith(const std::string& method, const Graph& graph,
                               const BenchEnv& env, Rng& rng) {
+  const EmbedOptions eo = BenchEmbedOptions(rng, env);
   if (method == "AnECI") {
     AneciEmbedder embedder(DefaultAneciConfig(env));
-    return embedder.ScoreAnomalies(graph, rng);
+    return embedder.ScoreAnomalies(graph, eo);
   }
-  auto embedder = CreateEmbedder(method, 16, env.epochs);
+  auto embedder = CreateEmbedder(method);
   ANECI_CHECK(embedder.ok());
   if (auto* native = dynamic_cast<AnomalyScorer*>(embedder.value().get())) {
-    return native->ScoreAnomalies(graph, rng);
+    return native->ScoreAnomalies(graph, eo);
   }
-  Matrix z = embedder.value()->Embed(graph, rng);
+  Matrix z = embedder.value()->Embed(graph, eo);
   IsolationForest forest;
   forest.Fit(z, rng);
   return forest.Score(z);

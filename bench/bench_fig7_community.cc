@@ -53,9 +53,9 @@ int Run(int argc, char** argv) {
 
     for (const std::string& method : embed_methods) {
       table.AddF(average([&](const Graph& g, Rng& rng) {
-        auto embedder = CreateEmbedder(method, 16, env.epochs);
+        auto embedder = CreateEmbedder(method);
         ANECI_CHECK(embedder.ok());
-        Matrix z = embedder.value()->Embed(g, rng);
+        Matrix z = embedder.value()->Embed(g, BenchEmbedOptions(rng, env));
         return DetectCommunitiesKMeans(g, z, k, rng).modularity;
       }), 3);
     }
@@ -65,7 +65,9 @@ int Run(int argc, char** argv) {
       cfg.embed_dim = k;  // h = |C| so P infers the communities directly.
       cfg.epochs = env.full ? 600 : std::max(env.epochs, 300);  // Paper: 600.
       AneciEmbedder embedder(cfg);
-      embedder.Embed(g, rng);
+      EmbedOptions eo;
+      eo.rng = &rng;
+      embedder.Embed(g, eo);
       return DetectCommunitiesArgmax(g, embedder.last_membership()).modularity;
     }), 3);
     std::fprintf(stderr, "  %s done\n", dataset_name.c_str());

@@ -42,7 +42,9 @@ int Run(int argc, char** argv) {
   for (AneciVariant variant : variants) {
     Rng rng(env.seed);
     AneciEmbedder embedder(DefaultAneciConfig(env), variant);
-    Matrix z = embedder.Embed(ds.graph, rng).SelectRows(nodes);
+    EmbedOptions eo;
+    eo.rng = &rng;
+    Matrix z = embedder.Embed(ds.graph, eo).SelectRows(nodes);
 
     TsneOptions opt;
     opt.iterations = env.full ? 500 : 250;

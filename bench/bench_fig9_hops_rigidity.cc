@@ -34,7 +34,9 @@ int Run(int argc, char** argv) {
       AneciEmbedder embedder(cfg);
       Dataset poisoned = ds;
       poisoned.graph = attack.attacked;
-      Matrix z = embedder.Embed(poisoned.graph, rng);
+      EmbedOptions eo;
+      eo.rng = &rng;
+      Matrix z = embedder.Embed(poisoned.graph, eo);
       accs.push_back(EvaluateEmbedding(z, poisoned, rng).accuracy);
     }
     hops.AddRow().Add(std::to_string(order)).AddF(ComputeMeanStd(accs).mean, 3);

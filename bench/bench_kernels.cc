@@ -12,6 +12,7 @@
 #include "linalg/kmeans.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -125,6 +126,35 @@ BENCHMARK(BM_KMeans)
     ->Args({20000, 1})
     ->Args({20000, 2})
     ->Args({20000, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// Instrumentation overhead probe: the same kernel mix with the metrics
+// registry enabled (counters increment) vs disabled (each Add() is a single
+// relaxed load + branch). Compare the two rows; the enabled one must stay
+// within ~2% of disabled (the kernels' per-call work dwarfs a handful of
+// sharded counter bumps). range(0) selects enabled.
+void BM_MetricsOverhead(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  ScopedNumThreads guard(4);
+  const int n = 256;
+  Rng rng(8);
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0, rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0, rng);
+  const SparseMatrix s = RandomAdjacency(4000, 10.0 / 4000, 9);
+  const Matrix x = Matrix::RandomNormal(4000, 64, 1.0, rng);
+  MetricsRegistry::Global().set_enabled(enabled);
+  for (auto _ : state) {
+    Matrix c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+    Matrix y = s.Multiply(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  MetricsRegistry::Global().set_enabled(true);
+  state.counters["metrics_enabled"] = enabled ? 1.0 : 0.0;
+}
+BENCHMARK(BM_MetricsOverhead)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

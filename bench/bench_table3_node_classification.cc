@@ -54,9 +54,10 @@ int Run(int argc, char** argv) {
           Matrix z = TrainAneciValidated(ds, DefaultAneciConfig(env), rng);
           acc = EvaluateEmbedding(z, ds, rng).accuracy;
         } else {
-          auto embedder = CreateEmbedder(method, 16, env.epochs);
+          auto embedder = CreateEmbedder(method);
           ANECI_CHECK(embedder.ok());
-          Matrix z = embedder.value()->Embed(ds.graph, rng);
+          Matrix z =
+              embedder.value()->Embed(ds.graph, BenchEmbedOptions(rng, env));
           acc = EvaluateEmbedding(z, ds, rng).accuracy;
         }
         accs.push_back(acc * 100.0);

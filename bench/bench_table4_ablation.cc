@@ -32,9 +32,14 @@ int Run(int argc, char** argv) {
       Rng rng(env.seed + round);
       AneciConfig cfg = DefaultAneciConfig(env);
 
+      // Per-variant configs differ in embed_dim, so the options carry only
+      // the RNG and leave the config's width/budget untouched.
+      EmbedOptions eo;
+      eo.rng = &rng;
+
       // Classification on the clean graph.
       AneciEmbedder embedder(cfg, variant);
-      Matrix z = embedder.Embed(ds.graph, rng);
+      Matrix z = embedder.Embed(ds.graph, eo);
       accs.push_back(EvaluateEmbedding(z, ds, rng).accuracy * 100.0);
 
       // Anomaly detection with mixed implanted outliers.
@@ -42,14 +47,14 @@ int Run(int argc, char** argv) {
           InjectOutliers(ds.graph, OutlierKind::kMix, 0.05, rng);
       AneciEmbedder anomaly_embedder(cfg, variant);
       std::vector<double> scores =
-          anomaly_embedder.ScoreAnomalies(injected.graph, rng);
+          anomaly_embedder.ScoreAnomalies(injected.graph, eo);
       aucs.push_back(AreaUnderRoc(scores, injected.is_outlier));
 
       // Community detection from the membership matrix.
       AneciConfig comm_cfg = cfg;
       comm_cfg.embed_dim = ds.graph.num_classes();
       AneciEmbedder comm_embedder(comm_cfg, variant);
-      comm_embedder.Embed(ds.graph, rng);
+      comm_embedder.Embed(ds.graph, eo);
       mods.push_back(
           DetectCommunitiesArgmax(ds.graph, comm_embedder.last_membership())
               .modularity);

@@ -2,9 +2,18 @@
 // google-benchmark. Each benchmark trains one method end-to-end on the Cora
 // analogue (scaled by --scale via the ANECI_BENCH_SCALE env var, default
 // 0.15) and reports wall time.
+//
+// On top of the wall-time table, every method's run is bracketed by a
+// metrics/trace reset+snapshot, and the per-phase span breakdown (setup,
+// epoch loop, final forward, ...) is written to
+// <ANECI_BENCH_OUTDIR|results>/table5_phases.csv — the observability
+// layer's answer to "where does each method's time actually go".
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "core/aneci.h"
 #include "data/datasets.h"
@@ -12,6 +21,9 @@
 #include "embed/embedder.h"
 #include "embed/gcn_classifier.h"
 #include "util/check.h"
+#include "util/env.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace aneci {
 namespace {
@@ -28,19 +40,45 @@ const Dataset& CoraDataset() {
 
 constexpr int kEpochs = 30;
 
+/// Span aggregates collected per benchmarked method, flushed to CSV at exit.
+/// (google-benchmark owns the timing loop, so phase rows are gathered as a
+/// side effect and written from main after RunSpecifiedBenchmarks.)
+std::map<std::string, std::vector<SpanStat>>& PhaseRows() {
+  static auto* rows = new std::map<std::string, std::vector<SpanStat>>();
+  return *rows;
+}
+
+/// Clears both registries so the upcoming run's spans are attributable to
+/// exactly one method.
+void ResetObservability() {
+  MetricsRegistry::Global().ResetValues();
+  TraceRegistry::Global().ResetValues();
+}
+
+void CapturePhases(const std::string& method) {
+  PhaseRows()[method] = TraceRegistry::Global().Snapshot();
+}
+
 void BM_Embedder(benchmark::State& state, const std::string& name) {
   const Dataset& ds = CoraDataset();
+  ResetObservability();
   for (auto _ : state) {
     Rng rng(7);
-    auto embedder = CreateEmbedder(name, 16, kEpochs);
+    auto embedder = CreateEmbedder(name);
     ANECI_CHECK(embedder.ok());
-    Matrix z = embedder.value()->Embed(ds.graph, rng);
+    EmbedOptions eo;
+    eo.rng = &rng;
+    eo.dim = 16;
+    eo.epochs = kEpochs;
+    Matrix z = embedder.value()->Embed(ds.graph, eo);
     benchmark::DoNotOptimize(z.data());
   }
+  CapturePhases(name);
 }
 
 void BM_AnECI(benchmark::State& state) {
   const Dataset& ds = CoraDataset();
+  ResetObservability();
   for (auto _ : state) {
     Rng rng(7);
     AneciConfig cfg;
@@ -50,13 +88,17 @@ void BM_AnECI(benchmark::State& state) {
     // equivalent, see DESIGN.md).
     cfg.reconstruction = ReconstructionMode::kSampled;
     AneciEmbedder embedder(cfg);
-    Matrix z = embedder.Embed(ds.graph, rng);
+    EmbedOptions eo;
+    eo.rng = &rng;
+    Matrix z = embedder.Embed(ds.graph, eo);
     benchmark::DoNotOptimize(z.data());
   }
+  CapturePhases("AnECI");
 }
 
 void BM_Gcn(benchmark::State& state, bool robust) {
   const Dataset& ds = CoraDataset();
+  ResetObservability();
   for (auto _ : state) {
     Rng rng(7);
     GcnClassifier::Options opt;
@@ -66,6 +108,25 @@ void BM_Gcn(benchmark::State& state, bool robust) {
     model.Fit(ds, rng);
     benchmark::DoNotOptimize(model.predictions().data());
   }
+  CapturePhases(robust ? "RGCN" : "GCN");
+}
+
+Status WritePhaseCsv() {
+  const char* env = std::getenv("ANECI_BENCH_OUTDIR");
+  const std::string outdir = env != nullptr ? env : "results";
+  std::string csv = "method,phase,count,total_ms,mean_ms\n";
+  for (const auto& [method, spans] : PhaseRows()) {
+    for (const SpanStat& s : spans) {
+      csv += method + "," + s.path + "," + std::to_string(s.count) + "," +
+             JsonDouble(s.total_ms) + "," +
+             JsonDouble(s.count ? s.total_ms / static_cast<double>(s.count)
+                                : 0.0) +
+             "\n";
+    }
+  }
+  Status st = Env::Default()->CreateDir(outdir);
+  if (!st.ok()) return st;
+  return Env::Default()->WriteFileAtomic(outdir + "/table5_phases.csv", csv);
 }
 
 BENCHMARK_CAPTURE(BM_Embedder, DeepWalk, std::string("DeepWalk"))
@@ -93,4 +154,15 @@ BENCHMARK(BM_AnECI)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace aneci
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  aneci::Status st = aneci::WritePhaseCsv();
+  if (!st.ok()) {
+    std::fprintf(stderr, "phase csv: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -131,6 +131,17 @@ inline AneciConfig DefaultAneciConfig(const BenchEnv& env) {
   return cfg;
 }
 
+/// EmbedOptions for the bench protocol: paper embedding width 16 and the
+/// env's epoch budget, threaded through the round's RNG.
+inline EmbedOptions BenchEmbedOptions(Rng& rng, const BenchEnv& env,
+                                      int dim = 16) {
+  EmbedOptions eo;
+  eo.rng = &rng;
+  eo.dim = dim;
+  eo.epochs = env.epochs;
+  return eo;
+}
+
 /// The paper's node-classification protocol for AnECI: train the configured
 /// number of epochs and keep the embedding with the best validation-set
 /// probe accuracy ("the best embedding on the validation set is selected",

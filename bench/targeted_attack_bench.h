@@ -48,9 +48,9 @@ inline double EvaluateMethodOnTargets(const std::string& method,
     AneciPlusResult result = TrainAneciPlus(poisoned.graph, cfg);
     z = result.stage2.z;
   } else {
-    auto embedder = CreateEmbedder(method, 16, env.epochs);
+    auto embedder = CreateEmbedder(method);
     ANECI_CHECK(embedder.ok());
-    z = embedder.value()->Embed(poisoned.graph, rng);
+    z = embedder.value()->Embed(poisoned.graph, BenchEmbedOptions(rng, env));
   }
   return EvaluateEmbeddingOnNodes(z, poisoned, targets, rng).accuracy;
 }

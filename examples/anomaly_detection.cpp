@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
 
   Dataset ds = MakeCiteseer(/*seed=*/11, /*scale=*/0.15);
   Rng rng(11);
+  EmbedOptions eo;
+  eo.rng = &rng;
   std::printf("citeseer-like graph: %d nodes; implanting %.0f%% outliers\n",
               ds.graph.num_nodes(), fraction * 100);
 
@@ -36,20 +38,20 @@ int main(int argc, char** argv) {
     cfg.early_stop_patience = 20;  // Paper's protocol for this task.
     AneciEmbedder aneci_model(cfg);
     const double auc_aneci = AreaUnderRoc(
-        aneci_model.ScoreAnomalies(injected.graph, rng), injected.is_outlier);
+        aneci_model.ScoreAnomalies(injected.graph, eo), injected.is_outlier);
 
     // Dominant: native reconstruction-error scoring.
     Dominant::Options dopt;
     dopt.epochs = 60;
     Dominant dominant(dopt);
     const double auc_dominant = AreaUnderRoc(
-        dominant.ScoreAnomalies(injected.graph, rng), injected.is_outlier);
+        dominant.ScoreAnomalies(injected.graph, eo), injected.is_outlier);
 
     // GAE + IsolationForest: the generic-embedding fallback.
     Gae::Options gopt;
     gopt.epochs = 60;
     Gae gae(gopt);
-    Matrix z = gae.Embed(injected.graph, rng);
+    Matrix z = gae.Embed(injected.graph, eo);
     IsolationForest forest;
     forest.Fit(z, rng);
     const double auc_gae =

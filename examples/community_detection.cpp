@@ -32,7 +32,9 @@ int main(int argc, char** argv) {
   Gae::Options gopt;
   gopt.epochs = 80;
   Gae gae(gopt);
-  Matrix z = gae.Embed(ds.graph, rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  Matrix z = gae.Embed(ds.graph, eo);
   CommunityResult km = DetectCommunitiesKMeans(ds.graph, z, k, rng);
   std::printf("GAE + k-means : Q=%.3f  NMI=%.3f\n", km.modularity,
               km.nmi_vs_labels);
@@ -42,7 +44,7 @@ int main(int argc, char** argv) {
   cfg.embed_dim = k;
   cfg.epochs = 150;
   AneciEmbedder aneci_model(cfg);
-  aneci_model.Embed(ds.graph, rng);
+  aneci_model.Embed(ds.graph, eo);
   CommunityResult aneci_comm =
       DetectCommunitiesArgmax(ds.graph, aneci_model.last_membership());
   std::printf("AnECI (argmax): Q=%.3f  NMI=%.3f\n", aneci_comm.modularity,

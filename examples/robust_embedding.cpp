@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
   Gae::Options gae_opt;
   gae_opt.epochs = 80;
   Gae gae(gae_opt);
-  Matrix z_gae = gae.Embed(poisoned.graph, rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  Matrix z_gae = gae.Embed(poisoned.graph, eo);
 
   // Community-preserving: AnECI.
   AneciConfig cfg;

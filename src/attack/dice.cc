@@ -3,11 +3,17 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace aneci {
 
 DiceResult DiceAttack(const Graph& graph, const DiceOptions& options,
                       Rng& rng) {
+  TraceSpan span("attack/dice");
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "attack/dice/calls", MetricClass::kDeterministic);
+  calls->Increment();
   ANECI_CHECK(graph.has_labels());
   ANECI_CHECK(options.budget >= 0.0);
   DiceResult result;

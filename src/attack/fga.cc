@@ -4,11 +4,17 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace aneci {
 
 Graph FgaAttack(const Dataset& dataset, const std::vector<int>& targets,
                 const FgaOptions& options, Rng& rng) {
+  TraceSpan span("attack/fga");
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "attack/fga/calls", MetricClass::kDeterministic);
+  calls->Increment();
   Graph attacked = dataset.graph;
   SurrogateModel surrogate(options.surrogate);
   surrogate.Fit(dataset.graph, dataset, rng);

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace aneci {
 namespace {
@@ -24,6 +26,10 @@ double Margin(const SurrogateModel& surrogate, const Graph& graph, int node,
 
 Graph NettackAttack(const Dataset& dataset, const std::vector<int>& targets,
                     const NettackOptions& options, Rng& rng) {
+  TraceSpan span("attack/nettack");
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "attack/nettack/calls", MetricClass::kDeterministic);
+  calls->Increment();
   Graph attacked = dataset.graph;
   SurrogateModel surrogate(options.surrogate);
   surrogate.Fit(dataset.graph, dataset, rng);

@@ -3,10 +3,16 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace aneci {
 
 RandomAttackResult RandomAttack(const Graph& graph, double delta, Rng& rng) {
+  TraceSpan span("attack/random");
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "attack/random/calls", MetricClass::kDeterministic);
+  calls->Increment();
   ANECI_CHECK(delta >= 0.0);
   RandomAttackResult result;
   result.attacked = graph;

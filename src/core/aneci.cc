@@ -12,6 +12,8 @@
 #include "graph/modularity.h"
 #include "util/check.h"
 #include "util/checkpoint.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace aneci {
 
@@ -49,6 +51,18 @@ void HashMixDouble(uint64_t* h, double d) {
   uint64_t bits;
   std::memcpy(&bits, &d, sizeof(bits));
   HashMix(h, bits);
+}
+
+/// Serial L2 norm over all parameter gradients. Each per-parameter sum runs
+/// in the same element order at every thread count, so the value is part of
+/// the deterministic telemetry contract.
+double GradNorm(const std::vector<ag::VarPtr>& params) {
+  double sum = 0.0;
+  for (const ag::VarPtr& p : params) {
+    const Matrix& g = p->grad();
+    for (int64_t i = 0; i < g.size(); ++i) sum += g.data()[i] * g.data()[i];
+  }
+  return std::sqrt(sum);
 }
 
 /// Fingerprint of everything that shapes the training trajectory besides the
@@ -96,6 +110,20 @@ uint64_t ResilienceFingerprint(const AneciConfig& cfg, const Graph& graph) {
 
 StatusOr<AneciResult> Aneci::TrainWithResilience(
     const Graph& graph, const EpochCallback& on_epoch) const {
+  TraceSpan train_span("train/aneci");
+  static Counter* runs = MetricsRegistry::Global().GetCounter(
+      "train/runs", MetricClass::kDeterministic);
+  static Counter* epochs_run = MetricsRegistry::Global().GetCounter(
+      "train/epochs", MetricClass::kDeterministic);
+  static Counter* rollbacks_taken_counter = MetricsRegistry::Global().GetCounter(
+      "train/watchdog_rollbacks", MetricClass::kDeterministic);
+  static Counter* early_stops = MetricsRegistry::Global().GetCounter(
+      "train/early_stops", MetricClass::kDeterministic);
+  static Gauge* last_loss = MetricsRegistry::Global().GetGauge(
+      "train/last_loss", MetricClass::kDeterministic);
+  TelemetryRing* ring = MetricsRegistry::Global().GetRing("train/epochs");
+  runs->Increment();
+
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
   Rng rng(config_.seed);
@@ -108,10 +136,15 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
   // Precompute the constant operators: GCN propagation S, sparse features X,
   // and the high-order proximity A~ (both the training target and the
   // modularity's structural prior).
-  const SparseMatrix s_norm = graph.NormalizedAdjacency();
-  const Matrix features = graph.FeaturesOrIdentity();
-  const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
-  const SparseMatrix proximity = HighOrderProximity(graph, config_.proximity);
+  SparseMatrix s_norm, x_sparse, proximity;
+  Matrix features;
+  {
+    TraceSpan setup_span("setup");  // Path: train/aneci/setup.
+    s_norm = graph.NormalizedAdjacency();
+    features = graph.FeaturesOrIdentity();
+    x_sparse = SparseMatrix::FromDense(features);
+    proximity = HighOrderProximity(graph, config_.proximity);
+  }
   const double two_m_scale = proximity.SumAll();
 
   const bool dense_recon =
@@ -183,9 +216,7 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
     c.pairs.reserve(pairs.size());
     for (const ag::PairTarget& p : pairs)
       c.pairs.push_back({p.u, p.v, p.target});
-    c.history.reserve(result.history.size());
-    for (const AneciEpochStats& s : result.history)
-      c.history.push_back({s.epoch, s.loss, s.modularity, s.rigidity});
+    c.history = result.history;
     return c;
   };
 
@@ -231,10 +262,7 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
     pairs.clear();
     pairs.reserve(c.pairs.size());
     for (const PairBlob& p : c.pairs) pairs.push_back({p.u, p.v, p.target});
-    result.history.clear();
-    result.history.reserve(c.history.size());
-    for (const EpochStatBlob& h : c.history)
-      result.history.push_back({h.epoch, h.loss, h.modularity, h.rigidity});
+    result.history = c.history;
     return Status::OK();
   };
 
@@ -246,6 +274,9 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
       ANECI_RETURN_IF_ERROR(restore(c.value()));
       epoch = c.value().next_epoch;
       result.resumed_from_epoch = epoch;
+      ring->Append("{\"type\":\"event\",\"class\":\"det\",\"name\":"
+                   "\"checkpoint_resume\",\"epoch\":" +
+                   std::to_string(epoch) + "}");
     } else if (c.status().code() != StatusCode::kNotFound) {
       // Corrupt beyond the .bak fallback — surface it rather than silently
       // retraining from scratch.
@@ -361,6 +392,13 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
       optimizer.set_lr(decayed_lr);
       last_good.lr = decayed_lr;
       last_good.watchdog_rollbacks = rollbacks_taken;
+      rollbacks_taken_counter->Increment();
+      ring->Append("{\"type\":\"event\",\"class\":\"det\",\"name\":"
+                   "\"watchdog_rollback\",\"epoch\":" + std::to_string(epoch) +
+                   ",\"verdict\":\"" + WatchdogVerdictName(verdict) +
+                   "\",\"resumed_epoch\":" +
+                   std::to_string(last_good.next_epoch) +
+                   ",\"lr\":" + JsonDouble(decayed_lr) + "}");
       epoch = last_good.next_epoch;
       continue;
     }
@@ -373,6 +411,15 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
     stats.modularity = q->value()(0, 0);
     stats.rigidity = Rigidity(p->value());
     result.history.push_back(stats);
+    epochs_run->Increment();
+    last_loss->Set(loss_value);
+    ring->Append("{\"type\":\"epoch\",\"class\":\"det\",\"epoch\":" +
+                 std::to_string(epoch) +
+                 ",\"loss\":" + JsonDouble(loss_value) +
+                 ",\"modularity\":" + JsonDouble(stats.modularity) +
+                 ",\"rigidity\":" + JsonDouble(stats.rigidity) +
+                 ",\"grad_norm\":" + JsonDouble(GradNorm(params)) +
+                 ",\"lr\":" + JsonDouble(optimizer.lr()) + "}");
     if (on_epoch) on_epoch(stats, z->value(), p->value());
 
     bool stop_early = false;
@@ -395,11 +442,18 @@ StatusOr<AneciResult> Aneci::TrainWithResilience(
           SaveRotatingCheckpoint(capture(epoch), config_.checkpoint_dir, env));
     }
 
-    if (stop_early) break;
+    if (stop_early) {
+      early_stops->Increment();
+      ring->Append("{\"type\":\"event\",\"class\":\"det\",\"name\":"
+                   "\"early_stop\",\"epoch\":" + std::to_string(epoch - 1) +
+                   "}");
+      break;
+    }
   }
 
   // Final forward pass with trained weights; inference always uses the
   // deterministic full-graph operator.
+  TraceSpan final_span("final_forward");  // Path: train/aneci/final_forward.
   VarPtr z = forward(&s_norm);
   result.z = z->value();
   result.p = RowSoftmax(result.z);

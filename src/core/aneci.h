@@ -16,6 +16,7 @@
 #include "graph/graph.h"
 #include "graph/proximity.h"
 #include "linalg/matrix.h"
+#include "util/checkpoint.h"
 #include "util/env.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -131,13 +132,11 @@ struct AneciConfig {
   std::function<bool(int)> divergence_fault_hook;
 };
 
-/// Per-epoch training telemetry (drives Fig. 9b).
-struct AneciEpochStats {
-  int epoch = 0;
-  double loss = 0.0;
-  double modularity = 0.0;  ///< Q~ value.
-  double rigidity = 0.0;    ///< tr(P^T P) / N.
-};
+/// Per-epoch training telemetry (drives Fig. 9b): epoch, loss, modularity
+/// (Q~) and rigidity (tr(P^T P) / N). Checkpoints store the history
+/// verbatim, so this IS the checkpoint blob type rather than a field-for-
+/// field mirror of it.
+using AneciEpochStats = EpochStatBlob;
 
 /// Result of a training run.
 struct AneciResult {

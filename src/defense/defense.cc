@@ -6,6 +6,8 @@
 #include "defense/attribute_clip.h"
 #include "defense/jaccard_prune.h"
 #include "defense/lowrank.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace aneci {
 namespace {
@@ -156,11 +158,26 @@ StatusOr<DefensePipeline> ParseDefensePipeline(const std::string& specs) {
 
 PurifiedGraph RunDefensePipeline(const Graph& graph,
                                  const DefensePipeline& pipeline, Rng& rng) {
+  TraceSpan span("defense/pipeline");
+  static Counter* runs = MetricsRegistry::Global().GetCounter(
+      "defense/pipeline_runs", MetricClass::kDeterministic);
+  static Counter* stages = MetricsRegistry::Global().GetCounter(
+      "defense/stages_applied", MetricClass::kDeterministic);
+  static Counter* edges_dropped = MetricsRegistry::Global().GetCounter(
+      "defense/edges_dropped", MetricClass::kDeterministic);
+  static Counter* nodes_clipped = MetricsRegistry::Global().GetCounter(
+      "defense/nodes_clipped", MetricClass::kDeterministic);
+  runs->Increment();
   PurifiedGraph result;
   result.graph = graph;
   result.reports.reserve(pipeline.size());
-  for (const std::unique_ptr<GraphDefense>& stage : pipeline)
+  for (const std::unique_ptr<GraphDefense>& stage : pipeline) {
+    TraceSpan stage_span(stage->name());  // Path: defense/pipeline/<stage>.
     result.reports.push_back(stage->Apply(&result.graph, rng));
+    stages->Increment();
+  }
+  edges_dropped->Add(static_cast<uint64_t>(result.total_edges_dropped()));
+  nodes_clipped->Add(static_cast<uint64_t>(result.total_nodes_clipped()));
   return result;
 }
 

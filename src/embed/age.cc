@@ -11,7 +11,11 @@ namespace aneci {
 
 using ag::VarPtr;
 
-Matrix Age::Embed(const Graph& graph, Rng& rng) {
+Matrix Age::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
 
@@ -20,7 +24,7 @@ Matrix Age::Embed(const Graph& graph, Rng& rng) {
   // replaced by the 1/2 used in its released configuration.
   const SparseMatrix s_norm = graph.NormalizedAdjacency();
   Matrix smoothed = graph.FeaturesOrIdentity();
-  for (int t = 0; t < options_.filter_hops; ++t) {
+  for (int t = 0; t < opt.filter_hops; ++t) {
     Matrix propagated = s_norm.Multiply(smoothed);
     propagated *= 0.5;
     smoothed *= 0.5;
@@ -29,9 +33,9 @@ Matrix Age::Embed(const Graph& graph, Rng& rng) {
   const SparseMatrix x_sparse = SparseMatrix::FromDense(smoothed);
 
   auto w = ag::MakeParameter(
-      Matrix::GlorotUniform(smoothed.cols(), options_.dim, rng));
+      Matrix::GlorotUniform(smoothed.cols(), opt.dim, rng));
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer({w}, adam);
 
   // Initial training pairs: edges positive, random non-edges negative.
@@ -47,27 +51,28 @@ Matrix Age::Embed(const Graph& graph, Rng& rng) {
   seed_pairs();
 
   Matrix final_z;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     optimizer.ZeroGrad();
     VarPtr z = ag::SpMM(&x_sparse, w);
     VarPtr loss = ag::Scale(ag::InnerProductPairBce(z, pairs),
                             1.0 / static_cast<double>(pairs.size()));
     ag::Backward(loss);
     optimizer.Step();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
 
     // Adaptive relabelling: rank candidate pairs by current cosine
     // similarity; the most similar become positives, the least negatives.
-    if (options_.adaptive_every > 0 &&
-        (epoch + 1) % options_.adaptive_every == 0) {
+    if (opt.adaptive_every > 0 &&
+        (epoch + 1) % opt.adaptive_every == 0) {
       const Matrix& zm = z->value();
       struct Cand {
         int u, v;
         double sim;
       };
       std::vector<Cand> cands;
-      cands.reserve(static_cast<size_t>(n) * options_.candidates_per_node);
+      cands.reserve(static_cast<size_t>(n) * opt.candidates_per_node);
       for (int i = 0; i < n; ++i) {
-        for (int c = 0; c < options_.candidates_per_node; ++c) {
+        for (int c = 0; c < opt.candidates_per_node; ++c) {
           const int j = static_cast<int>(rng.NextInt(n));
           if (i == j) continue;
           cands.push_back(
@@ -77,7 +82,7 @@ Matrix Age::Embed(const Graph& graph, Rng& rng) {
       std::sort(cands.begin(), cands.end(),
                 [](const Cand& a, const Cand& b) { return a.sim > b.sim; });
       const size_t take =
-          static_cast<size_t>(cands.size() * options_.select_fraction);
+          static_cast<size_t>(cands.size() * opt.select_fraction);
       pairs.clear();
       for (const Edge& e : graph.edges()) pairs.push_back({e.u, e.v, 1.0});
       for (size_t i = 0; i < take && i < cands.size(); ++i)
@@ -87,7 +92,7 @@ Matrix Age::Embed(const Graph& graph, Rng& rng) {
         pairs.push_back({c.u, c.v, 0.0});
       }
     }
-    if (epoch == options_.epochs - 1) final_z = z->value();
+    if (epoch == opt.epochs - 1) final_z = z->value();
   }
   return final_z;
 }

@@ -27,9 +27,10 @@ class Age final : public Embedder {
   explicit Age(const Options& options) : options_(options) {}
 
   std::string name() const override { return "AGE"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

@@ -21,9 +21,11 @@ const char* AneciVariantName(AneciVariant variant) {
 
 std::string AneciEmbedder::name() const { return AneciVariantName(variant_); }
 
-AneciConfig AneciEmbedder::EffectiveConfig(Rng& rng) const {
+AneciConfig AneciEmbedder::EffectiveConfig(const EmbedOptions& options) const {
   AneciConfig cfg = config_;
-  cfg.seed = rng.NextU64();
+  cfg.seed = options.rng->NextU64();
+  if (options.dim > 1) cfg.embed_dim = options.dim;
+  if (options.epochs > 0) cfg.epochs = options.epochs;
   switch (variant_) {
     case AneciVariant::kEncoder:
       cfg.epochs = 0;  // Random-weight GCN forward only.
@@ -37,24 +39,33 @@ AneciConfig AneciEmbedder::EffectiveConfig(Rng& rng) const {
   return cfg;
 }
 
-Matrix AneciEmbedder::Embed(const Graph& graph, Rng& rng) {
+Matrix AneciEmbedder::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
   if (variant_ == AneciVariant::kRawFeature) {
     Matrix x = graph.FeaturesOrIdentity();
     last_p_ = RowSoftmax(x);
     return x;
   }
-  Aneci model(EffectiveConfig(rng));
+  Aneci model(EffectiveConfig(eo));
+  Aneci::EpochCallback on_epoch = nullptr;
+  if (eo.observer != nullptr) {
+    TrainObserver* observer = eo.observer;
+    on_epoch = [observer](const AneciEpochStats& stats, const Matrix&,
+                          const Matrix&) {
+      observer->OnEpoch(stats.epoch, stats.loss);
+    };
+  }
   // Embed() has no error channel, so divergence past the watchdog's rollback
   // budget aborts with the status message instead of returning garbage.
-  StatusOr<AneciResult> result = model.TrainWithResilience(graph);
+  StatusOr<AneciResult> result = model.TrainWithResilience(graph, on_epoch);
   ANECI_CHECK_MSG(result.ok(), result.status().ToString().c_str());
   last_p_ = result.value().p;
   return std::move(result).value().z;
 }
 
-std::vector<double> AneciEmbedder::ScoreAnomalies(const Graph& graph,
-                                                  Rng& rng) {
-  Embed(graph, rng);
+std::vector<double> AneciEmbedder::ScoreAnomaliesImpl(const Graph& graph,
+                                                      const EmbedOptions& eo) {
+  // Through the public entry so the nested embed is itself instrumented.
+  Embed(graph, eo);
   return MembershipEntropyScores(last_p_);
 }
 

@@ -26,17 +26,19 @@ class AneciEmbedder final : public Embedder, public AnomalyScorer {
 
   std::string name() const override;
 
-  /// Returns Z for downstream tasks. Membership P = softmax(Z) is available
-  /// via last_membership() after a call.
-  Matrix Embed(const Graph& graph, Rng& rng) override;
-
-  /// Membership-entropy anomaly scores (Section VI-C).
-  std::vector<double> ScoreAnomalies(const Graph& graph, Rng& rng) override;
-
   const Matrix& last_membership() const { return last_p_; }
 
  private:
-  AneciConfig EffectiveConfig(Rng& rng) const;
+  /// Returns Z for downstream tasks. Membership P = softmax(Z) is available
+  /// via last_membership() after a call. An EmbedOptions observer receives
+  /// the core trainer's per-epoch loss through the EpochCallback hook.
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
+  /// Membership-entropy anomaly scores (Section VI-C).
+  std::vector<double> ScoreAnomaliesImpl(
+      const Graph& graph, const EmbedOptions& options) override;
+
+  AneciConfig EffectiveConfig(const EmbedOptions& options) const;
 
   AneciConfig config_;
   AneciVariant variant_;

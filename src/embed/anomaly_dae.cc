@@ -11,8 +11,12 @@ namespace aneci {
 
 using ag::VarPtr;
 
-void AnomalyDae::Run(const Graph& graph, Rng& rng, Matrix* embedding,
-                     std::vector<double>* scores) const {
+void AnomalyDae::Run(const Graph& graph, const EmbedOptions& eo,
+                     Matrix* embedding, std::vector<double>* scores) const {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
 
@@ -23,25 +27,25 @@ void AnomalyDae::Run(const Graph& graph, Rng& rng, Matrix* embedding,
   // Structure encoder consumes [adjacency row || attributes] jointly, as the
   // original concatenates both modalities before embedding.
   auto ws_a =
-      ag::MakeParameter(Matrix::GlorotUniform(n, options_.hidden_dim, rng));
+      ag::MakeParameter(Matrix::GlorotUniform(n, opt.hidden_dim, rng));
   auto ws_x = ag::MakeParameter(
-      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+      Matrix::GlorotUniform(features.cols(), opt.hidden_dim, rng));
   auto ws2 = ag::MakeParameter(
-      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
+      Matrix::GlorotUniform(opt.hidden_dim, opt.dim, rng));
   // Attribute decoder weight V_a (reconstructs X from the structure view).
   auto wa = ag::MakeParameter(
-      Matrix::GlorotUniform(options_.dim, features.cols(), rng));
+      Matrix::GlorotUniform(opt.dim, features.cols(), rng));
 
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer({ws_a, ws_x, ws2, wa}, adam);
 
   std::vector<ag::PairTarget> pairs =
-      SampleReconstructionPairs(a_norm, options_.negatives_per_node, rng,
+      SampleReconstructionPairs(a_norm, opt.negatives_per_node, rng,
                                 /*binarize=*/true);
 
   Matrix z_final, xhat_final;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     optimizer.ZeroGrad();
     VarPtr h = ag::LeakyRelu(
         ag::Add(ag::SpMM(&a_norm, ws_a), ag::SpMM(&x_sparse, ws_x)), 0.01);
@@ -53,12 +57,13 @@ void AnomalyDae::Run(const Graph& graph, Rng& rng, Matrix* embedding,
     VarPtr l_attr = ag::Scale(
         ag::SumSquares(ag::Sub(xhat, ag::MakeConstant(features))),
         1.0 / static_cast<double>(features.size()));
-    VarPtr loss = ag::Add(ag::Scale(l_struct, options_.alpha),
-                          ag::Scale(l_attr, 1.0 - options_.alpha));
+    VarPtr loss = ag::Add(ag::Scale(l_struct, opt.alpha),
+                          ag::Scale(l_attr, 1.0 - opt.alpha));
     ag::Backward(loss);
     optimizer.Step();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
 
-    if (epoch == options_.epochs - 1) {
+    if (epoch == opt.epochs - 1) {
       z_final = z->value();
       xhat_final = xhat->value();
     }
@@ -94,21 +99,22 @@ void AnomalyDae::Run(const Graph& graph, Rng& rng, Matrix* embedding,
     }
     scores->assign(n, 0.0);
     for (int i = 0; i < n; ++i) {
-      (*scores)[i] = options_.alpha * err_s[i] / max_s +
-                     (1.0 - options_.alpha) * err_a[i] / max_a;
+      (*scores)[i] = opt.alpha * err_s[i] / max_s +
+                     (1.0 - opt.alpha) * err_a[i] / max_a;
     }
   }
 }
 
-Matrix AnomalyDae::Embed(const Graph& graph, Rng& rng) {
+Matrix AnomalyDae::EmbedImpl(const Graph& graph, const EmbedOptions& options) {
   Matrix embedding;
-  Run(graph, rng, &embedding, nullptr);
+  Run(graph, options, &embedding, nullptr);
   return embedding;
 }
 
-std::vector<double> AnomalyDae::ScoreAnomalies(const Graph& graph, Rng& rng) {
+std::vector<double> AnomalyDae::ScoreAnomaliesImpl(
+    const Graph& graph, const EmbedOptions& options) {
   std::vector<double> scores;
-  Run(graph, rng, nullptr, &scores);
+  Run(graph, options, nullptr, &scores);
   return scores;
 }
 

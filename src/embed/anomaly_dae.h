@@ -26,11 +26,13 @@ class AnomalyDae final : public Embedder, public AnomalyScorer {
   explicit AnomalyDae(const Options& options) : options_(options) {}
 
   std::string name() const override { return "AnomalyDAE"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
-  std::vector<double> ScoreAnomalies(const Graph& graph, Rng& rng) override;
 
  private:
-  void Run(const Graph& graph, Rng& rng, Matrix* embedding,
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+  std::vector<double> ScoreAnomaliesImpl(
+      const Graph& graph, const EmbedOptions& options) override;
+
+  void Run(const Graph& graph, const EmbedOptions& options, Matrix* embedding,
            std::vector<double>* scores) const;
 
   Options options_;

@@ -10,10 +10,14 @@ namespace aneci {
 
 using ag::VarPtr;
 
-Matrix Dane::Embed(const Graph& graph, Rng& rng) {
+Matrix Dane::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
-  const int half = std::max(2, options_.dim / 2);
+  const int half = std::max(2, opt.dim / 2);
 
   ProximityOptions prox;
   prox.order = 2;
@@ -23,30 +27,30 @@ Matrix Dane::Embed(const Graph& graph, Rng& rng) {
 
   // Structure branch: encode rows of the proximity matrix.
   auto ws1 =
-      ag::MakeParameter(Matrix::GlorotUniform(n, options_.hidden_dim, rng));
+      ag::MakeParameter(Matrix::GlorotUniform(n, opt.hidden_dim, rng));
   auto ws2 =
-      ag::MakeParameter(Matrix::GlorotUniform(options_.hidden_dim, half, rng));
+      ag::MakeParameter(Matrix::GlorotUniform(opt.hidden_dim, half, rng));
   // Attribute branch.
   auto wa1 = ag::MakeParameter(
-      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+      Matrix::GlorotUniform(features.cols(), opt.hidden_dim, rng));
   auto wa2 =
-      ag::MakeParameter(Matrix::GlorotUniform(options_.hidden_dim, half, rng));
+      ag::MakeParameter(Matrix::GlorotUniform(opt.hidden_dim, half, rng));
   // Attribute decoder back to feature space.
   auto wdec = ag::MakeParameter(
       Matrix::GlorotUniform(half, features.cols(), rng));
 
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer({ws1, ws2, wa1, wa2, wdec}, adam);
 
   Matrix final_out;
   std::vector<ag::PairTarget> pairs =
-      SampleReconstructionPairs(proximity, options_.negatives_per_node, rng,
+      SampleReconstructionPairs(proximity, opt.negatives_per_node, rng,
                                 /*binarize=*/true);
 
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     if (epoch % 25 == 24)
-      pairs = SampleReconstructionPairs(proximity, options_.negatives_per_node,
+      pairs = SampleReconstructionPairs(proximity, opt.negatives_per_node,
                                         rng);
     optimizer.ZeroGrad();
 
@@ -67,13 +71,14 @@ Matrix Dane::Embed(const Graph& graph, Rng& rng) {
         per_node * n / static_cast<double>(features.size()));
     // Cross-view consistency.
     VarPtr l_cons = ag::Scale(ag::SumSquares(ag::Sub(zs, za)),
-                              options_.consistency_weight * per_node);
+                              opt.consistency_weight * per_node);
 
     VarPtr loss = ag::Add(ag::Add(l_struct, l_attr), l_cons);
     ag::Backward(loss);
     optimizer.Step();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
 
-    if (epoch == options_.epochs - 1) {
+    if (epoch == opt.epochs - 1) {
       final_out = Matrix(n, 2 * half);
       for (int i = 0; i < n; ++i) {
         std::copy(zs->value().RowPtr(i), zs->value().RowPtr(i) + half,

@@ -23,9 +23,10 @@ class Dane final : public Embedder {
   explicit Dane(const Options& options) : options_(options) {}
 
   std::string name() const override { return "DANE"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

@@ -31,10 +31,11 @@ class NegativeSampler {
   std::vector<double> cum_;
 };
 
-// One SGNS update for (center, context, label). Returns nothing; updates
-// both tables in place.
-inline void SgnsUpdate(double* center, double* context, int dim, double label,
-                       double lr) {
+// One SGNS update for (center, context, label). Updates both tables in
+// place and returns the predicted probability, so callers tracking the
+// objective can form the BCE term without recomputing the dot product.
+inline double SgnsUpdate(double* center, double* context, int dim,
+                         double label, double lr) {
   double dot = 0.0;
   for (int i = 0; i < dim; ++i) dot += center[i] * context[i];
   const double s = 1.0 / (1.0 + std::exp(-dot));
@@ -44,6 +45,7 @@ inline void SgnsUpdate(double* center, double* context, int dim, double label,
     center[i] += g * context[i];
     context[i] += g * c;
   }
+  return s;
 }
 
 }  // namespace
@@ -90,9 +92,17 @@ std::vector<int> RandomWalk(const Graph& graph, int start,
   return walk;
 }
 
-Matrix DeepWalk::Embed(const Graph& graph, Rng& rng) {
+Matrix DeepWalk::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  RandomWalkOptions walks = walks_;
+  SkipGramOptions sg = sg_;
+  if (eo.dim > 1) sg.dim = eo.dim;
+  // `epochs` parameterises gradient-trained methods; one corpus pass of
+  // skip-gram already visits every node walks_per_node times, so cap the
+  // pass count instead of scaling it linearly.
+  if (eo.epochs > 0) sg.epochs = std::clamp(eo.epochs / 40, 1, 3);
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
-  const int dim = sg_.dim;
+  const int dim = sg.dim;
   ANECI_CHECK_GT(n, 0);
 
   Matrix center = Matrix::RandomUniform(n, dim, 0.5 / dim, rng);
@@ -102,40 +112,56 @@ Matrix DeepWalk::Embed(const Graph& graph, Rng& rng) {
   std::vector<int> order(n);
   for (int i = 0; i < n; ++i) order[i] = i;
 
-  const int64_t total_walks = static_cast<int64_t>(sg_.epochs) *
-                              walks_.walks_per_node * n;
+  const int64_t total_walks = static_cast<int64_t>(sg.epochs) *
+                              walks.walks_per_node * n;
   int64_t done_walks = 0;
-  for (int epoch = 0; epoch < sg_.epochs; ++epoch) {
-    for (int w = 0; w < walks_.walks_per_node; ++w) {
+  for (int epoch = 0; epoch < sg.epochs; ++epoch) {
+    // Mean BCE over this corpus pass, tracked only when someone listens.
+    double epoch_loss = 0.0;
+    int64_t epoch_terms = 0;
+    for (int w = 0; w < walks.walks_per_node; ++w) {
       for (int i = n - 1; i > 0; --i)
         std::swap(order[i], order[rng.NextInt(i + 1)]);
       for (int start : order) {
         // Linear learning-rate decay, word2vec style.
         const double progress =
             static_cast<double>(done_walks) / std::max<int64_t>(1, total_walks);
-        const double lr = sg_.lr * std::max(0.05, 1.0 - progress);
+        const double lr = sg.lr * std::max(0.05, 1.0 - progress);
         ++done_walks;
 
-        const std::vector<int> walk = RandomWalk(graph, start, walks_, rng);
+        const std::vector<int> walk = RandomWalk(graph, start, walks, rng);
         for (size_t pos = 0; pos < walk.size(); ++pos) {
           const int lo = static_cast<int>(
-              std::max<int64_t>(0, static_cast<int64_t>(pos) - sg_.window));
+              std::max<int64_t>(0, static_cast<int64_t>(pos) - sg.window));
           const int hi = static_cast<int>(
-              std::min<size_t>(walk.size() - 1, pos + sg_.window));
+              std::min<size_t>(walk.size() - 1, pos + sg.window));
           for (int ctx = lo; ctx <= hi; ++ctx) {
             if (ctx == static_cast<int>(pos)) continue;
-            SgnsUpdate(center.RowPtr(walk[pos]), context.RowPtr(walk[ctx]),
-                       dim, 1.0, lr);
-            for (int neg = 0; neg < sg_.negatives; ++neg) {
+            const double s_pos = SgnsUpdate(center.RowPtr(walk[pos]),
+                                            context.RowPtr(walk[ctx]), dim,
+                                            1.0, lr);
+            if (eo.observer != nullptr) {
+              epoch_loss += -std::log(std::max(1e-12, s_pos));
+              ++epoch_terms;
+            }
+            for (int neg = 0; neg < sg.negatives; ++neg) {
               const int nid = sampler.Sample(rng);
               if (nid == walk[ctx]) continue;
-              SgnsUpdate(center.RowPtr(walk[pos]), context.RowPtr(nid), dim,
-                         0.0, lr);
+              const double s_neg = SgnsUpdate(center.RowPtr(walk[pos]),
+                                              context.RowPtr(nid), dim, 0.0,
+                                              lr);
+              if (eo.observer != nullptr) {
+                epoch_loss += -std::log(std::max(1e-12, 1.0 - s_neg));
+                ++epoch_terms;
+              }
             }
           }
         }
       }
     }
+    if (eo.observer != nullptr)
+      eo.observer->OnEpoch(epoch,
+                           epoch_loss / std::max<int64_t>(1, epoch_terms));
   }
   return center;
 }

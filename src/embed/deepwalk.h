@@ -39,9 +39,10 @@ class DeepWalk final : public Embedder {
       : walks_(walks), sg_(sg), name_(std::move(display_name)) {}
 
   std::string name() const override { return name_; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   RandomWalkOptions walks_;
   SkipGramOptions sg_;
   std::string name_;
@@ -54,11 +55,14 @@ class Node2Vec final : public Embedder {
       : inner_(walks, sg, "Node2Vec") {}
 
   std::string name() const override { return "Node2Vec"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override {
-    return inner_.Embed(graph, rng);
-  }
 
  private:
+  /// Delegates through the inner DeepWalk's public (instrumented) entry;
+  /// the nested span/call counts are deterministic like any other.
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override {
+    return inner_.Embed(graph, options);
+  }
+
   DeepWalk inner_;
 };
 

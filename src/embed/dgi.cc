@@ -10,7 +10,11 @@ namespace aneci {
 
 using ag::VarPtr;
 
-Matrix Dgi::Embed(const Graph& graph, Rng& rng) {
+Matrix Dgi::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
 
@@ -19,12 +23,12 @@ Matrix Dgi::Embed(const Graph& graph, Rng& rng) {
   const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
 
   auto w1 = ag::MakeParameter(
-      Matrix::GlorotUniform(features.cols(), options_.dim, rng));
+      Matrix::GlorotUniform(features.cols(), opt.dim, rng));
   auto w_disc = ag::MakeParameter(
-      Matrix::GlorotUniform(options_.dim, options_.dim, rng));
+      Matrix::GlorotUniform(opt.dim, opt.dim, rng));
 
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer({w1, w_disc}, adam);
 
   // BCE targets: 1 for real patches, 0 for corrupted ones.
@@ -32,7 +36,7 @@ Matrix Dgi::Embed(const Graph& graph, Rng& rng) {
   for (int i = 0; i < n; ++i) targets(i, 0) = 1.0;
 
   Matrix final_h;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     optimizer.ZeroGrad();
 
     // Corruption: shuffle feature rows, keep the topology.
@@ -65,7 +69,8 @@ Matrix Dgi::Embed(const Graph& graph, Rng& rng) {
 
     ag::Backward(loss);
     optimizer.Step();
-    if (epoch == options_.epochs - 1) final_h = h->value();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
+    if (epoch == opt.epochs - 1) final_h = h->value();
   }
   return final_h;
 }

@@ -20,9 +20,10 @@ class Dgi final : public Embedder {
   explicit Dgi(const Options& options) : options_(options) {}
 
   std::string name() const override { return "DGI"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

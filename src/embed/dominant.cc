@@ -11,8 +11,12 @@ namespace aneci {
 
 using ag::VarPtr;
 
-void Dominant::Run(const Graph& graph, Rng& rng, Matrix* embedding,
-                   std::vector<double>* scores) const {
+void Dominant::Run(const Graph& graph, const EmbedOptions& eo,
+                   Matrix* embedding, std::vector<double>* scores) const {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
 
@@ -22,23 +26,23 @@ void Dominant::Run(const Graph& graph, Rng& rng, Matrix* embedding,
   const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
 
   auto w1 = ag::MakeParameter(
-      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+      Matrix::GlorotUniform(features.cols(), opt.hidden_dim, rng));
   auto w2 = ag::MakeParameter(
-      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
+      Matrix::GlorotUniform(opt.hidden_dim, opt.dim, rng));
   // Attribute decoder: one GCN layer back to the feature dimension.
   auto w3 = ag::MakeParameter(
-      Matrix::GlorotUniform(options_.dim, features.cols(), rng));
+      Matrix::GlorotUniform(opt.dim, features.cols(), rng));
 
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer({w1, w2, w3}, adam);
 
   std::vector<ag::PairTarget> pairs =
-      SampleReconstructionPairs(a_target, options_.negatives_per_node, rng,
+      SampleReconstructionPairs(a_target, opt.negatives_per_node, rng,
                                 /*binarize=*/true);
 
   Matrix z_final, xhat_final;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     optimizer.ZeroGrad();
     VarPtr h1 = ag::Relu(ag::SpMM(&s_norm, ag::SpMM(&x_sparse, w1)));
     VarPtr z = ag::SpMM(&s_norm, ag::MatMul(h1, w2));
@@ -49,12 +53,13 @@ void Dominant::Run(const Graph& graph, Rng& rng, Matrix* embedding,
     VarPtr l_attr = ag::Scale(
         ag::SumSquares(ag::Sub(xhat, ag::MakeConstant(features))),
         1.0 / static_cast<double>(features.size()));
-    VarPtr loss = ag::Add(ag::Scale(l_struct, options_.alpha),
-                          ag::Scale(l_attr, 1.0 - options_.alpha));
+    VarPtr loss = ag::Add(ag::Scale(l_struct, opt.alpha),
+                          ag::Scale(l_attr, 1.0 - opt.alpha));
     ag::Backward(loss);
     optimizer.Step();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
 
-    if (epoch == options_.epochs - 1) {
+    if (epoch == opt.epochs - 1) {
       z_final = z->value();
       xhat_final = xhat->value();
     }
@@ -92,21 +97,22 @@ void Dominant::Run(const Graph& graph, Rng& rng, Matrix* embedding,
       max_a = std::max(max_a, err_a[i]);
     }
     for (int i = 0; i < n; ++i) {
-      (*scores)[i] = options_.alpha * err_s[i] / max_s +
-                     (1.0 - options_.alpha) * err_a[i] / max_a;
+      (*scores)[i] = opt.alpha * err_s[i] / max_s +
+                     (1.0 - opt.alpha) * err_a[i] / max_a;
     }
   }
 }
 
-Matrix Dominant::Embed(const Graph& graph, Rng& rng) {
+Matrix Dominant::EmbedImpl(const Graph& graph, const EmbedOptions& options) {
   Matrix embedding;
-  Run(graph, rng, &embedding, nullptr);
+  Run(graph, options, &embedding, nullptr);
   return embedding;
 }
 
-std::vector<double> Dominant::ScoreAnomalies(const Graph& graph, Rng& rng) {
+std::vector<double> Dominant::ScoreAnomaliesImpl(const Graph& graph,
+                                                 const EmbedOptions& options) {
   std::vector<double> scores;
-  Run(graph, rng, nullptr, &scores);
+  Run(graph, options, nullptr, &scores);
   return scores;
 }
 

@@ -71,24 +71,28 @@ std::vector<double> ErrorsToWeights(const std::vector<double>& errors) {
 
 }  // namespace
 
-void Done::Run(const Graph& graph, Rng& rng, Matrix* embedding,
+void Done::Run(const Graph& graph, const EmbedOptions& eo, Matrix* embedding,
                std::vector<double>* scores) const {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
-  const int half = std::max(2, options_.dim / 2);
+  const int half = std::max(2, opt.dim / 2);
 
   const SparseMatrix a_norm = graph.Adjacency(true).RowNormalizedL1();
   const Matrix features = graph.FeaturesOrIdentity();
   const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
 
   auto ws1 =
-      ag::MakeParameter(Matrix::GlorotUniform(n, options_.hidden_dim, rng));
+      ag::MakeParameter(Matrix::GlorotUniform(n, opt.hidden_dim, rng));
   auto ws2 =
-      ag::MakeParameter(Matrix::GlorotUniform(options_.hidden_dim, half, rng));
+      ag::MakeParameter(Matrix::GlorotUniform(opt.hidden_dim, half, rng));
   auto wa1 = ag::MakeParameter(
-      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+      Matrix::GlorotUniform(features.cols(), opt.hidden_dim, rng));
   auto wa2 =
-      ag::MakeParameter(Matrix::GlorotUniform(options_.hidden_dim, half, rng));
+      ag::MakeParameter(Matrix::GlorotUniform(opt.hidden_dim, half, rng));
   auto wdec =
       ag::MakeParameter(Matrix::GlorotUniform(half, features.cols(), rng));
   // ADONE discriminator: logistic direction separating the two views.
@@ -96,17 +100,17 @@ void Done::Run(const Graph& graph, Rng& rng, Matrix* embedding,
 
   std::vector<VarPtr> enc_params = {ws1, ws2, wa1, wa2, wdec};
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer(enc_params, adam);
   ag::Adam disc_optimizer({wdisc}, adam);
 
   std::vector<ag::PairTarget> pairs =
-      SampleReconstructionPairs(a_norm, options_.negatives_per_node, rng,
+      SampleReconstructionPairs(a_norm, opt.negatives_per_node, rng,
                                 /*binarize=*/true);
   std::vector<double> weights(n, 1.0);
 
   Matrix zs_final, za_final, xhat_final;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     optimizer.ZeroGrad();
 
     VarPtr zs = ag::MatMul(ag::LeakyRelu(ag::SpMM(&a_norm, ws1), 0.01), ws2);
@@ -138,11 +142,11 @@ void Done::Run(const Graph& graph, Rng& rng, Matrix* embedding,
     VarPtr l_hom = ag::Scale(
         ag::Add(ag::InnerProductPairBce(zs, edge_pairs),
                 ag::InnerProductPairBce(za, edge_pairs)),
-        options_.homophily_weight);
+        opt.homophily_weight);
 
     VarPtr loss = ag::Add(ag::Add(l_struct, l_attr), l_hom);
 
-    if (options_.adversarial) {
+    if (opt.adversarial) {
       // Generator step: both views should fool the discriminator toward 0.5;
       // implemented as minimising the squared discriminator margin.
       VarPtr margin = ag::Sub(ag::MatMul(zs, wdisc), ag::MatMul(za, wdisc));
@@ -151,8 +155,9 @@ void Done::Run(const Graph& graph, Rng& rng, Matrix* embedding,
 
     ag::Backward(loss);
     optimizer.Step();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
 
-    if (options_.adversarial) {
+    if (opt.adversarial) {
       // Discriminator step: separate the (detached) views.
       disc_optimizer.ZeroGrad();
       VarPtr zs_c = ag::MakeConstant(zs->value());
@@ -169,8 +174,8 @@ void Done::Run(const Graph& graph, Rng& rng, Matrix* embedding,
     }
 
     // Refresh outlier weights from the current per-node errors.
-    if (options_.reweight_every > 0 &&
-        (epoch + 1) % options_.reweight_every == 0) {
+    if (opt.reweight_every > 0 &&
+        (epoch + 1) % opt.reweight_every == 0) {
       std::vector<double> err_a = RowSquaredErrors(xhat->value(), features);
       std::vector<double> err_s = PairErrors(zs->value(), pairs);
       std::vector<double> combined(n);
@@ -178,7 +183,7 @@ void Done::Run(const Graph& graph, Rng& rng, Matrix* embedding,
       weights = ErrorsToWeights(combined);
     }
 
-    if (epoch == options_.epochs - 1) {
+    if (epoch == opt.epochs - 1) {
       zs_final = zs->value();
       za_final = za->value();
       xhat_final = xhat->value();
@@ -210,15 +215,16 @@ void Done::Run(const Graph& graph, Rng& rng, Matrix* embedding,
   }
 }
 
-Matrix Done::Embed(const Graph& graph, Rng& rng) {
+Matrix Done::EmbedImpl(const Graph& graph, const EmbedOptions& options) {
   Matrix embedding;
-  Run(graph, rng, &embedding, nullptr);
+  Run(graph, options, &embedding, nullptr);
   return embedding;
 }
 
-std::vector<double> Done::ScoreAnomalies(const Graph& graph, Rng& rng) {
+std::vector<double> Done::ScoreAnomaliesImpl(const Graph& graph,
+                                             const EmbedOptions& options) {
   std::vector<double> scores;
-  Run(graph, rng, nullptr, &scores);
+  Run(graph, options, nullptr, &scores);
   return scores;
 }
 

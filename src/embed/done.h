@@ -29,12 +29,14 @@ class Done : public Embedder, public AnomalyScorer {
   std::string name() const override {
     return options_.adversarial ? "ADONE" : "DONE";
   }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
-  std::vector<double> ScoreAnomalies(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+  std::vector<double> ScoreAnomaliesImpl(
+      const Graph& graph, const EmbedOptions& options) override;
+
   /// Runs training; fills embedding and per-node scores.
-  void Run(const Graph& graph, Rng& rng, Matrix* embedding,
+  void Run(const Graph& graph, const EmbedOptions& options, Matrix* embedding,
            std::vector<double>* scores) const;
 
   Options options_;

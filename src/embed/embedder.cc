@@ -1,5 +1,4 @@
 #include "embed/embedder.h"
-#include <algorithm>
 
 #include "embed/age.h"
 #include "embed/anomaly_dae.h"
@@ -16,20 +15,63 @@
 #include "embed/one.h"
 #include "embed/sdne.h"
 #include "embed/spectral.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace aneci {
 
-StatusOr<std::unique_ptr<Embedder>> CreateEmbedder(const std::string& name,
-                                                   int dim, int epochs) {
-  if (dim <= 1) return Status::InvalidArgument("dim must be > 1");
+namespace {
+
+/// Forwards to the caller's observer while keeping the registry's
+/// epoch/loss accounting in one place for every method.
+class EpochAccountingObserver final : public TrainObserver {
+ public:
+  EpochAccountingObserver(TrainObserver* next, Counter* epochs,
+                          Gauge* last_loss)
+      : next_(next), epochs_(epochs), last_loss_(last_loss) {}
+
+  void OnEpoch(int epoch, double loss) override {
+    epochs_->Increment();
+    last_loss_->Set(loss);
+    if (next_ != nullptr) next_->OnEpoch(epoch, loss);
+  }
+
+ private:
+  TrainObserver* next_;
+  Counter* epochs_;
+  Gauge* last_loss_;
+};
+
+}  // namespace
+
+Matrix Embedder::Embed(const Graph& graph, const EmbedOptions& options) {
+  ANECI_CHECK_MSG(options.rng != nullptr, "EmbedOptions::rng must be set");
+  static Counter* calls = MetricsRegistry::Global().GetCounter("embed/calls");
+  static Counter* epochs = MetricsRegistry::Global().GetCounter("embed/epochs");
+  static Gauge* last_loss =
+      MetricsRegistry::Global().GetGauge("embed/last_loss");
+  calls->Increment();
+  EpochAccountingObserver accounting(options.observer, epochs, last_loss);
+  EmbedOptions inner = options;
+  inner.observer = &accounting;
+  TraceSpan span("embed/" + name());
+  return EmbedImpl(graph, inner);
+}
+
+std::vector<double> AnomalyScorer::ScoreAnomalies(const Graph& graph,
+                                                  const EmbedOptions& options) {
+  ANECI_CHECK_MSG(options.rng != nullptr, "EmbedOptions::rng must be set");
+  static Counter* calls =
+      MetricsRegistry::Global().GetCounter("anomaly/score_calls");
+  calls->Increment();
+  TraceSpan span("anomaly_score");
+  return ScoreAnomaliesImpl(graph, options);
+}
+
+StatusOr<std::unique_ptr<Embedder>> CreateEmbedder(const std::string& name) {
   if (name == "DeepWalk" || name == "Node2Vec") {
     RandomWalkOptions walks;
     SkipGramOptions sg;
-    sg.dim = dim;
-    // `epochs` parameterises gradient-trained methods; one corpus pass of
-    // skip-gram already visits every node walks_per_node times, so cap the
-    // pass count instead of scaling it linearly.
-    if (epochs > 0) sg.epochs = std::clamp(epochs / 40, 1, 3);
     if (name == "Node2Vec") {
       walks.p = 0.5;
       walks.q = 2.0;
@@ -37,89 +79,30 @@ StatusOr<std::unique_ptr<Embedder>> CreateEmbedder(const std::string& name,
     }
     return std::unique_ptr<Embedder>(new DeepWalk(walks, sg));
   }
-  if (name == "LINE") {
-    Line::Options opt;
-    opt.dim = dim;
-    return std::unique_ptr<Embedder>(new Line(opt));
-  }
+  if (name == "LINE") return std::unique_ptr<Embedder>(new Line({}));
   if (name == "GAE" || name == "VGAE") {
     Gae::Options opt;
-    opt.dim = dim;
     opt.variational = (name == "VGAE");
-    if (epochs > 0) opt.epochs = epochs;
     return std::unique_ptr<Embedder>(new Gae(opt));
   }
-  if (name == "DGI") {
-    Dgi::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.epochs = epochs;
-    return std::unique_ptr<Embedder>(new Dgi(opt));
-  }
-  if (name == "DANE") {
-    Dane::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.epochs = epochs;
-    return std::unique_ptr<Embedder>(new Dane(opt));
-  }
+  if (name == "DGI") return std::unique_ptr<Embedder>(new Dgi({}));
+  if (name == "DANE") return std::unique_ptr<Embedder>(new Dane({}));
   if (name == "DONE" || name == "ADONE") {
     Done::Options opt;
-    opt.dim = dim;
     opt.adversarial = (name == "ADONE");
-    if (epochs > 0) opt.epochs = epochs;
     return std::unique_ptr<Embedder>(new Done(opt));
   }
-  if (name == "AGE") {
-    Age::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.epochs = epochs;
-    return std::unique_ptr<Embedder>(new Age(opt));
-  }
-  if (name == "GATE") {
-    Gate::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.epochs = epochs;
-    return std::unique_ptr<Embedder>(new Gate(opt));
-  }
-  if (name == "SDNE") {
-    Sdne::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.epochs = epochs;
-    return std::unique_ptr<Embedder>(new Sdne(opt));
-  }
-  if (name == "GraphSage") {
-    GraphSage::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.epochs = epochs;
-    return std::unique_ptr<Embedder>(new GraphSage(opt));
-  }
-  if (name == "HOPE") {
-    Hope::Options opt;
-    opt.dim = dim;
-    return std::unique_ptr<Embedder>(new Hope(opt));
-  }
-  if (name == "ONE") {
-    One::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.rounds = std::clamp(epochs / 8, 4, 30);
-    return std::unique_ptr<Embedder>(new One(opt));
-  }
-  if (name == "LapEigen") {
-    LaplacianEigenmaps::Options opt;
-    opt.dim = dim;
-    return std::unique_ptr<Embedder>(new LaplacianEigenmaps(opt));
-  }
-  if (name == "Dominant") {
-    Dominant::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.epochs = epochs;
-    return std::unique_ptr<Embedder>(new Dominant(opt));
-  }
-  if (name == "AnomalyDAE") {
-    AnomalyDae::Options opt;
-    opt.dim = dim;
-    if (epochs > 0) opt.epochs = epochs;
-    return std::unique_ptr<Embedder>(new AnomalyDae(opt));
-  }
+  if (name == "AGE") return std::unique_ptr<Embedder>(new Age({}));
+  if (name == "GATE") return std::unique_ptr<Embedder>(new Gate({}));
+  if (name == "SDNE") return std::unique_ptr<Embedder>(new Sdne({}));
+  if (name == "GraphSage") return std::unique_ptr<Embedder>(new GraphSage({}));
+  if (name == "HOPE") return std::unique_ptr<Embedder>(new Hope({}));
+  if (name == "ONE") return std::unique_ptr<Embedder>(new One({}));
+  if (name == "LapEigen")
+    return std::unique_ptr<Embedder>(new LaplacianEigenmaps({}));
+  if (name == "Dominant") return std::unique_ptr<Embedder>(new Dominant({}));
+  if (name == "AnomalyDAE")
+    return std::unique_ptr<Embedder>(new AnomalyDae({}));
   return Status::NotFound("unknown embedder: " + name);
 }
 

@@ -1,5 +1,12 @@
 // Common interface for all unsupervised network-embedding methods (AnECI's
 // baselines): given an attributed graph, produce an (N x h) embedding.
+//
+// Run-time knobs (RNG, embedding width, epoch budget, training observer)
+// travel in EmbedOptions rather than constructor arguments, so one
+// instrumentation path — the non-virtual Embed() below — covers every
+// method: it opens an "embed/<name>" trace span, counts calls and epochs,
+// and forwards per-epoch losses to both the metrics registry and the
+// caller's TrainObserver before dispatching to the method's EmbedImpl().
 #ifndef ANECI_EMBED_EMBEDDER_H_
 #define ANECI_EMBED_EMBEDDER_H_
 
@@ -14,6 +21,33 @@
 
 namespace aneci {
 
+/// Per-epoch training hook. Methods that train by gradient descent call
+/// OnEpoch once per epoch with that epoch's loss; closed-form methods
+/// (HOPE, LapEigen) never call it. Observers must tolerate method-specific
+/// loss scales — only the trend within one run is comparable.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+  virtual void OnEpoch(int epoch, double loss) = 0;
+};
+
+/// Run-time options shared by every embedder. `rng` is required; the
+/// remaining fields are overrides applied on top of each method's
+/// configured defaults:
+///   dim     > 1  — embedding width (methods with fixed internal structure
+///                  round it as needed); <= 1 keeps the method default.
+///   epochs  > 0  — training budget for gradient-trained methods; sampling
+///                  methods rescale it (DeepWalk caps corpus passes, ONE
+///                  maps it to coordinate rounds); closed-form methods
+///                  ignore it; <= 0 keeps each method's default.
+///   observer     — optional per-epoch hook (see TrainObserver).
+struct EmbedOptions {
+  Rng* rng = nullptr;
+  int dim = 0;
+  int epochs = 0;
+  TrainObserver* observer = nullptr;
+};
+
 class Embedder {
  public:
   virtual ~Embedder() = default;
@@ -21,8 +55,13 @@ class Embedder {
   /// Method name as used in the paper's tables ("DeepWalk", "GAE", ...).
   virtual std::string name() const = 0;
 
-  /// Learns node embeddings for `graph`. Deterministic given `rng` state.
-  virtual Matrix Embed(const Graph& graph, Rng& rng) = 0;
+  /// Learns node embeddings for `graph`. Deterministic given the state of
+  /// `options.rng` (which must be non-null). Non-virtual: this is the
+  /// single instrumented entry point; methods implement EmbedImpl().
+  Matrix Embed(const Graph& graph, const EmbedOptions& options);
+
+ protected:
+  virtual Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) = 0;
 };
 
 /// Implemented by methods that natively produce per-node anomaly scores
@@ -32,17 +71,21 @@ class Embedder {
 class AnomalyScorer {
  public:
   virtual ~AnomalyScorer() = default;
-  virtual std::vector<double> ScoreAnomalies(const Graph& graph, Rng& rng) = 0;
+
+  /// Instrumented entry point, mirroring Embedder::Embed.
+  std::vector<double> ScoreAnomalies(const Graph& graph,
+                                     const EmbedOptions& options);
+
+ protected:
+  virtual std::vector<double> ScoreAnomaliesImpl(
+      const Graph& graph, const EmbedOptions& options) = 0;
 };
 
 /// Factory over the baseline registry. Known names (case-sensitive):
 /// DeepWalk, Node2Vec, LINE, GAE, VGAE, DGI, DANE, DONE, ADONE, AGE,
-/// Dominant, AnomalyDAE. `dim` is the embedding width; methods with fixed
-/// internal structure round it as needed. `epochs` <= 0 keeps each method's
-/// default.
-StatusOr<std::unique_ptr<Embedder>> CreateEmbedder(const std::string& name,
-                                                   int dim = 32,
-                                                   int epochs = 0);
+/// Dominant, AnomalyDAE, ... (see EmbedderNames()). Width and epoch budget
+/// are per-call EmbedOptions, not construction state.
+StatusOr<std::unique_ptr<Embedder>> CreateEmbedder(const std::string& name);
 
 /// Names accepted by CreateEmbedder, in the paper's ordering.
 const std::vector<std::string>& EmbedderNames();

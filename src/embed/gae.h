@@ -26,9 +26,10 @@ class Gae final : public Embedder {
   std::string name() const override {
     return options_.variational ? "VGAE" : "GAE";
   }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

@@ -72,7 +72,11 @@ double GatClassifier::Accuracy(const Dataset& dataset,
   return static_cast<double>(correct) / eval_idx.size();
 }
 
-Matrix Gate::Embed(const Graph& graph, Rng& rng) {
+Matrix Gate::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
 
@@ -81,25 +85,25 @@ Matrix Gate::Embed(const Graph& graph, Rng& rng) {
   const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
 
   auto w1 = ag::MakeParameter(
-      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+      Matrix::GlorotUniform(features.cols(), opt.hidden_dim, rng));
   auto a1_src = ag::MakeParameter(
-      Matrix::GlorotUniform(1, options_.hidden_dim, rng));
+      Matrix::GlorotUniform(1, opt.hidden_dim, rng));
   auto a1_dst = ag::MakeParameter(
-      Matrix::GlorotUniform(1, options_.hidden_dim, rng));
+      Matrix::GlorotUniform(1, opt.hidden_dim, rng));
   auto w2 = ag::MakeParameter(
-      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
-  auto a2_src = ag::MakeParameter(Matrix::GlorotUniform(1, options_.dim, rng));
-  auto a2_dst = ag::MakeParameter(Matrix::GlorotUniform(1, options_.dim, rng));
+      Matrix::GlorotUniform(opt.hidden_dim, opt.dim, rng));
+  auto a2_src = ag::MakeParameter(Matrix::GlorotUniform(1, opt.dim, rng));
+  auto a2_dst = ag::MakeParameter(Matrix::GlorotUniform(1, opt.dim, rng));
 
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer({w1, a1_src, a1_dst, w2, a2_src, a2_dst}, adam);
 
   auto sample_pairs = [&]() {
     std::vector<ag::PairTarget> pairs;
     for (const Edge& e : graph.edges()) {
       pairs.push_back({e.u, e.v, 1.0});
-      for (int kk = 0; kk < options_.negatives_per_edge; ++kk) {
+      for (int kk = 0; kk < opt.negatives_per_edge; ++kk) {
         const int a = static_cast<int>(rng.NextInt(n));
         const int b = static_cast<int>(rng.NextInt(n));
         if (a != b && !graph.HasEdge(a, b)) pairs.push_back({a, b, 0.0});
@@ -109,17 +113,18 @@ Matrix Gate::Embed(const Graph& graph, Rng& rng) {
   };
 
   Matrix final_z;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     optimizer.ZeroGrad();
     VarPtr h1 = ag::Relu(ag::GraphAttention(&adj, ag::SpMM(&x_sparse, w1),
                                             a1_src, a1_dst,
-                                            options_.attention_slope));
+                                            opt.attention_slope));
     VarPtr z = ag::GraphAttention(&adj, ag::MatMul(h1, w2), a2_src, a2_dst,
-                                  options_.attention_slope);
+                                  opt.attention_slope);
     VarPtr loss = ag::InnerProductPairBce(z, sample_pairs());
     ag::Backward(loss);
     optimizer.Step();
-    if (epoch == options_.epochs - 1) final_z = z->value();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
+    if (epoch == opt.epochs - 1) final_z = z->value();
   }
   return final_z;
 }

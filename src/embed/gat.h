@@ -49,9 +49,10 @@ class Gate final : public Embedder {
   explicit Gate(const Options& options) : options_(options) {}
 
   std::string name() const override { return "GATE"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

@@ -10,7 +10,11 @@ namespace aneci {
 
 using ag::VarPtr;
 
-Matrix GraphSage::Embed(const Graph& graph, Rng& rng) {
+Matrix GraphSage::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
 
@@ -18,23 +22,23 @@ Matrix GraphSage::Embed(const Graph& graph, Rng& rng) {
   const SparseMatrix x_sparse = SparseMatrix::FromDense(features);
 
   auto w1 = ag::MakeParameter(
-      Matrix::GlorotUniform(features.cols(), options_.hidden_dim, rng));
+      Matrix::GlorotUniform(features.cols(), opt.hidden_dim, rng));
   auto w2 = ag::MakeParameter(
-      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
+      Matrix::GlorotUniform(opt.hidden_dim, opt.dim, rng));
 
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer({w1, w2}, adam);
 
   SageSamplerOptions sampler;
-  sampler.fanout = options_.fanout;
+  sampler.fanout = opt.fanout;
 
   RandomWalkOptions walk_opt;
-  walk_opt.walk_length = options_.walk_length;
-  walk_opt.walks_per_node = options_.walks_per_node;
+  walk_opt.walk_length = opt.walk_length;
+  walk_opt.walks_per_node = opt.walks_per_node;
 
   Matrix final_h;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     optimizer.ZeroGrad();
 
     // Fresh sampled aggregation operators each epoch (two-layer depth).
@@ -45,7 +49,7 @@ Matrix GraphSage::Embed(const Graph& graph, Rng& rng) {
 
     // Positive pairs from short random walks; uniform negatives.
     std::vector<ag::PairTarget> pairs;
-    for (int w = 0; w < options_.walks_per_node; ++w) {
+    for (int w = 0; w < opt.walks_per_node; ++w) {
       for (int start = 0; start < n; ++start) {
         const std::vector<int> walk = RandomWalk(graph, start, walk_opt, rng);
         for (size_t pos = 1; pos < walk.size(); ++pos) {
@@ -54,7 +58,7 @@ Matrix GraphSage::Embed(const Graph& graph, Rng& rng) {
       }
     }
     for (int i = 0; i < n; ++i) {
-      for (int s = 0; s < options_.negatives_per_node; ++s) {
+      for (int s = 0; s < opt.negatives_per_node; ++s) {
         const int j = static_cast<int>(rng.NextInt(n));
         if (j != i && !graph.HasEdge(i, j)) pairs.push_back({i, j, 0.0});
       }
@@ -63,8 +67,9 @@ Matrix GraphSage::Embed(const Graph& graph, Rng& rng) {
     VarPtr loss = ag::InnerProductPairBce(h, pairs);
     ag::Backward(loss);
     optimizer.Step();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
 
-    if (epoch == options_.epochs - 1) {
+    if (epoch == opt.epochs - 1) {
       // Deterministic full-neighbourhood forward for the final embedding.
       const SparseMatrix full = graph.Adjacency(true).RowNormalizedL1();
       VarPtr h1_full = ag::Relu(ag::SpMM(&full, ag::SpMM(&x_sparse, w1)));

@@ -26,9 +26,10 @@ class GraphSage final : public Embedder {
   explicit GraphSage(const Options& options) : options_(options) {}
 
   std::string name() const override { return "GraphSage"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

@@ -7,21 +7,24 @@
 
 namespace aneci {
 
-Matrix Hope::Embed(const Graph& graph, Rng& rng) {
+Matrix Hope::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 1);
-  const int dim = std::min(options_.dim, n - 1);
+  const int dim = std::min(opt.dim, n - 1);
 
   // Truncated Katz proximity K = sum_{l=1..order} beta^l A^l (symmetric for
   // undirected graphs, so an eigendecomposition doubles as the SVD).
   const SparseMatrix a = graph.Adjacency(false);
   SparseMatrix power = a;
   SparseMatrix katz(n, n);
-  double coeff = options_.beta;
+  double coeff = opt.beta;
   katz = katz.AddScaled(a, coeff);
-  for (int l = 2; l <= options_.order; ++l) {
+  for (int l = 2; l <= opt.order; ++l) {
     power = power.MultiplySparse(a, /*drop_tol=*/1e-9);
-    coeff *= options_.beta;
+    coeff *= opt.beta;
     katz = katz.AddScaled(power, coeff);
   }
 

@@ -23,9 +23,12 @@ class Hope final : public Embedder {
   explicit Hope(const Options& options) : options_(options) {}
 
   std::string name() const override { return "HOPE"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  /// Closed-form factorisation: EmbedOptions::epochs is ignored and the
+  /// TrainObserver is never called.
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

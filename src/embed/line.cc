@@ -44,13 +44,16 @@ inline void PairUpdate(double* u, double* v, int dim, double label, double lr,
 
 }  // namespace
 
-Matrix Line::Embed(const Graph& graph, Rng& rng) {
+Matrix Line::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   const int m = graph.num_edges();
   ANECI_CHECK_GT(n, 0);
-  const int half = std::max(2, options_.dim / 2);
+  const int half = std::max(2, opt.dim / 2);
   const int64_t samples =
-      options_.samples > 0 ? options_.samples
+      opt.samples > 0 ? opt.samples
                            : 200LL * std::max(m, n);
 
   Matrix first = Matrix::RandomUniform(n, half, 0.5 / half, rng);
@@ -61,7 +64,7 @@ Matrix Line::Embed(const Graph& graph, Rng& rng) {
   if (m > 0) {
     for (int64_t step = 0; step < samples; ++step) {
       const double lr =
-          options_.lr *
+          opt.lr *
           std::max(0.05, 1.0 - static_cast<double>(step) / samples);
       const Edge& e = graph.edges()[rng.NextInt(m)];
       // Undirected edge, random orientation.
@@ -70,7 +73,7 @@ Matrix Line::Embed(const Graph& graph, Rng& rng) {
 
       // First order: symmetric inner-product on `first`.
       PairUpdate(first.RowPtr(u), first.RowPtr(v), half, 1.0, lr, true);
-      for (int k = 0; k < options_.negatives; ++k) {
+      for (int k = 0; k < opt.negatives; ++k) {
         const int neg = sampler.Sample(rng);
         if (neg == v || neg == u) continue;
         PairUpdate(first.RowPtr(u), first.RowPtr(neg), half, 0.0, lr, true);
@@ -78,7 +81,7 @@ Matrix Line::Embed(const Graph& graph, Rng& rng) {
 
       // Second order: vertex table vs context table.
       PairUpdate(second.RowPtr(u), context.RowPtr(v), half, 1.0, lr, true);
-      for (int k = 0; k < options_.negatives; ++k) {
+      for (int k = 0; k < opt.negatives; ++k) {
         const int neg = sampler.Sample(rng);
         if (neg == v) continue;
         PairUpdate(second.RowPtr(u), context.RowPtr(neg), half, 0.0, lr, true);

@@ -21,9 +21,12 @@ class Line final : public Embedder {
   explicit Line(const Options& options) : options_(options) {}
 
   std::string name() const override { return "LINE"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  /// Edge-sampled, not epoch-trained: EmbedOptions::epochs is ignored and
+  /// the TrainObserver is never called.
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

@@ -25,10 +25,16 @@ inline double FactorStep(double* u, double* v, int dim, double target,
 
 }  // namespace
 
-Matrix One::Embed(const Graph& graph, Rng& rng) {
+Matrix One::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  // `epochs` counts gradient passes elsewhere; one round here runs
+  // inner_steps passes over every edge and attribute, so scale it down.
+  if (eo.epochs > 0) opt.rounds = std::clamp(eo.epochs / 8, 4, 30);
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
-  const int dim = options_.dim;
+  const int dim = opt.dim;
   const Matrix features = graph.FeaturesOrIdentity();
   const int f = features.cols();
 
@@ -46,35 +52,35 @@ Matrix One::Embed(const Graph& graph, Rng& rng) {
   std::vector<double> weights(n, 1.0);   // log(1/o_i), normalised to mean 1.
   std::vector<double> res_struct(n, 0.0), res_attr(n, 0.0);
 
-  for (int round = 0; round < options_.rounds; ++round) {
+  for (int round = 0; round < opt.rounds; ++round) {
     std::fill(res_struct.begin(), res_struct.end(), 0.0);
     std::fill(res_attr.begin(), res_attr.end(), 0.0);
-    for (int step = 0; step < options_.inner_steps; ++step) {
+    for (int step = 0; step < opt.inner_steps; ++step) {
       // Structure pass: observed edges as 1, sampled non-edges as 0.
       for (const Edge& e : graph.edges()) {
         res_struct[e.u] += FactorStep(u.RowPtr(e.u), vs.RowPtr(e.v), dim, 1.0,
-                                      weights[e.u], options_.lr);
+                                      weights[e.u], opt.lr);
         res_struct[e.v] += FactorStep(u.RowPtr(e.v), vs.RowPtr(e.u), dim, 1.0,
-                                      weights[e.v], options_.lr);
+                                      weights[e.v], opt.lr);
       }
       for (int i = 0; i < n; ++i) {
         const int j = static_cast<int>(rng.NextInt(n));
         if (j == i || graph.HasEdge(i, j)) continue;
         res_struct[i] += FactorStep(u.RowPtr(i), vs.RowPtr(j), dim, 0.0,
-                                    weights[i], options_.lr);
+                                    weights[i], opt.lr);
       }
       // Attribute pass.
       for (const auto& [i, c] : attr_entries) {
-        res_attr[i] += options_.attr_weight *
+        res_attr[i] += opt.attr_weight *
                        FactorStep(u.RowPtr(i), va.RowPtr(c), dim,
-                                  features(i, c), weights[i], options_.lr);
+                                  features(i, c), weights[i], opt.lr);
       }
       for (int i = 0; i < n; ++i) {
         const int c = static_cast<int>(rng.NextInt(f));
         if (features(i, c) != 0.0) continue;
-        res_attr[i] += options_.attr_weight *
+        res_attr[i] += opt.attr_weight *
                        FactorStep(u.RowPtr(i), va.RowPtr(c), dim, 0.0,
-                                  weights[i], options_.lr);
+                                  weights[i], opt.lr);
       }
     }
 
@@ -82,6 +88,7 @@ Matrix One::Embed(const Graph& graph, Rng& rng) {
     // rescaled to mean 1 (ONE's multiplicative update, simplified).
     double total = 0.0;
     for (int i = 0; i < n; ++i) total += res_struct[i] + res_attr[i];
+    if (eo.observer != nullptr) eo.observer->OnEpoch(round, total / n);
     if (total > 0.0) {
       double mean_w = 0.0;
       for (int i = 0; i < n; ++i) {

@@ -25,9 +25,13 @@ class One final : public Embedder {
   explicit One(const Options& options) : options_(options) {}
 
   std::string name() const override { return "ONE"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  /// EmbedOptions::epochs maps onto alternating-minimisation rounds
+  /// (epochs / 8, clamped to [4, 30]); the observer sees one OnEpoch per
+  /// round with the mean squared residual as the loss.
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

@@ -9,7 +9,11 @@ namespace aneci {
 
 using ag::VarPtr;
 
-Matrix Sdne::Embed(const Graph& graph, Rng& rng) {
+Matrix Sdne::EmbedImpl(const Graph& graph, const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  if (eo.epochs > 0) opt.epochs = eo.epochs;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 0);
 
@@ -17,19 +21,19 @@ Matrix Sdne::Embed(const Graph& graph, Rng& rng) {
 
   // Two-layer encoder over neighbourhood vectors.
   auto w1 =
-      ag::MakeParameter(Matrix::GlorotUniform(n, options_.hidden_dim, rng));
+      ag::MakeParameter(Matrix::GlorotUniform(n, opt.hidden_dim, rng));
   auto w2 = ag::MakeParameter(
-      Matrix::GlorotUniform(options_.hidden_dim, options_.dim, rng));
+      Matrix::GlorotUniform(opt.hidden_dim, opt.dim, rng));
 
   ag::Adam::Options adam;
-  adam.lr = options_.lr;
+  adam.lr = opt.lr;
   ag::Adam optimizer({w1, w2}, adam);
 
   // Second-order loss via inner-product reconstruction with beta-weighted
   // positives: each observed link appears beta times as strongly as a
   // sampled non-link (SDNE's B-matrix weighting, in pair-sampled form).
   std::vector<ag::PairTarget> pairs =
-      SampleReconstructionPairs(a_norm, options_.negatives_per_node, rng,
+      SampleReconstructionPairs(a_norm, opt.negatives_per_node, rng,
                                 /*binarize=*/true);
   std::vector<ag::PairTarget> weighted;
   weighted.reserve(pairs.size());
@@ -45,7 +49,7 @@ Matrix Sdne::Embed(const Graph& graph, Rng& rng) {
   }
 
   Matrix final_h;
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+  for (int epoch = 0; epoch < opt.epochs; ++epoch) {
     optimizer.ZeroGrad();
     VarPtr h = ag::MatMul(ag::LeakyRelu(ag::SpMM(&a_norm, w1), 0.01), w2);
 
@@ -56,7 +60,7 @@ Matrix Sdne::Embed(const Graph& graph, Rng& rng) {
       (pt.target > 0.0 ? positives : negatives).push_back(pt);
     }
     VarPtr l2nd =
-        ag::Add(ag::Scale(ag::InnerProductPairBce(h, positives), options_.beta),
+        ag::Add(ag::Scale(ag::InnerProductPairBce(h, positives), opt.beta),
                 ag::InnerProductPairBce(h, negatives));
 
     // L1st: sum over edges of ||h_u - h_v||^2.
@@ -64,13 +68,14 @@ Matrix Sdne::Embed(const Graph& graph, Rng& rng) {
     if (!edge_u.empty()) {
       VarPtr diff =
           ag::Sub(ag::SelectRows(h, edge_u), ag::SelectRows(h, edge_v));
-      l1st = ag::Scale(ag::SumSquares(diff), options_.alpha);
+      l1st = ag::Scale(ag::SumSquares(diff), opt.alpha);
     }
 
     VarPtr loss = l1st ? ag::Add(l2nd, l1st) : l2nd;
     ag::Backward(loss);
     optimizer.Step();
-    if (epoch == options_.epochs - 1) final_h = h->value();
+    if (eo.observer != nullptr) eo.observer->OnEpoch(epoch, loss->value()(0, 0));
+    if (epoch == opt.epochs - 1) final_h = h->value();
   }
   return final_h;
 }

@@ -28,9 +28,10 @@ class Sdne final : public Embedder {
   explicit Sdne(const Options& options) : options_(options) {}
 
   std::string name() const override { return "SDNE"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

@@ -17,16 +17,20 @@ SparseMatrix NormalizedLaplacian(const Graph& graph) {
 
 }  // namespace
 
-Matrix LaplacianEigenmaps::Embed(const Graph& graph, Rng& rng) {
+Matrix LaplacianEigenmaps::EmbedImpl(const Graph& graph,
+                                     const EmbedOptions& eo) {
+  Options opt = options_;
+  if (eo.dim > 1) opt.dim = eo.dim;
+  Rng& rng = *eo.rng;
   const int n = graph.num_nodes();
   ANECI_CHECK_GT(n, 1);
-  const int dim = std::min(options_.dim, n - 1);
+  const int dim = std::min(opt.dim, n - 1);
 
   const SparseMatrix laplacian = NormalizedLaplacian(graph);
   // Request one extra pair: the smallest eigenvector (constant within each
   // connected component, eigenvalue 0) carries no discriminative signal.
   EigenResult eig =
-      LanczosSmallest(laplacian, dim + 1, rng, options_.lanczos_steps);
+      LanczosSmallest(laplacian, dim + 1, rng, opt.lanczos_steps);
 
   const int available = static_cast<int>(eig.values.size());
   const int take = std::max(1, std::min(dim, available - 1));
@@ -40,7 +44,9 @@ std::vector<int> SpectralClustering(const Graph& graph, int k, Rng& rng) {
   LaplacianEigenmaps::Options opt;
   opt.dim = k;
   LaplacianEigenmaps eigenmaps(opt);
-  Matrix embedding = RowNormalizeL2(eigenmaps.Embed(graph, rng));
+  EmbedOptions eo;
+  eo.rng = &rng;
+  Matrix embedding = RowNormalizeL2(eigenmaps.Embed(graph, eo));
   KMeansOptions km;
   km.restarts = 3;
   return KMeans(embedding, k, rng, km).assignment;

@@ -21,9 +21,12 @@ class LaplacianEigenmaps final : public Embedder {
   explicit LaplacianEigenmaps(const Options& options) : options_(options) {}
 
   std::string name() const override { return "LapEigen"; }
-  Matrix Embed(const Graph& graph, Rng& rng) override;
 
  private:
+  /// Closed-form spectral solve: EmbedOptions::epochs is ignored and the
+  /// TrainObserver is never called.
+  Matrix EmbedImpl(const Graph& graph, const EmbedOptions& options) override;
+
   Options options_;
 };
 

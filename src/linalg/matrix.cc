@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace aneci {
@@ -144,6 +145,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   ANECI_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/matmul/calls", MetricClass::kDeterministic);
+  static Counter* flops = MetricsRegistry::Global().GetCounter(
+      "linalg/matmul/flops", MetricClass::kDeterministic);
+  calls->Increment();
+  flops->Add(2ULL * m * k * n);
   // ikj loop order: streams through b and c rows. Row-blocked across the
   // pool; every thread owns a disjoint slice of c's rows.
   ParallelFor(0, m, GemmRowGrain(2LL * k * n), [&](int64_t lo, int64_t hi) {
@@ -165,6 +172,12 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   ANECI_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
   const int k = a.rows(), m = a.cols(), n = b.cols();
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/matmul/calls", MetricClass::kDeterministic);
+  static Counter* flops = MetricsRegistry::Global().GetCounter(
+      "linalg/matmul/flops", MetricClass::kDeterministic);
+  calls->Increment();
+  flops->Add(2ULL * m * k * n);
   // Blocked over c's rows (a's columns): each thread keeps the serial kk
   // loop outermost, so every c(i, j) accumulates its k terms in the same
   // (increasing kk) order as the serial path — bit-identical output.
@@ -187,6 +200,12 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   ANECI_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
   const int m = a.rows(), k = a.cols(), n = b.rows();
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/matmul/calls", MetricClass::kDeterministic);
+  static Counter* flops = MetricsRegistry::Global().GetCounter(
+      "linalg/matmul/flops", MetricClass::kDeterministic);
+  calls->Increment();
+  flops->Add(2ULL * m * k * n);
   ParallelFor(0, m, GemmRowGrain(2LL * k * n), [&](int64_t lo, int64_t hi) {
     for (int i = static_cast<int>(lo); i < hi; ++i) {
       const double* arow = a.RowPtr(i);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace aneci {
@@ -94,6 +95,12 @@ Matrix SparseMatrix::Multiply(const Matrix& x) const {
   ANECI_CHECK_EQ(cols_, x.rows());
   Matrix y(rows_, x.cols());
   const int k = x.cols();
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/spmm/calls", MetricClass::kDeterministic);
+  static Counter* flops = MetricsRegistry::Global().GetCounter(
+      "linalg/spmm/flops", MetricClass::kDeterministic);
+  calls->Increment();
+  flops->Add(2ULL * static_cast<uint64_t>(nnz()) * k);
   // Row-parallel: each output row is a disjoint slice computed with the
   // serial per-row loop, so the result is bit-identical at any thread count.
   ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), k),
@@ -114,6 +121,12 @@ Matrix SparseMatrix::MultiplyTransposed(const Matrix& x) const {
   ANECI_CHECK_EQ(rows_, x.rows());
   Matrix y(cols_, x.cols());
   const int k = x.cols();
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/spmm/calls", MetricClass::kDeterministic);
+  static Counter* flops = MetricsRegistry::Global().GetCounter(
+      "linalg/spmm/flops", MetricClass::kDeterministic);
+  calls->Increment();
+  flops->Add(2ULL * static_cast<uint64_t>(nnz()) * k);
   // Scattering into y rows indexed by col_idx_ races under a row partition
   // of *this*, so partition y's rows instead: each thread scans every CSR
   // row but touches only the (sorted, hence contiguous) column range it
@@ -144,6 +157,11 @@ SparseMatrix SparseMatrix::MultiplySparse(const SparseMatrix& other,
                                           double drop_tol) const {
   ANECI_CHECK_EQ(cols_, other.rows_);
   SparseMatrix out(rows_, other.cols_);
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/spgemm/calls", MetricClass::kDeterministic);
+  static Counter* out_nnz = MetricsRegistry::Global().GetCounter(
+      "linalg/spgemm/output_nnz", MetricClass::kDeterministic);
+  calls->Increment();
   // Gustavson's row-by-row SpGEMM with a dense accumulator per chunk.
   // Phase 1 computes each row chunk into its own buffer (per-row values are
   // produced by the identical serial loop, so chunking never changes them);
@@ -196,6 +214,7 @@ SparseMatrix SparseMatrix::MultiplySparse(const SparseMatrix& other,
     out.values_.insert(out.values_.end(), part.vals.begin(),
                        part.vals.end());
   }
+  out_nnz->Add(static_cast<uint64_t>(out.row_ptr_[rows_]));
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <type_traits>
 
+#include "util/metrics.h"
+
 namespace aneci {
 namespace {
 
@@ -230,15 +232,37 @@ StatusOr<TrainingCheckpoint> ParseCheckpoint(std::string_view bytes,
   return c;
 }
 
+namespace {
+
+const std::vector<double>& LatencyBoundsMs() {
+  static const std::vector<double>* bounds = new std::vector<double>(
+      {0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0});
+  return *bounds;
+}
+
+}  // namespace
+
 Status SaveCheckpoint(const TrainingCheckpoint& checkpoint,
                       const std::string& path, Env* env) {
   if (!env) env = Env::Default();
+  static Counter* saves = MetricsRegistry::Global().GetCounter(
+      "checkpoint/saves", MetricClass::kDeterministic);
+  static Histogram* save_ms = MetricsRegistry::Global().GetHistogram(
+      "checkpoint/save_ms", LatencyBoundsMs());
+  saves->Increment();
+  ScopedLatencyTimer latency(save_ms);
   return env->WriteFileAtomic(path, SerializeCheckpoint(checkpoint));
 }
 
 StatusOr<TrainingCheckpoint> LoadCheckpoint(const std::string& path,
                                             Env* env) {
   if (!env) env = Env::Default();
+  static Counter* loads = MetricsRegistry::Global().GetCounter(
+      "checkpoint/loads", MetricClass::kDeterministic);
+  static Histogram* load_ms = MetricsRegistry::Global().GetHistogram(
+      "checkpoint/load_ms", LatencyBoundsMs());
+  loads->Increment();
+  ScopedLatencyTimer latency(load_ms);
   ANECI_ASSIGN_OR_RETURN(const std::string bytes, env->ReadFile(path));
   return ParseCheckpoint(bytes, path);
 }
@@ -283,6 +307,9 @@ StatusOr<TrainingCheckpoint> LoadLatestCheckpoint(const std::string& dir,
   if (have_bak) {
     StatusOr<TrainingCheckpoint> c = LoadCheckpoint(bak, env);
     if (c.ok()) {
+      static Counter* bak_fallbacks = MetricsRegistry::Global().GetCounter(
+          "checkpoint/bak_fallbacks", MetricClass::kDeterministic);
+      if (have_bin) bak_fallbacks->Increment();
       if (loaded_path) *loaded_path = bak;
       return c;
     }

@@ -51,7 +51,7 @@ struct PairBlob {
   double target = 0.0;
 };
 
-/// One epoch of telemetry (mirrors AneciEpochStats).
+/// One epoch of telemetry (core/aneci.h aliases this as AneciEpochStats).
 struct EpochStatBlob {
   int32_t epoch = 0;
   double loss = 0.0;

@@ -6,6 +6,8 @@
 #include <exception>
 #include <memory>
 
+#include "util/metrics.h"
+
 namespace aneci {
 namespace {
 
@@ -121,10 +123,26 @@ void ThreadPool::ParallelForChunks(
   if (grain < 1) grain = 1;
   const int64_t num_chunks = NumChunks(begin, end, grain);
 
+  // The number of ParallelFor invocations is a property of the program, so
+  // calls is a deterministic counter. Chunk counts are NOT: some callers
+  // (SpGEMM, transposed SpMM) size their grain from NumThreads(), so chunks
+  // — like the serial-path and helper-task tallies — is scheduling-class.
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "threadpool/parallel_for/calls", MetricClass::kDeterministic);
+  static Counter* chunks = MetricsRegistry::Global().GetCounter(
+      "threadpool/parallel_for/chunks", MetricClass::kScheduling);
+  static Counter* serial_fallbacks = MetricsRegistry::Global().GetCounter(
+      "threadpool/serial_fallbacks", MetricClass::kScheduling);
+  static Counter* helper_tasks = MetricsRegistry::Global().GetCounter(
+      "threadpool/helper_tasks", MetricClass::kScheduling);
+  calls->Increment();
+  chunks->Add(static_cast<uint64_t>(num_chunks));
+
   // Serial path: pool of one, a single chunk, or a nested call from inside
   // another chunk body. Executes the same chunks in the same order, so the
   // result is identical to the threaded path by construction.
   if (num_threads_ <= 1 || num_chunks == 1 || InParallelRegion()) {
+    serial_fallbacks->Increment();
     const bool saved = tl_in_parallel_region;
     tl_in_parallel_region = true;
     for (int64_t c = 0; c < num_chunks; ++c) {
@@ -150,6 +168,7 @@ void ThreadPool::ParallelForChunks(
 
   const int helpers = static_cast<int>(
       std::min<int64_t>(num_threads_ - 1, num_chunks - 1));
+  helper_tasks->Add(static_cast<uint64_t>(helpers));
   job->pending_helpers = helpers;
   {
     std::lock_guard<std::mutex> lock(mu_);

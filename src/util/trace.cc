@@ -1,0 +1,71 @@
+#include "util/trace.h"
+
+#include <limits>
+
+namespace aneci {
+
+namespace {
+
+/// Thread-local current span path ("train/epoch/forward"). Spans append a
+/// segment on entry and truncate back on exit, so building a child path is
+/// O(segment length) with no joins.
+std::string& ThreadPath() {
+  thread_local std::string path;
+  return path;
+}
+
+}  // namespace
+
+TraceRegistry& TraceRegistry::Global() {
+  static TraceRegistry* registry = new TraceRegistry();  // leaked
+  return *registry;
+}
+
+void TraceRegistry::Record(const std::string& path, double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStat& stat = stats_[path];
+  if (stat.count == 0) {
+    stat.path = path;
+    stat.min_ms = std::numeric_limits<double>::infinity();
+    stat.max_ms = -std::numeric_limits<double>::infinity();
+  }
+  ++stat.count;
+  stat.total_ms += ms;
+  if (ms < stat.min_ms) stat.min_ms = ms;
+  if (ms > stat.max_ms) stat.max_ms = ms;
+}
+
+std::vector<SpanStat> TraceRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanStat> out;
+  out.reserve(stats_.size());
+  for (const auto& [path, stat] : stats_) {
+    (void)path;
+    out.push_back(stat);
+  }
+  return out;
+}
+
+void TraceRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+TraceSpan::TraceSpan(const std::string& name) : enabled_(MetricsEnabled()) {
+  if (!enabled_) return;
+  std::string& path = ThreadPath();
+  saved_path_size_ = path.size();
+  if (!path.empty()) path += '/';
+  path += name;
+  timer_.Reset();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!enabled_) return;
+  const double ms = timer_.Millis();
+  std::string& path = ThreadPath();
+  TraceRegistry::Global().Record(path, ms);
+  path.resize(saved_path_size_);
+}
+
+}  // namespace aneci

@@ -1,0 +1,78 @@
+// RAII trace spans building a hierarchical wall-time tree. A span pushes
+// its name onto a thread-local path ("train" -> "train/epoch" ->
+// "train/epoch/forward") and on destruction records elapsed milliseconds
+// into the process-global TraceRegistry, aggregated per path.
+//
+// Span *counts* are deterministic (they count code-path entries); span
+// *times* are wall clock and therefore scheduling-class. The JSONL export
+// splits them into a "span_count" line (class det) and a "span_time" line
+// (class sched) so determinism checks can keep the former and drop the
+// latter — see docs/observability.md.
+//
+// Wall time comes from util/timer.h, the single allowlisted clock source
+// (`banned-nondeterminism`); every other file in src/ must time code via
+// spans, which `banned-adhoc-timing` enforces.
+#ifndef ANECI_UTIL_TRACE_H_
+#define ANECI_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace aneci {
+
+/// Aggregated statistics for one span path.
+struct SpanStat {
+  std::string path;
+  uint64_t count = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class TraceRegistry {
+ public:
+  static TraceRegistry& Global();
+
+  /// Merges one completed span occurrence into the per-path aggregate.
+  void Record(const std::string& path, double ms);
+
+  /// All paths in lexicographic order (parents sort before children).
+  std::vector<SpanStat> Snapshot() const;
+
+  /// Clears all aggregates (registrations are per-path and implicit).
+  void ResetValues();
+
+ private:
+  TraceRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, SpanStat> stats_;
+};
+
+/// RAII scope: constructing pushes `name` onto the calling thread's span
+/// path, destructing records the elapsed wall time. Nest freely; spans on
+/// worker threads start their own root (the parent path is thread-local).
+/// When the metrics registry is disabled the span is a no-op.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const std::string& name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool enabled_;
+  size_t saved_path_size_ = 0;
+  Timer timer_;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_UTIL_TRACE_H_

@@ -111,7 +111,9 @@ TEST(LaplacianEigenmapsTest, EmbeddingSeparatesBlocks) {
   LaplacianEigenmaps::Options eopt;
   eopt.dim = 4;
   LaplacianEigenmaps model(eopt);
-  Matrix z = model.Embed(g, rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  Matrix z = model.Embed(g, eo);
   EXPECT_EQ(z.rows(), 150);
   EXPECT_EQ(z.cols(), 4);
   // Same-class pairs should be closer on average than cross-class pairs.

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "data/sbm.h"
+#include "embed/embedder.h"
 #include "embed/gat.h"
 #include "embed/hope.h"
 #include "embed/one.h"
@@ -26,6 +27,12 @@ Graph TwoBlocks(uint64_t seed, int n = 150) {
   opt.words_per_node = 6;
   Rng rng(seed);
   return GenerateSbm(opt, rng);
+}
+
+EmbedOptions WithRng(Rng& rng) {
+  EmbedOptions eo;
+  eo.rng = &rng;
+  return eo;
 }
 
 double IntraInterGap(const Graph& g, const Matrix& z) {
@@ -53,7 +60,7 @@ TEST(HopeTest, KatzFactorizationSeparatesBlocks) {
   opt.dim = 4;
   Hope model(opt);
   Rng rng(2);
-  Matrix z = model.Embed(g, rng);
+  Matrix z = model.Embed(g, WithRng(rng));
   EXPECT_EQ(z.rows(), g.num_nodes());
   EXPECT_GT(IntraInterGap(g, z), 0.05);
 }
@@ -66,7 +73,7 @@ TEST(HopeTest, EmbeddingApproximatesKatzInnerProducts) {
   opt.dim = 8;
   Hope model(opt);
   Rng rng(4);
-  Matrix z = model.Embed(g, rng);
+  Matrix z = model.Embed(g, WithRng(rng));
   double edge_dot = 0.0;
   for (const Edge& e : g.edges()) {
     for (int c = 0; c < z.cols(); ++c) edge_dot += z(e.u, c) * z(e.v, c);
@@ -95,8 +102,8 @@ TEST(SdneTest, FirstOrderTermPullsNeighborsTogether) {
   Sdne::Options strong = weak;
   strong.alpha = 2.0;
   Sdne m_weak(weak), m_strong(strong);
-  Matrix z_weak = m_weak.Embed(g, r1);
-  Matrix z_strong = m_strong.Embed(g, r2);
+  Matrix z_weak = m_weak.Embed(g, WithRng(r1));
+  Matrix z_strong = m_strong.Embed(g, WithRng(r2));
 
   auto mean_edge_distance = [&](const Matrix& z) {
     double total = 0.0;
@@ -123,7 +130,7 @@ TEST(OneTest, SharedFactorSeparatesBlocks) {
   opt.rounds = 20;
   One model(opt);
   Rng rng(9);
-  Matrix u = model.Embed(g, rng);
+  Matrix u = model.Embed(g, WithRng(rng));
   EXPECT_EQ(u.rows(), 200);
   EXPECT_GT(IntraInterGap(g, u), 0.05);
 }
@@ -146,7 +153,7 @@ TEST(OneTest, OutlierWeightsDownweightNoisyNodes) {
   One::Options opt;
   opt.rounds = 15;
   One model(opt);
-  Matrix u = model.Embed(g, rng);
+  Matrix u = model.Embed(g, WithRng(rng));
   for (int64_t i = 0; i < u.size(); ++i)
     ASSERT_TRUE(std::isfinite(u.data()[i]));
   EXPECT_GT(IntraInterGap(g, u), 0.0);
@@ -159,7 +166,7 @@ TEST(GateTest, EmbeddingSeparatesBlocks) {
   opt.dim = 8;
   Gate model(opt);
   Rng rng(11);
-  Matrix z = model.Embed(g, rng);
+  Matrix z = model.Embed(g, WithRng(rng));
   EXPECT_GT(IntraInterGap(g, z), 0.05);
 }
 

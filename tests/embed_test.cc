@@ -36,11 +36,15 @@ const Dataset& TestDataset() {
 class EmbedderSmoke : public testing::TestWithParam<std::string> {};
 
 TEST_P(EmbedderSmoke, ProducesUsefulEmbedding) {
-  auto embedder = CreateEmbedder(GetParam(), 16, /*epochs=*/30);
+  auto embedder = CreateEmbedder(GetParam());
   ASSERT_TRUE(embedder.ok()) << embedder.status().ToString();
   Rng rng(7);
   const Dataset& ds = TestDataset();
-  Matrix z = embedder.value()->Embed(ds.graph, rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  eo.dim = 16;
+  eo.epochs = 30;
+  Matrix z = embedder.value()->Embed(ds.graph, eo);
   EXPECT_EQ(z.rows(), ds.graph.num_nodes());
   EXPECT_GE(z.cols(), 2);
   for (int64_t i = 0; i < z.size(); ++i)
@@ -58,13 +62,23 @@ TEST(EmbedderRegistry, RejectsUnknownName) {
   EXPECT_EQ(CreateEmbedder("word2vec").status().code(), StatusCode::kNotFound);
 }
 
-TEST(EmbedderRegistry, RejectsBadDim) {
-  EXPECT_FALSE(CreateEmbedder("GAE", 1).ok());
+TEST(EmbedderRegistry, DimAtMostOneKeepsMethodDefault) {
+  // dim <= 1 is "no override" under the EmbedOptions contract, so the method
+  // falls back to its configured default width instead of rejecting.
+  auto embedder = CreateEmbedder("GAE");
+  ASSERT_TRUE(embedder.ok());
+  Rng rng(3);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  eo.dim = 1;
+  eo.epochs = 2;
+  Matrix z = embedder.value()->Embed(TestDataset().graph, eo);
+  EXPECT_GT(z.cols(), 1);
 }
 
 TEST(EmbedderRegistry, NamesRoundTrip) {
   for (const std::string& name : EmbedderNames()) {
-    auto e = CreateEmbedder(name, 8, 2);
+    auto e = CreateEmbedder(name);
     ASSERT_TRUE(e.ok()) << name;
     EXPECT_EQ(e.value()->name(), name);
   }
@@ -73,12 +87,16 @@ TEST(EmbedderRegistry, NamesRoundTrip) {
 TEST(AnomalyScorers, NativeScorersReturnPerNodeScores) {
   const Dataset& ds = TestDataset();
   for (const std::string& name : {"Dominant", "DONE", "ADONE", "AnomalyDAE"}) {
-    auto embedder = CreateEmbedder(name, 16, 20);
+    auto embedder = CreateEmbedder(name);
     ASSERT_TRUE(embedder.ok());
     auto* scorer = dynamic_cast<AnomalyScorer*>(embedder.value().get());
     ASSERT_NE(scorer, nullptr) << name;
     Rng rng(9);
-    std::vector<double> scores = scorer->ScoreAnomalies(ds.graph, rng);
+    EmbedOptions eo;
+    eo.rng = &rng;
+    eo.dim = 16;
+    eo.epochs = 20;
+    std::vector<double> scores = scorer->ScoreAnomalies(ds.graph, eo);
     EXPECT_EQ(scores.size(), static_cast<size_t>(ds.graph.num_nodes()));
     for (double s : scores) EXPECT_TRUE(std::isfinite(s));
   }

@@ -47,7 +47,9 @@ TEST(Integration, RobustnessPipelineAneciBeatsGaeDefenseScore) {
   Gae::Options gopt;
   gopt.epochs = 60;
   Gae gae(gopt);
-  Matrix z_gae = gae.Embed(attack.attacked, rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  Matrix z_gae = gae.Embed(attack.attacked, eo);
 
   const double ds_aneci =
       DefenseScore(attack.attacked, attack.fake_edges, z_aneci);
@@ -91,7 +93,9 @@ TEST(Integration, AnomalyPipelineEntropyDetectsStructuralOutliers) {
   AneciConfig cfg = FastAneci();
   cfg.early_stop_patience = 20;
   AneciEmbedder model(cfg);
-  std::vector<double> scores = model.ScoreAnomalies(injected.graph, rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  std::vector<double> scores = model.ScoreAnomalies(injected.graph, eo);
   EXPECT_GT(AreaUnderRoc(scores, injected.is_outlier), 0.55);
 }
 
@@ -146,7 +150,9 @@ TEST(Integration, CommunityPipelineOnPolarizedGraph) {
   cfg.embed_dim = 2;
   cfg.epochs = 150;
   AneciEmbedder model(cfg);
-  model.Embed(ds.value().graph, rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  model.Embed(ds.value().graph, eo);
   CommunityResult comm =
       DetectCommunitiesArgmax(ds.value().graph, model.last_membership());
   EXPECT_GT(comm.nmi_vs_labels, 0.7);

@@ -218,6 +218,42 @@ TEST(NoIostream, FlagsCoutCerrAndIncludeInSrcOnly) {
       LintContent("tests/t.cc", "void f() { std::cerr << 1; }\n").empty());
 }
 
+// --- banned-adhoc-timing -----------------------------------------------------
+
+TEST(BannedAdhocTiming, FlagsTimerIncludeAndRawTimerInSrc) {
+  const auto findings = LintContent(
+      "src/embed/x.cc",
+      "#include \"util/timer.h\"\nvoid f() { Timer t; double m = t.Millis(); "
+      "}\n");
+  EXPECT_EQ(CountCheck(findings, "banned-adhoc-timing"), 2);
+}
+
+TEST(BannedAdhocTiming, TimingLayerAndNonSrcTreesAreExempt) {
+  LintOptions opts;
+  opts.only_check = "banned-adhoc-timing";
+  // The observability layer itself may (must) use the raw clock.
+  for (const char* path :
+       {"src/util/timer.h", "src/util/trace.h", "src/util/trace.cc",
+        "src/util/metrics.h", "src/util/metrics.cc"}) {
+    EXPECT_TRUE(
+        LintContent(path, "#include \"util/timer.h\"\nTimer t;\n", opts)
+            .empty())
+        << path;
+  }
+  // Bench and tool code times however it likes.
+  EXPECT_TRUE(
+      LintContent("bench/b.cc", "#include \"util/timer.h\"\nTimer t;\n", opts)
+          .empty());
+}
+
+TEST(BannedAdhocTiming, SanctionedWrappersDoNotMatch) {
+  // ScopedLatencyTimer / TraceSpan are distinct identifiers, not `Timer`.
+  EXPECT_TRUE(LintContent("src/util/checkpoint.cc",
+                          "#include \"util/metrics.h\"\nvoid f(Histogram* h) "
+                          "{ ScopedLatencyTimer t(h); TraceSpan s(\"x\"); }\n")
+                  .empty());
+}
+
 // --- header-hygiene ----------------------------------------------------------
 
 TEST(HeaderHygiene, RequiresGuardAndBansUsingNamespace) {
@@ -305,9 +341,10 @@ TEST(Options, OnlyCheckFiltersFindings) {
             std::vector<std::string>{"banned-raw-io"});
 }
 
-TEST(Registry, ListsAllSixChecks) {
-  EXPECT_EQ(RegisteredChecks().size(), 6u);
+TEST(Registry, ListsAllSevenChecks) {
+  EXPECT_EQ(RegisteredChecks().size(), 7u);
   EXPECT_TRUE(IsRegisteredCheck("discarded-status"));
+  EXPECT_TRUE(IsRegisteredCheck("banned-adhoc-timing"));
   EXPECT_TRUE(IsRegisteredCheck("header-hygiene"));
   EXPECT_FALSE(IsRegisteredCheck("made-up-check"));
 }

@@ -14,10 +14,17 @@
 //                        --certify-seeds=3]
 //   aneci_cli defend    --graph=g.txt --defense=jaccard,lowrank,clip
 //                        --out=purified.txt [--seed=42]
-//   aneci_cli embed     --graph=g.txt --method=GAE --out=z.csv [--epochs=..]
+//   aneci_cli embed     --graph=g.txt --method=GAE --outdir=run [--epochs=..]
 //   aneci_cli attack    --graph=g.txt --type=random --rate=0.2 --out=ga.txt
 //   aneci_cli detect    --graph=g.txt --kind=Mix --fraction=0.05
-//   aneci_cli community --graph=g.txt --k=7
+//   aneci_cli community --graph=g.txt --k=7 [--outdir=run]
+//   aneci_cli stats     metrics.jsonl [--zero-timings]
+//
+// Every subcommand accepts --metrics-out=<path>: after the command runs, the
+// process-wide metrics registry (counters, gauges, histograms, trace spans
+// and the per-epoch training telemetry ring) is written there as JSONL.
+// Lines with "class":"det" are byte-identical at any ANECI_THREADS value;
+// "class":"sched" lines carry timings and scheduling tallies.
 //
 // Exit codes: 0 success, 1 runtime failure, 2 usage error (unknown
 // subcommand or flag).
@@ -44,6 +51,7 @@
 #include "tasks/metrics.h"
 #include "tools/cli_args.h"
 #include "util/env.h"
+#include "util/metrics.h"
 
 namespace aneci::cli {
 namespace {
@@ -64,12 +72,15 @@ int Usage(std::FILE* stream) {
       "  defend     --graph=g.txt [--defense=jaccard --out=purified.txt\n"
       "              --seed=42]\n"
       "  embed      --graph=g.txt [--method=GAE --dim=32 --epochs=0\n"
-      "              --seed=42 --out=z.csv]\n"
+      "              --seed=42 --outdir=run]\n"
       "  attack     --graph=g.txt [--type=random --rate=0.2 --seed=42\n"
       "              --out=attacked.txt]\n"
       "  detect     --graph=g.txt [--kind=Mix --fraction=0.05 --epochs=100\n"
       "              --seed=42]\n"
-      "  community  --graph=g.txt [--k=7 --epochs=300 --seed=42 --out=c.txt]\n");
+      "  community  --graph=g.txt [--k=7 --epochs=300 --seed=42 --outdir=run]\n"
+      "  stats      <metrics.jsonl> [--zero-timings]\n"
+      "every command also accepts --metrics-out=<path> to dump the metrics\n"
+      "registry (counters, spans, training telemetry) as JSONL on exit\n");
   return 2;
 }
 
@@ -110,7 +121,8 @@ Status WriteEmbeddingCsv(const Matrix& z, const std::string& path) {
 }
 
 int CmdGenerate(const Args& args) {
-  if (int rc = RejectUnknownFlags(args, {"dataset", "scale", "seed", "out"}))
+  if (int rc = RejectUnknownFlags(
+          args, {"dataset", "scale", "seed", "out", "metrics-out"}))
     return rc;
   const std::string out = args.Get("out", "graph.txt");
   StatusOr<Dataset> ds =
@@ -128,7 +140,8 @@ int CmdGenerate(const Args& args) {
 }
 
 int CmdDefend(const Args& args) {
-  if (int rc = RejectUnknownFlags(args, {"graph", "defense", "out", "seed"}))
+  if (int rc = RejectUnknownFlags(
+          args, {"graph", "defense", "out", "seed", "metrics-out"}))
     return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
@@ -173,7 +186,8 @@ int CmdTrain(const Args& args) {
           {"graph", "out", "dim", "hidden", "epochs", "order", "seed", "plus",
            "checkpoint-dir", "checkpoint-every", "resume", "defense",
            "adv-train", "adv-budget", "adv-every", "adv-kind", "certify",
-           "certify-samples", "certify-radius", "certify-seeds"}))
+           "certify-samples", "certify-radius", "certify-seeds",
+           "metrics-out"}))
     return rc;
   StatusOr<Graph> loaded = LoadRequiredGraph(args);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
@@ -274,17 +288,22 @@ int CmdTrain(const Args& args) {
 
 int CmdEmbed(const Args& args) {
   if (int rc = RejectUnknownFlags(
-          args, {"graph", "method", "dim", "epochs", "seed", "out"}))
+          args, {"graph", "method", "dim", "epochs", "seed", "out", "outdir",
+                 "metrics-out"}))
     return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
   const std::string method = args.Get("method", "GAE");
-  auto embedder = CreateEmbedder(method, args.GetInt("dim", 32),
-                                 args.GetInt("epochs", 0));
+  auto embedder = CreateEmbedder(method);
   if (!embedder.ok()) return Fail(embedder.status().ToString());
   Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
-  Matrix z = embedder.value()->Embed(graph.value(), rng);
-  const std::string out = args.Get("out", "embedding.csv");
+  EmbedOptions eo;
+  eo.rng = &rng;
+  eo.dim = args.GetInt("dim", 32);
+  eo.epochs = args.GetInt("epochs", 0);
+  Matrix z = embedder.value()->Embed(graph.value(), eo);
+  std::string out = ResolveOutPath(args, "embedding.csv");
+  if (out.empty()) out = "embedding.csv";
   if (Status st = WriteEmbeddingCsv(z, out); !st.ok()) return Fail(st.ToString());
   std::printf("%s embedding written to %s (%d x %d)\n", method.c_str(),
               out.c_str(), z.rows(), z.cols());
@@ -292,8 +311,8 @@ int CmdEmbed(const Args& args) {
 }
 
 int CmdAttack(const Args& args) {
-  if (int rc = RejectUnknownFlags(args, {"graph", "type", "rate", "seed",
-                                         "out"}))
+  if (int rc = RejectUnknownFlags(
+          args, {"graph", "type", "rate", "seed", "out", "metrics-out"}))
     return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
@@ -314,7 +333,7 @@ int CmdAttack(const Args& args) {
 
 int CmdDetect(const Args& args) {
   if (int rc = RejectUnknownFlags(
-          args, {"graph", "kind", "fraction", "epochs", "seed"}))
+          args, {"graph", "kind", "fraction", "epochs", "seed", "metrics-out"}))
     return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
@@ -333,7 +352,9 @@ int CmdDetect(const Args& args) {
   cfg.epochs = args.GetInt("epochs", 100);
   cfg.early_stop_patience = 20;
   AneciEmbedder model(cfg);
-  std::vector<double> scores = model.ScoreAnomalies(injected.graph, rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  std::vector<double> scores = model.ScoreAnomalies(injected.graph, eo);
   std::printf("implanted %zu %s outliers; AnECI AUC = %.3f\n",
               injected.outlier_ids.size(), kind_name.c_str(),
               AreaUnderRoc(scores, injected.is_outlier));
@@ -341,8 +362,8 @@ int CmdDetect(const Args& args) {
 }
 
 int CmdCommunity(const Args& args) {
-  if (int rc =
-          RejectUnknownFlags(args, {"graph", "k", "epochs", "seed", "out"}))
+  if (int rc = RejectUnknownFlags(args, {"graph", "k", "epochs", "seed", "out",
+                                         "outdir", "metrics-out"}))
     return rc;
   StatusOr<Graph> graph = LoadRequiredGraph(args);
   if (!graph.ok()) return Fail(graph.status().ToString());
@@ -354,7 +375,9 @@ int CmdCommunity(const Args& args) {
   cfg.embed_dim = k;
   cfg.epochs = args.GetInt("epochs", 300);
   AneciEmbedder model(cfg);
-  model.Embed(graph.value(), rng);
+  EmbedOptions eo;
+  eo.rng = &rng;
+  model.Embed(graph.value(), eo);
   CommunityResult aneci_comm =
       DetectCommunitiesArgmax(graph.value(), model.last_membership());
 
@@ -363,7 +386,7 @@ int CmdCommunity(const Args& args) {
               aneci_comm.num_communities);
   std::printf("Louvain: Q=%.3f (%d communities)\n", louvain.modularity,
               louvain.num_communities);
-  const std::string out = args.Get("out", "");
+  const std::string out = ResolveOutPath(args, "communities.txt");
   if (!out.empty()) {
     // Previously written with an unchecked ofstream: a bad path still
     // printed "assignment written". Atomic write + checked Status now.
@@ -376,19 +399,65 @@ int CmdCommunity(const Args& args) {
   return 0;
 }
 
+/// Pretty-prints a metrics JSONL dump produced by --metrics-out. Takes the
+/// file as a positional argument (the one place the CLI does, since the file
+/// is the whole point of the command). --zero-timings blanks every duration
+/// so the report can be diffed across machines or thread counts.
+int CmdStats(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') {
+    std::fprintf(stderr, "error: stats needs a metrics.jsonl path\n");
+    return Usage(stderr);
+  }
+  bool zero_timings = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--zero-timings") == 0) {
+      zero_timings = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return Usage(stderr);
+    }
+  }
+  StatusOr<std::string> bytes = Env::Default()->ReadFile(argv[2]);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
+  StatusOr<std::string> report = FormatStatsReport(bytes.value(), zero_timings);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::fputs(report.value().c_str(), stdout);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage(stderr);
-  const Args args(argc, argv);
   const std::string cmd = argv[1];
-  if (cmd == "generate") return CmdGenerate(args);
-  if (cmd == "train") return CmdTrain(args);
-  if (cmd == "defend") return CmdDefend(args);
-  if (cmd == "embed") return CmdEmbed(args);
-  if (cmd == "attack") return CmdAttack(args);
-  if (cmd == "detect") return CmdDetect(args);
-  if (cmd == "community") return CmdCommunity(args);
-  std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
-  return Usage(stderr);
+  if (cmd == "stats") return CmdStats(argc, argv);
+  const Args args(argc, argv);
+  int rc;
+  if (cmd == "generate") {
+    rc = CmdGenerate(args);
+  } else if (cmd == "train") {
+    rc = CmdTrain(args);
+  } else if (cmd == "defend") {
+    rc = CmdDefend(args);
+  } else if (cmd == "embed") {
+    rc = CmdEmbed(args);
+  } else if (cmd == "attack") {
+    rc = CmdAttack(args);
+  } else if (cmd == "detect") {
+    rc = CmdDetect(args);
+  } else if (cmd == "community") {
+    rc = CmdCommunity(args);
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+    return Usage(stderr);
+  }
+  // Dump telemetry even when the command failed: a diverged or crashed run
+  // is exactly when the epoch ring and watchdog events are worth reading.
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (rc != 2 && !metrics_out.empty()) {
+    Status st = WriteMetricsJsonl(metrics_out, nullptr);
+    if (!st.ok()) return Fail(st.ToString());
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+  return rc;
 }
 
 }  // namespace

@@ -17,7 +17,9 @@
 # that exercise error paths over partially written buffers (ASan), integer/
 # float conversions in the perturbation math (UBSan), and the parallel
 # kernels (TSan). The TSan build additionally re-runs the thread-pool and
-# defense determinism suites, where a data race would actually bite.
+# defense determinism suites plus the metrics-labelled observability tests
+# (sharded counters and span aggregation are lock-free hot paths), where a
+# data race would actually bite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,9 +54,10 @@ ctest --test-dir "${prefix}-ubsan" --output-on-failure -j "$(nproc)" \
 echo "== stage 2c: ThreadSanitizer (fault + attack + concurrency tests) =="
 cmake -B "${prefix}-tsan" -S . -DANECI_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${prefix}-tsan" -j "$(nproc)" \
-  --target "${matrix_targets[@]}" thread_pool_test defense_test
+  --target "${matrix_targets[@]}" thread_pool_test defense_test \
+  observability_test
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
-  -L 'fault|attack'
+  -L 'fault|attack|metrics'
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
   -R 'ThreadPool|Defense|Jaccard|LowRank|AttributeClip|Smoothing|AdversarialTraining'
 

@@ -7,9 +7,12 @@
 #ifndef ANECI_TOOLS_CLI_ARGS_H_
 #define ANECI_TOOLS_CLI_ARGS_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
+
+#include "util/env.h"
 
 namespace aneci::cli {
 
@@ -65,6 +68,30 @@ class Args {
  private:
   std::vector<std::string> args_;
 };
+
+/// Output-path resolution for subcommands that moved from --out=<file> to
+/// the --outdir=<dir> convention (the file name inside the directory is
+/// fixed per command). --out still works for one deprecation cycle but
+/// prints a warning. Returns empty when neither flag is present, so callers
+/// with optional output can skip writing.
+inline std::string ResolveOutPath(const Args& args,
+                                  const std::string& default_name) {
+  const std::string legacy = args.Get("out", "");
+  if (!legacy.empty()) {
+    std::fprintf(stderr,
+                 "warning: --out=<file> is deprecated; use --outdir=<dir> "
+                 "(writes <dir>/%s)\n",
+                 default_name.c_str());
+    return legacy;
+  }
+  const std::string outdir = args.Get("outdir", "");
+  if (!outdir.empty()) {
+    // Best-effort: if this fails the subsequent write reports the real error.
+    (void)Env::Default()->CreateDir(outdir);
+    return outdir + "/" + default_name;
+  }
+  return "";
+}
 
 }  // namespace aneci::cli
 

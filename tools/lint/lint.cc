@@ -21,6 +21,15 @@ bool InDir(const std::string& path, const std::string& dir) {
          path.find("/" + needle) != std::string::npos;
 }
 
+/// The sanctioned timing layer: the clock wrapper itself plus the two
+/// consumers that turn durations into registry data (trace spans, latency
+/// histograms). Everything else in src/ must go through these.
+bool IsTimingLayer(const std::string& path) {
+  return EndsWith(path, "util/timer.h") || EndsWith(path, "util/trace.h") ||
+         EndsWith(path, "util/trace.cc") || EndsWith(path, "util/metrics.h") ||
+         EndsWith(path, "util/metrics.cc");
+}
+
 bool IsHeader(const std::string& path) {
   return EndsWith(path, ".h") || EndsWith(path, ".hpp");
 }
@@ -303,6 +312,31 @@ void CheckNoIostream(const std::string& file, const TokenizedFile& tf,
   }
 }
 
+/// banned-adhoc-timing: util/timer.h (the raw monotonic-clock wrapper) used
+/// directly in library code. Timing belongs to the observability layer —
+/// TraceSpan for phases, ScopedLatencyTimer + Histogram for latencies — so
+/// that every duration lands in the registry instead of a printf or a local
+/// variable. Only the layer itself (util/{timer,trace,metrics}) is exempt.
+void CheckBannedAdhocTiming(const std::string& file, const TokenizedFile& tf,
+                            Findings* out) {
+  for (const Token& t : tf.tokens) {
+    if (t.kind == TokenKind::kPreprocessor &&
+        t.text.find("\"util/timer.h\"") != std::string::npos) {
+      out->push_back({file, t.line, "banned-adhoc-timing",
+                      "direct include of util/timer.h in library code; time "
+                      "phases with TraceSpan (util/trace.h) or latencies with "
+                      "ScopedLatencyTimer (util/metrics.h) so durations reach "
+                      "the metrics registry"});
+    }
+    if (t.kind == TokenKind::kIdentifier && t.text == "Timer") {
+      out->push_back({file, t.line, "banned-adhoc-timing",
+                      "ad-hoc 'Timer' use in library code; wrap the timed "
+                      "region in TraceSpan (util/trace.h) or "
+                      "ScopedLatencyTimer (util/metrics.h) instead"});
+    }
+  }
+}
+
 void CheckHeaderHygiene(const std::string& file, const TokenizedFile& tf,
                         Findings* out) {
   const Token* first_pp = nullptr;
@@ -347,6 +381,9 @@ const std::vector<CheckInfo>& RegisteredChecks() {
        "fopen/std::ofstream/std::fstream in src/ outside util/env.cc; writes "
        "must route through Env"},
       {"no-iostream-in-library", "std::cout/cerr/clog or <iostream> in src/"},
+      {"banned-adhoc-timing",
+       "util/timer.h or a raw Timer in src/ outside util/{timer,trace,"
+       "metrics}; use TraceSpan or ScopedLatencyTimer"},
       {"header-hygiene",
        "headers must open with a guard and must not 'using namespace'"},
       {"nolint-reason",
@@ -387,6 +424,8 @@ std::vector<Finding> Linter::Run(const LintOptions& options) const {
         CheckBannedNondeterminism(file.path, file.tokens, &raw);
       if (!EndsWith(file.path, "util/env.cc"))
         CheckBannedRawIo(file.path, file.tokens, &raw);
+      if (!IsTimingLayer(file.path))
+        CheckBannedAdhocTiming(file.path, file.tokens, &raw);
       CheckNoIostream(file.path, file.tokens, &raw);
     }
     if (IsHeader(file.path)) CheckHeaderHygiene(file.path, file.tokens, &raw);

@@ -10,6 +10,10 @@
 //   banned-raw-io             fopen/std::ofstream/std::fstream writes in src/
 //                             outside env.cc (writes must route through Env)
 //   no-iostream-in-library    std::cout/cerr/clog in src/
+//   banned-adhoc-timing       util/timer.h or a raw Timer in src/ outside
+//                             the observability layer (util/{timer,trace,
+//                             metrics}); time with TraceSpan or
+//                             ScopedLatencyTimer so durations are recorded
 //   header-hygiene            headers must open with an include guard or
 //                             #pragma once, and must not `using namespace`
 //   nolint-reason             a NOLINT(<check>) suppression without a reason
