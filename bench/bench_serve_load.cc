@@ -1,0 +1,214 @@
+// Serving-layer load benchmark: sustained mixed query traffic from N client
+// threads over real loopback sockets, with hot-swaps landing mid-run.
+//
+// The run is a correctness gate as well as a throughput probe: every query
+// must succeed (zero {"ok":false} responses, zero engine errors) across at
+// least three atomic snapshot swaps issued while traffic is in flight.
+// Latency percentiles come from the serving layer's own metrics registry
+// histograms (HistogramQuantile), throughput from the request counters —
+// the bench adds no instrumentation of its own beyond wall-clock QPS.
+//
+//   bench_serve_load [--clients=4] [--requests=2000] [--swaps=3]
+//                    [--nodes=2000] [--dim=32] [--knn-every=16]
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "serve/client.h"
+#include "serve/model_artifact.h"
+#include "serve/model_snapshot.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "util/env.h"
+#include "util/metrics.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace aneci::bench {
+namespace {
+
+using serve::EmbedServer;
+using serve::EmbedService;
+using serve::ModelArtifact;
+using serve::ModelSnapshot;
+using serve::ServeClient;
+
+/// Deterministic synthetic artifact; `generation` shifts every value so each
+/// swap target is distinguishable from the last.
+ModelArtifact MakeArtifact(int nodes, int dim, int generation) {
+  ModelArtifact artifact;
+  artifact.num_nodes = nodes;
+  artifact.embed_dim = dim;
+  artifact.num_classes = 5;
+  artifact.z = Matrix(nodes, dim);
+  artifact.p = Matrix(nodes, dim);
+  artifact.proba = Matrix(nodes, artifact.num_classes);
+  Rng rng(1234 + generation);
+  for (int i = 0; i < nodes; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      artifact.z(i, j) = rng.NextDouble() + generation;
+      artifact.p(i, j) = 1.0 / dim;
+    }
+    for (int c = 0; c < artifact.num_classes; ++c)
+      artifact.proba(i, c) = 1.0 / artifact.num_classes;
+  }
+  artifact.community.assign(nodes, 0);
+  artifact.anomaly.assign(nodes, 0.5);
+  return artifact;
+}
+
+struct ClientStats {
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+};
+
+/// One client thread: `requests` mixed queries over its own connection.
+/// Any response that is not {"ok":true,...} counts as failed.
+ClientStats RunClient(int port, int nodes, int requests, int knn_every,
+                      uint64_t seed, std::atomic<uint64_t>* progress) {
+  ClientStats stats;
+  StatusOr<ServeClient> client = ServeClient::Connect(port);
+  ANECI_CHECK(client.ok());
+  Rng rng(seed);
+  const char* point_ops[] = {"lookup", "classify", "anomaly", "community"};
+  for (int i = 0; i < requests; ++i) {
+    std::string body;
+    if (knn_every > 0 && i % knn_every == 0) {
+      body = "{\"op\":\"knn\",\"id\":" +
+             std::to_string(rng.NextU64() % nodes) + ",\"k\":10}";
+    } else {
+      body = std::string("{\"op\":\"") + point_ops[rng.NextU64() % 4] +
+             "\",\"id\":" + std::to_string(rng.NextU64() % nodes) + "}";
+    }
+    StatusOr<std::string> reply = client.value().Call(body);
+    if (reply.ok() && reply.value().rfind("{\"ok\":true", 0) == 0) {
+      ++stats.ok;
+    } else {
+      ++stats.failed;
+      std::fprintf(stderr, "FAILED %s -> %s\n", body.c_str(),
+                   reply.ok() ? reply.value().c_str()
+                              : reply.status().ToString().c_str());
+    }
+    progress->fetch_add(1, std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int clients = flags.GetInt("clients", 4);
+  const int requests = flags.GetInt("requests", 2000);
+  const int swaps = flags.GetInt("swaps", 3);
+  const int nodes = flags.GetInt("nodes", 2000);
+  const int dim = flags.GetInt("dim", 32);
+  const int knn_every = flags.GetInt("knn-every", 16);
+  std::printf(
+      "serve load: %d clients x %d requests, %d nodes, dim %d, "
+      ">=%d mid-run hot-swaps\n",
+      clients, requests, nodes, dim, swaps);
+
+  // Artifact generation 0 serves first; generations 1..swaps are the swap
+  // targets, written up front so the swap path only measures load+publish.
+  const std::string dir = "/tmp/aneci_bench_serve_load";
+  ANECI_CHECK(Env::Default()->CreateDir(dir).ok());
+  std::vector<std::string> artifact_paths;
+  for (int g = 0; g <= swaps; ++g) {
+    std::string path = dir + "/model_g" + std::to_string(g) + ".ansv";
+    ANECI_CHECK(SaveModelArtifact(MakeArtifact(nodes, dim, g), path).ok());
+    artifact_paths.push_back(std::move(path));
+  }
+  StatusOr<std::shared_ptr<const ModelSnapshot>> initial =
+      ModelSnapshot::Load(artifact_paths[0], /*version=*/1);
+  ANECI_CHECK(initial.ok());
+  EmbedService service(std::move(initial).value());
+  EmbedServer server(&service);
+  ANECI_CHECK(server.Start(0).ok());
+
+  // Swapper: issues swap `g` once overall progress passes g/(swaps+1) of the
+  // total, so the swaps land spread across the run, under full traffic.
+  const uint64_t total = static_cast<uint64_t>(clients) * requests;
+  std::atomic<uint64_t> progress{0};
+  std::thread swapper([&] {
+    StatusOr<ServeClient> control = ServeClient::Connect(server.port());
+    ANECI_CHECK(control.ok());
+    for (int g = 1; g <= swaps; ++g) {
+      const uint64_t threshold = total * g / (swaps + 1);
+      while (progress.load(std::memory_order_relaxed) < threshold)
+        std::this_thread::yield();
+      StatusOr<std::string> ack = control.value().Call(
+          "{\"op\":\"swap\",\"path\":\"" + artifact_paths[g] + "\"}");
+      ANECI_CHECK(ack.ok());
+      ANECI_CHECK(ack.value().rfind("{\"ok\":true", 0) == 0);
+      std::printf("  swap %d acked: %s\n", g, ack.value().c_str());
+    }
+  });
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  std::vector<ClientStats> stats(clients);
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      stats[c] = RunClient(server.port(), nodes, requests, knn_every,
+                           77 + c, &progress);
+    });
+  for (std::thread& t : threads) t.join();
+  swapper.join();
+  const double seconds = wall.Seconds();
+  server.Stop();
+
+  uint64_t ok = 0, failed = 0;
+  for (const ClientStats& s : stats) {
+    ok += s.ok;
+    failed += s.failed;
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Table table({"op", "count", "p50_ms", "p99_ms", "max_ms"});
+  uint64_t served = 0;
+  for (const char* op :
+       {"lookup", "knn", "classify", "anomaly", "community", "stats"}) {
+    Histogram* latency = registry.GetHistogram(
+        std::string("serve/latency_ms/") + op, {}, MetricClass::kScheduling);
+    if (latency->Count() == 0) continue;
+    served += latency->Count();
+    table.AddRow()
+        .Add(op)
+        .Add(std::to_string(latency->Count()))
+        .AddF(HistogramQuantile(*latency, 0.5))
+        .AddF(HistogramQuantile(*latency, 0.99))
+        .AddF(latency->Max());
+  }
+  table.Print("serve latency (registry histograms)");
+
+  const uint64_t engine_errors =
+      registry.GetCounter("serve/errors", MetricClass::kDeterministic)->Value();
+  const uint64_t published =
+      registry.GetCounter("serve/swaps", MetricClass::kDeterministic)->Value();
+  std::printf(
+      "\n%llu queries in %.2fs (%.0f QPS), %llu failed, %llu engine errors, "
+      "%llu hot-swaps, final snapshot v%.0f\n",
+      static_cast<unsigned long long>(ok + failed), seconds,
+      (ok + failed) / seconds, static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(engine_errors),
+      static_cast<unsigned long long>(published),
+      registry.GetGauge("serve/snapshot_version", MetricClass::kDeterministic)
+          ->Value());
+
+  // The gate: sustained traffic across >=3 hot-swaps with zero failures.
+  ANECI_CHECK(served == total);
+  ANECI_CHECK(failed == 0);
+  ANECI_CHECK(engine_errors == 0);
+  ANECI_CHECK(published >= static_cast<uint64_t>(swaps));
+  std::printf("PASS: zero failed queries across %llu hot-swaps\n",
+              static_cast<unsigned long long>(published));
+  return 0;
+}
+
+}  // namespace
+}  // namespace aneci::bench
+
+int main(int argc, char** argv) { return aneci::bench::Run(argc, argv); }

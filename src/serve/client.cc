@@ -1,0 +1,43 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace aneci::serve {
+namespace {
+
+constexpr size_t kReadChunkBytes = 64 * 1024;
+
+}  // namespace
+
+StatusOr<ServeClient> ServeClient::Connect(int port) {
+  ANECI_ASSIGN_OR_RETURN(SocketFd socket, ConnectToLoopback(port));
+  return ServeClient(std::move(socket));
+}
+
+StatusOr<std::string> ServeClient::Call(std::string_view request_body) {
+  ANECI_RETURN_IF_ERROR(SendRaw(EncodeFrame(request_body)));
+  return ReadFrame();
+}
+
+Status ServeClient::SendRaw(std::string_view bytes) {
+  return SocketWriteAll(socket_, bytes);
+}
+
+StatusOr<std::string> ServeClient::ReadFrame() {
+  std::string body;
+  while (true) {
+    if (decoder_.Next(&body)) return body;
+    if (decoder_.framing_error())
+      return Status::IoError("response framing error: " +
+                             decoder_.framing_error_message());
+    ANECI_ASSIGN_OR_RETURN(const std::string chunk,
+                           SocketRead(socket_, kReadChunkBytes));
+    if (chunk.empty())
+      return Status::IoError("connection closed before a full response");
+    decoder_.Feed(chunk);
+  }
+}
+
+Status ServeClient::FinishRequests() { return ShutdownWrite(socket_); }
+
+}  // namespace aneci::serve

@@ -1,0 +1,48 @@
+// Minimal blocking client for the embed-server wire protocol, used by the
+// e2e tests, the load bench, and the CLI's `serve --probe` self-check. One
+// Call() is one request frame followed by one response frame.
+#ifndef ANECI_SERVE_CLIENT_H_
+#define ANECI_SERVE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "serve/socket_io.h"
+#include "serve/wire.h"
+#include "util/status.h"
+
+namespace aneci::serve {
+
+class ServeClient {
+ public:
+  /// Connects to 127.0.0.1:`port`.
+  static StatusOr<ServeClient> Connect(int port);
+
+  ServeClient(ServeClient&&) = default;
+  ServeClient& operator=(ServeClient&&) = default;
+
+  /// Sends one JSON request body and returns the raw JSON response body.
+  /// An {"ok":false,...} body is still a successful Call(); only transport
+  /// failures (connection reset, truncated response) are errors.
+  StatusOr<std::string> Call(std::string_view request_body);
+
+  /// Sends raw bytes verbatim — no framing. The protocol fuzz tests use
+  /// this to deliver malformed frames.
+  Status SendRaw(std::string_view bytes);
+
+  /// Reads one complete response frame (after SendRaw pipelining).
+  StatusOr<std::string> ReadFrame();
+
+  /// Half-closes the write side, signalling end of requests.
+  Status FinishRequests();
+
+ private:
+  explicit ServeClient(SocketFd socket) : socket_(std::move(socket)) {}
+
+  SocketFd socket_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace aneci::serve
+
+#endif  // ANECI_SERVE_CLIENT_H_

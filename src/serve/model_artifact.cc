@@ -1,0 +1,198 @@
+#include "serve/model_artifact.h"
+
+#include <utility>
+
+#include "anomaly/anomaly_score.h"
+#include "tasks/logistic_regression.h"
+#include "util/byteio.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+
+namespace aneci::serve {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'N', 'S', 'V'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
+
+void PutMatrix(std::string* out, const Matrix& m) {
+  PutScalarLe<int32_t>(out, m.rows());
+  PutScalarLe<int32_t>(out, m.cols());
+  const double* data = m.data();
+  for (int64_t i = 0; i < m.size(); ++i) PutDoubleLe(out, data[i]);
+}
+
+Status GetMatrix(ByteReader* reader, const std::string& origin,
+                 const char* name, int32_t want_rows, int32_t want_cols,
+                 Matrix* m) {
+  int32_t rows = 0, cols = 0;
+  ANECI_RETURN_IF_ERROR(reader->Get(&rows));
+  ANECI_RETURN_IF_ERROR(reader->Get(&cols));
+  if (rows != want_rows || cols != want_cols)
+    return Status::InvalidArgument(
+        "model artifact tensor '" + std::string(name) + "' is " +
+        std::to_string(rows) + "x" + std::to_string(cols) +
+        ", header declares " + std::to_string(want_rows) + "x" +
+        std::to_string(want_cols) + ": " + origin);
+  if (static_cast<uint64_t>(rows) * cols * sizeof(double) > reader->remaining())
+    return Status::InvalidArgument("model artifact payload truncated: " +
+                                   origin);
+  *m = Matrix(rows, cols);
+  double* data = m->data();
+  for (int64_t i = 0; i < m->size(); ++i)
+    ANECI_RETURN_IF_ERROR(reader->GetDouble(&data[i]));
+  return Status::OK();
+}
+
+}  // namespace
+
+ModelArtifact BuildModelArtifact(const Graph& graph, const Matrix& z,
+                                 const Matrix& p, uint64_t head_seed) {
+  ModelArtifact artifact;
+  artifact.num_nodes = z.rows();
+  artifact.embed_dim = z.cols();
+  artifact.z = z;
+  artifact.p = p;
+
+  artifact.community.resize(p.rows());
+  for (int i = 0; i < p.rows(); ++i) {
+    int best = 0;
+    for (int c = 1; c < p.cols(); ++c)
+      if (p(i, c) > p(i, best)) best = c;  // Strict '>' keeps the lowest tie.
+    artifact.community[i] = best;
+  }
+  artifact.anomaly = MembershipEntropyScores(p);
+
+  if (graph.has_labels()) {
+    artifact.num_classes = graph.num_classes();
+    Rng rng(head_seed);
+    LogisticRegression head;
+    head.Fit(z, graph.labels(), artifact.num_classes, rng);
+    artifact.proba = head.PredictProba(z);
+  }
+  return artifact;
+}
+
+std::string SerializeModelArtifact(const ModelArtifact& artifact) {
+  std::string payload;
+  PutScalarLe<uint32_t>(&payload, static_cast<uint32_t>(artifact.num_nodes));
+  PutScalarLe<uint32_t>(&payload, static_cast<uint32_t>(artifact.embed_dim));
+  PutScalarLe<uint32_t>(&payload, static_cast<uint32_t>(artifact.num_classes));
+  PutMatrix(&payload, artifact.z);
+  PutMatrix(&payload, artifact.p);
+  PutMatrix(&payload, artifact.proba);
+  for (int32_t c : artifact.community) PutScalarLe<int32_t>(&payload, c);
+  for (double a : artifact.anomaly) PutDoubleLe(&payload, a);
+
+  std::string file;
+  file.reserve(kHeaderSize + payload.size());
+  file.append(kMagic, sizeof(kMagic));
+  PutScalarLe<uint32_t>(&file, kVersion);
+  PutScalarLe<uint64_t>(&file, static_cast<uint64_t>(payload.size()));
+  PutScalarLe<uint32_t>(&file, Crc32(payload.data(), payload.size()));
+  file += payload;
+  return file;
+}
+
+StatusOr<ModelArtifact> ParseModelArtifact(std::string_view bytes,
+                                           const std::string& origin) {
+  if (bytes.size() < kHeaderSize)
+    return Status::InvalidArgument("model artifact too short for header: " +
+                                   origin);
+  if (bytes.compare(0, sizeof(kMagic),
+                    std::string_view(kMagic, sizeof(kMagic))) != 0)
+    return Status::InvalidArgument("not a model artifact (bad magic): " +
+                                   origin);
+
+  ByteReader header(bytes.substr(4, kHeaderSize - 4), "model artifact header",
+                    origin);
+  uint32_t version = 0, crc = 0;
+  uint64_t payload_size = 0;
+  ANECI_RETURN_IF_ERROR(header.Get(&version));
+  ANECI_RETURN_IF_ERROR(header.Get(&payload_size));
+  ANECI_RETURN_IF_ERROR(header.Get(&crc));
+  if (version != kVersion)
+    return Status::InvalidArgument(
+        "unsupported model artifact version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kVersion) + "): " +
+        origin);
+  if (bytes.size() - kHeaderSize != payload_size)
+    return Status::InvalidArgument(
+        "model artifact truncated: header declares " +
+        std::to_string(payload_size) + " payload bytes, file has " +
+        std::to_string(bytes.size() - kHeaderSize) + ": " + origin);
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  if (Crc32(payload.data(), payload.size()) != crc)
+    return Status::InvalidArgument("model artifact CRC mismatch (corrupt): " +
+                                   origin);
+
+  ModelArtifact artifact;
+  ByteReader reader(payload, "model artifact payload", origin);
+  uint32_t num_nodes = 0, embed_dim = 0, num_classes = 0;
+  ANECI_RETURN_IF_ERROR(reader.Get(&num_nodes));
+  ANECI_RETURN_IF_ERROR(reader.Get(&embed_dim));
+  ANECI_RETURN_IF_ERROR(reader.Get(&num_classes));
+  // Bound the counts before any allocation is sized from them: a corrupt
+  // header that slipped past the CRC must not drive a multi-GB resize.
+  constexpr uint32_t kMaxNodes = 1u << 28;
+  constexpr uint32_t kMaxDim = 1u << 16;
+  if (num_nodes == 0 || num_nodes > kMaxNodes)
+    return Status::InvalidArgument("model artifact node count " +
+                                   std::to_string(num_nodes) +
+                                   " out of range: " + origin);
+  if (embed_dim == 0 || embed_dim > kMaxDim)
+    return Status::InvalidArgument("model artifact embed dim " +
+                                   std::to_string(embed_dim) +
+                                   " out of range: " + origin);
+  if (num_classes > kMaxDim)
+    return Status::InvalidArgument("model artifact class count " +
+                                   std::to_string(num_classes) +
+                                   " out of range: " + origin);
+  artifact.num_nodes = static_cast<int32_t>(num_nodes);
+  artifact.embed_dim = static_cast<int32_t>(embed_dim);
+  artifact.num_classes = static_cast<int32_t>(num_classes);
+
+  ANECI_RETURN_IF_ERROR(GetMatrix(&reader, origin, "z", artifact.num_nodes,
+                                  artifact.embed_dim, &artifact.z));
+  ANECI_RETURN_IF_ERROR(GetMatrix(&reader, origin, "p", artifact.num_nodes,
+                                  artifact.embed_dim, &artifact.p));
+  ANECI_RETURN_IF_ERROR(GetMatrix(
+      &reader, origin, "proba", artifact.num_classes == 0 ? 0 : artifact.num_nodes,
+      artifact.num_classes, &artifact.proba));
+  artifact.community.resize(num_nodes);
+  for (int32_t& c : artifact.community) {
+    ANECI_RETURN_IF_ERROR(reader.Get(&c));
+    if (c < 0 || c >= artifact.embed_dim)
+      return Status::InvalidArgument(
+          "model artifact community id " + std::to_string(c) +
+          " outside [0, " + std::to_string(artifact.embed_dim) + "): " +
+          origin);
+  }
+  artifact.anomaly.resize(num_nodes);
+  for (double& a : artifact.anomaly)
+    ANECI_RETURN_IF_ERROR(reader.GetDouble(&a));
+  if (!reader.exhausted())
+    return Status::InvalidArgument("model artifact has trailing bytes: " +
+                                   origin);
+  return artifact;
+}
+
+Status SaveModelArtifact(const ModelArtifact& artifact,
+                         const std::string& path, Env* env) {
+  if (!env) env = Env::Default();
+  static Counter* saves = MetricsRegistry::Global().GetCounter(
+      "serve/artifact/saves", MetricClass::kDeterministic);
+  saves->Increment();
+  return env->WriteFileAtomic(path, SerializeModelArtifact(artifact));
+}
+
+StatusOr<ModelArtifact> LoadModelArtifact(const std::string& path, Env* env) {
+  if (!env) env = Env::Default();
+  static Counter* loads = MetricsRegistry::Global().GetCounter(
+      "serve/artifact/loads", MetricClass::kDeterministic);
+  loads->Increment();
+  ANECI_ASSIGN_OR_RETURN(const std::string bytes, env->ReadFile(path));
+  return ParseModelArtifact(bytes, path);
+}
+
+}  // namespace aneci::serve

@@ -1,0 +1,12 @@
+#include "serve/model_snapshot.h"
+
+namespace aneci::serve {
+
+StatusOr<std::shared_ptr<const ModelSnapshot>> ModelSnapshot::Load(
+    const std::string& path, uint64_t version, Env* env) {
+  ANECI_ASSIGN_OR_RETURN(ModelArtifact artifact, LoadModelArtifact(path, env));
+  return std::shared_ptr<const ModelSnapshot>(
+      new ModelSnapshot(std::move(artifact), version, path));
+}
+
+}  // namespace aneci::serve

@@ -1,0 +1,58 @@
+// An immutable, shared-ownership view of one loaded serving artifact.
+//
+// Snapshot lifecycle (docs/serving.md §3): a ModelSnapshot is constructed
+// once — from a file or an in-memory artifact — stamped with a monotonically
+// increasing version, and never mutated afterwards. Readers obtain it
+// through a shared_ptr<const ModelSnapshot>; the hot-swap path publishes a
+// new snapshot with a single pointer exchange (see QueryEngine), so an
+// in-flight query keeps the snapshot it pinned alive until its last
+// reference drops, and no reader ever observes a half-swapped model.
+#ifndef ANECI_SERVE_MODEL_SNAPSHOT_H_
+#define ANECI_SERVE_MODEL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "serve/model_artifact.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace aneci::serve {
+
+class ModelSnapshot {
+ public:
+  ModelSnapshot(ModelArtifact artifact, uint64_t version, std::string source)
+      : artifact_(std::move(artifact)),
+        version_(version),
+        source_(std::move(source)) {}
+
+  /// Loads and validates `path`, wrapping it as snapshot `version`.
+  static StatusOr<std::shared_ptr<const ModelSnapshot>> Load(
+      const std::string& path, uint64_t version, Env* env = nullptr);
+
+  uint64_t version() const { return version_; }
+  /// The path (or label) the snapshot was built from, echoed by stats/swap.
+  const std::string& source() const { return source_; }
+
+  int num_nodes() const { return artifact_.num_nodes; }
+  int embed_dim() const { return artifact_.embed_dim; }
+  int num_classes() const { return artifact_.num_classes; }
+  bool has_label_head() const { return artifact_.num_classes > 0; }
+
+  const Matrix& z() const { return artifact_.z; }
+  const Matrix& p() const { return artifact_.p; }
+  const Matrix& proba() const { return artifact_.proba; }
+  const std::vector<int32_t>& community() const { return artifact_.community; }
+  const std::vector<double>& anomaly() const { return artifact_.anomaly; }
+
+ private:
+  const ModelArtifact artifact_;
+  const uint64_t version_;
+  const std::string source_;
+};
+
+}  // namespace aneci::serve
+
+#endif  // ANECI_SERVE_MODEL_SNAPSHOT_H_

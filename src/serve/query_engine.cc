@@ -1,0 +1,230 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "linalg/matrix.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace aneci::serve {
+namespace {
+
+// Serving latencies are sub-millisecond for lookups and a few ms for k-NN
+// scans on large snapshots; the bounds cover 10µs .. 1s.
+std::vector<double> LatencyBoundsMs() {
+  return {0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000};
+}
+
+Histogram* LatencyHistogram(QueryOp op) {
+  static Histogram* histograms[] = {
+      MetricsRegistry::Global().GetHistogram(
+          "serve/latency_ms/lookup", LatencyBoundsMs(),
+          MetricClass::kScheduling),
+      MetricsRegistry::Global().GetHistogram(
+          "serve/latency_ms/knn", LatencyBoundsMs(), MetricClass::kScheduling),
+      MetricsRegistry::Global().GetHistogram(
+          "serve/latency_ms/classify", LatencyBoundsMs(),
+          MetricClass::kScheduling),
+      MetricsRegistry::Global().GetHistogram(
+          "serve/latency_ms/anomaly", LatencyBoundsMs(),
+          MetricClass::kScheduling),
+      MetricsRegistry::Global().GetHistogram(
+          "serve/latency_ms/community", LatencyBoundsMs(),
+          MetricClass::kScheduling),
+      MetricsRegistry::Global().GetHistogram(
+          "serve/latency_ms/stats", LatencyBoundsMs(),
+          MetricClass::kScheduling),
+  };
+  return histograms[static_cast<int>(op)];
+}
+
+Counter* RequestCounter(QueryOp op) {
+  static Counter* counters[] = {
+      MetricsRegistry::Global().GetCounter("serve/requests/lookup",
+                                           MetricClass::kDeterministic),
+      MetricsRegistry::Global().GetCounter("serve/requests/knn",
+                                           MetricClass::kDeterministic),
+      MetricsRegistry::Global().GetCounter("serve/requests/classify",
+                                           MetricClass::kDeterministic),
+      MetricsRegistry::Global().GetCounter("serve/requests/anomaly",
+                                           MetricClass::kDeterministic),
+      MetricsRegistry::Global().GetCounter("serve/requests/community",
+                                           MetricClass::kDeterministic),
+      MetricsRegistry::Global().GetCounter("serve/requests/stats",
+                                           MetricClass::kDeterministic),
+  };
+  return counters[static_cast<int>(op)];
+}
+
+}  // namespace
+
+const char* QueryOpName(QueryOp op) {
+  switch (op) {
+    case QueryOp::kLookup: return "lookup";
+    case QueryOp::kKnn: return "knn";
+    case QueryOp::kClassify: return "classify";
+    case QueryOp::kAnomaly: return "anomaly";
+    case QueryOp::kCommunity: return "community";
+    case QueryOp::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const ModelSnapshot> initial)
+    : snapshot_(std::move(initial)) {
+  static Gauge* version = MetricsRegistry::Global().GetGauge(
+      "serve/snapshot_version", MetricClass::kDeterministic);
+  version->Set(snapshot_ ? static_cast<double>(snapshot_->version()) : 0.0);
+}
+
+std::shared_ptr<const ModelSnapshot> QueryEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::shared_ptr<const ModelSnapshot> QueryEngine::Swap(
+    std::shared_ptr<const ModelSnapshot> next) {
+  static Counter* swaps = MetricsRegistry::Global().GetCounter(
+      "serve/swaps", MetricClass::kDeterministic);
+  static Gauge* version = MetricsRegistry::Global().GetGauge(
+      "serve/snapshot_version", MetricClass::kDeterministic);
+  const double new_version =
+      next ? static_cast<double>(next->version()) : 0.0;
+  std::shared_ptr<const ModelSnapshot> displaced;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    displaced = std::exchange(snapshot_, std::move(next));
+  }
+  swaps->Increment();
+  version->Set(new_version);
+  return displaced;
+}
+
+QueryResult QueryEngine::Execute(const QueryRequest& request) const {
+  RequestCounter(request.op)->Increment();
+  ScopedLatencyTimer latency(LatencyHistogram(request.op));
+  auto pinned = snapshot();
+  QueryResult result;
+  if (!pinned) {
+    static Counter* errors = MetricsRegistry::Global().GetCounter(
+        "serve/errors", MetricClass::kDeterministic);
+    errors->Increment();
+    result.status = Status::FailedPrecondition("no snapshot loaded");
+    return result;
+  }
+  result = ExecuteOn(*pinned, request);
+  if (!result.ok()) {
+    static Counter* errors = MetricsRegistry::Global().GetCounter(
+        "serve/errors", MetricClass::kDeterministic);
+    errors->Increment();
+  }
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::ExecuteBatch(
+    const std::vector<QueryRequest>& requests) const {
+  std::vector<QueryResult> results(requests.size());
+  ParallelFor(0, static_cast<int64_t>(requests.size()), 1,
+              [&](int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i)
+                  results[i] = Execute(requests[i]);
+              });
+  return results;
+}
+
+QueryResult QueryEngine::ExecuteOn(const ModelSnapshot& snapshot,
+                                   const QueryRequest& request) const {
+  QueryResult result;
+  QueryResponse& out = result.response;
+  out.snapshot_version = snapshot.version();
+  out.op = request.op;
+  out.id = request.id;
+
+  if (request.op == QueryOp::kStats) {
+    out.num_nodes = snapshot.num_nodes();
+    out.embed_dim = snapshot.embed_dim();
+    out.num_classes = snapshot.num_classes();
+    out.source = snapshot.source();
+    return result;
+  }
+
+  const int n = snapshot.num_nodes();
+  if (request.id < 0 || request.id >= n) {
+    result.status = Status::InvalidArgument(
+        "node id " + std::to_string(request.id) + " outside [0, " +
+        std::to_string(n) + ")");
+    return result;
+  }
+
+  const int dim = snapshot.embed_dim();
+  switch (request.op) {
+    case QueryOp::kLookup: {
+      const double* row = snapshot.z().RowPtr(request.id);
+      out.embedding.assign(row, row + dim);
+      return result;
+    }
+    case QueryOp::kKnn: {
+      if (n < 2) {
+        result.status = Status::FailedPrecondition(
+            "knn needs at least 2 nodes, snapshot has " + std::to_string(n));
+        return result;
+      }
+      const int k = std::clamp(request.k, 1, n - 1);
+      const double* query = snapshot.z().RowPtr(request.id);
+      // Score fill is embarrassingly parallel (disjoint writes); the top-k
+      // selection runs serially over the full score vector with ties broken
+      // by ascending id, so results are identical at every thread count.
+      std::vector<double> scores(n);
+      ParallelFor(0, n, 256, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i)
+          scores[i] = CosineSimilarity(query, snapshot.z().RowPtr(i), dim);
+      });
+      std::vector<int> order;
+      order.reserve(n - 1);
+      for (int i = 0; i < n; ++i)
+        if (i != request.id) order.push_back(i);
+      std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                        [&](int a, int b) {
+                          if (scores[a] != scores[b])
+                            return scores[a] > scores[b];
+                          return a < b;
+                        });
+      out.neighbors.reserve(k);
+      for (int i = 0; i < k; ++i)
+        out.neighbors.push_back({order[i], scores[order[i]]});
+      return result;
+    }
+    case QueryOp::kClassify: {
+      if (!snapshot.has_label_head()) {
+        result.status =
+            Status::FailedPrecondition("snapshot has no label head");
+        return result;
+      }
+      const int classes = snapshot.num_classes();
+      const double* row = snapshot.proba().RowPtr(request.id);
+      out.proba.assign(row, row + classes);
+      int best = 0;
+      for (int c = 1; c < classes; ++c)
+        if (out.proba[c] > out.proba[best]) best = c;
+      out.label = best;
+      return result;
+    }
+    case QueryOp::kAnomaly: {
+      out.anomaly_score = snapshot.anomaly()[request.id];
+      return result;
+    }
+    case QueryOp::kCommunity: {
+      out.community = snapshot.community()[request.id];
+      const double* row = snapshot.p().RowPtr(request.id);
+      out.membership.assign(row, row + dim);
+      return result;
+    }
+    case QueryOp::kStats:
+      break;  // handled above
+  }
+  result.status = Status::InvalidArgument("unhandled query op");
+  return result;
+}
+
+}  // namespace aneci::serve

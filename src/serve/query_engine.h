@@ -1,0 +1,123 @@
+// Online query execution over a hot-swappable ModelSnapshot.
+//
+// Concurrency contract (docs/serving.md §3):
+//  * Execute() pins the active snapshot ONCE (one shared_ptr copy under a
+//    brief mutex) and answers the whole query from that one pin — every
+//    field of a response is consistent with exactly one snapshot version,
+//    never a mix (the hot-swap concurrency test hammers this under TSan).
+//  * Swap() publishes a new snapshot with a single pointer exchange under
+//    the same mutex. Readers holding the old snapshot keep it alive through
+//    their shared_ptr; the old model is destroyed when its last in-flight
+//    query finishes. The critical section is a pointer copy either way —
+//    never a query, never an artifact load.
+//
+// The holder is a mutex-guarded shared_ptr rather than
+// std::atomic<std::shared_ptr>: libstdc++ 12's _Sp_atomic unlocks load()
+// with a relaxed fetch_sub, so the internal _M_ptr handoff to a subsequent
+// swap() has no happens-before edge — benign on x86 but a model-level data
+// race that ThreadSanitizer (correctly) reports. A futex-backed mutex
+// costs one uncontended CAS each way and is understood by every sanitizer.
+//  * ExecuteBatch() fans a pipelined batch across the process thread pool
+//    (grain 1, disjoint result slots). k-NN inside a batch runs serially per
+//    request (nested-parallelism fallback); a standalone k-NN parallelises
+//    its distance scan. Both orderings are bit-identical by the pool's
+//    determinism contract.
+#ifndef ANECI_SERVE_QUERY_ENGINE_H_
+#define ANECI_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/model_snapshot.h"
+#include "util/status.h"
+
+namespace aneci::serve {
+
+enum class QueryOp {
+  kLookup,     ///< Embedding row of one node.
+  kKnn,        ///< k nearest nodes by cosine similarity over Z.
+  kClassify,   ///< Label-head argmax class + probabilities.
+  kAnomaly,    ///< Membership-entropy anomaly score.
+  kCommunity,  ///< Hard community id + soft membership row.
+  kStats,      ///< Snapshot metadata (version, shape, source).
+};
+
+/// "lookup", "knn", ... — the wire `op` field and the metric-name suffix.
+const char* QueryOpName(QueryOp op);
+
+struct QueryRequest {
+  QueryOp op = QueryOp::kStats;
+  int id = -1;  ///< Node id; required by every op except stats.
+  int k = 10;   ///< k-NN fan-out; clamped to [1, num_nodes - 1].
+};
+
+struct Neighbor {
+  int id = 0;
+  double score = 0.0;  ///< Cosine similarity in [-1, 1].
+};
+
+/// One answered query. Only the fields of the echoed `op` are populated.
+struct QueryResponse {
+  uint64_t snapshot_version = 0;
+  QueryOp op = QueryOp::kStats;
+  int id = -1;
+
+  std::vector<double> embedding;    // lookup
+  std::vector<Neighbor> neighbors;  // knn
+  int label = -1;                   // classify
+  std::vector<double> proba;        // classify
+  double anomaly_score = 0.0;       // anomaly
+  int community = -1;               // community
+  std::vector<double> membership;   // community
+
+  // stats
+  int num_nodes = 0;
+  int embed_dim = 0;
+  int num_classes = 0;
+  std::string source;
+};
+
+/// Execute's result: `status` carries per-query failures (out-of-range id,
+/// classify without a label head) so batch slots stay value-typed.
+struct QueryResult {
+  Status status;
+  QueryResponse response;
+  bool ok() const { return status.ok(); }
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(std::shared_ptr<const ModelSnapshot> initial);
+
+  /// Pins the active snapshot (one shared_ptr copy under the mutex).
+  std::shared_ptr<const ModelSnapshot> snapshot() const;
+
+  /// Publishes `next` as the active snapshot; a single pointer exchange
+  /// under the mutex. Returns the snapshot that was displaced.
+  std::shared_ptr<const ModelSnapshot> Swap(
+      std::shared_ptr<const ModelSnapshot> next);
+
+  /// Answers one query from a single snapshot pin. Thread-safe; never
+  /// throws on bad input — malformed requests come back as a Status.
+  QueryResult Execute(const QueryRequest& request) const;
+
+  /// Answers a pipelined batch through the thread pool; slot i answers
+  /// request i. Requests may be served by different snapshot versions if a
+  /// swap lands mid-batch (each response reports the version it used).
+  std::vector<QueryResult> ExecuteBatch(
+      const std::vector<QueryRequest>& requests) const;
+
+ private:
+  QueryResult ExecuteOn(const ModelSnapshot& snapshot,
+                        const QueryRequest& request) const;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+};
+
+}  // namespace aneci::serve
+
+#endif  // ANECI_SERVE_QUERY_ENGINE_H_

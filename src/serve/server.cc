@@ -1,0 +1,122 @@
+#include "serve/server.h"
+
+#include <condition_variable>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace aneci::serve {
+namespace {
+
+constexpr size_t kReadChunkBytes = 64 * 1024;
+
+}  // namespace
+
+EmbedServer::~EmbedServer() { Stop(); }
+
+Status EmbedServer::Start(int port) {
+  ANECI_ASSIGN_OR_RETURN(listener_, ListenOnLoopback(port, &port_));
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void EmbedServer::Stop() {
+  if (stopping_.exchange(true)) {
+    // Second caller: just wait for the first Stop() to finish.
+    std::unique_lock<std::mutex> lock(mu_);
+    stopped_cv_.wait(lock, [this] { return stopped_; });
+    return;
+  }
+  // shutdown() — not close() — is what unblocks a thread parked in accept()
+  // on Linux (the accept fails with EINVAL); a plain close() would leave the
+  // acceptor blocked until the next client happened to connect.
+  (void)ShutdownBoth(listener_);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  std::vector<Connection> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  // Connection threads may be parked in recv() on clients that are still
+  // connected; shutting the sockets down (both directions) unblocks them,
+  // then the joins complete.
+  for (Connection& c : connections)
+    if (c.socket) (void)ShutdownBoth(*c.socket);
+  for (Connection& c : connections)
+    if (c.thread.joinable()) c.thread.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void EmbedServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stopped_cv_.wait(lock, [this] { return stopped_; });
+}
+
+void EmbedServer::AcceptLoop() {
+  static Counter* accepted = MetricsRegistry::Global().GetCounter(
+      "serve/connections", MetricClass::kDeterministic);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto conn = AcceptConnection(listener_);
+    if (!conn.ok()) {
+      // Listener closed (shutdown) or transient failure; both end the loop
+      // on shutdown, transient errors just drop that one connection.
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    accepted->Increment();
+    auto socket = std::make_shared<SocketFd>(std::move(conn).value());
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) return;  // refuse late arrivals
+    ReapFinishedConnectionsLocked();
+    Connection c;
+    c.socket = socket;
+    c.done = done;
+    c.thread = std::thread([this, socket, done] {
+      ConnectionLoop(socket);
+      // Terminate the connection so the peer sees EOF now; the fd itself is
+      // closed when the acceptor (or Stop) reaps this entry. shutdown() only
+      // reads the fd, so a concurrent ShutdownBoth from Stop() is safe.
+      (void)ShutdownBoth(*socket);
+      done->store(true, std::memory_order_release);
+    });
+    connections_.push_back(std::move(c));
+  }
+}
+
+void EmbedServer::ReapFinishedConnectionsLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      it->thread.join();  // already exited; join returns immediately
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void EmbedServer::ConnectionLoop(std::shared_ptr<SocketFd> connection) {
+  static Counter* dirty = MetricsRegistry::Global().GetCounter(
+      "serve/mid_frame_disconnects", MetricClass::kDeterministic);
+  ServeSession session(service_);
+  while (true) {
+    auto chunk = SocketRead(*connection, kReadChunkBytes);
+    if (!chunk.ok()) return;  // reset by peer etc.; nothing to flush
+    const bool eof = chunk.value().empty();
+    if (!eof) session.Consume(chunk.value());
+    const std::string out = session.TakeOutput();
+    if (!out.empty() && !SocketWriteAll(*connection, out).ok()) return;
+    if (session.closed()) return;  // framing violation: error frame sent
+    if (eof) {
+      if (session.mid_frame()) dirty->Increment();
+      return;
+    }
+  }
+}
+
+}  // namespace aneci::serve

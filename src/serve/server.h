@@ -1,0 +1,71 @@
+// EmbedServer: the socket pump around EmbedService. One acceptor thread
+// plus one thread per live connection, each running a ServeSession state
+// machine over blocking reads. All protocol and query logic lives in the
+// socket-free layers below (service.h / query_engine.h); this file only
+// moves bytes.
+#ifndef ANECI_SERVE_SERVER_H_
+#define ANECI_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "serve/socket_io.h"
+#include "util/status.h"
+
+namespace aneci::serve {
+
+class EmbedServer {
+ public:
+  /// Serves `service` (not owned; must outlive the server).
+  explicit EmbedServer(EmbedService* service) : service_(service) {}
+  ~EmbedServer();
+
+  EmbedServer(const EmbedServer&) = delete;
+  EmbedServer& operator=(const EmbedServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the acceptor thread.
+  Status Start(int port);
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+
+  /// Stops accepting, closes the listener, and joins every connection
+  /// thread. Safe to call twice; called by the destructor.
+  void Stop();
+
+  /// Blocks until Stop() is called from another thread (the CLI's serve
+  /// subcommand parks its main thread here).
+  void Wait();
+
+ private:
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<SocketFd> socket;  // shared with the thread, for Stop()
+    /// Set by the connection thread when its loop exits; the acceptor reaps
+    /// (joins and erases) done connections so fds don't accumulate.
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void AcceptLoop();
+  void ReapFinishedConnectionsLocked();
+  void ConnectionLoop(std::shared_ptr<SocketFd> connection);
+
+  EmbedService* const service_;
+  SocketFd listener_;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex mu_;  // guards connections_ and stopped_
+  std::vector<Connection> connections_;  // unwound and joined by Stop()
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace aneci::serve
+
+#endif  // ANECI_SERVE_SERVER_H_

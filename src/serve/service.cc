@@ -1,0 +1,103 @@
+#include "serve/service.h"
+
+#include <utility>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace aneci::serve {
+
+EmbedService::EmbedService(std::shared_ptr<const ModelSnapshot> initial,
+                           Env* env)
+    : engine_(initial), env_(env ? env : Env::Default()),
+      next_version_(initial ? initial->version() + 1 : 1) {}
+
+StatusOr<std::shared_ptr<const ModelSnapshot>> EmbedService::SwapFromFile(
+    const std::string& path) {
+  static Counter* failures = MetricsRegistry::Global().GetCounter(
+      "serve/swap_failures", MetricClass::kDeterministic);
+  // Load and validate BEFORE touching the active snapshot: a corrupt or
+  // missing artifact must leave the old model serving untouched.
+  auto loaded = ModelSnapshot::Load(
+      path, next_version_.fetch_add(1, std::memory_order_relaxed), env_);
+  if (!loaded.ok()) {
+    failures->Increment();
+    return loaded.status();
+  }
+  std::shared_ptr<const ModelSnapshot> snapshot = std::move(loaded).value();
+  engine_.Swap(snapshot);
+  return snapshot;
+}
+
+uint64_t EmbedService::next_version() const {
+  return next_version_.load(std::memory_order_relaxed);
+}
+
+void ServeSession::Consume(std::string_view bytes) {
+  if (closed_) return;
+  decoder_.Feed(bytes);
+  // Pipelined query frames that arrived together are executed as one batch
+  // through the thread pool; swap and error frames are ordering barriers,
+  // so every response still lands in request order.
+  std::vector<QueryRequest> batch;
+  std::string body;
+  while (decoder_.Next(&body)) {
+    auto parsed = ParseWireRequest(body);
+    if (!parsed.ok()) {
+      static Counter* bad_requests = MetricsRegistry::Global().GetCounter(
+          "serve/bad_requests", MetricClass::kDeterministic);
+      bad_requests->Increment();
+      FlushBatch(&batch);
+      output_ += EncodeFrame(RenderError(parsed.status()));
+      continue;
+    }
+    const WireRequest& request = parsed.value();
+    if (request.kind == WireRequest::Kind::kSwap) {
+      FlushBatch(&batch);  // Queries before the swap answer pre-swap.
+      auto swapped = service_->SwapFromFile(request.swap_path);
+      if (swapped.ok()) {
+        const auto& snapshot = *swapped.value();
+        output_ += EncodeFrame(
+            RenderSwapAck(snapshot.version(), snapshot.source()));
+      } else {
+        output_ += EncodeFrame(RenderError(swapped.status()));
+      }
+      continue;
+    }
+    batch.push_back(request.query);
+  }
+  FlushBatch(&batch);
+  if (decoder_.framing_error()) {
+    static Counter* violations = MetricsRegistry::Global().GetCounter(
+        "serve/framing_violations", MetricClass::kDeterministic);
+    violations->Increment();
+    output_ += EncodeFrame(RenderError(
+        Status::InvalidArgument(decoder_.framing_error_message())));
+    closed_ = true;
+  }
+}
+
+void ServeSession::FlushBatch(std::vector<QueryRequest>* batch) {
+  if (batch->empty()) return;
+  if (batch->size() == 1) {
+    const QueryResult result = service_->engine().Execute(batch->front());
+    output_ += EncodeFrame(result.ok() ? RenderResponse(result.response)
+                                       : RenderError(result.status));
+  } else {
+    static Counter* batched = MetricsRegistry::Global().GetCounter(
+        "serve/batched_queries", MetricClass::kDeterministic);
+    batched->Add(batch->size());
+    for (const QueryResult& result : service_->engine().ExecuteBatch(*batch))
+      output_ += EncodeFrame(result.ok() ? RenderResponse(result.response)
+                                         : RenderError(result.status));
+  }
+  batch->clear();
+}
+
+std::string ServeSession::TakeOutput() {
+  std::string out;
+  out.swap(output_);
+  return out;
+}
+
+}  // namespace aneci::serve

@@ -1,0 +1,86 @@
+// Socket-free serving core: EmbedService owns the QueryEngine and the swap
+// path; ServeSession is one connection's protocol state machine. Both are
+// byte-in / byte-out, so the protocol fuzz tests and the golden e2e test
+// exercise the exact production code paths without opening a socket — the
+// EmbedServer socket pump is a thin shell around them.
+#ifndef ANECI_SERVE_SERVICE_H_
+#define ANECI_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/query_engine.h"
+#include "serve/wire.h"
+#include "util/env.h"
+#include "util/status.h"
+
+namespace aneci::serve {
+
+/// The shared serving state: one QueryEngine plus the artifact-loading swap
+/// path. Thread-safe; one instance is shared by every connection.
+class EmbedService {
+ public:
+  /// Starts serving `initial` as snapshot version `initial->version()`.
+  explicit EmbedService(std::shared_ptr<const ModelSnapshot> initial,
+                        Env* env = nullptr);
+
+  /// Loads the artifact at `path`, stamps it with the next version number,
+  /// and atomically publishes it. In-flight queries keep the old snapshot.
+  StatusOr<std::shared_ptr<const ModelSnapshot>> SwapFromFile(
+      const std::string& path);
+
+  QueryEngine& engine() { return engine_; }
+  const QueryEngine& engine() const { return engine_; }
+
+  /// The version the next successful swap will publish.
+  uint64_t next_version() const;
+
+ private:
+  QueryEngine engine_;
+  Env* const env_;
+  std::atomic<uint64_t> next_version_;
+};
+
+/// One connection's protocol state machine. Feed raw bytes in, read
+/// response bytes out. Framing violations (zero/oversized length prefix)
+/// latch the session closed; per-request errors (bad JSON, unknown op,
+/// out-of-range id, failed swap) produce an error frame and keep going.
+class ServeSession {
+ public:
+  explicit ServeSession(EmbedService* service) : service_(service) {}
+
+  /// Consumes a chunk of request bytes, appending any complete responses
+  /// (length-prefixed frames, in request order) to the output buffer.
+  /// Pipelined query frames that arrive in one chunk are executed as a
+  /// single QueryEngine::ExecuteBatch through the thread pool; swap frames
+  /// are ordering barriers (queries before a swap answer pre-swap, queries
+  /// after it answer post-swap).
+  void Consume(std::string_view bytes);
+
+  /// Response bytes ready to write; clears the internal buffer.
+  std::string TakeOutput();
+
+  /// True once the session hit a framing violation; the transport should
+  /// flush TakeOutput() (it ends with an error frame) and close.
+  bool closed() const { return closed_; }
+
+  /// True if the peer disconnected mid-frame (partial bytes pending).
+  /// Informational — used by the server to count dirty disconnects.
+  bool mid_frame() const { return decoder_.pending_bytes() > 0; }
+
+ private:
+  void FlushBatch(std::vector<QueryRequest>* batch);
+
+  EmbedService* const service_;
+  FrameDecoder decoder_;
+  std::string output_;
+  bool closed_ = false;
+};
+
+}  // namespace aneci::serve
+
+#endif  // ANECI_SERVE_SERVICE_H_

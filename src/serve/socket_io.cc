@@ -1,0 +1,136 @@
+#include "serve/socket_io.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace aneci::serve {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void SocketFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<SocketFd> ListenOnLoopback(int port, int* bound_port) {
+  if (port < 0 || port > 65535)
+    return Status::InvalidArgument("port " + std::to_string(port) +
+                                   " outside [0, 65535]");
+  SocketFd sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0)
+    return Errno("setsockopt(SO_REUSEADDR)");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0)
+    return Errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(sock.fd(), 128) < 0) return Errno("listen");
+
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) <
+        0)
+      return Errno("getsockname");
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+StatusOr<SocketFd> AcceptConnection(const SocketFd& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      SocketFd conn(fd);
+      const int one = 1;
+      // Nagle off: frames are small and latency-sensitive.
+      (void)::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+StatusOr<SocketFd> ConnectToLoopback(int port) {
+  if (port <= 0 || port > 65535)
+    return Status::InvalidArgument("port " + std::to_string(port) +
+                                   " outside (0, 65535]");
+  SocketFd sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  while (true) {
+    if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      const int one = 1;
+      (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+      return sock;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+}
+
+StatusOr<std::string> SocketRead(const SocketFd& socket, size_t capacity) {
+  std::string buffer(capacity, '\0');
+  while (true) {
+    const ssize_t n = ::recv(socket.fd(), buffer.data(), buffer.size(), 0);
+    if (n >= 0) {
+      buffer.resize(static_cast<size_t>(n));
+      return buffer;
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Status SocketWriteAll(const SocketFd& socket, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as a
+    // Status, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(socket.fd(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Status ShutdownWrite(const SocketFd& socket) {
+  if (::shutdown(socket.fd(), SHUT_WR) < 0) return Errno("shutdown");
+  return Status::OK();
+}
+
+Status ShutdownBoth(const SocketFd& socket) {
+  if (::shutdown(socket.fd(), SHUT_RDWR) < 0) return Errno("shutdown");
+  return Status::OK();
+}
+
+}  // namespace aneci::serve

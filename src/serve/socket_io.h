@@ -1,0 +1,78 @@
+// The audited raw-I/O shim for the serving layer. This is the ONLY file in
+// src/ allowed to touch socket system calls — aneci_lint's banned-raw-io
+// check flags socket/bind/listen/accept/connect/recv/send/... anywhere else
+// under src/, the same way file I/O is confined to util/env.cc. Everything
+// here returns Status; no errno leaks past this boundary.
+//
+// Scope is deliberately loopback-only: the embed server binds 127.0.0.1 and
+// is meant to sit behind a real RPC front end in production (docs/serving.md
+// §5 covers the trust model).
+#ifndef ANECI_SERVE_SOCKET_IO_H_
+#define ANECI_SERVE_SOCKET_IO_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace aneci::serve {
+
+/// Owning socket file descriptor. Move-only; closes on destruction.
+class SocketFd {
+ public:
+  SocketFd() = default;
+  explicit SocketFd(int fd) : fd_(fd) {}
+  ~SocketFd() { Close(); }
+
+  SocketFd(SocketFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  SocketFd& operator=(SocketFd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  SocketFd(const SocketFd&) = delete;
+  SocketFd& operator=(const SocketFd&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 = kernel-assigned ephemeral
+/// port). On success `*bound_port` holds the actual port.
+StatusOr<SocketFd> ListenOnLoopback(int port, int* bound_port);
+
+/// Blocks until a client connects. Returns IoError if the listener was
+/// closed (the server's shutdown path) or the accept fails.
+StatusOr<SocketFd> AcceptConnection(const SocketFd& listener);
+
+/// Connects to 127.0.0.1:`port`.
+StatusOr<SocketFd> ConnectToLoopback(int port);
+
+/// Reads up to `capacity` bytes. Returns the bytes read; an empty string
+/// means orderly EOF (peer closed). Retries EINTR internally.
+StatusOr<std::string> SocketRead(const SocketFd& socket, size_t capacity);
+
+/// Writes all of `bytes`, looping over short writes. Retries EINTR.
+Status SocketWriteAll(const SocketFd& socket, std::string_view bytes);
+
+/// Half-closes the write side (client signals "no more requests" while
+/// still draining responses).
+Status ShutdownWrite(const SocketFd& socket);
+
+/// Shuts down both directions, unblocking any thread parked in recv() on
+/// the socket (the server's Stop() path uses this to unwind connection
+/// threads whose clients are still connected).
+Status ShutdownBoth(const SocketFd& socket);
+
+}  // namespace aneci::serve
+
+#endif  // ANECI_SERVE_SOCKET_IO_H_

@@ -1,0 +1,355 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/byteio.h"
+#include "util/metrics.h"
+
+namespace aneci::serve {
+
+std::string EncodeFrame(std::string_view body) {
+  std::string frame;
+  frame.reserve(4 + body.size());
+  PutScalarLe<uint32_t>(&frame, static_cast<uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (framing_error_) return;
+  // Compact lazily: drop consumed bytes once they dominate the buffer so a
+  // long-lived connection doesn't grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+bool FrameDecoder::Next(std::string* body) {
+  if (framing_error_) return false;
+  if (buffer_.size() - consumed_ < 4) return false;
+  uint32_t length = 0;
+  for (size_t i = 0; i < 4; ++i)
+    length |= static_cast<uint32_t>(
+                  static_cast<uint8_t>(buffer_[consumed_ + i]))
+              << (8 * i);
+  if (length == 0 || length > kMaxFrameBytes) {
+    framing_error_ = true;
+    error_message_ = "frame length " + std::to_string(length) +
+                     " outside [1, " + std::to_string(kMaxFrameBytes) + "]";
+    return false;
+  }
+  if (buffer_.size() - consumed_ - 4 < length) return false;
+  body->assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + length;
+  return true;
+}
+
+namespace {
+
+/// Recursive-descent parser for one flat JSON object. Tracks position for
+/// error messages; all failures are Status, never exceptions.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view body) : body_(body) {}
+
+  StatusOr<std::map<std::string, JsonValue>> Parse() {
+    std::map<std::string, JsonValue> object;
+    SkipSpace();
+    if (!Consume('{')) return Fail("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return Finish(std::move(object));
+    while (true) {
+      SkipSpace();
+      std::string key;
+      ANECI_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':' after key \"" + key + "\"");
+      SkipSpace();
+      JsonValue value;
+      ANECI_RETURN_IF_ERROR(ParseScalar(key, &value));
+      if (!object.emplace(key, std::move(value)).second)
+        return Fail("duplicate key \"" + key + "\"");
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Finish(std::move(object));
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  StatusOr<std::map<std::string, JsonValue>> Finish(
+      std::map<std::string, JsonValue> object) {
+    SkipSpace();
+    if (pos_ != body_.size()) return Fail("trailing bytes after object");
+    return object;
+  }
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("malformed JSON at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < body_.size() &&
+           (body_[pos_] == ' ' || body_[pos_] == '\t' || body_[pos_] == '\n' ||
+            body_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < body_.size() && body_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= body_.size()) return Fail("unterminated string");
+      const char c = body_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20)
+        return Fail("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= body_.size()) return Fail("dangling escape");
+      const char esc = body_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (body_.size() - pos_ < 4) return Fail("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = body_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return Fail("invalid \\u escape digit");
+          }
+          // Basic-multilingual-plane only; encode as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Fail(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  Status ParseScalar(const std::string& key, JsonValue* out) {
+    if (pos_ >= body_.size()) return Fail("missing value");
+    const char c = body_[pos_];
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string_value);
+    }
+    if (c == '{' || c == '[')
+      return Fail("nested values are not allowed (key \"" + key + "\")");
+    if (c == 't' || c == 'f' || c == 'n') {
+      static constexpr std::string_view kWords[] = {"true", "false", "null"};
+      for (std::string_view word : kWords) {
+        if (body_.substr(pos_, word.size()) == word) {
+          pos_ += word.size();
+          if (word == "null") {
+            out->kind = JsonValue::Kind::kNull;
+          } else {
+            out->kind = JsonValue::Kind::kBool;
+            out->bool_value = (word == "true");
+          }
+          return Status::OK();
+        }
+      }
+      return Fail("invalid literal");
+    }
+    // Number: delegate validation to strtod over the JSON-legal charset.
+    size_t end = pos_;
+    while (end < body_.size() &&
+           (std::isdigit(static_cast<unsigned char>(body_[end])) ||
+            body_[end] == '-' || body_[end] == '+' || body_[end] == '.' ||
+            body_[end] == 'e' || body_[end] == 'E'))
+      ++end;
+    if (end == pos_) return Fail("invalid value");
+    const std::string text(body_.substr(pos_, end - pos_));
+    char* parse_end = nullptr;
+    const double value = std::strtod(text.c_str(), &parse_end);
+    if (parse_end != text.c_str() + text.size() || !std::isfinite(value))
+      return Fail("invalid number \"" + text + "\"");
+    pos_ = end;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = value;
+    return Status::OK();
+  }
+
+  std::string_view body_;
+  size_t pos_ = 0;
+};
+
+/// Extracts an integer field, rejecting non-numbers and non-integral values.
+Status GetIntField(const std::map<std::string, JsonValue>& object,
+                   const std::string& key, bool required, int* out) {
+  auto it = object.find(key);
+  if (it == object.end()) {
+    if (required)
+      return Status::InvalidArgument("missing required field \"" + key + "\"");
+    return Status::OK();
+  }
+  if (it->second.kind != JsonValue::Kind::kNumber)
+    return Status::InvalidArgument("field \"" + key + "\" must be a number");
+  const double v = it->second.number_value;
+  if (v != std::floor(v) || v < -2147483648.0 || v > 2147483647.0)
+    return Status::InvalidArgument("field \"" + key +
+                                   "\" must be a 32-bit integer");
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::map<std::string, JsonValue>> ParseFlatJson(
+    std::string_view body) {
+  return FlatJsonParser(body).Parse();
+}
+
+StatusOr<WireRequest> ParseWireRequest(std::string_view body) {
+  ANECI_ASSIGN_OR_RETURN(const auto object, ParseFlatJson(body));
+  auto op_it = object.find("op");
+  if (op_it == object.end())
+    return Status::InvalidArgument("missing required field \"op\"");
+  if (op_it->second.kind != JsonValue::Kind::kString)
+    return Status::InvalidArgument("field \"op\" must be a string");
+  const std::string& op = op_it->second.string_value;
+
+  WireRequest request;
+  if (op == "swap") {
+    request.kind = WireRequest::Kind::kSwap;
+    auto path_it = object.find("path");
+    if (path_it == object.end() ||
+        path_it->second.kind != JsonValue::Kind::kString ||
+        path_it->second.string_value.empty())
+      return Status::InvalidArgument(
+          "swap requires a non-empty string field \"path\"");
+    request.swap_path = path_it->second.string_value;
+    return request;
+  }
+
+  request.kind = WireRequest::Kind::kQuery;
+  if (op == "lookup") request.query.op = QueryOp::kLookup;
+  else if (op == "knn") request.query.op = QueryOp::kKnn;
+  else if (op == "classify") request.query.op = QueryOp::kClassify;
+  else if (op == "anomaly") request.query.op = QueryOp::kAnomaly;
+  else if (op == "community") request.query.op = QueryOp::kCommunity;
+  else if (op == "stats") request.query.op = QueryOp::kStats;
+  else
+    return Status::InvalidArgument("unknown op \"" + op + "\"");
+
+  if (request.query.op != QueryOp::kStats)
+    ANECI_RETURN_IF_ERROR(
+        GetIntField(object, "id", /*required=*/true, &request.query.id));
+  if (request.query.op == QueryOp::kKnn) {
+    ANECI_RETURN_IF_ERROR(
+        GetIntField(object, "k", /*required=*/false, &request.query.k));
+    if (request.query.k < 1)
+      return Status::InvalidArgument("knn k must be a positive integer");
+  }
+  return request;
+}
+
+namespace {
+
+void AppendDoubleArray(std::string* out, const char* key,
+                       const std::vector<double>& values) {
+  out->append(",\"").append(key).append("\":[");
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out->push_back(',');
+    out->append(JsonDouble(values[i]));
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+std::string RenderResponse(const QueryResponse& response) {
+  std::string out = "{\"ok\":true,\"op\":\"";
+  out.append(QueryOpName(response.op));
+  out.append("\",\"version\":").append(std::to_string(response.snapshot_version));
+  if (response.op != QueryOp::kStats)
+    out.append(",\"id\":").append(std::to_string(response.id));
+  switch (response.op) {
+    case QueryOp::kLookup:
+      AppendDoubleArray(&out, "embedding", response.embedding);
+      break;
+    case QueryOp::kKnn: {
+      out.append(",\"neighbors\":[");
+      for (size_t i = 0; i < response.neighbors.size(); ++i) {
+        if (i) out.push_back(',');
+        out.append("{\"id\":")
+            .append(std::to_string(response.neighbors[i].id))
+            .append(",\"score\":")
+            .append(JsonDouble(response.neighbors[i].score))
+            .push_back('}');
+      }
+      out.push_back(']');
+      break;
+    }
+    case QueryOp::kClassify:
+      out.append(",\"label\":").append(std::to_string(response.label));
+      AppendDoubleArray(&out, "proba", response.proba);
+      break;
+    case QueryOp::kAnomaly:
+      out.append(",\"score\":").append(JsonDouble(response.anomaly_score));
+      break;
+    case QueryOp::kCommunity:
+      out.append(",\"community\":").append(std::to_string(response.community));
+      AppendDoubleArray(&out, "membership", response.membership);
+      break;
+    case QueryOp::kStats:
+      out.append(",\"nodes\":").append(std::to_string(response.num_nodes));
+      out.append(",\"dim\":").append(std::to_string(response.embed_dim));
+      out.append(",\"classes\":").append(std::to_string(response.num_classes));
+      out.append(",\"source\":\"")
+          .append(JsonEscape(response.source))
+          .push_back('"');
+      break;
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string RenderError(const Status& status) {
+  return "{\"ok\":false,\"error\":\"" + JsonEscape(status.message()) + "\"}";
+}
+
+std::string RenderSwapAck(uint64_t version, const std::string& source) {
+  return "{\"ok\":true,\"op\":\"swap\",\"version\":" + std::to_string(version) +
+         ",\"source\":\"" + JsonEscape(source) + "\"}";
+}
+
+}  // namespace aneci::serve

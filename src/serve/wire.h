@@ -1,0 +1,105 @@
+// Wire protocol for the embedding server (docs/serving.md §2).
+//
+// A connection is a sequence of frames in each direction. Every frame is
+//
+//   [u32 length, little-endian][length bytes of UTF-8 JSON]
+//
+// where the body is a single flat JSON object (no nesting in requests;
+// responses may carry one level of arrays). The length counts the body
+// only, and must be in [1, kMaxFrameBytes]; anything else is a framing
+// violation and the server closes the connection. Malformed JSON or a bad
+// request inside a well-framed body is a *per-request* error — the server
+// answers {"ok":false,"error":"..."} and keeps the connection open.
+//
+// Requests:  {"op":"lookup","id":3}            {"op":"knn","id":3,"k":5}
+//            {"op":"classify","id":3}          {"op":"anomaly","id":3}
+//            {"op":"community","id":3}         {"op":"stats"}
+//            {"op":"swap","path":"model.ansv"}
+// Responses: {"ok":true,"op":...,"version":N, ...op-specific fields...}
+#ifndef ANECI_SERVE_WIRE_H_
+#define ANECI_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace aneci::serve {
+
+/// Hard cap on a frame body; length prefixes above this are a framing
+/// violation (protects the server from a 4 GiB allocation per connection).
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Prepends the u32 LE length prefix to `body`.
+std::string EncodeFrame(std::string_view body);
+
+/// Incremental frame decoder. Feed() arbitrary byte chunks as they arrive;
+/// Next() yields complete frame bodies in order. A length prefix of 0 or
+/// > kMaxFrameBytes poisons the decoder (framing_error()); the connection
+/// must be closed — no resynchronisation is attempted.
+class FrameDecoder {
+ public:
+  void Feed(std::string_view bytes);
+
+  /// True if a complete frame is available; moves its body into `*body`.
+  bool Next(std::string* body);
+
+  bool framing_error() const { return framing_error_; }
+  const std::string& framing_error_message() const { return error_message_; }
+
+  /// Bytes buffered but not yet consumed (a nonzero value at disconnect
+  /// means the peer hung up mid-frame).
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool framing_error_ = false;
+  std::string error_message_;
+};
+
+/// One decoded JSON scalar. The wire format is flat, so this is the full
+/// value domain for request fields.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string string_value;
+  double number_value = 0.0;
+  bool bool_value = false;
+};
+
+/// Parses a single flat JSON object ({"key": scalar, ...}) into a key→value
+/// map. Rejects nesting, duplicate keys, trailing garbage, and invalid
+/// escapes with a precise message; never throws.
+StatusOr<std::map<std::string, JsonValue>> ParseFlatJson(
+    std::string_view body);
+
+/// Parsed client command: either a query for the engine or a control verb.
+struct WireRequest {
+  enum class Kind { kQuery, kSwap };
+  Kind kind = Kind::kQuery;
+  QueryRequest query;
+  std::string swap_path;  // kSwap only
+};
+
+/// Parses a request frame body. Errors name the offending field so clients
+/// can fix the request ("knn k must be a positive integer", ...).
+StatusOr<WireRequest> ParseWireRequest(std::string_view body);
+
+/// Renders a successful query response. Doubles use %.17g (JsonDouble), so
+/// the rendering of a given snapshot is byte-stable — the golden e2e test
+/// compares served bytes against offline rendering.
+std::string RenderResponse(const QueryResponse& response);
+
+/// Renders {"ok":false,"error":...} for a per-request failure.
+std::string RenderError(const Status& status);
+
+/// Renders the acknowledgement for a completed swap.
+std::string RenderSwapAck(uint64_t version, const std::string& source);
+
+}  // namespace aneci::serve
+
+#endif  // ANECI_SERVE_WIRE_H_

@@ -1,0 +1,79 @@
+// Little-endian scalar encoding shared by the binary on-disk formats (the
+// "ANCK" training checkpoint and the "ANSV" serving artifact). Serialisation
+// is byte-order-explicit so files are portable across hosts; doubles are
+// carried via their IEEE-754 bit pattern, so values round-trip bit-exactly
+// (including -0.0 and denormals).
+#ifndef ANECI_UTIL_BYTEIO_H_
+#define ANECI_UTIL_BYTEIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "util/status.h"
+
+namespace aneci {
+
+template <typename T>
+inline void PutScalarLe(std::string* out, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (size_t i = 0; i < sizeof(T); ++i)
+    out->push_back(
+        static_cast<char>((static_cast<uint64_t>(value) >> (8 * i)) & 0xff));
+}
+
+inline void PutDoubleLe(std::string* out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutScalarLe<uint64_t>(out, bits);
+}
+
+/// Sequential little-endian reader over a byte string. Every Get checks the
+/// remaining length first, so a truncated payload surfaces as a precise
+/// Status ("<what> truncated: <origin>") instead of reading past the end.
+class ByteReader {
+ public:
+  /// `what` names the payload kind in errors ("checkpoint payload", "model
+  /// artifact payload"); `origin` names the file or buffer being decoded.
+  ByteReader(std::string_view bytes, std::string what, std::string origin)
+      : bytes_(bytes), what_(std::move(what)), origin_(std::move(origin)) {}
+
+  template <typename T>
+  Status Get(T* value) {
+    static_assert(std::is_integral_v<T>);
+    if (bytes_.size() - pos_ < sizeof(T))
+      return Status::InvalidArgument(what_ + " truncated: " + origin_);
+    uint64_t v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i)
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    pos_ += sizeof(T);
+    *value = static_cast<T>(v);
+    return Status::OK();
+  }
+
+  Status GetDouble(double* value) {
+    uint64_t bits = 0;
+    ANECI_RETURN_IF_ERROR(Get(&bits));
+    std::memcpy(value, &bits, sizeof(bits));
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+  /// Bytes left to read — callers check this before sizing an allocation
+  /// from a decoded count, so corrupt counts fail fast instead of OOMing.
+  size_t remaining() const { return bytes_.size() - pos_; }
+  const std::string& origin() const { return origin_; }
+
+ private:
+  std::string_view bytes_;
+  std::string what_;
+  std::string origin_;
+  size_t pos_ = 0;
+};
+
+}  // namespace aneci
+
+#endif  // ANECI_UTIL_BYTEIO_H_

@@ -1,8 +1,10 @@
 #include "util/checkpoint.h"
 
+#include <cstdio>
 #include <cstring>
 #include <type_traits>
 
+#include "util/byteio.h"
 #include "util/metrics.h"
 
 namespace aneci {
@@ -16,58 +18,23 @@ constexpr uint32_t kVersion = 2;
 constexpr uint32_t kMinVersion = 1;
 constexpr size_t kHeaderSize = 4 + 4 + 8 + 4;
 
-// --- Little-endian scalar encoding ------------------------------------------
-// Serialisation is byte-order-explicit so checkpoint files are portable
-// across hosts (doubles are carried via their IEEE-754 bit pattern).
+// Scalar encoding lives in util/byteio.h (shared with the serving-artifact
+// format); this file keeps only the checkpoint-specific aggregates.
+using Reader = ByteReader;
 
 template <typename T>
 void PutScalar(std::string* out, T value) {
-  static_assert(std::is_integral_v<T>);
-  for (size_t i = 0; i < sizeof(T); ++i)
-    out->push_back(static_cast<char>(
-        (static_cast<uint64_t>(value) >> (8 * i)) & 0xff));
+  PutScalarLe<T>(out, value);
 }
 
-void PutDouble(std::string* out, double value) {
-  uint64_t bits;
-  std::memcpy(&bits, &value, sizeof(bits));
-  PutScalar<uint64_t>(out, bits);
+void PutDouble(std::string* out, double value) { PutDoubleLe(out, value); }
+
+/// "0xdeadbeef" — CRC values quoted in corruption errors.
+std::string HexU32(uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", v);
+  return buf;
 }
-
-class Reader {
- public:
-  Reader(std::string_view bytes, const std::string& origin)
-      : bytes_(bytes), origin_(origin) {}
-
-  template <typename T>
-  Status Get(T* value) {
-    static_assert(std::is_integral_v<T>);
-    if (bytes_.size() - pos_ < sizeof(T))
-      return Status::InvalidArgument("checkpoint payload truncated: " +
-                                     origin_);
-    uint64_t v = 0;
-    for (size_t i = 0; i < sizeof(T); ++i)
-      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
-           << (8 * i);
-    pos_ += sizeof(T);
-    *value = static_cast<T>(v);
-    return Status::OK();
-  }
-
-  Status GetDouble(double* value) {
-    uint64_t bits = 0;
-    ANECI_RETURN_IF_ERROR(Get(&bits));
-    std::memcpy(value, &bits, sizeof(bits));
-    return Status::OK();
-  }
-
-  bool exhausted() const { return pos_ == bytes_.size(); }
-
- private:
-  std::string_view bytes_;
-  std::string origin_;
-  size_t pos_ = 0;
-};
 
 void PutTensors(std::string* out, const std::vector<TensorBlob>& tensors) {
   PutScalar<uint32_t>(out, static_cast<uint32_t>(tensors.size()));
@@ -168,7 +135,7 @@ StatusOr<TrainingCheckpoint> ParseCheckpoint(std::string_view bytes,
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
     return Status::InvalidArgument("not a checkpoint (bad magic): " + origin);
 
-  Reader header(bytes.substr(4, kHeaderSize - 4), origin);
+  Reader header(bytes.substr(4, kHeaderSize - 4), "checkpoint header", origin);
   uint32_t version = 0, crc = 0;
   uint64_t payload_size = 0;
   ANECI_RETURN_IF_ERROR(header.Get(&version));
@@ -176,8 +143,9 @@ StatusOr<TrainingCheckpoint> ParseCheckpoint(std::string_view bytes,
   ANECI_RETURN_IF_ERROR(header.Get(&crc));
   if (version < kMinVersion || version > kVersion)
     return Status::InvalidArgument(
-        "unsupported checkpoint version " + std::to_string(version) + ": " +
-        origin);
+        "unsupported checkpoint version " + std::to_string(version) +
+        " (this build reads versions " + std::to_string(kMinVersion) +
+        ".." + std::to_string(kVersion) + "): " + origin);
   if (bytes.size() - kHeaderSize != payload_size)
     return Status::InvalidArgument(
         "checkpoint truncated: header declares " +
@@ -187,11 +155,12 @@ StatusOr<TrainingCheckpoint> ParseCheckpoint(std::string_view bytes,
   const std::string_view payload = bytes.substr(kHeaderSize);
   const uint32_t actual_crc = Crc32(payload.data(), payload.size());
   if (actual_crc != crc)
-    return Status::InvalidArgument("checkpoint CRC mismatch (corrupt): " +
-                                   origin);
+    return Status::InvalidArgument(
+        "checkpoint CRC mismatch (corrupt): header declares " + HexU32(crc) +
+        ", payload hashes to " + HexU32(actual_crc) + ": " + origin);
 
   TrainingCheckpoint c;
-  Reader reader(payload, origin);
+  Reader reader(payload, "checkpoint payload", origin);
   ANECI_RETURN_IF_ERROR(reader.Get(&c.config_fingerprint));
   ANECI_RETURN_IF_ERROR(reader.Get(&c.next_epoch));
   ANECI_RETURN_IF_ERROR(reader.Get(&c.adam_step));

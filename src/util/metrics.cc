@@ -106,6 +106,37 @@ std::vector<uint64_t> Histogram::BucketCounts() const {
   return out;
 }
 
+double HistogramQuantile(const Histogram& histogram, double q) {
+  const uint64_t count = histogram.Count();
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return histogram.Min();
+  if (q >= 1.0) return histogram.Max();
+  const std::vector<uint64_t> buckets = histogram.BucketCounts();
+  const std::vector<double>& bounds = histogram.bounds();
+  const double rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate inside bucket i: lower edge is the previous bound (or the
+    // observed min for the first bucket), upper edge the bucket's bound (or
+    // the observed max for the overflow bucket).
+    const double lo = i == 0 ? std::min(histogram.Min(), bounds.front())
+                             : bounds[i - 1];
+    const double hi = i < bounds.size() ? bounds[i] : histogram.Max();
+    if (buckets[i] == 0 || hi <= lo) return hi;
+    const double within =
+        (rank - static_cast<double>(cumulative - buckets[i])) /
+        static_cast<double>(buckets[i]);
+    // Clamp to the observed range: interpolation inside a coarse bucket must
+    // never report a quantile outside [Min, Max] (e.g. p50 > max when every
+    // observation sits below the first bound).
+    return std::clamp(lo + within * (hi - lo), histogram.Min(),
+                      histogram.Max());
+  }
+  return histogram.Max();
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, kRelaxed);
   count_.store(0, kRelaxed);

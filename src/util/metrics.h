@@ -134,6 +134,13 @@ class Histogram {
   std::atomic<uint64_t> max_bits_;
 };
 
+/// Estimated q-quantile (q in [0, 1]) of a fixed-bucket histogram, by
+/// linear interpolation within the bucket containing the rank. Exact at the
+/// recorded Min()/Max() for q=0/1; bucket-resolution accurate in between
+/// (always clamped to the observed [Min, Max]) — good enough for p50/p99
+/// latency reporting, not for golden comparisons.
+double HistogramQuantile(const Histogram& histogram, double q);
+
 /// RAII latency probe: observes the elapsed milliseconds of its scope into a
 /// histogram on destruction. This is the sanctioned way for instrumented code
 /// to time itself — direct util/timer.h use outside util/{timer,trace,

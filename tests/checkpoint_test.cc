@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -222,6 +223,52 @@ TEST(Checkpoint, TrailingBytesRejected) {
   ASSERT_FALSE(loaded.ok());
   // Appending bytes breaks the declared-size check before the CRC runs.
   EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+// --- Exact diagnostic wording (regression) ----------------------------------
+// Operators grep logs for these messages; the wording is a contract. If the
+// format version bumps, update the pinned range here deliberately.
+
+TEST(Checkpoint, UnsupportedVersionMessageNamesReadableRange) {
+  std::string bytes = SerializeCheckpoint(MakeCheckpoint(3));
+  bytes[4] = 99;  // Version field.
+  StatusOr<TrainingCheckpoint> loaded = ParseCheckpoint(bytes, "run7/ckpt");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().message(),
+            "unsupported checkpoint version 99 "
+            "(this build reads versions 1..2): run7/ckpt");
+}
+
+TEST(Checkpoint, CrcMismatchMessageNamesBothChecksums) {
+  // The message must carry the declared and the computed CRC so a corrupt
+  // file can be triaged from the log line alone — via the real on-disk
+  // LoadCheckpoint path, not just the in-memory parser.
+  constexpr size_t kHeader = 4 + 4 + 8 + 4;
+  const std::string dir = TestDir("ckpt_crc_message");
+  const std::string path = dir + "/checkpoint.bin";
+  ASSERT_TRUE(SaveCheckpoint(MakeCheckpoint(3), path).ok());
+  StatusOr<std::string> bytes = Env::Default()->ReadFile(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string corrupt = std::move(bytes).value();
+  corrupt[kHeader + 11] ^= 0x20;
+  ASSERT_TRUE(Env::Default()->WriteFileAtomic(path, corrupt).ok());
+
+  uint32_t declared = 0;
+  std::memcpy(&declared, corrupt.data() + 16, sizeof(declared));
+  const uint32_t actual =
+      Crc32(corrupt.data() + kHeader, corrupt.size() - kHeader);
+  ASSERT_NE(declared, actual);
+  auto hex = [](uint32_t v) {
+    char buf[11];
+    std::snprintf(buf, sizeof(buf), "0x%08x", v);
+    return std::string(buf);
+  };
+  StatusOr<TrainingCheckpoint> loaded = LoadCheckpoint(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().message(),
+            "checkpoint CRC mismatch (corrupt): header declares " +
+                hex(declared) + ", payload hashes to " + hex(actual) + ": " +
+                path);
 }
 
 // --- Rotation and fallback --------------------------------------------------

@@ -207,6 +207,43 @@ TEST(BannedRawIo, FlagsWritePathsInSrcOnly) {
       LintContent("src/graph/g.cc", "std::ifstream in(\"p\");\n").empty());
 }
 
+TEST(BannedRawIo, FlagsRawSocketSyscallsOutsideTheShim) {
+  // Bare and globally qualified syscalls are both the real thing.
+  const auto bare = LintContent(
+      "src/core/x.cc",
+      "void f(int fd) { send(fd, \"x\", 1, 0); recv(fd, b, 1, 0); }\n");
+  EXPECT_EQ(CountCheck(bare, "banned-raw-io"), 2);
+  const auto qualified = LintContent(
+      "src/serve/server.cc", "int s = ::socket(AF_INET, SOCK_STREAM, 0);\n");
+  EXPECT_EQ(CountCheck(qualified, "banned-raw-io"), 1);
+  // accept/bind/listen/shutdown/connect round out the surface.
+  const auto listener = LintContent(
+      "src/core/y.cc",
+      "void g(int fd) { bind(fd, a, l); listen(fd, 8); accept(fd, 0, 0); "
+      "connect(fd, a, l); shutdown(fd, 2); }\n");
+  EXPECT_EQ(CountCheck(listener, "banned-raw-io"), 5);
+}
+
+TEST(BannedRawIo, SocketShimAndLookalikesAreExempt) {
+  // The designated shim is the one src/ file allowed to make syscalls.
+  EXPECT_TRUE(LintContent("src/serve/socket_io.cc",
+                          "int s = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+                          "void f(int fd) { ::shutdown(fd, SHUT_RDWR); }\n")
+                  .empty());
+  // Member calls, namespace-qualified names, and non-call uses are other
+  // people's identifiers, not syscalls.
+  EXPECT_TRUE(LintContent("src/serve/x.cc",
+                          "void f() { queue.send(m); Transport::connect(h); "
+                          "mailbox->accept(v); int send = 3; }\n")
+                  .empty());
+  // Outside src/ the check does not apply (tests drive sockets directly).
+  EXPECT_TRUE(
+      LintContent("tests/t.cc", "recv(fd, buf, n, 0);\n").empty());
+  // std::bind (the functional one) must not trip the `bind` syscall name.
+  EXPECT_TRUE(
+      LintContent("src/core/z.cc", "auto g = std::bind(f, 1);\n").empty());
+}
+
 // --- no-iostream-in-library --------------------------------------------------
 
 TEST(NoIostream, FlagsCoutCerrAndIncludeInSrcOnly) {

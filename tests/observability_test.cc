@@ -75,6 +75,50 @@ TEST(HistogramTest, ConcurrentObservationsLoseNothing) {
   EXPECT_EQ(h->BucketCounts()[0], 10000u);
 }
 
+TEST(HistogramQuantileTest, ExactAtExtremesInterpolatedBetween) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test/quantile_basic", {1.0, 10.0, 100.0});
+  h->Reset();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(*h, 0.5), 0.0);  // empty -> 0
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(*h, 0.0), 1.0);    // exact Min
+  EXPECT_DOUBLE_EQ(HistogramQuantile(*h, 1.0), 100.0);  // exact Max
+  // p50: rank 50 of 100 lands in the (10, 100] bucket (counts 1, 9, 90);
+  // linear interpolation inside it gives 10 + (40/90) * 90 = 50.
+  EXPECT_NEAR(HistogramQuantile(*h, 0.5), 50.0, 1.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(HistogramQuantile(*h, 0.5), HistogramQuantile(*h, 0.9));
+  EXPECT_LE(HistogramQuantile(*h, 0.9), HistogramQuantile(*h, 0.99));
+}
+
+TEST(HistogramQuantileTest, ClampedToObservedRange) {
+  // Regression: every observation below the first bound once produced
+  // p50 > Max (interpolating across the whole first bucket). The estimate
+  // must stay inside [Min, Max].
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test/quantile_clamp", {0.01, 1.0});
+  h->Reset();
+  h->Observe(0.003);
+  h->Observe(0.004);
+  h->Observe(0.005);
+  for (double q : {0.25, 0.5, 0.9, 0.99}) {
+    const double estimate = HistogramQuantile(*h, q);
+    EXPECT_GE(estimate, 0.003) << "q=" << q;
+    EXPECT_LE(estimate, 0.005) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantileTest, OverflowBucketUsesObservedMax) {
+  Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test/quantile_overflow", {1.0});
+  h->Reset();
+  h->Observe(5.0);
+  h->Observe(7.0);  // both in the overflow bucket
+  const double p99 = HistogramQuantile(*h, 0.99);
+  EXPECT_GE(p99, 1.0);
+  EXPECT_LE(p99, 7.0);
+}
+
 TEST(TelemetryRingTest, EvictsOldestAndCountsDrops) {
   TelemetryRing ring(4);
   for (int i = 0; i < 6; ++i) ring.Append("{\"i\":" + std::to_string(i) + "}");
@@ -311,7 +355,7 @@ TEST(EmbedderInstrumentation, EpochsOverrideReachesEveryGradientMethod) {
   // (DeepWalk, LINE, ONE) rescale the budget and closed-form methods ignore
   // it, so only the per-epoch trainers are listed here.
   const Graph g = TinyGraph();
-  for (const std::string& name :
+  for (const std::string name :
        {"GAE", "VGAE", "DGI", "DANE", "DONE", "ADONE", "AGE", "GraphSage",
         "Dominant", "AnomalyDAE", "SDNE", "GATE"}) {
     auto embedder = CreateEmbedder(name);

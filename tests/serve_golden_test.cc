@@ -1,0 +1,206 @@
+// Golden end-to-end serving test: train a tiny fixed-seed model, export it
+// through the ANSV artifact, load it back as a snapshot, and serve queries
+// through the exact production session code. Two guarantees are pinned:
+//
+//  1. Offline/online agreement — every served lookup / classify / community
+//     response is byte-identical to rendering the answer straight off the
+//     artifact struct (no drift between the export path and the query path).
+//  2. Thread-count invariance — the ENTIRE pipeline (training included) run
+//     at ANECI_THREADS=1 and =4 produces byte-identical served responses,
+//     the determinism contract ROADMAP.md promises for the serving layer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aneci.h"
+#include "graph/graph.h"
+#include "serve/model_artifact.h"
+#include "serve/model_snapshot.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+#include "util/env.h"
+#include "util/thread_pool.h"
+
+namespace aneci::serve {
+namespace {
+
+/// Two 6-cliques joined by one bridge, labelled by clique — small enough to
+/// train in milliseconds, structured enough that communities are non-trivial.
+Graph TinyGraph() {
+  std::vector<Edge> edges;
+  for (int block = 0; block < 2; ++block) {
+    const int base = block * 6;
+    for (int i = 0; i < 6; ++i)
+      for (int j = i + 1; j < 6; ++j)
+        edges.push_back({base + i, base + j});
+  }
+  edges.push_back({5, 6});
+  Graph graph = Graph::FromEdges(12, edges);
+  graph.SetLabels({0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1});
+  return graph;
+}
+
+/// The full offline pipeline at the current thread count: train -> artifact
+/// -> save -> load -> snapshot. Returns the loaded snapshot plus the
+/// artifact it was built from (the offline ground truth).
+struct Pipeline {
+  ModelArtifact artifact;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+};
+
+Pipeline RunPipeline(const std::string& tag) {
+  AneciConfig cfg;
+  cfg.hidden_dim = 8;
+  cfg.embed_dim = 4;
+  cfg.epochs = 20;
+  cfg.seed = 7;
+  const Graph graph = TinyGraph();
+  const AneciResult trained = Aneci(cfg).Train(graph);
+
+  Pipeline p;
+  p.artifact = BuildModelArtifact(graph, trained.z, trained.p, /*head_seed=*/9);
+  const std::string dir = testing::TempDir() + "/serve_golden_" + tag;
+  ANECI_CHECK(Env::Default()->CreateDir(dir).ok());
+  const std::string path = dir + "/model.ansv";
+  ANECI_CHECK(SaveModelArtifact(p.artifact, path).ok());
+  StatusOr<std::shared_ptr<const ModelSnapshot>> loaded =
+      ModelSnapshot::Load(path, /*version=*/1);
+  ANECI_CHECK(loaded.ok());
+  p.snapshot = std::move(loaded).value();
+  return p;
+}
+
+/// The fixed query script: every node through every point op, plus knn and
+/// stats. Returned as raw request bytes (one pipelined chunk).
+std::string QueryScript(int num_nodes) {
+  std::string bytes;
+  for (const std::string op : {"lookup", "classify", "community", "anomaly"})
+    for (int id = 0; id < num_nodes; ++id)
+      bytes += EncodeFrame("{\"op\":\"" + op +
+                           "\",\"id\":" + std::to_string(id) + "}");
+  bytes += EncodeFrame("{\"op\":\"knn\",\"id\":0,\"k\":3}");
+  bytes += EncodeFrame("{\"op\":\"stats\"}");
+  return bytes;
+}
+
+/// Serves the script through a ServeSession and returns the decoded
+/// response bodies, in order.
+std::vector<std::string> ServeScript(EmbedService* service,
+                                     const std::string& script) {
+  ServeSession session(service);
+  session.Consume(script);
+  EXPECT_FALSE(session.closed());
+  FrameDecoder decoder;
+  decoder.Feed(session.TakeOutput());
+  std::vector<std::string> bodies;
+  std::string body;
+  while (decoder.Next(&body)) bodies.push_back(body);
+  EXPECT_FALSE(decoder.framing_error());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+  return bodies;
+}
+
+/// Renders the expected response for (op, id) straight off the artifact —
+/// the offline ground truth the served bytes must match exactly.
+std::string OfflineRender(const ModelArtifact& artifact, uint64_t version,
+                          QueryOp op, int id) {
+  QueryResponse expected;
+  expected.snapshot_version = version;
+  expected.op = op;
+  expected.id = id;
+  switch (op) {
+    case QueryOp::kLookup: {
+      const double* row = artifact.z.RowPtr(id);
+      expected.embedding.assign(row, row + artifact.embed_dim);
+      break;
+    }
+    case QueryOp::kClassify: {
+      const double* row = artifact.proba.RowPtr(id);
+      expected.proba.assign(row, row + artifact.num_classes);
+      int best = 0;
+      for (int c = 1; c < artifact.num_classes; ++c)
+        if (expected.proba[c] > expected.proba[best]) best = c;
+      expected.label = best;
+      break;
+    }
+    case QueryOp::kCommunity: {
+      expected.community = artifact.community[id];
+      const double* row = artifact.p.RowPtr(id);
+      expected.membership.assign(row, row + artifact.embed_dim);
+      break;
+    }
+    case QueryOp::kAnomaly:
+      expected.anomaly_score = artifact.anomaly[id];
+      break;
+    default:
+      ANECI_CHECK(false);
+  }
+  return RenderResponse(expected);
+}
+
+TEST(ServeGolden, ServedBytesMatchOfflineRenderingExactly) {
+  Pipeline p = RunPipeline("offline");
+  EmbedService service(p.snapshot);
+  const int n = p.artifact.num_nodes;
+  const std::vector<std::string> bodies =
+      ServeScript(&service, QueryScript(n));
+  ASSERT_EQ(bodies.size(), static_cast<size_t>(4 * n + 2));
+
+  const QueryOp ops[] = {QueryOp::kLookup, QueryOp::kClassify,
+                         QueryOp::kCommunity, QueryOp::kAnomaly};
+  size_t frame = 0;
+  for (QueryOp op : ops)
+    for (int id = 0; id < n; ++id, ++frame)
+      EXPECT_EQ(bodies[frame], OfflineRender(p.artifact, 1, op, id))
+          << "op " << QueryOpName(op) << " node " << id;
+}
+
+TEST(ServeGolden, TrainedLabelHeadRecoversPlantedLabels) {
+  Pipeline p = RunPipeline("labels");
+  EmbedService service(p.snapshot);
+  // The two cliques are linearly separable in any reasonable embedding;
+  // the frozen head must classify the clique interiors correctly. (Bridge
+  // endpoints 5 and 6 are allowed to be ambiguous.)
+  int correct = 0;
+  for (int id : {0, 1, 2, 3, 4, 7, 8, 9, 10, 11}) {
+    QueryRequest request;
+    request.op = QueryOp::kClassify;
+    request.id = id;
+    const QueryResult result = service.engine().Execute(request);
+    ASSERT_TRUE(result.ok()) << result.status.ToString();
+    correct += result.response.label == (id < 6 ? 0 : 1);
+  }
+  EXPECT_GE(correct, 9);
+}
+
+TEST(ServeGolden, FullPipelineIsThreadCountInvariant) {
+  // Train -> export -> load -> serve at 1 and 4 threads; every served byte
+  // must agree. This covers determinism of training, of the logistic head
+  // fit, of the parallel knn scan, and of batched session execution.
+  std::vector<std::vector<std::string>> runs;
+  for (int threads : {1, 4}) {
+    ScopedNumThreads scoped(threads);
+    // Same tag (= same artifact path) for both runs: the stats response
+    // echoes the source path, which must not differ between them.
+    Pipeline p = RunPipeline("invariance");
+    EmbedService service(p.snapshot);
+    runs.push_back(ServeScript(&service, QueryScript(p.artifact.num_nodes)));
+  }
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (size_t i = 0; i < runs[0].size(); ++i)
+    EXPECT_EQ(runs[0][i], runs[1][i]) << "frame " << i;
+}
+
+TEST(ServeGolden, ServedBytesStableAcrossRepeatedSessions) {
+  // The same snapshot served twice (fresh sessions) yields identical bytes —
+  // no hidden per-session state leaks into responses.
+  Pipeline p = RunPipeline("repeat");
+  EmbedService service(p.snapshot);
+  const std::string script = QueryScript(p.artifact.num_nodes);
+  EXPECT_EQ(ServeScript(&service, script), ServeScript(&service, script));
+}
+
+}  // namespace
+}  // namespace aneci::serve

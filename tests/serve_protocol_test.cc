@@ -1,0 +1,443 @@
+// Fuzz-style battery for the serving wire protocol (docs/serving.md §2):
+// truncated frames, oversized and zero length prefixes, malformed JSON,
+// out-of-range node ids, mid-frame disconnects, pipelining, and swap
+// ordering. Every malformed input must produce a clean error frame or an
+// orderly close — never a crash, hang, or torn response. Most tests drive
+// ServeSession directly (the exact state machine the server runs per
+// connection); the socket tests at the bottom cover the transport shell.
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/model_artifact.h"
+#include "serve/model_snapshot.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/byteio.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace aneci::serve {
+namespace {
+
+constexpr int kNodes = 6;
+constexpr int kDim = 4;
+
+/// A small labelled graph + deterministic embeddings, run through the real
+/// artifact builder (label head, entropy scores, argmax communities).
+ModelArtifact MakeArtifact(double scale = 1.0) {
+  Graph graph = Graph::FromEdges(
+      kNodes, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}, {2, 3}});
+  graph.SetLabels({0, 0, 0, 1, 1, 1});
+  Matrix z(kNodes, kDim);
+  for (int i = 0; i < kNodes; ++i)
+    for (int j = 0; j < kDim; ++j)
+      z(i, j) = scale * (0.25 * i - 0.125 * j + 0.0625);
+  const Matrix p = RowSoftmax(z);
+  return BuildModelArtifact(graph, z, p, /*head_seed=*/77);
+}
+
+std::shared_ptr<const ModelSnapshot> MakeSnapshot(uint64_t version = 1,
+                                                  double scale = 1.0) {
+  return std::make_shared<const ModelSnapshot>(MakeArtifact(scale), version,
+                                               "test-artifact");
+}
+
+/// Feeds one request body through a fresh session and returns the decoded
+/// response bodies.
+std::vector<std::string> Roundtrip(EmbedService* service,
+                                   const std::string& raw_bytes) {
+  ServeSession session(service);
+  session.Consume(raw_bytes);
+  FrameDecoder decoder;
+  decoder.Feed(session.TakeOutput());
+  std::vector<std::string> bodies;
+  std::string body;
+  while (decoder.Next(&body)) bodies.push_back(body);
+  EXPECT_FALSE(decoder.framing_error());
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+  return bodies;
+}
+
+std::vector<std::string> RoundtripJson(EmbedService* service,
+                                       const std::string& request_body) {
+  return Roundtrip(service, EncodeFrame(request_body));
+}
+
+class ServeProtocolTest : public ::testing::Test {
+ protected:
+  ServeProtocolTest() : service_(MakeSnapshot()) {}
+  EmbedService service_;
+};
+
+// --- Frame codec ------------------------------------------------------------
+
+TEST(FrameCodec, EncodeDecodeRoundtrip) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame("{\"op\":\"stats\"}") + EncodeFrame("x"));
+  std::string body;
+  ASSERT_TRUE(decoder.Next(&body));
+  EXPECT_EQ(body, "{\"op\":\"stats\"}");
+  ASSERT_TRUE(decoder.Next(&body));
+  EXPECT_EQ(body, "x");
+  EXPECT_FALSE(decoder.Next(&body));
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(FrameCodec, ByteAtATimeDelivery) {
+  const std::string frame = EncodeFrame("{\"op\":\"stats\"}");
+  FrameDecoder decoder;
+  std::string body;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.Feed(std::string_view(&frame[i], 1));
+    EXPECT_FALSE(decoder.Next(&body)) << "frame completed early at byte " << i;
+  }
+  decoder.Feed(std::string_view(&frame[frame.size() - 1], 1));
+  ASSERT_TRUE(decoder.Next(&body));
+  EXPECT_EQ(body, "{\"op\":\"stats\"}");
+}
+
+TEST(FrameCodec, ZeroLengthPrefixIsFramingError) {
+  FrameDecoder decoder;
+  decoder.Feed(std::string(4, '\0'));
+  std::string body;
+  EXPECT_FALSE(decoder.Next(&body));
+  EXPECT_TRUE(decoder.framing_error());
+  EXPECT_NE(decoder.framing_error_message().find("frame length 0"),
+            std::string::npos);
+}
+
+TEST(FrameCodec, OversizedLengthPrefixIsFramingError) {
+  std::string prefix;
+  PutScalarLe<uint32_t>(&prefix, kMaxFrameBytes + 1);
+  FrameDecoder decoder;
+  decoder.Feed(prefix);
+  std::string body;
+  EXPECT_FALSE(decoder.Next(&body));
+  EXPECT_TRUE(decoder.framing_error());
+  // Crucially the decoder never tried to buffer 4 GiB.
+  EXPECT_NE(decoder.framing_error_message().find("frame length"),
+            std::string::npos);
+}
+
+TEST(FrameCodec, MaxSizeFrameIsAccepted) {
+  const std::string body_in(kMaxFrameBytes, 'a');
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(body_in));
+  std::string body;
+  ASSERT_TRUE(decoder.Next(&body));
+  EXPECT_EQ(body.size(), body_in.size());
+}
+
+// --- Flat JSON parser -------------------------------------------------------
+
+TEST(FlatJson, ParsesScalars) {
+  auto parsed = ParseFlatJson(
+      "{\"s\":\"hi\\n\",\"n\":-2.5e2,\"b\":true,\"z\":null}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().at("s").string_value, "hi\n");
+  EXPECT_DOUBLE_EQ(parsed.value().at("n").number_value, -250.0);
+  EXPECT_TRUE(parsed.value().at("b").bool_value);
+  EXPECT_EQ(parsed.value().at("z").kind, JsonValue::Kind::kNull);
+}
+
+TEST(FlatJson, RejectsMalformedInputs) {
+  const char* bad[] = {
+      "",                      // empty
+      "{",                     // unterminated object
+      "{}}",                   // trailing garbage
+      "{\"a\":1,}",            // trailing comma
+      "{\"a\" 1}",             // missing colon
+      "{\"a\":{}}",            // nested object
+      "{\"a\":[1]}",           // nested array
+      "{\"a\":1,\"a\":2}",     // duplicate key
+      "{\"a\":tru}",           // bad literal
+      "{\"a\":1e}",            // bad number
+      "{\"a\":--5}",           // bad number
+      "{\"a\":\"x}",           // unterminated string
+      "{\"a\":\"\\q\"}",       // invalid escape
+      "{\"a\":\"\\u12G4\"}",   // invalid \u digit
+      "{\"a\":\"\x01\"}",      // raw control character
+      "not json at all",       // no object
+  };
+  for (const char* body : bad) {
+    auto parsed = ParseFlatJson(body);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << body;
+    EXPECT_NE(parsed.status().message().find("malformed JSON"),
+              std::string::npos);
+  }
+}
+
+// --- Request validation -----------------------------------------------------
+
+TEST_F(ServeProtocolTest, LookupAnswersEmbeddingRow) {
+  const auto bodies = RoundtripJson(&service_, "{\"op\":\"lookup\",\"id\":2}");
+  ASSERT_EQ(bodies.size(), 1u);
+  EXPECT_NE(bodies[0].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(bodies[0].find("\"version\":1"), std::string::npos);
+  EXPECT_NE(bodies[0].find("\"embedding\":["), std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, PerRequestErrorsKeepSessionOpen) {
+  const char* bad_requests[] = {
+      "{\"op\":\"nope\"}",                      // unknown op
+      "{\"id\":3}",                             // missing op
+      "{\"op\":\"lookup\"}",                    // missing id
+      "{\"op\":\"lookup\",\"id\":\"three\"}",   // id wrong type
+      "{\"op\":\"lookup\",\"id\":1.5}",         // non-integral id
+      "{\"op\":\"lookup\",\"id\":99}",          // out-of-range id
+      "{\"op\":\"lookup\",\"id\":-1}",          // negative id
+      "{\"op\":\"lookup\",\"id\":4e9}",         // overflows int32
+      "{\"op\":\"knn\",\"id\":0,\"k\":0}",      // non-positive k
+      "{\"op\":\"knn\",\"id\":0,\"k\":-3}",     // negative k
+      "{\"op\":\"swap\"}",                      // swap without path
+      "{\"op\":\"swap\",\"path\":\"\"}",        // swap with empty path
+      "{bad json",                              // malformed body
+  };
+  ServeSession session(&service_);
+  for (const char* request : bad_requests) {
+    session.Consume(EncodeFrame(request));
+    FrameDecoder decoder;
+    decoder.Feed(session.TakeOutput());
+    std::string body;
+    ASSERT_TRUE(decoder.Next(&body)) << "no response for: " << request;
+    EXPECT_NE(body.find("\"ok\":false"), std::string::npos)
+        << request << " -> " << body;
+    EXPECT_FALSE(session.closed()) << request;
+  }
+  // The session still answers a valid request afterwards.
+  session.Consume(EncodeFrame("{\"op\":\"stats\"}"));
+  EXPECT_NE(session.TakeOutput().find("\"ok\":true"), std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, OutOfRangeIdNamesTheBound) {
+  const auto bodies =
+      RoundtripJson(&service_, "{\"op\":\"anomaly\",\"id\":17}");
+  ASSERT_EQ(bodies.size(), 1u);
+  EXPECT_NE(bodies[0].find("outside [0, 6)"), std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, ClassifyWithoutLabelHeadFailsCleanly) {
+  ModelArtifact artifact = MakeArtifact();
+  artifact.num_classes = 0;
+  artifact.proba = Matrix();
+  EmbedService unlabelled(std::make_shared<const ModelSnapshot>(
+      std::move(artifact), 1, "unlabelled"));
+  const auto bodies =
+      RoundtripJson(&unlabelled, "{\"op\":\"classify\",\"id\":0}");
+  ASSERT_EQ(bodies.size(), 1u);
+  EXPECT_NE(bodies[0].find("no label head"), std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, KnnClampsKAndOrdersTies) {
+  const auto bodies =
+      RoundtripJson(&service_, "{\"op\":\"knn\",\"id\":0,\"k\":100}");
+  ASSERT_EQ(bodies.size(), 1u);
+  // k is clamped to n - 1 = 5 neighbors; self is excluded.
+  int neighbor_count = 0;
+  for (size_t pos = 0; (pos = bodies[0].find("{\"id\":", pos)) !=
+                       std::string::npos;
+       ++pos)
+    ++neighbor_count;
+  EXPECT_EQ(neighbor_count, kNodes - 1);
+  EXPECT_EQ(bodies[0].find("\"id\":0,\"score\":", 10), std::string::npos)
+      << "self in neighbor list: " << bodies[0];
+}
+
+// --- Framing violations through the session ---------------------------------
+
+TEST_F(ServeProtocolTest, ZeroLengthPrefixClosesWithErrorFrame) {
+  ServeSession session(&service_);
+  session.Consume(std::string(4, '\0'));
+  EXPECT_TRUE(session.closed());
+  FrameDecoder decoder;
+  decoder.Feed(session.TakeOutput());
+  std::string body;
+  ASSERT_TRUE(decoder.Next(&body));
+  EXPECT_NE(body.find("\"ok\":false"), std::string::npos);
+  // Latched: further bytes are ignored, no more output.
+  session.Consume(EncodeFrame("{\"op\":\"stats\"}"));
+  EXPECT_TRUE(session.TakeOutput().empty());
+}
+
+TEST_F(ServeProtocolTest, ValidFramesBeforeViolationAreAnswered) {
+  ServeSession session(&service_);
+  std::string prefix;
+  PutScalarLe<uint32_t>(&prefix, kMaxFrameBytes + 7);
+  session.Consume(EncodeFrame("{\"op\":\"stats\"}") + prefix);
+  EXPECT_TRUE(session.closed());
+  FrameDecoder decoder;
+  decoder.Feed(session.TakeOutput());
+  std::string body;
+  ASSERT_TRUE(decoder.Next(&body));
+  EXPECT_NE(body.find("\"ok\":true"), std::string::npos);
+  ASSERT_TRUE(decoder.Next(&body));
+  EXPECT_NE(body.find("\"ok\":false"), std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, TruncatedFrameProducesNoResponse) {
+  ServeSession session(&service_);
+  const std::string frame = EncodeFrame("{\"op\":\"stats\"}");
+  session.Consume(frame.substr(0, frame.size() - 3));
+  EXPECT_TRUE(session.TakeOutput().empty());
+  EXPECT_FALSE(session.closed());
+  EXPECT_TRUE(session.mid_frame());  // what a disconnect here would count
+  // Delivering the rest completes the request.
+  session.Consume(frame.substr(frame.size() - 3));
+  EXPECT_NE(session.TakeOutput().find("\"ok\":true"), std::string::npos);
+  EXPECT_FALSE(session.mid_frame());
+}
+
+// --- Pipelining and swap ordering -------------------------------------------
+
+TEST_F(ServeProtocolTest, PipelinedFramesAnswerInOrder) {
+  std::string wire;
+  for (int id = 0; id < kNodes; ++id)
+    wire += EncodeFrame("{\"op\":\"anomaly\",\"id\":" + std::to_string(id) +
+                        "}");
+  const auto bodies = Roundtrip(&service_, wire);
+  ASSERT_EQ(bodies.size(), static_cast<size_t>(kNodes));
+  for (int id = 0; id < kNodes; ++id)
+    EXPECT_NE(bodies[id].find("\"id\":" + std::to_string(id) + ","),
+              std::string::npos)
+        << "response " << id << " out of order: " << bodies[id];
+}
+
+TEST_F(ServeProtocolTest, SwapIsAnOrderingBarrier) {
+  const std::string dir = testing::TempDir() + "/serve_swap_barrier";
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  const std::string path = dir + "/next.ansv";
+  ASSERT_TRUE(SaveModelArtifact(MakeArtifact(/*scale=*/2.0), path).ok());
+
+  const auto bodies = Roundtrip(
+      &service_, EncodeFrame("{\"op\":\"lookup\",\"id\":0}") +
+                     EncodeFrame("{\"op\":\"swap\",\"path\":\"" + path +
+                                 "\"}") +
+                     EncodeFrame("{\"op\":\"lookup\",\"id\":0}"));
+  ASSERT_EQ(bodies.size(), 3u);
+  EXPECT_NE(bodies[0].find("\"version\":1"), std::string::npos) << bodies[0];
+  EXPECT_NE(bodies[1].find("\"op\":\"swap\""), std::string::npos);
+  EXPECT_NE(bodies[1].find("\"version\":2"), std::string::npos) << bodies[1];
+  EXPECT_NE(bodies[2].find("\"version\":2"), std::string::npos) << bodies[2];
+  EXPECT_NE(bodies[0].substr(bodies[0].find("embedding")),
+            bodies[2].substr(bodies[2].find("embedding")))
+      << "post-swap lookup served the old embeddings";
+}
+
+TEST_F(ServeProtocolTest, FailedSwapKeepsServingOldSnapshot) {
+  const auto bodies = Roundtrip(
+      &service_,
+      EncodeFrame("{\"op\":\"swap\",\"path\":\"/nonexistent/model.ansv\"}") +
+          EncodeFrame("{\"op\":\"stats\"}"));
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_NE(bodies[0].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(bodies[1].find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(bodies[1].find("\"version\":1"), std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, CorruptSwapArtifactIsRejected) {
+  const std::string dir = testing::TempDir() + "/serve_swap_corrupt";
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  const std::string path = dir + "/bad.ansv";
+  std::string bytes = SerializeModelArtifact(MakeArtifact());
+  bytes[bytes.size() / 2] ^= 0x20;  // payload bit flip
+  ASSERT_TRUE(Env::Default()->WriteFileAtomic(path, bytes).ok());
+  const auto bodies = Roundtrip(
+      &service_, EncodeFrame("{\"op\":\"swap\",\"path\":\"" + path + "\"}") +
+                     EncodeFrame("{\"op\":\"stats\"}"));
+  ASSERT_EQ(bodies.size(), 2u);
+  EXPECT_NE(bodies[0].find("CRC mismatch"), std::string::npos) << bodies[0];
+  EXPECT_NE(bodies[1].find("\"version\":1"), std::string::npos);
+}
+
+// --- Fuzzing ----------------------------------------------------------------
+
+TEST_F(ServeProtocolTest, RandomBytesNeverCrashOrHang) {
+  Rng rng(0xfeedbeef);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int len = 1 + static_cast<int>(rng.NextU64() % 256);
+    std::string bytes(len, '\0');
+    for (char& c : bytes) c = static_cast<char>(rng.NextU64() & 0xff);
+    ServeSession session(&service_);
+    session.Consume(bytes);
+    // Whatever came out must itself be well-framed.
+    FrameDecoder decoder;
+    decoder.Feed(session.TakeOutput());
+    std::string body;
+    while (decoder.Next(&body)) {
+    }
+    EXPECT_FALSE(decoder.framing_error());
+  }
+}
+
+TEST_F(ServeProtocolTest, RandomBodiesAlwaysGetOneResponsePerFrame) {
+  Rng rng(0xdecaf);
+  const char alphabet[] = "{}[]\":,.0123456789eE+-truefalsnopkidswx \\\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    const int len = 1 + static_cast<int>(rng.NextU64() % 64);
+    std::string body(len, ' ');
+    for (char& c : body)
+      c = alphabet[rng.NextU64() % (sizeof(alphabet) - 1)];
+    ServeSession session(&service_);
+    session.Consume(EncodeFrame(body));
+    FrameDecoder decoder;
+    decoder.Feed(session.TakeOutput());
+    std::string response;
+    ASSERT_TRUE(decoder.Next(&response)) << "no response for body: " << body;
+    EXPECT_FALSE(decoder.Next(&response)) << "extra response for: " << body;
+    EXPECT_FALSE(session.closed());
+  }
+}
+
+// --- Over a real socket -----------------------------------------------------
+
+TEST_F(ServeProtocolTest, SocketRoundtripAndFramingViolationClose) {
+  EmbedServer server(&service_);
+  ASSERT_TRUE(server.Start(0).ok());
+  {
+    auto client = ServeClient::Connect(server.port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto reply = client.value().Call("{\"op\":\"stats\"}");
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_NE(reply.value().find("\"nodes\":6"), std::string::npos);
+    // Now violate framing: the server answers with an error frame and
+    // closes; the next read sees EOF.
+    std::string prefix;
+    PutScalarLe<uint32_t>(&prefix, 0);
+    ASSERT_TRUE(client.value().SendRaw(prefix).ok());
+    auto error_frame = client.value().ReadFrame();
+    ASSERT_TRUE(error_frame.ok()) << error_frame.status().ToString();
+    EXPECT_NE(error_frame.value().find("\"ok\":false"), std::string::npos);
+    auto after_close = client.value().ReadFrame();
+    EXPECT_FALSE(after_close.ok());
+  }
+  server.Stop();
+}
+
+TEST_F(ServeProtocolTest, MidFrameDisconnectLeavesServerHealthy) {
+  EmbedServer server(&service_);
+  ASSERT_TRUE(server.Start(0).ok());
+  {
+    // Send a length prefix promising 100 bytes, deliver 3, and hang up.
+    auto dirty = ServeClient::Connect(server.port());
+    ASSERT_TRUE(dirty.ok());
+    std::string partial;
+    PutScalarLe<uint32_t>(&partial, 100);
+    partial += "{\"o";
+    ASSERT_TRUE(dirty.value().SendRaw(partial).ok());
+  }  // client destroyed: connection drops mid-frame
+  // The server keeps serving new connections.
+  auto client = ServeClient::Connect(server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto reply = client.value().Call("{\"op\":\"lookup\",\"id\":1}");
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_NE(reply.value().find("\"ok\":true"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace aneci::serve

@@ -135,5 +135,51 @@ TEST(CliArgs, UnknownFlagsRejectsPrefixConfusion) {
   EXPECT_EQ(args.UnknownFlags({"dim"}).size(), 1u);
 }
 
+/// Drains everything written to a tmpfile sink.
+std::string SinkContents(std::FILE* sink) {
+  std::rewind(sink);
+  std::string contents;
+  char buf[512];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), sink)) > 0)
+    contents.append(buf, n);
+  return contents;
+}
+
+TEST(ResolveOutPath, LegacyOutEmitsDeprecationWarning) {
+  // Regression: the --out deprecation warning was once silently dropped.
+  // Assert the warning is actually written, byte for byte.
+  cli::Args args = MakeCliArgs({"--out=legacy.csv"});
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(cli::ResolveOutPath(args, "embedding.csv", sink), "legacy.csv");
+  const std::string warning = SinkContents(sink);
+  std::fclose(sink);
+  EXPECT_EQ(warning, cli::OutFlagDeprecationWarning("embedding.csv"));
+}
+
+TEST(ResolveOutPath, DeprecationWarningTextIsPinned) {
+  // The user-visible wording is part of the deprecation contract.
+  EXPECT_EQ(cli::OutFlagDeprecationWarning("communities.txt"),
+            "warning: --out=<file> is deprecated; use --outdir=<dir> "
+            "(writes <dir>/communities.txt)\n");
+}
+
+TEST(ResolveOutPath, OutdirPathIsSilent) {
+  const std::string dir = testing::TempDir() + "/resolve_outdir";
+  cli::Args args = MakeCliArgs({"--outdir=" + dir});
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(cli::ResolveOutPath(args, "embedding.csv", sink),
+            dir + "/embedding.csv");
+  EXPECT_TRUE(SinkContents(sink).empty());
+  std::fclose(sink);
+}
+
+TEST(ResolveOutPath, NeitherFlagReturnsEmpty) {
+  cli::Args args = MakeCliArgs({});
+  EXPECT_TRUE(cli::ResolveOutPath(args, "embedding.csv").empty());
+}
+
 }  // namespace
 }  // namespace aneci::bench

@@ -18,6 +18,7 @@
 //   aneci_cli attack    --graph=g.txt --type=random --rate=0.2 --out=ga.txt
 //   aneci_cli detect    --graph=g.txt --kind=Mix --fraction=0.05
 //   aneci_cli community --graph=g.txt --k=7 [--outdir=run]
+//   aneci_cli serve     --model=model.ansv [--port=7707 --probe]
 //   aneci_cli stats     metrics.jsonl [--zero-timings]
 //
 // Every subcommand accepts --metrics-out=<path>: after the command runs, the
@@ -31,6 +32,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -47,6 +49,11 @@
 #include "embed/embedder.h"
 #include "graph/graph_io.h"
 #include "graph/louvain.h"
+#include "serve/client.h"
+#include "serve/model_artifact.h"
+#include "serve/model_snapshot.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "tasks/community.h"
 #include "tasks/metrics.h"
 #include "tools/cli_args.h"
@@ -78,6 +85,10 @@ int Usage(std::FILE* stream) {
       "  detect     --graph=g.txt [--kind=Mix --fraction=0.05 --epochs=100\n"
       "              --seed=42]\n"
       "  community  --graph=g.txt [--k=7 --epochs=300 --seed=42 --outdir=run]\n"
+      "  serve      --model=model.ansv [--port=0 --probe]\n"
+      "             (train --model-out=model.ansv exports the artifact;\n"
+      "              --port=0 picks an ephemeral port; --probe issues one\n"
+      "              stats query against the live server, then exits)\n"
       "  stats      <metrics.jsonl> [--zero-timings]\n"
       "every command also accepts --metrics-out=<path> to dump the metrics\n"
       "registry (counters, spans, training telemetry) as JSONL on exit\n");
@@ -183,10 +194,10 @@ Dataset MakeCertifySplit(const Graph& graph, uint64_t seed) {
 int CmdTrain(const Args& args) {
   if (int rc = RejectUnknownFlags(
           args,
-          {"graph", "out", "dim", "hidden", "epochs", "order", "seed", "plus",
-           "checkpoint-dir", "checkpoint-every", "resume", "defense",
-           "adv-train", "adv-budget", "adv-every", "adv-kind", "certify",
-           "certify-samples", "certify-radius", "certify-seeds",
+          {"graph", "out", "model-out", "dim", "hidden", "epochs", "order",
+           "seed", "plus", "checkpoint-dir", "checkpoint-every", "resume",
+           "defense", "adv-train", "adv-budget", "adv-every", "adv-kind",
+           "certify", "certify-samples", "certify-radius", "certify-seeds",
            "metrics-out"}))
     return rc;
   StatusOr<Graph> loaded = LoadRequiredGraph(args);
@@ -230,7 +241,7 @@ int CmdTrain(const Args& args) {
     }
   }
 
-  Matrix z;
+  Matrix z, p;
   if (args.Has("plus")) {
     AneciPlusConfig plus;
     plus.base = cfg;
@@ -238,6 +249,7 @@ int CmdTrain(const Args& args) {
     std::printf("AnECI+ removed %d suspicious edges (rho=%.2f)\n",
                 result.edges_removed, result.drop_ratio);
     z = result.stage2.z;
+    p = result.stage2.p;
   } else {
     Aneci model(cfg);
     StatusOr<AneciResult> trained = model.TrainWithResilience(graph);
@@ -253,10 +265,22 @@ int CmdTrain(const Args& args) {
                 result.history.size(), result.history.back().modularity,
                 result.history.back().rigidity);
     z = result.z;
+    p = result.p;
   }
   const std::string out = args.Get("out", "embedding.csv");
   if (Status st = WriteEmbeddingCsv(z, out); !st.ok()) return Fail(st.ToString());
   std::printf("wrote %s (%d x %d)\n", out.c_str(), z.rows(), z.cols());
+
+  const std::string model_out = args.Get("model-out", "");
+  if (!model_out.empty()) {
+    const serve::ModelArtifact artifact =
+        serve::BuildModelArtifact(graph, z, p, cfg.seed + 555);
+    if (Status st = serve::SaveModelArtifact(artifact, model_out); !st.ok())
+      return Fail(st.ToString());
+    std::printf("model artifact written to %s (%d nodes, dim %d, %d classes)\n",
+                model_out.c_str(), artifact.num_nodes, artifact.embed_dim,
+                artifact.num_classes);
+  }
 
   if (args.Has("certify")) {
     if (!graph.has_labels())
@@ -399,6 +423,44 @@ int CmdCommunity(const Args& args) {
   return 0;
 }
 
+/// Serves a model artifact over the line-JSON wire protocol
+/// (docs/serving.md). The process parks until killed; --probe instead
+/// issues one stats query through a real client connection and exits, which
+/// is how scripts (and the e2e tests) check a server binary end to end.
+int CmdServe(const Args& args) {
+  if (int rc =
+          RejectUnknownFlags(args, {"model", "port", "probe", "metrics-out"}))
+    return rc;
+  const std::string model = args.Get("model", "");
+  if (model.empty()) return Fail("--model=<model.ansv> required");
+  StatusOr<std::shared_ptr<const serve::ModelSnapshot>> snapshot =
+      serve::ModelSnapshot::Load(model, /*version=*/1);
+  if (!snapshot.ok()) return Fail(snapshot.status().ToString());
+  serve::EmbedService service(snapshot.value());
+  serve::EmbedServer server(&service);
+  if (Status st = server.Start(args.GetInt("port", 0)); !st.ok())
+    return Fail(st.ToString());
+  std::printf("serving %s on 127.0.0.1:%d (%d nodes, dim %d, %d classes)\n",
+              model.c_str(), server.port(), snapshot.value()->num_nodes(),
+              snapshot.value()->embed_dim(), snapshot.value()->num_classes());
+  std::fflush(stdout);
+  if (args.Has("probe")) {
+    StatusOr<serve::ServeClient> client =
+        serve::ServeClient::Connect(server.port());
+    if (!client.ok()) {
+      server.Stop();
+      return Fail(client.status().ToString());
+    }
+    StatusOr<std::string> reply = client.value().Call("{\"op\":\"stats\"}");
+    server.Stop();
+    if (!reply.ok()) return Fail(reply.status().ToString());
+    std::printf("probe: %s\n", reply.value().c_str());
+    return 0;
+  }
+  server.Wait();
+  return 0;
+}
+
 /// Pretty-prints a metrics JSONL dump produced by --metrics-out. Takes the
 /// file as a positional argument (the one place the CLI does, since the file
 /// is the whole point of the command). --zero-timings blanks every duration
@@ -445,6 +507,8 @@ int Run(int argc, char** argv) {
     rc = CmdDetect(args);
   } else if (cmd == "community") {
     rc = CmdCommunity(args);
+  } else if (cmd == "serve") {
+    rc = CmdServe(args);
   } else {
     std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
     return Usage(stderr);

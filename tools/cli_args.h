@@ -69,19 +69,28 @@ class Args {
   std::vector<std::string> args_;
 };
 
+/// The exact deprecation warning ResolveOutPath emits for --out. A separate
+/// function so the CLI regression test can assert the emitted text matches
+/// this, character for character (a silently-dropped warning once shipped).
+inline std::string OutFlagDeprecationWarning(const std::string& default_name) {
+  return "warning: --out=<file> is deprecated; use --outdir=<dir> (writes "
+         "<dir>/" +
+         default_name + ")\n";
+}
+
 /// Output-path resolution for subcommands that moved from --out=<file> to
 /// the --outdir=<dir> convention (the file name inside the directory is
 /// fixed per command). --out still works for one deprecation cycle but
-/// prints a warning. Returns empty when neither flag is present, so callers
-/// with optional output can skip writing.
+/// prints a warning on `warnings` (stderr when null — the test seam).
+/// Returns empty when neither flag is present, so callers with optional
+/// output can skip writing.
 inline std::string ResolveOutPath(const Args& args,
-                                  const std::string& default_name) {
+                                  const std::string& default_name,
+                                  std::FILE* warnings = nullptr) {
   const std::string legacy = args.Get("out", "");
   if (!legacy.empty()) {
-    std::fprintf(stderr,
-                 "warning: --out=<file> is deprecated; use --outdir=<dir> "
-                 "(writes <dir>/%s)\n",
-                 default_name.c_str());
+    std::fputs(OutFlagDeprecationWarning(default_name).c_str(),
+               warnings ? warnings : stderr);
     return legacy;
   }
   const std::string outdir = args.Get("outdir", "");

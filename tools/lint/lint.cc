@@ -279,9 +279,32 @@ void CheckBannedNondeterminism(const std::string& file,
   }
 }
 
+/// Socket syscalls banned outside the serving layer's shim. Only free calls
+/// count: `recv(` and `::recv(` are flagged, `decoder.recv(`, `Foo::recv(`
+/// and `std::bind(` are someone else's identifiers.
+bool IsRawSocketSyscall(const std::vector<Token>& toks, size_t i) {
+  static const std::set<std::string> kSocketCalls = {
+      "socket",  "accept",  "accept4",    "connect",    "bind",
+      "listen",  "recv",    "recvfrom",   "recvmsg",    "send",
+      "sendto",  "sendmsg", "setsockopt", "getsockopt", "getsockname",
+      "shutdown"};
+  if (!kSocketCalls.count(toks[i].text)) return false;
+  if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (IsPunct(prev, ".") || IsPunct(prev, "->")) return false;
+  if (IsPunct(prev, "::")) {
+    // `::recv(` is the global syscall; `ns::recv(` is not.
+    return i < 2 || toks[i - 2].kind != TokenKind::kIdentifier;
+  }
+  return true;
+}
+
 void CheckBannedRawIo(const std::string& file, const TokenizedFile& tf,
-                      Findings* out) {
-  for (const Token& t : tf.tokens) {
+                      bool allow_sockets, Findings* out) {
+  const std::vector<Token>& toks = tf.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
     if (t.kind != TokenKind::kIdentifier) continue;
     if (t.text == "fopen" || t.text == "freopen" || t.text == "tmpfile" ||
         t.text == "ofstream" || t.text == "fstream") {
@@ -289,6 +312,13 @@ void CheckBannedRawIo(const std::string& file, const TokenizedFile& tf,
                       "'" + t.text +
                           "' bypasses Env's atomic temp+rename write path; "
                           "route file writes through util/env.h"});
+    } else if (!allow_sockets && IsRawSocketSyscall(toks, i)) {
+      out->push_back(
+          {file, t.line, "banned-raw-io",
+           "raw socket syscall '" + t.text +
+               "' in library code; all socket IO goes through the "
+               "src/serve/socket_io.cc shim so error handling (EINTR, "
+               "SIGPIPE, partial writes) lives in one audited place"});
     }
   }
 }
@@ -378,8 +408,9 @@ const std::vector<CheckInfo>& RegisteredChecks() {
        "rand/srand/std::random_device/time()/clock()/*_clock::now in src/ "
        "(allowlist: util/timer.h)"},
       {"banned-raw-io",
-       "fopen/std::ofstream/std::fstream in src/ outside util/env.cc; writes "
-       "must route through Env"},
+       "fopen/std::ofstream/std::fstream in src/ outside util/env.cc (writes "
+       "must route through Env), and raw socket syscalls outside the "
+       "serve/socket_io.cc shim"},
       {"no-iostream-in-library", "std::cout/cerr/clog or <iostream> in src/"},
       {"banned-adhoc-timing",
        "util/timer.h or a raw Timer in src/ outside util/{timer,trace,"
@@ -423,7 +454,8 @@ std::vector<Finding> Linter::Run(const LintOptions& options) const {
       if (!EndsWith(file.path, "util/timer.h"))
         CheckBannedNondeterminism(file.path, file.tokens, &raw);
       if (!EndsWith(file.path, "util/env.cc"))
-        CheckBannedRawIo(file.path, file.tokens, &raw);
+        CheckBannedRawIo(file.path, file.tokens,
+                         EndsWith(file.path, "serve/socket_io.cc"), &raw);
       if (!IsTimingLayer(file.path))
         CheckBannedAdhocTiming(file.path, file.tokens, &raw);
       CheckNoIostream(file.path, file.tokens, &raw);

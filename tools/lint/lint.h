@@ -8,7 +8,10 @@
 //                             std::chrono::*_clock::now in src/ outside the
 //                             timer allowlist
 //   banned-raw-io             fopen/std::ofstream/std::fstream writes in src/
-//                             outside env.cc (writes must route through Env)
+//                             outside env.cc (writes must route through Env);
+//                             also raw socket syscalls (socket/accept/recv/
+//                             send/...) outside the src/serve/socket_io.cc
+//                             shim, free or ::-qualified calls only
 //   no-iostream-in-library    std::cout/cerr/clog in src/
 //   banned-adhoc-timing       util/timer.h or a raw Timer in src/ outside
 //                             the observability layer (util/{timer,trace,
