@@ -10,6 +10,16 @@
 //
 //   bench_serve_load [--clients=4] [--requests=2000] [--swaps=3]
 //                    [--nodes=2000] [--dim=32] [--knn-every=16]
+//                    [--chaos] [--chaos-seed=7]
+//
+// --chaos runs the same traffic through FaultInjectingSocketIo on both
+// sides of the wire (docs/serving.md §6): short reads, delayed reads,
+// resets, and torn writes on a deterministic seeded schedule, with the
+// server's resilience limits engaged and clients calling through
+// CallWithRetry. The clean-run zero-failure gate is replaced by the chaos
+// invariant — every query reaches a definite outcome (ok, typed error, or
+// exhausted retries; never a hang) and the server drains to zero
+// connections — and the report adds shed/retry/fault rates alongside p99.
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -23,6 +33,7 @@
 #include "serve/model_snapshot.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "serve/socket_io.h"
 #include "util/env.h"
 #include "util/metrics.h"
 #include "util/table.h"
@@ -63,16 +74,31 @@ ModelArtifact MakeArtifact(int nodes, int dim, int generation) {
 
 struct ClientStats {
   uint64_t ok = 0;
+  /// Clean mode: any non-{"ok":true} outcome (the gate requires zero).
   uint64_t failed = 0;
+  /// Chaos mode only: typed {"ok":false} replies (shed, deadline, bad op)
+  /// and transport-level Status failures after retries were exhausted.
+  /// Every outcome lands in exactly one bucket — that sum being `requests`
+  /// is the chaos gate.
+  uint64_t typed_errors = 0;
+  uint64_t transport_errors = 0;
 };
 
-/// One client thread: `requests` mixed queries over its own connection.
-/// Any response that is not {"ok":true,...} counts as failed.
+/// One client thread: `requests` mixed queries over its own connection
+/// (`io` = nullptr for the default transport). In chaos mode queries go
+/// through CallWithRetry and failures are counted, not printed — they are
+/// the expected output of the fault schedule.
 ClientStats RunClient(int port, int nodes, int requests, int knn_every,
-                      uint64_t seed, std::atomic<uint64_t>* progress) {
+                      uint64_t seed, std::atomic<uint64_t>* progress,
+                      serve::SocketIo* io = nullptr, bool chaos = false) {
   ClientStats stats;
-  StatusOr<ServeClient> client = ServeClient::Connect(port);
+  StatusOr<ServeClient> client = ServeClient::Connect(port, io);
   ANECI_CHECK(client.ok());
+  serve::RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 16;
+  policy.jitter_seed = seed;
   Rng rng(seed);
   const char* point_ops[] = {"lookup", "classify", "anomaly", "community"};
   for (int i = 0; i < requests; ++i) {
@@ -84,9 +110,14 @@ ClientStats RunClient(int port, int nodes, int requests, int knn_every,
       body = std::string("{\"op\":\"") + point_ops[rng.NextU64() % 4] +
              "\",\"id\":" + std::to_string(rng.NextU64() % nodes) + "}";
     }
-    StatusOr<std::string> reply = client.value().Call(body);
+    StatusOr<std::string> reply = chaos
+                                      ? client.value().CallWithRetry(body,
+                                                                     policy)
+                                      : client.value().Call(body);
     if (reply.ok() && reply.value().rfind("{\"ok\":true", 0) == 0) {
       ++stats.ok;
+    } else if (chaos) {
+      ++(reply.ok() ? stats.typed_errors : stats.transport_errors);
     } else {
       ++stats.failed;
       std::fprintf(stderr, "FAILED %s -> %s\n", body.c_str(),
@@ -106,10 +137,14 @@ int Run(int argc, char** argv) {
   const int nodes = flags.GetInt("nodes", 2000);
   const int dim = flags.GetInt("dim", 32);
   const int knn_every = flags.GetInt("knn-every", 16);
+  const bool chaos = flags.Has("chaos");
+  const uint64_t chaos_seed =
+      static_cast<uint64_t>(flags.GetInt("chaos-seed", 7));
   std::printf(
       "serve load: %d clients x %d requests, %d nodes, dim %d, "
-      ">=%d mid-run hot-swaps\n",
-      clients, requests, nodes, dim, swaps);
+      ">=%d mid-run hot-swaps%s\n",
+      clients, requests, nodes, dim, swaps,
+      chaos ? " [CHAOS: faulty transports, retries engaged]" : "");
 
   // Artifact generation 0 serves first; generations 1..swaps are the swap
   // targets, written up front so the swap path only measures load+publish.
@@ -125,24 +160,69 @@ int Run(int argc, char** argv) {
       ModelSnapshot::Load(artifact_paths[0], /*version=*/1);
   ANECI_CHECK(initial.ok());
   EmbedService service(std::move(initial).value());
-  EmbedServer server(&service);
+
+  // Chaos transports: deterministic seeded schedules on both sides of the
+  // wire, plus the server's resilience limits engaged so shedding and
+  // deadline reaping show up in the report.
+  serve::SocketFaultSchedule server_faults;
+  server_faults.seed = chaos_seed;
+  server_faults.short_read = 0.20;
+  server_faults.delayed_read = 0.05;
+  server_faults.delay_ms = 2;
+  server_faults.reset_read = 0.01;
+  server_faults.partial_write = 0.01;
+  serve::FaultInjectingSocketIo server_io(server_faults);
+  serve::SocketFaultSchedule client_faults;
+  client_faults.seed = chaos_seed ^ 0x9e3779b97f4a7c15ull;
+  client_faults.reset_write = 0.02;
+  client_faults.short_read = 0.10;
+  serve::FaultInjectingSocketIo client_io(client_faults);
+
+  serve::ServerOptions options;
+  if (chaos) {
+    options.max_connections = clients + 2;  // fleet + control + headroom
+    options.read_deadline_ms = 5000;
+    options.write_deadline_ms = 5000;
+    options.max_pending_requests = clients * 8;
+    options.drain_timeout_ms = 2000;
+  }
+  EmbedServer server(&service, options, chaos ? &server_io : nullptr);
   ANECI_CHECK(server.Start(0).ok());
 
   // Swapper: issues swap `g` once overall progress passes g/(swaps+1) of the
   // total, so the swaps land spread across the run, under full traffic.
   const uint64_t total = static_cast<uint64_t>(clients) * requests;
   std::atomic<uint64_t> progress{0};
+  std::atomic<int> swaps_acked{0};
   std::thread swapper([&] {
+    // The control connection stays on the clean default transport even in
+    // chaos mode (the server-side faults still apply): swaps are
+    // non-idempotent, so the bench retries them only via the explicit
+    // opt-in, and tolerates lost acks rather than gating on them.
     StatusOr<ServeClient> control = ServeClient::Connect(server.port());
     ANECI_CHECK(control.ok());
+    serve::RetryPolicy swap_policy;
+    swap_policy.retry_non_idempotent = true;
+    swap_policy.jitter_seed = chaos_seed + 99;
     for (int g = 1; g <= swaps; ++g) {
       const uint64_t threshold = total * g / (swaps + 1);
       while (progress.load(std::memory_order_relaxed) < threshold)
         std::this_thread::yield();
-      StatusOr<std::string> ack = control.value().Call(
-          "{\"op\":\"swap\",\"path\":\"" + artifact_paths[g] + "\"}");
+      const std::string body =
+          "{\"op\":\"swap\",\"path\":\"" + artifact_paths[g] + "\"}";
+      StatusOr<std::string> ack =
+          chaos ? control.value().CallWithRetry(body, swap_policy)
+                : control.value().Call(body);
+      if (chaos && (!ack.ok() ||
+                    ack.value().rfind("{\"ok\":true", 0) != 0)) {
+        std::printf("  swap %d lost to chaos (%s)\n", g,
+                    ack.ok() ? ack.value().c_str()
+                             : ack.status().ToString().c_str());
+        continue;
+      }
       ANECI_CHECK(ack.ok());
       ANECI_CHECK(ack.value().rfind("{\"ok\":true", 0) == 0);
+      swaps_acked.fetch_add(1);
       std::printf("  swap %d acked: %s\n", g, ack.value().c_str());
     }
   });
@@ -153,17 +233,20 @@ int Run(int argc, char** argv) {
   for (int c = 0; c < clients; ++c)
     threads.emplace_back([&, c] {
       stats[c] = RunClient(server.port(), nodes, requests, knn_every,
-                           77 + c, &progress);
+                           77 + c, &progress, chaos ? &client_io : nullptr,
+                           chaos);
     });
   for (std::thread& t : threads) t.join();
   swapper.join();
   const double seconds = wall.Seconds();
   server.Stop();
 
-  uint64_t ok = 0, failed = 0;
+  uint64_t ok = 0, failed = 0, typed_errors = 0, transport_errors = 0;
   for (const ClientStats& s : stats) {
     ok += s.ok;
     failed += s.failed;
+    typed_errors += s.typed_errors;
+    transport_errors += s.transport_errors;
   }
 
   MetricsRegistry& registry = MetricsRegistry::Global();
@@ -198,11 +281,55 @@ int Run(int argc, char** argv) {
       registry.GetGauge("serve/snapshot_version", MetricClass::kDeterministic)
           ->Value());
 
+  if (chaos) {
+    const uint64_t shed_requests =
+        registry.GetCounter("serve/shed_requests", MetricClass::kScheduling)
+            ->Value();
+    const uint64_t shed_connections =
+        registry
+            .GetCounter("serve/shed_connections", MetricClass::kScheduling)
+            ->Value();
+    const uint64_t deadline_kills =
+        registry.GetCounter("serve/deadline_kills", MetricClass::kScheduling)
+            ->Value();
+    const uint64_t retries =
+        registry.GetCounter("serve/client_retries", MetricClass::kScheduling)
+            ->Value();
+    std::printf(
+        "chaos: %d injected faults (server) + %d (client), %llu retries "
+        "(%.3f/query), %llu shed requests + %llu shed connections "
+        "(shed rate %.3f), %llu deadline kills\n",
+        server_io.injected_faults(), client_io.injected_faults(),
+        static_cast<unsigned long long>(retries),
+        static_cast<double>(retries) / total,
+        static_cast<unsigned long long>(shed_requests),
+        static_cast<unsigned long long>(shed_connections),
+        static_cast<double>(shed_requests) / total,
+        static_cast<unsigned long long>(deadline_kills));
+    std::printf("chaos outcomes: %llu ok, %llu typed errors, %llu "
+                "transport errors (all definite)\n",
+                static_cast<unsigned long long>(ok),
+                static_cast<unsigned long long>(typed_errors),
+                static_cast<unsigned long long>(transport_errors));
+    // The chaos gate: every query reached a definite outcome, most traffic
+    // still landed through the retry loop, acked swaps published, and the
+    // server drained clean — no leaked connection threads.
+    ANECI_CHECK(ok + typed_errors + transport_errors == total);
+    ANECI_CHECK(ok > 0);
+    ANECI_CHECK(engine_errors == 0);
+    ANECI_CHECK(published >= static_cast<uint64_t>(swaps_acked.load()));
+    ANECI_CHECK(server.active_connections() == 0);
+    std::printf("PASS: all %llu queries definite under injected faults\n",
+                static_cast<unsigned long long>(total));
+    return 0;
+  }
+
   // The gate: sustained traffic across >=3 hot-swaps with zero failures.
   ANECI_CHECK(served == total);
   ANECI_CHECK(failed == 0);
   ANECI_CHECK(engine_errors == 0);
   ANECI_CHECK(published >= static_cast<uint64_t>(swaps));
+  ANECI_CHECK(server.active_connections() == 0);
   std::printf("PASS: zero failed queries across %llu hot-swaps\n",
               static_cast<unsigned long long>(published));
   return 0;

@@ -1,17 +1,44 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "util/metrics.h"
+#include "util/rng.h"
 
 namespace aneci::serve {
 namespace {
 
 constexpr size_t kReadChunkBytes = 64 * 1024;
 
+/// Capped exponential backoff with deterministic jitter: the lower half of
+/// the window is guaranteed, the upper half is drawn from `rng`.
+void SleepBackoff(int attempt, const RetryPolicy& policy, Rng* rng) {
+  int backoff = policy.initial_backoff_ms;
+  for (int i = 1; i < attempt && backoff < policy.max_backoff_ms; ++i)
+    backoff *= 2;
+  backoff = std::clamp(backoff, 1, std::max(1, policy.max_backoff_ms));
+  const int jittered =
+      backoff / 2 +
+      static_cast<int>(rng->NextU64() % static_cast<uint64_t>(backoff / 2 + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+}
+
+/// A typed "overloaded" shed frame: rejected before execution, so retrying
+/// is safe for any op.
+bool IsOverloadedReply(std::string_view body) {
+  return body.rfind("{\"ok\":false", 0) == 0 &&
+         body.find("\"code\":\"overloaded\"") != std::string_view::npos;
+}
+
 }  // namespace
 
-StatusOr<ServeClient> ServeClient::Connect(int port) {
-  ANECI_ASSIGN_OR_RETURN(SocketFd socket, ConnectToLoopback(port));
-  return ServeClient(std::move(socket));
+StatusOr<ServeClient> ServeClient::Connect(int port, SocketIo* io) {
+  if (io == nullptr) io = SocketIo::Default();
+  ANECI_ASSIGN_OR_RETURN(SocketFd socket, io->Connect(port));
+  return ServeClient(port, io, std::move(socket));
 }
 
 StatusOr<std::string> ServeClient::Call(std::string_view request_body) {
@@ -19,8 +46,67 @@ StatusOr<std::string> ServeClient::Call(std::string_view request_body) {
   return ReadFrame();
 }
 
+StatusOr<std::string> ServeClient::CallWithRetry(std::string_view request_body,
+                                                 const RetryPolicy& policy) {
+  static Counter* retries = MetricsRegistry::Global().GetCounter(
+      "serve/client_retries", MetricClass::kScheduling);
+  static Counter* reconnects = MetricsRegistry::Global().GetCounter(
+      "serve/client_reconnects", MetricClass::kScheduling);
+  // Only queries are idempotent; a swap that errored mid-flight may still
+  // have executed server-side (the version advanced), so by default it gets
+  // exactly one transport attempt. Unparseable bodies are safe: the server
+  // answers them with an error frame without executing anything.
+  bool idempotent = true;
+  if (auto parsed = ParseWireRequest(request_body);
+      parsed.ok() && parsed.value().kind == WireRequest::Kind::kSwap)
+    idempotent = policy.retry_non_idempotent;
+
+  Rng rng(policy.jitter_seed);
+  const int attempts = std::max(1, policy.max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      retries->Increment();
+      SleepBackoff(attempt - 1, policy, &rng);
+    }
+    if (!socket_.valid()) {
+      auto socket = io_->Connect(port_);
+      if (!socket.ok()) {
+        last = socket.status();
+        continue;
+      }
+      socket_ = std::move(socket).value();
+      decoder_ = FrameDecoder();
+      reconnects->Increment();
+    }
+    StatusOr<std::string> reply = Call(request_body);
+    if (!reply.ok()) {
+      last = reply.status();
+      // Transport state is unknown (a response may be half-delivered);
+      // drop the connection so the next attempt starts clean.
+      socket_.Close();
+      decoder_ = FrameDecoder();
+      if (!idempotent)
+        return Status(last.code(),
+                      "non-idempotent request not retried after transport "
+                      "error: " +
+                          last.message());
+      continue;
+    }
+    if (IsOverloadedReply(reply.value())) {
+      last = Status::Unavailable("request shed by server: " + reply.value());
+      continue;
+    }
+    return reply;
+  }
+  return Status(last.ok() ? StatusCode::kUnavailable : last.code(),
+                "exhausted " + std::to_string(attempts) +
+                    " attempts: " + (last.ok() ? "no attempt ran"
+                                               : last.message()));
+}
+
 Status ServeClient::SendRaw(std::string_view bytes) {
-  return SocketWriteAll(socket_, bytes);
+  return io_->WriteAll(socket_, bytes);
 }
 
 StatusOr<std::string> ServeClient::ReadFrame() {
@@ -31,13 +117,13 @@ StatusOr<std::string> ServeClient::ReadFrame() {
       return Status::IoError("response framing error: " +
                              decoder_.framing_error_message());
     ANECI_ASSIGN_OR_RETURN(const std::string chunk,
-                           SocketRead(socket_, kReadChunkBytes));
+                           io_->Read(socket_, kReadChunkBytes));
     if (chunk.empty())
       return Status::IoError("connection closed before a full response");
     decoder_.Feed(chunk);
   }
 }
 
-Status ServeClient::FinishRequests() { return ShutdownWrite(socket_); }
+Status ServeClient::FinishRequests() { return io_->ShutdownWrite(socket_); }
 
 }  // namespace aneci::serve

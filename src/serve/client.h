@@ -1,6 +1,13 @@
 // Minimal blocking client for the embed-server wire protocol, used by the
 // e2e tests, the load bench, and the CLI's `serve --probe` self-check. One
 // Call() is one request frame followed by one response frame.
+//
+// CallWithRetry() adds the resilience loop (docs/serving.md §6): capped
+// exponential backoff with deterministic xoshiro-seeded jitter, reconnect
+// after transport errors, retry of "overloaded" shed responses (they were
+// rejected before execution, so retrying is always safe), and an
+// idempotent-ops-only default — a swap that died in flight may have
+// executed, so it is not re-sent unless the policy opts in.
 #ifndef ANECI_SERVE_CLIENT_H_
 #define ANECI_SERVE_CLIENT_H_
 
@@ -13,18 +20,47 @@
 
 namespace aneci::serve {
 
+/// Retry knobs for ServeClient::CallWithRetry. Attempt n (1-based) sleeps
+/// min(max_backoff_ms, initial_backoff_ms << (n-1)) ms before running, with
+/// the upper half of the sleep jittered by a deterministic xoshiro stream
+/// seeded from `jitter_seed` — reproducible schedules, but a client fleet
+/// with distinct seeds still decorrelates its retry storms.
+struct RetryPolicy {
+  int max_attempts = 4;
+  int initial_backoff_ms = 5;
+  int max_backoff_ms = 100;
+  uint64_t jitter_seed = 0x5eed;
+  /// Retry swap (non-idempotent) after a transport error. Off by default: a
+  /// request that died mid-flight may have executed server-side.
+  bool retry_non_idempotent = false;
+};
+
 class ServeClient {
  public:
-  /// Connects to 127.0.0.1:`port`.
-  static StatusOr<ServeClient> Connect(int port);
+  /// Connects to 127.0.0.1:`port` over `io` (nullptr = SocketIo::Default();
+  /// inject a FaultInjectingSocketIo to chaos-test the client's transport).
+  /// The io must outlive the client.
+  static StatusOr<ServeClient> Connect(int port, SocketIo* io = nullptr);
 
   ServeClient(ServeClient&&) = default;
   ServeClient& operator=(ServeClient&&) = default;
+  // Explicitly non-copyable (not just implicitly via SocketFd): two clients
+  // sharing one fd would interleave frames and corrupt both sessions.
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
 
   /// Sends one JSON request body and returns the raw JSON response body.
   /// An {"ok":false,...} body is still a successful Call(); only transport
   /// failures (connection reset, truncated response) are errors.
   StatusOr<std::string> Call(std::string_view request_body);
+
+  /// Call() wrapped in the retry loop. Every outcome is definite: a
+  /// response body (possibly a typed {"ok":false} error), or a Status once
+  /// the attempts are exhausted (annotated with the attempt count). After a
+  /// transport error the connection is torn down and the next attempt
+  /// reconnects from scratch.
+  StatusOr<std::string> CallWithRetry(std::string_view request_body,
+                                      const RetryPolicy& policy = {});
 
   /// Sends raw bytes verbatim — no framing. The protocol fuzz tests use
   /// this to deliver malformed frames.
@@ -37,8 +73,11 @@ class ServeClient {
   Status FinishRequests();
 
  private:
-  explicit ServeClient(SocketFd socket) : socket_(std::move(socket)) {}
+  ServeClient(int port, SocketIo* io, SocketFd socket)
+      : port_(port), io_(io), socket_(std::move(socket)) {}
 
+  int port_ = 0;
+  SocketIo* io_ = nullptr;
   SocketFd socket_;
   FrameDecoder decoder_;
 };

@@ -52,6 +52,11 @@ struct QueryRequest {
   QueryOp op = QueryOp::kStats;
   int id = -1;  ///< Node id; required by every op except stats.
   int k = 10;   ///< k-NN fan-out; clamped to [1, num_nodes - 1].
+  /// Wire-carried per-request deadline in ms (0 = none). Enforced by the
+  /// session layer at execution-admission time, not by the engine: a
+  /// request whose budget expired while queued behind a batch or a swap is
+  /// answered with a typed "deadline_exceeded" error instead of running.
+  int deadline_ms = 0;
 };
 
 struct Neighbor {

@@ -1,6 +1,6 @@
 #include "serve/server.h"
 
-#include <condition_variable>
+#include <chrono>
 #include <utility>
 
 #include "util/metrics.h"
@@ -9,28 +9,48 @@ namespace aneci::serve {
 namespace {
 
 constexpr size_t kReadChunkBytes = 64 * 1024;
+/// Write budget for the one-frame shed/kill notifications sent to clients
+/// that may not be reading: short, so neither the acceptor thread nor a
+/// dying connection thread can be parked by an unresponsive peer.
+constexpr int kNotifyWriteDeadlineMs = 250;
+
+Gauge* ActiveConnectionsGauge() {
+  static Gauge* gauge = MetricsRegistry::Global().GetGauge(
+      "serve/active_connections", MetricClass::kScheduling);
+  return gauge;
+}
 
 }  // namespace
+
+EmbedServer::EmbedServer(EmbedService* service, ServerOptions options,
+                         SocketIo* io)
+    : service_(service),
+      options_(options),
+      io_(io != nullptr ? io : SocketIo::Default()),
+      admission_(options.max_pending_requests) {}
 
 EmbedServer::~EmbedServer() { Stop(); }
 
 Status EmbedServer::Start(int port) {
-  ANECI_ASSIGN_OR_RETURN(listener_, ListenOnLoopback(port, &port_));
+  ANECI_ASSIGN_OR_RETURN(listener_, io_->Listen(port, &port_));
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
 void EmbedServer::Stop() {
   if (stopping_.exchange(true)) {
-    // Second caller: just wait for the first Stop() to finish.
+    // Second caller (or a Stop() racing the destructor): wait for the
+    // first Stop() to finish.
     std::unique_lock<std::mutex> lock(mu_);
     stopped_cv_.wait(lock, [this] { return stopped_; });
     return;
   }
   // shutdown() — not close() — is what unblocks a thread parked in accept()
   // on Linux (the accept fails with EINVAL); a plain close() would leave the
-  // acceptor blocked until the next client happened to connect.
-  (void)ShutdownBoth(listener_);
+  // acceptor blocked until the next client happened to connect. On a
+  // never-started server the listener is invalid and this is a harmless
+  // EBADF.
+  (void)io_->ShutdownBoth(listener_);
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
   std::vector<Connection> connections;
@@ -38,11 +58,26 @@ void EmbedServer::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     connections.swap(connections_);
   }
-  // Connection threads may be parked in recv() on clients that are still
-  // connected; shutting the sockets down (both directions) unblocks them,
-  // then the joins complete.
+  // Graceful drain: half-close the read side of every live connection, so
+  // a thread parked in recv() sees EOF, finishes whatever request is in
+  // flight, flushes its responses, and exits on its own.
   for (Connection& c : connections)
-    if (c.socket) (void)ShutdownBoth(*c.socket);
+    if (c.socket) (void)io_->ShutdownRead(*c.socket);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait_for(lock,
+                       std::chrono::milliseconds(
+                           options_.drain_timeout_ms > 0
+                               ? options_.drain_timeout_ms
+                               : 0),
+                       [this] { return active_ == 0; });
+  }
+  // Hard phase: whatever outlived the drain window (e.g. a thread blocked
+  // writing to a peer that stopped reading) gets both directions shut, then
+  // the joins complete.
+  for (Connection& c : connections)
+    if (c.socket && !c.done->load(std::memory_order_acquire))
+      (void)io_->ShutdownBoth(*c.socket);
   for (Connection& c : connections)
     if (c.thread.joinable()) c.thread.join();
   {
@@ -57,11 +92,34 @@ void EmbedServer::Wait() {
   stopped_cv_.wait(lock, [this] { return stopped_; });
 }
 
+int EmbedServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void EmbedServer::SetActiveLocked(int delta) {
+  active_ += delta;
+  ActiveConnectionsGauge()->Set(active_);
+}
+
+void EmbedServer::ShedConnection(SocketFd socket) {
+  static Counter* shed = MetricsRegistry::Global().GetCounter(
+      "serve/shed_connections", MetricClass::kScheduling);
+  shed->Increment();
+  (void)io_->WriteAll(
+      socket,
+      EncodeFrame(RenderError(Status::Unavailable(
+          "connection limit (" + std::to_string(options_.max_connections) +
+          ") reached; connection shed"))),
+      kNotifyWriteDeadlineMs);
+  // socket closes on scope exit: the client sees one typed frame, then EOF.
+}
+
 void EmbedServer::AcceptLoop() {
   static Counter* accepted = MetricsRegistry::Global().GetCounter(
       "serve/connections", MetricClass::kDeterministic);
   while (!stopping_.load(std::memory_order_relaxed)) {
-    auto conn = AcceptConnection(listener_);
+    auto conn = io_->Accept(listener_);
     if (!conn.ok()) {
       // Listener closed (shutdown) or transient failure; both end the loop
       // on shutdown, transient errors just drop that one connection.
@@ -71,9 +129,18 @@ void EmbedServer::AcceptLoop() {
     accepted->Increment();
     auto socket = std::make_shared<SocketFd>(std::move(conn).value());
     auto done = std::make_shared<std::atomic<bool>>(false);
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     if (stopping_.load(std::memory_order_relaxed)) return;  // refuse late arrivals
     ReapFinishedConnectionsLocked();
+    if (options_.max_connections > 0 && active_ >= options_.max_connections) {
+      lock.unlock();
+      // Admission control: answer over-cap connects immediately with a
+      // typed rejection instead of letting fds (and threads) accumulate
+      // until the OS runs out.
+      ShedConnection(std::move(*socket));
+      continue;
+    }
+    SetActiveLocked(1);
     Connection c;
     c.socket = socket;
     c.done = done;
@@ -82,8 +149,16 @@ void EmbedServer::AcceptLoop() {
       // Terminate the connection so the peer sees EOF now; the fd itself is
       // closed when the acceptor (or Stop) reaps this entry. shutdown() only
       // reads the fd, so a concurrent ShutdownBoth from Stop() is safe.
-      (void)ShutdownBoth(*socket);
+      (void)io_->ShutdownBoth(*socket);
+      {
+        std::lock_guard<std::mutex> inner(mu_);
+        SetActiveLocked(-1);
+      }
+      // `done` flips only after the mu_ section: the acceptor joins done
+      // threads while HOLDING mu_, so nothing past this store may touch the
+      // lock or the join deadlocks (caught by the chaos sweep under TSan).
       done->store(true, std::memory_order_release);
+      drain_cv_.notify_all();
     });
     connections_.push_back(std::move(c));
   }
@@ -103,14 +178,36 @@ void EmbedServer::ReapFinishedConnectionsLocked() {
 void EmbedServer::ConnectionLoop(std::shared_ptr<SocketFd> connection) {
   static Counter* dirty = MetricsRegistry::Global().GetCounter(
       "serve/mid_frame_disconnects", MetricClass::kDeterministic);
-  ServeSession session(service_);
+  static Counter* deadline_kills = MetricsRegistry::Global().GetCounter(
+      "serve/deadline_kills", MetricClass::kScheduling);
+  SessionOptions session_options;
+  if (options_.max_pending_requests > 0)
+    session_options.admission = &admission_;
+  ServeSession session(service_, std::move(session_options));
   while (true) {
-    auto chunk = SocketRead(*connection, kReadChunkBytes);
-    if (!chunk.ok()) return;  // reset by peer etc.; nothing to flush
+    auto chunk =
+        io_->Read(*connection, kReadChunkBytes, options_.read_deadline_ms);
+    if (!chunk.ok()) {
+      if (chunk.status().code() == StatusCode::kDeadlineExceeded) {
+        // Slow-loris reaping: tell the peer why (bounded write, it may not
+        // be reading), then drop the connection.
+        deadline_kills->Increment();
+        (void)io_->WriteAll(
+            *connection,
+            EncodeFrame(RenderError(Status::DeadlineExceeded(
+                "connection read deadline (" +
+                std::to_string(options_.read_deadline_ms) +
+                " ms) exceeded; closing"))),
+            kNotifyWriteDeadlineMs);
+      }
+      return;  // reset by peer etc.; nothing to flush
+    }
     const bool eof = chunk.value().empty();
     if (!eof) session.Consume(chunk.value());
     const std::string out = session.TakeOutput();
-    if (!out.empty() && !SocketWriteAll(*connection, out).ok()) return;
+    if (!out.empty() &&
+        !io_->WriteAll(*connection, out, options_.write_deadline_ms).ok())
+      return;
     if (session.closed()) return;  // framing violation: error frame sent
     if (eof) {
       if (session.mid_frame()) dirty->Increment();

@@ -3,6 +3,14 @@
 // machine over blocking reads. All protocol and query logic lives in the
 // socket-free layers below (service.h / query_engine.h); this file only
 // moves bytes.
+//
+// Resilience (docs/serving.md §6): a connection cap with admission control
+// (the cap+1-th client gets a typed "overloaded" frame, never a hang), a
+// bounded pending-request budget shared across connections, per-connection
+// read/write deadlines that reap slow-loris peers with a typed
+// "deadline_exceeded" frame, and a graceful drain on Stop() — stop
+// accepting, half-close reads so in-flight work finishes, then hard-close
+// whatever outlives the drain timeout.
 #ifndef ANECI_SERVE_SERVER_H_
 #define ANECI_SERVE_SERVER_H_
 
@@ -19,10 +27,39 @@
 
 namespace aneci::serve {
 
+/// Server resilience knobs. The defaults keep a misbehaving client fleet
+/// from taking the process down while staying invisible to well-behaved
+/// traffic; every limit is surfaced through the metrics registry.
+struct ServerOptions {
+  /// Hard cap on concurrently served connections. The cap+1-th connect is
+  /// answered with one "overloaded" error frame and closed (a typed
+  /// rejection, not a hang), counted by serve/shed_connections. <= 0 means
+  /// uncapped.
+  int max_connections = 64;
+  /// Per-connection socket read deadline: an idle or byte-dribbling peer is
+  /// reaped after this long with a "deadline_exceeded" frame
+  /// (serve/deadline_kills). <= 0 disables (block forever).
+  int read_deadline_ms = 0;
+  /// Per-connection bound on each blocked wait while writing a response to
+  /// a peer that stopped draining. <= 0 disables.
+  int write_deadline_ms = 0;
+  /// Shared bound on admitted-but-unexecuted requests across every
+  /// connection; past it, requests shed with "overloaded"
+  /// (serve/shed_requests). <= 0 means unbounded.
+  int max_pending_requests = 0;
+  /// Stop() grace window: after the listener closes, in-flight connections
+  /// get this long to finish (reads are half-closed so their threads see
+  /// EOF); survivors are then hard-closed.
+  int drain_timeout_ms = 2000;
+};
+
 class EmbedServer {
  public:
-  /// Serves `service` (not owned; must outlive the server).
-  explicit EmbedServer(EmbedService* service) : service_(service) {}
+  /// Serves `service` (not owned; must outlive the server) over `io`
+  /// (nullptr = SocketIo::Default(); inject a FaultInjectingSocketIo to
+  /// chaos-test the server's own transport).
+  explicit EmbedServer(EmbedService* service, ServerOptions options = {},
+                       SocketIo* io = nullptr);
   ~EmbedServer();
 
   EmbedServer(const EmbedServer&) = delete;
@@ -34,13 +71,18 @@ class EmbedServer {
   /// The bound port (valid after a successful Start).
   int port() const { return port_; }
 
-  /// Stops accepting, closes the listener, and joins every connection
-  /// thread. Safe to call twice; called by the destructor.
+  /// Stops accepting, drains in-flight connections (bounded by
+  /// drain_timeout_ms), and joins every connection thread. Safe to call
+  /// twice, before Start(), and from the destructor.
   void Stop();
 
   /// Blocks until Stop() is called from another thread (the CLI's serve
   /// subcommand parks its main thread here).
   void Wait();
+
+  /// Live connection count (the serve/active_connections gauge mirrors
+  /// this; both return to 0 after Stop()).
+  int active_connections() const;
 
  private:
   struct Connection {
@@ -54,14 +96,24 @@ class EmbedServer {
   void AcceptLoop();
   void ReapFinishedConnectionsLocked();
   void ConnectionLoop(std::shared_ptr<SocketFd> connection);
+  /// Answers an over-cap connect with one typed "overloaded" frame and
+  /// closes it. Runs on the acceptor thread with a short write budget so a
+  /// non-reading client cannot stall accepts.
+  void ShedConnection(SocketFd socket);
+  void SetActiveLocked(int delta);
 
   EmbedService* const service_;
+  const ServerOptions options_;
+  SocketIo* const io_;
+  AdmissionController admission_;
   SocketFd listener_;
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::mutex mu_;  // guards connections_ and stopped_
+  mutable std::mutex mu_;  // guards connections_, active_, and stopped_
   std::vector<Connection> connections_;  // unwound and joined by Stop()
+  int active_ = 0;  ///< connection threads spawned and not yet exited
+  std::condition_variable drain_cv_;  ///< signalled as active_ falls
   std::condition_variable stopped_cv_;
   bool stopped_ = false;
 };

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/socket_io.h"
 #include "util/metrics.h"
 
 namespace aneci::serve {
@@ -33,13 +34,18 @@ uint64_t EmbedService::next_version() const {
   return next_version_.load(std::memory_order_relaxed);
 }
 
+ServeSession::ServeSession(EmbedService* service, SessionOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (!options_.now_ms) options_.now_ms = [] { return MonotonicMs(); };
+}
+
 void ServeSession::Consume(std::string_view bytes) {
   if (closed_) return;
   decoder_.Feed(bytes);
   // Pipelined query frames that arrived together are executed as one batch
   // through the thread pool; swap and error frames are ordering barriers,
   // so every response still lands in request order.
-  std::vector<QueryRequest> batch;
+  std::vector<PendingQuery> batch;
   std::string body;
   while (decoder_.Next(&body)) {
     auto parsed = ParseWireRequest(body);
@@ -64,7 +70,20 @@ void ServeSession::Consume(std::string_view bytes) {
       }
       continue;
     }
-    batch.push_back(request.query);
+    // Admission happens per request at parse time, against the budget
+    // shared by every connection: past the budget, shed with a typed
+    // "overloaded" error (a barrier, to keep responses in request order)
+    // instead of queueing unboundedly.
+    if (options_.admission != nullptr && !options_.admission->TryAcquire(1)) {
+      static Counter* shed = MetricsRegistry::Global().GetCounter(
+          "serve/shed_requests", MetricClass::kScheduling);
+      shed->Increment();
+      FlushBatch(&batch);
+      output_ += EncodeFrame(RenderError(Status::Unavailable(
+          "pending-request budget exhausted; request shed")));
+      continue;
+    }
+    batch.push_back({request.query, options_.now_ms()});
   }
   FlushBatch(&batch);
   if (decoder_.framing_error()) {
@@ -77,20 +96,50 @@ void ServeSession::Consume(std::string_view bytes) {
   }
 }
 
-void ServeSession::FlushBatch(std::vector<QueryRequest>* batch) {
+void ServeSession::FlushBatch(std::vector<PendingQuery>* batch) {
   if (batch->empty()) return;
-  if (batch->size() == 1) {
-    const QueryResult result = service_->engine().Execute(batch->front());
-    output_ += EncodeFrame(result.ok() ? RenderResponse(result.response)
-                                       : RenderError(result.status));
-  } else {
+  // Deadline check happens once, at execution admission: a request whose
+  // wire-carried budget expired while it sat behind the batch (or a swap
+  // barrier) answers "deadline_exceeded" and never reaches the engine.
+  const double now = options_.now_ms();
+  std::vector<QueryRequest> runnable;
+  std::vector<int> slot(batch->size(), -1);
+  for (size_t i = 0; i < batch->size(); ++i) {
+    const PendingQuery& pending = (*batch)[i];
+    if (pending.query.deadline_ms > 0 &&
+        now - pending.arrival_ms >= pending.query.deadline_ms) {
+      static Counter* expired = MetricsRegistry::Global().GetCounter(
+          "serve/deadline_expired_requests", MetricClass::kScheduling);
+      expired->Increment();
+      continue;
+    }
+    slot[i] = static_cast<int>(runnable.size());
+    runnable.push_back(pending.query);
+  }
+
+  std::vector<QueryResult> results;
+  if (runnable.size() == 1) {
+    results.push_back(service_->engine().Execute(runnable.front()));
+  } else if (!runnable.empty()) {
     static Counter* batched = MetricsRegistry::Global().GetCounter(
         "serve/batched_queries", MetricClass::kDeterministic);
-    batched->Add(batch->size());
-    for (const QueryResult& result : service_->engine().ExecuteBatch(*batch))
-      output_ += EncodeFrame(result.ok() ? RenderResponse(result.response)
-                                         : RenderError(result.status));
+    batched->Add(runnable.size());
+    results = service_->engine().ExecuteBatch(runnable);
   }
+  for (size_t i = 0; i < batch->size(); ++i) {
+    if (slot[i] < 0) {
+      const PendingQuery& pending = (*batch)[i];
+      output_ += EncodeFrame(RenderError(Status::DeadlineExceeded(
+          "request deadline (" + std::to_string(pending.query.deadline_ms) +
+          " ms) expired before execution")));
+      continue;
+    }
+    const QueryResult& result = results[static_cast<size_t>(slot[i])];
+    output_ += EncodeFrame(result.ok() ? RenderResponse(result.response)
+                                       : RenderError(result.status));
+  }
+  if (options_.admission != nullptr)
+    options_.admission->Release(static_cast<int>(batch->size()));
   batch->clear();
 }
 

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -19,6 +20,52 @@
 #include "util/status.h"
 
 namespace aneci::serve {
+
+/// Bounded pending-request budget shared by every session of one server.
+/// When the budget is exhausted, new requests are shed with a typed
+/// "overloaded" error instead of queueing unboundedly — an overloaded
+/// server degrades by answering fast-and-negative, never by stalling
+/// everyone. budget <= 0 means unbounded (admit everything).
+class AdmissionController {
+ public:
+  explicit AdmissionController(int budget) : budget_(budget) {}
+
+  /// Claims `n` slots; false (and no slots) if that would exceed the budget.
+  bool TryAcquire(int n = 1) {
+    if (budget_ <= 0) return true;
+    int current = in_flight_.load(std::memory_order_relaxed);
+    while (true) {
+      if (current + n > budget_) return false;
+      if (in_flight_.compare_exchange_weak(current, current + n,
+                                           std::memory_order_acq_rel))
+        return true;
+    }
+  }
+
+  void Release(int n = 1) {
+    if (budget_ > 0) in_flight_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+
+  int in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  int budget() const { return budget_; }
+
+ private:
+  const int budget_;
+  std::atomic<int> in_flight_{0};
+};
+
+/// Per-session knobs, all optional. The defaults reproduce the pre-existing
+/// behaviour exactly (admit everything, enforce no deadlines).
+struct SessionOptions {
+  /// Shared pending-request budget; nullptr admits everything.
+  AdmissionController* admission = nullptr;
+  /// Monotonic-ms time source used to stamp request arrival and check
+  /// "deadline_ms" budgets. Empty uses the real clock
+  /// (serve::MonotonicMs); tests inject fakes to step time deterministically.
+  std::function<double()> now_ms;
+};
 
 /// The shared serving state: one QueryEngine plus the artifact-loading swap
 /// path. Thread-safe; one instance is shared by every connection.
@@ -51,7 +98,7 @@ class EmbedService {
 /// out-of-range id, failed swap) produce an error frame and keep going.
 class ServeSession {
  public:
-  explicit ServeSession(EmbedService* service) : service_(service) {}
+  explicit ServeSession(EmbedService* service, SessionOptions options = {});
 
   /// Consumes a chunk of request bytes, appending any complete responses
   /// (length-prefixed frames, in request order) to the output buffer.
@@ -73,9 +120,16 @@ class ServeSession {
   bool mid_frame() const { return decoder_.pending_bytes() > 0; }
 
  private:
-  void FlushBatch(std::vector<QueryRequest>* batch);
+  /// One admitted-but-not-yet-executed query plus its arrival stamp.
+  struct PendingQuery {
+    QueryRequest query;
+    double arrival_ms = 0.0;
+  };
+
+  void FlushBatch(std::vector<PendingQuery>* batch);
 
   EmbedService* const service_;
+  SessionOptions options_;
   FrameDecoder decoder_;
   std::string output_;
   bool closed_ = false;

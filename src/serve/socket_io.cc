@@ -1,18 +1,43 @@
 #include "serve/socket_io.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
+
+#include "util/metrics.h"
 
 namespace aneci::serve {
 namespace {
 
 Status Errno(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Waits for `events` (POLLIN/POLLOUT) on the fd for at most `deadline_ms`.
+/// OK = ready; DeadlineExceeded = budget ran out; IoError = poll failed.
+Status AwaitReady(int fd, short events, int deadline_ms, const char* verb) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  while (true) {
+    const int rc = ::poll(&pfd, 1, deadline_ms);
+    if (rc > 0) return Status::OK();
+    if (rc == 0)
+      return Status::DeadlineExceeded(std::string(verb) + " deadline (" +
+                                      std::to_string(deadline_ms) +
+                                      " ms) exceeded");
+    if (errno == EINTR) continue;  // conservatively restart the full budget
+    return Errno("poll");
+  }
 }
 
 }  // namespace
@@ -24,7 +49,16 @@ void SocketFd::Close() {
   }
 }
 
-StatusOr<SocketFd> ListenOnLoopback(int port, int* bound_port) {
+double MonotonicMs() {
+  // The one blessed deadline clock for the serving layer; confined to the
+  // shim like the syscalls it gates.
+  // NOLINTNEXTLINE(banned-nondeterminism): deadlines need a real monotonic clock; this is the audited shim boundary.
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+StatusOr<SocketFd> SocketIo::Listen(int port, int* bound_port) {
   if (port < 0 || port > 65535)
     return Status::InvalidArgument("port " + std::to_string(port) +
                                    " outside [0, 65535]");
@@ -54,7 +88,7 @@ StatusOr<SocketFd> ListenOnLoopback(int port, int* bound_port) {
   return sock;
 }
 
-StatusOr<SocketFd> AcceptConnection(const SocketFd& listener) {
+StatusOr<SocketFd> SocketIo::Accept(const SocketFd& listener) {
   while (true) {
     const int fd = ::accept(listener.fd(), nullptr, nullptr);
     if (fd >= 0) {
@@ -70,7 +104,7 @@ StatusOr<SocketFd> AcceptConnection(const SocketFd& listener) {
   }
 }
 
-StatusOr<SocketFd> ConnectToLoopback(int port) {
+StatusOr<SocketFd> SocketIo::Connect(int port) {
   if (port <= 0 || port > 65535)
     return Status::InvalidArgument("port " + std::to_string(port) +
                                    " outside (0, 65535]");
@@ -93,7 +127,11 @@ StatusOr<SocketFd> ConnectToLoopback(int port) {
   }
 }
 
-StatusOr<std::string> SocketRead(const SocketFd& socket, size_t capacity) {
+StatusOr<std::string> SocketIo::Read(const SocketFd& socket, size_t capacity,
+                                     int deadline_ms) {
+  if (deadline_ms > 0)
+    ANECI_RETURN_IF_ERROR(
+        AwaitReady(socket.fd(), POLLIN, deadline_ms, "read"));
   std::string buffer(capacity, '\0');
   while (true) {
     const ssize_t n = ::recv(socket.fd(), buffer.data(), buffer.size(), 0);
@@ -106,9 +144,15 @@ StatusOr<std::string> SocketRead(const SocketFd& socket, size_t capacity) {
   }
 }
 
-Status SocketWriteAll(const SocketFd& socket, std::string_view bytes) {
+Status SocketIo::WriteAll(const SocketFd& socket, std::string_view bytes,
+                          int deadline_ms) {
   size_t sent = 0;
   while (sent < bytes.size()) {
+    // The budget bounds each blocked wait for writability, so a peer that
+    // stops draining cannot park this thread forever.
+    if (deadline_ms > 0)
+      ANECI_RETURN_IF_ERROR(
+          AwaitReady(socket.fd(), POLLOUT, deadline_ms, "write"));
     // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as a
     // Status, not a process-killing SIGPIPE.
     const ssize_t n = ::send(socket.fd(), bytes.data() + sent,
@@ -123,14 +167,176 @@ Status SocketWriteAll(const SocketFd& socket, std::string_view bytes) {
   return Status::OK();
 }
 
-Status ShutdownWrite(const SocketFd& socket) {
+Status SocketIo::ShutdownRead(const SocketFd& socket) {
+  if (::shutdown(socket.fd(), SHUT_RD) < 0) return Errno("shutdown");
+  return Status::OK();
+}
+
+Status SocketIo::ShutdownWrite(const SocketFd& socket) {
   if (::shutdown(socket.fd(), SHUT_WR) < 0) return Errno("shutdown");
   return Status::OK();
 }
 
-Status ShutdownBoth(const SocketFd& socket) {
+Status SocketIo::ShutdownBoth(const SocketFd& socket) {
   if (::shutdown(socket.fd(), SHUT_RDWR) < 0) return Errno("shutdown");
   return Status::OK();
+}
+
+SocketIo* SocketIo::Default() {
+  // The base class's virtuals ARE the POSIX implementation (the same shape
+  // as util/env.h: Env::Default() returns the base, fault injectors
+  // subclass). Leaked intentionally: connection threads may touch it during
+  // static destruction.
+  static SocketIo* io = new SocketIo();
+  return io;
+}
+
+// --- FaultInjectingSocketIo --------------------------------------------------
+
+StatusOr<SocketFd> FaultInjectingSocketIo::Listen(int port, int* bound_port) {
+  return base_->Listen(port, bound_port);
+}
+
+StatusOr<SocketFd> FaultInjectingSocketIo::Accept(const SocketFd& listener) {
+  return base_->Accept(listener);
+}
+
+StatusOr<SocketFd> FaultInjectingSocketIo::Connect(int port) {
+  return base_->Connect(port);
+}
+
+FaultInjectingSocketIo::ReadFault FaultInjectingSocketIo::NextReadFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int index = reads_++;
+  if (index == schedule_.reset_read_at) {
+    ++injected_;
+    return ReadFault::kReset;
+  }
+  // One draw per call keeps the stream aligned regardless of which fault
+  // (if any) fires, so schedules are comparable across probability knobs.
+  const double draw = rng_.NextDouble();
+  double edge = schedule_.reset_read;
+  if (draw < edge) {
+    ++injected_;
+    return ReadFault::kReset;
+  }
+  edge += schedule_.delayed_read;
+  if (draw < edge) {
+    ++injected_;
+    return ReadFault::kDelay;
+  }
+  edge += schedule_.short_read;
+  if (draw < edge) {
+    ++injected_;
+    return ReadFault::kShort;
+  }
+  return ReadFault::kNone;
+}
+
+FaultInjectingSocketIo::WriteFault FaultInjectingSocketIo::NextWriteFault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int index = writes_++;
+  if (index == schedule_.reset_write_at) {
+    ++injected_;
+    return WriteFault::kReset;
+  }
+  if (index == schedule_.partial_write_at) {
+    ++injected_;
+    return WriteFault::kPartial;
+  }
+  const double draw = rng_.NextDouble();
+  double edge = schedule_.reset_write;
+  if (draw < edge) {
+    ++injected_;
+    return WriteFault::kReset;
+  }
+  edge += schedule_.partial_write;
+  if (draw < edge) {
+    ++injected_;
+    return WriteFault::kPartial;
+  }
+  return WriteFault::kNone;
+}
+
+StatusOr<std::string> FaultInjectingSocketIo::Read(const SocketFd& socket,
+                                                   size_t capacity,
+                                                   int deadline_ms) {
+  static Counter* injected = MetricsRegistry::Global().GetCounter(
+      "serve/fault_injected", MetricClass::kScheduling);
+  switch (NextReadFault()) {
+    case ReadFault::kReset:
+      injected->Increment();
+      // Drop the connection for real so the peer observes the reset too.
+      (void)base_->ShutdownBoth(socket);
+      return Status::IoError("injected ECONNRESET on read");
+    case ReadFault::kDelay:
+      injected->Increment();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(schedule_.delay_ms));
+      break;
+    case ReadFault::kShort:
+      injected->Increment();
+      capacity = std::min<size_t>(capacity, 8);
+      break;
+    case ReadFault::kNone:
+      break;
+  }
+  return base_->Read(socket, capacity, deadline_ms);
+}
+
+Status FaultInjectingSocketIo::WriteAll(const SocketFd& socket,
+                                        std::string_view bytes,
+                                        int deadline_ms) {
+  static Counter* injected = MetricsRegistry::Global().GetCounter(
+      "serve/fault_injected", MetricClass::kScheduling);
+  switch (NextWriteFault()) {
+    case WriteFault::kReset:
+      injected->Increment();
+      (void)base_->ShutdownBoth(socket);
+      return Status::IoError("injected ECONNRESET on write");
+    case WriteFault::kPartial: {
+      injected->Increment();
+      // Deliver a prefix, then drop the connection: the peer sees a frame
+      // that stops mid-body (`serve/mid_frame_disconnects` on the server).
+      const size_t prefix =
+          std::min(schedule_.partial_write_bytes, bytes.size());
+      if (prefix > 0)
+        (void)base_->WriteAll(socket, bytes.substr(0, prefix), deadline_ms);
+      (void)base_->ShutdownBoth(socket);
+      return Status::IoError("injected mid-frame disconnect after " +
+                             std::to_string(prefix) + " bytes");
+    }
+    case WriteFault::kNone:
+      break;
+  }
+  return base_->WriteAll(socket, bytes, deadline_ms);
+}
+
+Status FaultInjectingSocketIo::ShutdownRead(const SocketFd& socket) {
+  return base_->ShutdownRead(socket);
+}
+
+Status FaultInjectingSocketIo::ShutdownWrite(const SocketFd& socket) {
+  return base_->ShutdownWrite(socket);
+}
+
+Status FaultInjectingSocketIo::ShutdownBoth(const SocketFd& socket) {
+  return base_->ShutdownBoth(socket);
+}
+
+int FaultInjectingSocketIo::reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_;
+}
+
+int FaultInjectingSocketIo::writes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return writes_;
+}
+
+int FaultInjectingSocketIo::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
 }
 
 }  // namespace aneci::serve

@@ -279,6 +279,10 @@ StatusOr<WireRequest> ParseWireRequest(std::string_view body) {
     if (request.query.k < 1)
       return Status::InvalidArgument("knn k must be a positive integer");
   }
+  ANECI_RETURN_IF_ERROR(GetIntField(object, "deadline_ms", /*required=*/false,
+                                    &request.query.deadline_ms));
+  if (object.count("deadline_ms") && request.query.deadline_ms < 1)
+    return Status::InvalidArgument("deadline_ms must be a positive integer");
   return request;
 }
 
@@ -343,8 +347,25 @@ std::string RenderResponse(const QueryResponse& response) {
   return out;
 }
 
+const char* WireErrorCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";  // unreachable from RenderError
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kNotFound: return "not_found";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kOutOfRange: return "out_of_range";
+    case StatusCode::kInternal: return "internal";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kUnavailable: return "overloaded";
+  }
+  return "internal";
+}
+
 std::string RenderError(const Status& status) {
-  return "{\"ok\":false,\"error\":\"" + JsonEscape(status.message()) + "\"}";
+  return std::string("{\"ok\":false,\"code\":\"") +
+         WireErrorCode(status.code()) + "\",\"error\":\"" +
+         JsonEscape(status.message()) + "\"}";
 }
 
 std::string RenderSwapAck(uint64_t version, const std::string& source) {

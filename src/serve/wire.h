@@ -15,7 +15,14 @@
 //            {"op":"classify","id":3}          {"op":"anomaly","id":3}
 //            {"op":"community","id":3}         {"op":"stats"}
 //            {"op":"swap","path":"model.ansv"}
+// Every query op accepts an optional "deadline_ms" (positive integer): the
+// per-request execution-admission budget (docs/serving.md §6).
 // Responses: {"ok":true,"op":...,"version":N, ...op-specific fields...}
+// Errors:    {"ok":false,"code":"<machine-readable>","error":"<message>"}
+// where code is one of invalid_argument, not_found, io_error,
+// failed_precondition, out_of_range, internal, deadline_exceeded,
+// overloaded — clients branch on "code" (retry on "overloaded", give up on
+// "deadline_exceeded"), humans read "error".
 #ifndef ANECI_SERVE_WIRE_H_
 #define ANECI_SERVE_WIRE_H_
 
@@ -94,7 +101,11 @@ StatusOr<WireRequest> ParseWireRequest(std::string_view body);
 /// compares served bytes against offline rendering.
 std::string RenderResponse(const QueryResponse& response);
 
-/// Renders {"ok":false,"error":...} for a per-request failure.
+/// The machine-readable wire code for a Status ("deadline_exceeded",
+/// "overloaded", "invalid_argument", ...). Never called with OK.
+const char* WireErrorCode(StatusCode code);
+
+/// Renders {"ok":false,"code":...,"error":...} for a per-request failure.
 std::string RenderError(const Status& status);
 
 /// Renders the acknowledgement for a completed swap.

@@ -21,6 +21,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -51,6 +53,16 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A time budget (socket read/write deadline, per-request deadline) ran
+  /// out before the operation completed.
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The service is shedding load (connection cap, pending-request budget);
+  /// the request was rejected without being executed and is safe to retry.
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -224,6 +224,28 @@ TEST(BannedRawIo, FlagsRawSocketSyscallsOutsideTheShim) {
   EXPECT_EQ(CountCheck(listener, "banned-raw-io"), 5);
 }
 
+TEST(BannedRawIo, FlagsPollAndFcntlOutsideTheShim) {
+  // Deadline plumbing (poll/ppoll) and fd-mode twiddling (fcntl) are part of
+  // the same audited surface as the socket calls they gate.
+  const auto bare = LintContent(
+      "src/serve/server.cc",
+      "void f(pollfd* p, int fd) { poll(p, 1, 50); fcntl(fd, F_GETFL); }\n");
+  EXPECT_EQ(CountCheck(bare, "banned-raw-io"), 2);
+  const auto qualified =
+      LintContent("src/core/x.cc", "int r = ::ppoll(p, 1, &ts, nullptr);\n");
+  EXPECT_EQ(CountCheck(qualified, "banned-raw-io"), 1);
+  const auto sockopt = LintContent(
+      "src/serve/client.cc", "setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, t, l);\n");
+  EXPECT_EQ(CountCheck(sockopt, "banned-raw-io"), 1);
+  // The shim itself is exempt, and member calls named poll are not syscalls.
+  EXPECT_TRUE(LintContent("src/serve/socket_io.cc",
+                          "int r = ::poll(fds, 1, timeout_ms);\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintContent("src/serve/x.cc", "executor.poll(); queue->poll();\n")
+          .empty());
+}
+
 TEST(BannedRawIo, SocketShimAndLookalikesAreExempt) {
   // The designated shim is the one src/ file allowed to make syscalls.
   EXPECT_TRUE(LintContent("src/serve/socket_io.cc",

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "serve/client.h"
@@ -416,6 +417,100 @@ TEST_F(ServeProtocolTest, SocketRoundtripAndFramingViolationClose) {
     EXPECT_FALSE(after_close.ok());
   }
   server.Stop();
+}
+
+// --- Resource-handle semantics (docs/serving.md §6) -------------------------
+
+TEST(SocketFdSemantics, DoubleCloseIsIdempotent) {
+  int port = 0;
+  auto listener = SocketIo::Default()->Listen(0, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().message();
+  SocketFd fd = std::move(listener).value();
+  ASSERT_TRUE(fd.valid());
+  fd.Close();
+  EXPECT_FALSE(fd.valid());
+  // Second Close must be a no-op, not a double close of a recycled fd.
+  fd.Close();
+  EXPECT_FALSE(fd.valid());
+}
+
+TEST(SocketFdSemantics, SelfMoveAssignmentKeepsFdOpen) {
+  int port = 0;
+  auto listener = SocketIo::Default()->Listen(0, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().message();
+  SocketFd fd = std::move(listener).value();
+  const int raw = fd.fd();
+  SocketFd& alias = fd;
+  fd = std::move(alias);  // self-move must not close the descriptor
+  EXPECT_TRUE(fd.valid());
+  EXPECT_EQ(fd.fd(), raw);
+}
+
+TEST(SocketFdSemantics, MoveTransfersOwnershipExactlyOnce) {
+  int port = 0;
+  auto listener = SocketIo::Default()->Listen(0, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().message();
+  SocketFd a = std::move(listener).value();
+  const int raw = a.fd();
+  SocketFd b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.fd(), raw);
+  a = std::move(b);
+  EXPECT_FALSE(b.valid());
+  EXPECT_EQ(a.fd(), raw);
+}
+
+// Two clients sharing one fd would interleave frames; the copy ops are
+// deleted explicitly and these asserts pin that contract at compile time.
+static_assert(!std::is_copy_constructible_v<ServeClient>,
+              "ServeClient must not be copyable");
+static_assert(!std::is_copy_assignable_v<ServeClient>,
+              "ServeClient must not be copy-assignable");
+static_assert(std::is_move_constructible_v<ServeClient>,
+              "ServeClient must stay movable");
+static_assert(!std::is_copy_constructible_v<SocketFd>,
+              "SocketFd must not be copyable");
+
+// --- Typed error codes and request deadlines (docs/serving.md §6) -----------
+
+TEST(WireErrors, EveryStatusCodeMapsToAMachineCode) {
+  EXPECT_STREQ(WireErrorCode(StatusCode::kUnavailable), "overloaded");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(WireErrorCode(StatusCode::kNotFound), "not_found");
+}
+
+TEST_F(ServeProtocolTest, ErrorFramesCarryMachineReadableCode) {
+  const auto bodies =
+      RoundtripJson(&service_, R"({"op":"lookup","id":999})");
+  ASSERT_EQ(bodies.size(), 1u);
+  EXPECT_NE(bodies[0].find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(bodies[0].find("\"code\":\"invalid_argument\""),
+            std::string::npos);
+}
+
+TEST(WireDeadline, ParsesPositiveDeadlineMs) {
+  auto parsed = ParseWireRequest(
+      R"({"op":"lookup","id":1,"deadline_ms":250})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().query.deadline_ms, 250);
+}
+
+TEST(WireDeadline, DefaultsToZeroWhenAbsent) {
+  auto parsed = ParseWireRequest(R"({"op":"lookup","id":1})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.value().query.deadline_ms, 0);
+}
+
+TEST(WireDeadline, RejectsNonPositiveDeadlineMs) {
+  auto zero = ParseWireRequest(
+      R"({"op":"lookup","id":1,"deadline_ms":0})");
+  EXPECT_FALSE(zero.ok());
+  auto negative = ParseWireRequest(
+      R"({"op":"lookup","id":1,"deadline_ms":-5})");
+  EXPECT_FALSE(negative.ok());
 }
 
 TEST_F(ServeProtocolTest, MidFrameDisconnectLeavesServerHealthy) {

@@ -85,10 +85,16 @@ int Usage(std::FILE* stream) {
       "  detect     --graph=g.txt [--kind=Mix --fraction=0.05 --epochs=100\n"
       "              --seed=42]\n"
       "  community  --graph=g.txt [--k=7 --epochs=300 --seed=42 --outdir=run]\n"
-      "  serve      --model=model.ansv [--port=0 --probe]\n"
+      "  serve      --model=model.ansv [--port=0 --probe\n"
+      "              --max-connections=64 --read-deadline-ms=0\n"
+      "              --write-deadline-ms=0 --request-budget=0\n"
+      "              --drain-timeout-ms=2000]\n"
       "             (train --model-out=model.ansv exports the artifact;\n"
       "              --port=0 picks an ephemeral port; --probe issues one\n"
-      "              stats query against the live server, then exits)\n"
+      "              stats query against the live server, then exits;\n"
+      "              over-cap connects and over-budget requests shed with\n"
+      "              typed \"overloaded\" errors, slow peers are reaped\n"
+      "              after the read deadline — docs/serving.md section 6)\n"
       "  stats      <metrics.jsonl> [--zero-timings]\n"
       "every command also accepts --metrics-out=<path> to dump the metrics\n"
       "registry (counters, spans, training telemetry) as JSONL on exit\n");
@@ -428,8 +434,10 @@ int CmdCommunity(const Args& args) {
 /// issues one stats query through a real client connection and exits, which
 /// is how scripts (and the e2e tests) check a server binary end to end.
 int CmdServe(const Args& args) {
-  if (int rc =
-          RejectUnknownFlags(args, {"model", "port", "probe", "metrics-out"}))
+  if (int rc = RejectUnknownFlags(
+          args, {"model", "port", "probe", "metrics-out", "max-connections",
+                 "read-deadline-ms", "write-deadline-ms", "request-budget",
+                 "drain-timeout-ms"}))
     return rc;
   const std::string model = args.Get("model", "");
   if (model.empty()) return Fail("--model=<model.ansv> required");
@@ -437,12 +445,22 @@ int CmdServe(const Args& args) {
       serve::ModelSnapshot::Load(model, /*version=*/1);
   if (!snapshot.ok()) return Fail(snapshot.status().ToString());
   serve::EmbedService service(snapshot.value());
-  serve::EmbedServer server(&service);
+  serve::ServerOptions options;
+  options.max_connections = args.GetInt("max-connections", 64);
+  options.read_deadline_ms = args.GetInt("read-deadline-ms", 0);
+  options.write_deadline_ms = args.GetInt("write-deadline-ms", 0);
+  options.max_pending_requests = args.GetInt("request-budget", 0);
+  options.drain_timeout_ms = args.GetInt("drain-timeout-ms", 2000);
+  serve::EmbedServer server(&service, options);
   if (Status st = server.Start(args.GetInt("port", 0)); !st.ok())
     return Fail(st.ToString());
-  std::printf("serving %s on 127.0.0.1:%d (%d nodes, dim %d, %d classes)\n",
-              model.c_str(), server.port(), snapshot.value()->num_nodes(),
-              snapshot.value()->embed_dim(), snapshot.value()->num_classes());
+  std::printf(
+      "serving %s on 127.0.0.1:%d (%d nodes, dim %d, %d classes; "
+      "max-connections=%d read-deadline-ms=%d request-budget=%d)\n",
+      model.c_str(), server.port(), snapshot.value()->num_nodes(),
+      snapshot.value()->embed_dim(), snapshot.value()->num_classes(),
+      options.max_connections, options.read_deadline_ms,
+      options.max_pending_requests);
   std::fflush(stdout);
   if (args.Has("probe")) {
     StatusOr<serve::ServeClient> client =

@@ -38,7 +38,7 @@ ctest --test-dir "${prefix}" --output-on-failure -j "$(nproc)"
 # Test binaries exercised by the sanitizer matrix (fault/attack/serve labels).
 matrix_targets=(checkpoint_test resilience_test graph_io_robustness_test
                 attack_test surrogate_test serve_protocol_test
-                serve_snapshot_test serve_golden_test)
+                serve_snapshot_test serve_golden_test serve_chaos_test)
 
 echo "== stage 2a: AddressSanitizer (fault + attack + serve tests) =="
 cmake -B "${prefix}-asan" -S . -DANECI_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo

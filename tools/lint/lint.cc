@@ -287,7 +287,10 @@ bool IsRawSocketSyscall(const std::vector<Token>& toks, size_t i) {
       "socket",  "accept",  "accept4",    "connect",    "bind",
       "listen",  "recv",    "recvfrom",   "recvmsg",    "send",
       "sendto",  "sendmsg", "setsockopt", "getsockopt", "getsockname",
-      "shutdown"};
+      "shutdown",
+      // Readiness/fd-control syscalls: deadlines are poll-based and belong
+      // to the same audited shim as the socket calls they gate.
+      "poll",    "ppoll",   "fcntl"};
   if (!kSocketCalls.count(toks[i].text)) return false;
   if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) return false;
   if (i == 0) return true;
@@ -409,8 +412,8 @@ const std::vector<CheckInfo>& RegisteredChecks() {
        "(allowlist: util/timer.h)"},
       {"banned-raw-io",
        "fopen/std::ofstream/std::fstream in src/ outside util/env.cc (writes "
-       "must route through Env), and raw socket syscalls outside the "
-       "serve/socket_io.cc shim"},
+       "must route through Env), and raw socket/poll/fcntl syscalls outside "
+       "the serve/socket_io.cc shim"},
       {"no-iostream-in-library", "std::cout/cerr/clog or <iostream> in src/"},
       {"banned-adhoc-timing",
        "util/timer.h or a raw Timer in src/ outside util/{timer,trace,"
