@@ -7,13 +7,17 @@
 // 1024x1024 MatMul on hardware with >= 4 free cores).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "linalg/kmeans.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
+#include "util/env.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace aneci {
@@ -157,7 +161,78 @@ BENCHMARK(BM_MetricsOverhead)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+// Capturing reporter: prints the usual console table AND accumulates every
+// run so main() can emit a machine-readable BENCH_kernels.json (real time,
+// throughput — items_per_second is the GEMM flop rate — and counters).
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string entry = "{\"name\":\"" + run.benchmark_name() + "\"";
+      entry += ",\"iterations\":" + std::to_string(run.iterations);
+      entry += ",\"real_time_ms\":" +
+               JsonDouble(run.GetAdjustedRealTime() * TimeScale(run));
+      entry += ",\"cpu_time_ms\":" +
+               JsonDouble(run.GetAdjustedCPUTime() * TimeScale(run));
+      for (const auto& [name, counter] : run.counters)
+        entry += ",\"" + name + "\":" + JsonDouble(counter);
+      entry += "}";
+      entries_.push_back(std::move(entry));
+    }
+  }
+
+  std::string Json() const {
+    std::string json = "{\"bench\":\"kernels\",\"benchmarks\":[";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) json += ",";
+      json += entries_[i];
+    }
+    json += "]}\n";
+    return json;
+  }
+
+ private:
+  /// GetAdjusted*Time() is in the run's own time unit; rescale to ms.
+  static double TimeScale(const Run& run) {
+    return 1e3 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+  }
+
+  std::vector<std::string> entries_;
+};
+
 }  // namespace
 }  // namespace aneci
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off --outdir (ours) before google-benchmark sees the flags.
+  std::string outdir = "results";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--outdir=", 0) == 0) {
+      outdir = arg.substr(9);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  aneci::JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  aneci::Status st = aneci::Env::Default()->CreateDir(outdir);
+  if (st.ok())
+    st = aneci::Env::Default()->WriteFileAtomic(outdir + "/BENCH_kernels.json",
+                                                reporter.Json());
+  if (!st.ok()) {
+    std::fprintf(stderr, "BENCH_kernels.json: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("json: %s/BENCH_kernels.json\n", outdir.c_str());
+  return 0;
+}

@@ -140,6 +140,7 @@ int Run(int argc, char** argv) {
   const bool chaos = flags.Has("chaos");
   const uint64_t chaos_seed =
       static_cast<uint64_t>(flags.GetInt("chaos-seed", 7));
+  const std::string outdir = flags.GetString("outdir", "results");
   std::printf(
       "serve load: %d clients x %d requests, %d nodes, dim %d, "
       ">=%d mid-run hot-swaps%s\n",
@@ -252,6 +253,7 @@ int Run(int argc, char** argv) {
   MetricsRegistry& registry = MetricsRegistry::Global();
   Table table({"op", "count", "p50_ms", "p99_ms", "max_ms"});
   uint64_t served = 0;
+  std::string ops_json;
   for (const char* op :
        {"lookup", "knn", "classify", "anomaly", "community", "stats"}) {
     Histogram* latency = registry.GetHistogram(
@@ -264,6 +266,12 @@ int Run(int argc, char** argv) {
         .AddF(HistogramQuantile(*latency, 0.5))
         .AddF(HistogramQuantile(*latency, 0.99))
         .AddF(latency->Max());
+    if (!ops_json.empty()) ops_json += ",";
+    ops_json += "\"" + std::string(op) +
+                "\":{\"count\":" + std::to_string(latency->Count()) +
+                ",\"p50_ms\":" + JsonDouble(HistogramQuantile(*latency, 0.5)) +
+                ",\"p99_ms\":" + JsonDouble(HistogramQuantile(*latency, 0.99)) +
+                ",\"max_ms\":" + JsonDouble(latency->Max()) + "}";
   }
   table.Print("serve latency (registry histograms)");
 
@@ -280,6 +288,53 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(published),
       registry.GetGauge("serve/snapshot_version", MetricClass::kDeterministic)
           ->Value());
+
+  // Machine-readable summary (BENCH_serve_load.json) alongside the console
+  // report, written before the gates so a failing run still leaves evidence.
+  {
+    std::string json = "{\"bench\":\"serve_load\"";
+    json += ",\"chaos\":" + std::string(chaos ? "true" : "false");
+    json += ",\"clients\":" + std::to_string(clients);
+    json += ",\"requests_per_client\":" + std::to_string(requests);
+    json += ",\"total_requests\":" + std::to_string(total);
+    json += ",\"seconds\":" + JsonDouble(seconds);
+    json += ",\"qps\":" + JsonDouble((ok + failed) / seconds);
+    json += ",\"ops\":{" + ops_json + "}";
+    json += ",\"outcomes\":{\"ok\":" + std::to_string(ok) +
+            ",\"failed\":" + std::to_string(failed) +
+            ",\"typed_errors\":" + std::to_string(typed_errors) +
+            ",\"transport_errors\":" + std::to_string(transport_errors) + "}";
+    json += ",\"engine_errors\":" + std::to_string(engine_errors);
+    json += ",\"hot_swaps\":" + std::to_string(published);
+    if (chaos) {
+      const uint64_t shed =
+          registry.GetCounter("serve/shed_requests", MetricClass::kScheduling)
+              ->Value();
+      const uint64_t retries =
+          registry.GetCounter("serve/client_retries", MetricClass::kScheduling)
+              ->Value();
+      const int faults =
+          server_io.injected_faults() + client_io.injected_faults();
+      json += ",\"chaos_rates\":{\"injected_faults\":" +
+              std::to_string(faults) +
+              ",\"fault_rate\":" + JsonDouble(static_cast<double>(faults) /
+                                              total) +
+              ",\"retries\":" + std::to_string(retries) +
+              ",\"retry_rate\":" + JsonDouble(static_cast<double>(retries) /
+                                              total) +
+              ",\"shed_requests\":" + std::to_string(shed) +
+              ",\"shed_rate\":" + JsonDouble(static_cast<double>(shed) /
+                                             total) +
+              ",\"deadline_kills\":" +
+              std::to_string(registry
+                                 .GetCounter("serve/deadline_kills",
+                                             MetricClass::kScheduling)
+                                 ->Value()) +
+              "}";
+    }
+    json += "}\n";
+    WriteBenchJson(json, outdir, "BENCH_serve_load.json");
+  }
 
   if (chaos) {
     const uint64_t shed_requests =

@@ -1,0 +1,207 @@
+// Streaming perturbation sweep: replays the same background-churn event
+// stream with a mid-stream DICE poisoning burst at increasing budgets and
+// records, per batch, what the online drift monitor saw and decided — the
+// streaming analogue of the static robustness sweeps (Fig. 3-5). Emits a
+// per-batch CSV plus a machine-readable detection-lag summary, and enforces
+// two gates: the monitor must reach suspected-poisoning at the highest rate
+// and must never false-alarm on the clean (rate 0) stream.
+//
+//   ./bench_stream_perturbation [--rounds=N] [--seed=N] [--outdir=d]
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/aneci.h"
+#include "data/sbm.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "stream/drift_monitor.h"
+#include "stream/scenario.h"
+#include "stream/stream_engine.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace aneci::bench {
+namespace {
+
+using stream::EventBatch;
+using stream::StreamBatchReport;
+using stream::StreamEngine;
+using stream::StreamEngineOptions;
+using stream::StreamHealth;
+
+constexpr double kRates[] = {0.0, 0.05, 0.1, 0.2, 0.4};
+constexpr int kBatches = 10;
+constexpr int kPoisonBatch = 5;
+
+// The detection gates need a converged baseline embedding (Q~ around 0.2):
+// with a weak embedding the modularity-drop signal is flat and a heavy
+// burst reads as mere drift. These mirror the constellation validated by
+// tests/stream_chaos_test.cc; --seed shifts the graph, the rest are fixed.
+constexpr uint64_t kTrainSeed = 5;
+constexpr uint64_t kScenarioSeed = 77;
+constexpr uint64_t kEngineSeed = 13;
+
+// Seed world shared across the sweep: one converged embedding on a strongly
+// assortative SBM (the monitor's signals are only meaningful once P carries
+// real community structure), at the scale validated by the chaos test.
+struct SeedWorld {
+  Graph graph{0};
+  Matrix z;
+  Matrix p;
+};
+
+SeedWorld MakeWorld(const BenchEnv& env) {
+  SeedWorld world;
+  SbmOptions opt;
+  opt.num_nodes = 300;
+  opt.num_edges = 900;
+  opt.num_classes = 3;
+  opt.attribute_dim = 16;
+  opt.intra_fraction = 0.9;
+  Rng rng(env.seed);
+  world.graph = GenerateSbm(opt, rng);
+
+  AneciConfig config;
+  config.hidden_dim = 32;
+  config.embed_dim = 3;
+  config.epochs = env.epochs;
+  config.seed = kTrainSeed;
+  AneciResult result = Aneci(config).Train(world.graph);
+  world.z = std::move(result.z);
+  world.p = std::move(result.p);
+  return world;
+}
+
+StreamEngineOptions EngineOptions(const BenchEnv& env) {
+  StreamEngineOptions options;
+  // khops=1 keeps the refresh region a small fraction of the graph; a
+  // larger region degrades global Q~ enough to read as drift on clean
+  // traffic (see tests/stream_chaos_test.cc for the tuning rationale).
+  options.refresh.khops = 1;
+  options.refresh.epochs = 40;
+  options.refresh.hidden_dim = 24;
+  options.seed = kEngineSeed;
+  return options;
+}
+
+struct SweepResult {
+  double rate = 0.0;
+  /// Batches between the burst and the first suspected-poisoning verdict;
+  /// -1 when the monitor never escalated that far.
+  int detection_lag = -1;
+  int defenses = 0;
+  StreamHealth final_state = StreamHealth::kHealthy;
+  double min_modularity = 0.0;
+  double max_churn = 0.0;
+};
+
+SweepResult RunRate(const SeedWorld& world, const BenchEnv& env, double rate,
+                    Table* per_batch) {
+  stream::StreamScenarioOptions scenario;
+  scenario.batches = kBatches;
+  scenario.events_per_batch = 4;
+  scenario.seed = kScenarioSeed;
+  scenario.poison_batch = rate > 0.0 ? kPoisonBatch : -1;
+  scenario.poison_rate = rate > 0.0 ? rate : 0.2;
+  auto log = stream::MakeEventStream(world.graph, scenario);
+  ANECI_CHECK_MSG(log.ok(), log.status().ToString().c_str());
+
+  auto engine = StreamEngine::Create(world.graph, world.z, world.p,
+                                     EngineOptions(env));
+  ANECI_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+
+  SweepResult result;
+  result.rate = rate;
+  result.min_modularity = 1.0;
+  for (const EventBatch& batch : log.value()) {
+    auto report = engine.value()->ProcessBatch(batch);
+    ANECI_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+    const StreamBatchReport& r = report.value();
+    per_batch->AddRow()
+        .AddF(rate, 2)
+        .Add(std::to_string(r.sequence))
+        .Add(stream::StreamHealthName(r.state))
+        .Add(std::to_string(r.breach_level))
+        .AddF(r.modularity, 4)
+        .AddF(r.churn, 4)
+        .AddF(r.degree_shift, 4)
+        .Add(r.defense_invoked ? "1" : "0");
+    if (r.state == StreamHealth::kSuspectedPoisoning &&
+        result.detection_lag < 0)
+      result.detection_lag = static_cast<int>(r.sequence) - kPoisonBatch;
+    result.defenses += r.defense_invoked ? 1 : 0;
+    result.final_state = r.state;
+    result.min_modularity = std::min(result.min_modularity, r.modularity);
+    result.max_churn = std::max(result.max_churn, r.churn);
+  }
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  BenchEnv env = BenchEnv::FromFlags(flags);
+  if (!flags.Has("seed")) env.seed = 11;
+  if (!flags.Has("epochs")) env.epochs = env.full ? 300 : 150;
+  PrintEnv("bench_stream_perturbation", env);
+
+  const SeedWorld world = MakeWorld(env);
+  Table per_batch({"rate", "batch", "state", "breach", "modularity", "churn",
+                   "degree_shift", "defense"});
+  Table summary({"rate", "detection_lag", "defenses", "final_state",
+                 "min_modularity", "max_churn"});
+  std::vector<SweepResult> results;
+  for (double rate : kRates) {
+    SweepResult r = RunRate(world, env, rate, &per_batch);
+    summary.AddRow()
+        .AddF(r.rate, 2)
+        .Add(std::to_string(r.detection_lag))
+        .Add(std::to_string(r.defenses))
+        .Add(stream::StreamHealthName(r.final_state))
+        .AddF(r.min_modularity, 4)
+        .AddF(r.max_churn, 4);
+    results.push_back(r);
+  }
+
+  summary.Print("Streaming perturbation sweep (DICE burst at batch " +
+                std::to_string(kPoisonBatch) + ")");
+  WriteBenchCsv(per_batch, env, "BENCH_stream_perturbation_batches.csv");
+  WriteBenchCsv(summary, env, "BENCH_stream_perturbation.csv");
+
+  std::string json = "{\"bench\":\"stream_perturbation\",\"poison_batch\":" +
+                     std::to_string(kPoisonBatch) + ",\"rates\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    if (i > 0) json += ",";
+    json += "{\"rate\":" + JsonDouble(r.rate) +
+            ",\"detection_lag\":" + std::to_string(r.detection_lag) +
+            ",\"defenses\":" + std::to_string(r.defenses) +
+            ",\"final_state\":\"" +
+            stream::StreamHealthName(r.final_state) +
+            "\",\"min_modularity\":" + JsonDouble(r.min_modularity) +
+            ",\"max_churn\":" + JsonDouble(r.max_churn) + "}";
+  }
+  json += "]}\n";
+  WriteBenchJson(json, env.outdir, "BENCH_stream_perturbation.json");
+
+  // Gates: the sweep is only evidence if the monitor separates the
+  // endpoints — detection at the heaviest burst, silence on clean traffic.
+  ANECI_CHECK_MSG(results.front().detection_lag < 0 &&
+                      results.front().defenses == 0,
+                  "false alarm: suspected-poisoning on the clean stream");
+  ANECI_CHECK_MSG(results.back().detection_lag >= 0,
+                  "missed detection at the highest poison rate");
+  std::printf("gates: clean stream silent, rate %.2f detected with lag %d\n",
+              results.back().rate, results.back().detection_lag);
+  return 0;
+}
+
+}  // namespace
+}  // namespace aneci::bench
+
+int main(int argc, char** argv) { return aneci::bench::Main(argc, argv); }

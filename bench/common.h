@@ -104,6 +104,19 @@ inline void WriteBenchCsv(const Table& table, const BenchEnv& env,
   std::printf("csv: %s/%s\n", env.outdir.c_str(), filename.c_str());
 }
 
+/// Writes a machine-readable bench summary (one JSON document) to
+/// `<outdir>/<filename>` (directory created on demand, write is atomic via
+/// Env). Same failure policy as WriteBenchCsv: a run whose results cannot
+/// be persisted must not look like a success.
+inline void WriteBenchJson(const std::string& json, const std::string& outdir,
+                           const std::string& filename) {
+  Status st = Env::Default()->CreateDir(outdir);
+  if (st.ok())
+    st = Env::Default()->WriteFileAtomic(outdir + "/" + filename, json);
+  ANECI_CHECK_MSG(st.ok(), st.ToString().c_str());
+  std::printf("json: %s/%s\n", outdir.c_str(), filename.c_str());
+}
+
 inline void PrintEnv(const char* bench_name, const BenchEnv& env) {
   std::printf(
       "%s | scale=%.2f rounds=%d epochs=%d seed=%llu%s\n"

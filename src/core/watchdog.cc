@@ -1,8 +1,26 @@
 #include "core/watchdog.h"
 
 #include <cmath>
+#include <string>
 
 namespace aneci {
+
+Status ValidateWatchdogOptions(const WatchdogOptions& options) {
+  if (options.explosion_factor <= 0.0)
+    return Status::InvalidArgument(
+        "watchdog explosion factor must be > 0, got " +
+        std::to_string(options.explosion_factor));
+  if (options.max_rollbacks < 0)
+    return Status::InvalidArgument("watchdog max rollbacks must be >= 0, got " +
+                                   std::to_string(options.max_rollbacks));
+  if (options.lr_backoff <= 0.0 || options.lr_backoff > 1.0)
+    return Status::InvalidArgument("watchdog lr backoff must be in (0, 1], got " +
+                                   std::to_string(options.lr_backoff));
+  if (options.snapshot_every <= 0)
+    return Status::InvalidArgument("watchdog snapshot-every must be > 0, got " +
+                                   std::to_string(options.snapshot_every));
+  return Status::OK();
+}
 
 const char* WatchdogVerdictName(WatchdogVerdict verdict) {
   switch (verdict) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "util/status.h"
 
 namespace aneci {
 
@@ -28,6 +29,12 @@ struct WatchdogOptions {
   /// Epochs between in-memory snapshots (rollback granularity).
   int snapshot_every = 10;
 };
+
+/// Rejects nonsensical policy values (zero/negative explosion factor or
+/// snapshot cadence, negative rollback budget, backoff outside (0, 1]) with
+/// a message naming the offending knob — the CLI validates operator-supplied
+/// flags through this before training starts.
+Status ValidateWatchdogOptions(const WatchdogOptions& options);
 
 enum class WatchdogVerdict {
   kHealthy,

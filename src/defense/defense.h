@@ -71,6 +71,18 @@ StatusOr<DefensePipeline> ParseDefensePipeline(const std::string& specs);
 PurifiedGraph RunDefensePipeline(const Graph& graph,
                                  const DefensePipeline& pipeline, Rng& rng);
 
+/// Region-scoped pipeline run for the streaming monitor: purifies a copy of
+/// `graph`, then confines the mutation to `region` — edge drops are kept
+/// only when an endpoint is in the region, and attribute rewrites are kept
+/// only for region rows; everything else is restored from the input. The
+/// result carries a single synthesized report (defense "scoped-pipeline")
+/// whose counts are the *net* region-confined mutation. Determinism matches
+/// RunDefensePipeline.
+PurifiedGraph RunDefensePipelineScoped(const Graph& graph,
+                                       const DefensePipeline& pipeline,
+                                       Rng& rng,
+                                       const std::vector<int>& region);
+
 }  // namespace aneci
 
 #endif  // ANECI_DEFENSE_DEFENSE_H_

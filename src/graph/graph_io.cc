@@ -3,8 +3,8 @@
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "util/env.h"
 
@@ -70,9 +70,10 @@ Status SaveGraph(const Graph& graph, const std::string& path, Env* env) {
   return env->WriteFileAtomic(path, out.str());
 }
 
-StatusOr<Graph> LoadGraph(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open: " + path);
+StatusOr<Graph> LoadGraph(const std::string& path, Env* env) {
+  if (!env) env = Env::Default();
+  ANECI_ASSIGN_OR_RETURN(std::string bytes, env->ReadFile(path));
+  std::istringstream in(std::move(bytes));
   std::string line;
   if (!std::getline(in, line) || line.rfind("# aneci-graph", 0) != 0)
     return Status::InvalidArgument("missing aneci-graph header in " + path);
@@ -180,9 +181,11 @@ StatusOr<Graph> LoadGraph(const std::string& path) {
   return graph;
 }
 
-StatusOr<Graph> LoadEdgeList(const std::string& path, int num_nodes) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open: " + path);
+StatusOr<Graph> LoadEdgeList(const std::string& path, int num_nodes,
+                             Env* env) {
+  if (!env) env = Env::Default();
+  ANECI_ASSIGN_OR_RETURN(std::string bytes, env->ReadFile(path));
+  std::istringstream in(std::move(bytes));
   std::vector<Edge> edges;
   int max_id = -1;
   std::string line;

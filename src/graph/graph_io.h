@@ -28,11 +28,14 @@ namespace aneci {
 Status SaveGraph(const Graph& graph, const std::string& path,
                  Env* env = nullptr);
 
-StatusOr<Graph> LoadGraph(const std::string& path);
+/// Reads through `env` (nullptr means Env::Default()) so tests can inject
+/// fault-injecting environments on the load path too.
+StatusOr<Graph> LoadGraph(const std::string& path, Env* env = nullptr);
 
 /// Loads a bare whitespace-separated edge list ("u v" per line, '#' comments).
 /// Node count is 1 + max id unless `num_nodes` > 0.
-StatusOr<Graph> LoadEdgeList(const std::string& path, int num_nodes = 0);
+StatusOr<Graph> LoadEdgeList(const std::string& path, int num_nodes = 0,
+                             Env* env = nullptr);
 
 }  // namespace aneci
 

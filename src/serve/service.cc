@@ -30,6 +30,15 @@ StatusOr<std::shared_ptr<const ModelSnapshot>> EmbedService::SwapFromFile(
   return snapshot;
 }
 
+std::shared_ptr<const ModelSnapshot> EmbedService::SwapFromArtifact(
+    ModelArtifact artifact, std::string source) {
+  auto snapshot = std::make_shared<const ModelSnapshot>(
+      std::move(artifact), next_version_.fetch_add(1, std::memory_order_relaxed),
+      std::move(source));
+  engine_.Swap(snapshot);
+  return snapshot;
+}
+
 uint64_t EmbedService::next_version() const {
   return next_version_.load(std::memory_order_relaxed);
 }

@@ -80,6 +80,12 @@ class EmbedService {
   StatusOr<std::shared_ptr<const ModelSnapshot>> SwapFromFile(
       const std::string& path);
 
+  /// Publishes an in-memory artifact (the streaming refresh path) with the
+  /// next version number. `source` is a label echoed by stats/swap, e.g.
+  /// "stream:batch=7". Same swap semantics as SwapFromFile, no disk I/O.
+  std::shared_ptr<const ModelSnapshot> SwapFromArtifact(ModelArtifact artifact,
+                                                        std::string source);
+
   QueryEngine& engine() { return engine_; }
   const QueryEngine& engine() const { return engine_; }
 

@@ -1,0 +1,121 @@
+#include "stream/drift_monitor.h"
+
+#include <algorithm>
+
+namespace aneci::stream {
+namespace {
+
+Status CheckThresholdPair(const char* what, double drift, double poison) {
+  if (drift < 0.0 || poison < 0.0)
+    return Status::InvalidArgument(std::string(what) +
+                                   " thresholds must be >= 0");
+  if (poison < drift)
+    return Status::InvalidArgument(
+        std::string(what) + " poison threshold (" + std::to_string(poison) +
+        ") must be >= drift threshold (" + std::to_string(drift) + ")");
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* StreamHealthName(StreamHealth health) {
+  switch (health) {
+    case StreamHealth::kHealthy:
+      return "healthy";
+    case StreamHealth::kDrifting:
+      return "drifting";
+    case StreamHealth::kSuspectedPoisoning:
+      return "suspected-poisoning";
+  }
+  return "?";
+}
+
+Status ValidateDriftMonitorOptions(const DriftMonitorOptions& options) {
+  if (options.ewma_alpha <= 0.0 || options.ewma_alpha > 1.0)
+    return Status::InvalidArgument("ewma alpha must be in (0, 1], got " +
+                                   std::to_string(options.ewma_alpha));
+  ANECI_RETURN_IF_ERROR(CheckThresholdPair("modularity-drop",
+                                           options.modularity_drop_drift,
+                                           options.modularity_drop_poison));
+  ANECI_RETURN_IF_ERROR(
+      CheckThresholdPair("churn", options.churn_drift, options.churn_poison));
+  ANECI_RETURN_IF_ERROR(CheckThresholdPair("degree-shift",
+                                           options.degree_shift_drift,
+                                           options.degree_shift_poison));
+  if (options.escalate_after <= 0)
+    return Status::InvalidArgument("escalate-after must be > 0, got " +
+                                   std::to_string(options.escalate_after));
+  if (options.recover_after <= 0)
+    return Status::InvalidArgument("recover-after must be > 0, got " +
+                                   std::to_string(options.recover_after));
+  return Status::OK();
+}
+
+DriftDecision DriftMonitor::Observe(const BatchObservation& observation) {
+  DriftDecision decision;
+  if (!have_baseline_) {
+    // First observation seeds the baseline; nothing to compare yet.
+    baseline_modularity_ = observation.modularity;
+    have_baseline_ = true;
+    decision.state = state_;
+    decision.baseline_modularity = baseline_modularity_;
+    return decision;
+  }
+
+  const double drop = baseline_modularity_ - observation.modularity;
+  auto level = [](double value, double drift, double poison) {
+    if (value >= poison) return 2;
+    if (value >= drift) return 1;
+    return 0;
+  };
+  int breach = level(drop, options_.modularity_drop_drift,
+                     options_.modularity_drop_poison);
+  breach = std::max(breach, level(observation.churn, options_.churn_drift,
+                                  options_.churn_poison));
+  breach =
+      std::max(breach, level(observation.degree_shift,
+                             options_.degree_shift_drift,
+                             options_.degree_shift_poison));
+
+  const StreamHealth before = state_;
+  if (breach > 0) {
+    consecutive_clean_ = 0;
+    ++consecutive_breaches_;
+    if (consecutive_breaches_ >= options_.escalate_after &&
+        state_ != StreamHealth::kSuspectedPoisoning) {
+      // A poison-level breach may jump straight past Drifting; a drift-level
+      // breach climbs one level at a time.
+      state_ = (breach >= 2) ? StreamHealth::kSuspectedPoisoning
+                             : StreamHealth::kDrifting;
+      if (state_ <= before) {
+        state_ = static_cast<StreamHealth>(static_cast<int>(before) + 1);
+      }
+      consecutive_breaches_ = 0;
+    }
+  } else {
+    consecutive_breaches_ = 0;
+    // Clean observations refresh the baseline — only healthy structure is
+    // allowed to teach the monitor what "normal" looks like.
+    baseline_modularity_ =
+        (1.0 - options_.ewma_alpha) * baseline_modularity_ +
+        options_.ewma_alpha * observation.modularity;
+    if (state_ != StreamHealth::kHealthy) {
+      ++consecutive_clean_;
+      if (consecutive_clean_ >= options_.recover_after) {
+        state_ = static_cast<StreamHealth>(static_cast<int>(state_) - 1);
+        consecutive_clean_ = 0;
+      }
+    }
+  }
+
+  decision.state = state_;
+  decision.breach_level = breach;
+  decision.escalated = state_ > before;
+  decision.entered_poisoning = decision.escalated &&
+                               state_ == StreamHealth::kSuspectedPoisoning;
+  decision.baseline_modularity = baseline_modularity_;
+  decision.modularity_drop = drop;
+  return decision;
+}
+
+}  // namespace aneci::stream

@@ -1,0 +1,104 @@
+// Online drift & poisoning monitor (docs/robustness.md §12). Per batch it
+// compares three structural signals against an EWMA baseline learned from
+// healthy traffic:
+//   - generalized-modularity drop (Eq. 13 Q~ falling below baseline),
+//   - community-membership churn (fraction of nodes whose argmax community
+//     changed since the previous batch),
+//   - degree-distribution shift (total-variation distance between the
+//     current and baseline degree histograms).
+// Each signal has a "drift" and a "poison" threshold; the worst breach level
+// across signals drives a three-state machine with hysteresis:
+//   Healthy -> Drifting -> SuspectedPoisoning
+// escalating only after `escalate_after` consecutive breaching batches and
+// de-escalating only after `recover_after` consecutive clean batches, so one
+// noisy batch neither trips the alarm nor clears it. The EWMA baseline
+// updates only on clean observations — a sustained attack cannot teach the
+// monitor that poisoned structure is normal.
+#ifndef ANECI_STREAM_DRIFT_MONITOR_H_
+#define ANECI_STREAM_DRIFT_MONITOR_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace aneci::stream {
+
+enum class StreamHealth {
+  kHealthy = 0,
+  kDrifting = 1,
+  kSuspectedPoisoning = 2,
+};
+
+/// "healthy", "drifting", "suspected-poisoning".
+const char* StreamHealthName(StreamHealth health);
+
+struct DriftMonitorOptions {
+  /// EWMA weight of the newest clean observation.
+  double ewma_alpha = 0.3;
+  /// Modularity drop (baseline - current) thresholds.
+  double modularity_drop_drift = 0.08;
+  double modularity_drop_poison = 0.15;
+  /// Membership churn (fraction of nodes reassigned) thresholds. Sized above
+  /// the churn a clean incremental refresh induces (~0.2-0.3 on small
+  /// graphs) so background traffic drifts at worst; a poisoning burst
+  /// reassigns over half the graph.
+  double churn_drift = 0.25;
+  double churn_poison = 0.45;
+  /// Degree-histogram total-variation distance thresholds.
+  double degree_shift_drift = 0.05;
+  double degree_shift_poison = 0.15;
+  /// Consecutive breaching batches before the state escalates one level.
+  int escalate_after = 2;
+  /// Consecutive clean batches before the state recovers one level.
+  int recover_after = 3;
+};
+
+Status ValidateDriftMonitorOptions(const DriftMonitorOptions& options);
+
+/// One batch's structural signals, computed by the stream engine.
+struct BatchObservation {
+  double modularity = 0.0;    ///< Generalized modularity Q~ after the batch.
+  double churn = 0.0;         ///< Fraction of nodes whose community changed.
+  double degree_shift = 0.0;  ///< TV distance of degree histograms.
+};
+
+/// The monitor's verdict on one batch.
+struct DriftDecision {
+  StreamHealth state = StreamHealth::kHealthy;
+  /// Breach severity of this observation: 0 clean, 1 drift, 2 poison.
+  int breach_level = 0;
+  /// True when this batch moved the state up a level.
+  bool escalated = false;
+  /// True when this batch entered kSuspectedPoisoning specifically — the
+  /// stream engine's trigger for the defense pipeline.
+  bool entered_poisoning = false;
+  double baseline_modularity = 0.0;
+  double modularity_drop = 0.0;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(const DriftMonitorOptions& options)
+      : options_(options) {}
+
+  /// Folds one batch's signals into the state machine. Deterministic: the
+  /// decision depends only on the observation sequence.
+  DriftDecision Observe(const BatchObservation& observation);
+
+  StreamHealth state() const { return state_; }
+  /// Baseline Q~ the next observation is compared against (the first
+  /// observation seeds it and is never judged).
+  double baseline_modularity() const { return baseline_modularity_; }
+
+ private:
+  DriftMonitorOptions options_;
+  StreamHealth state_ = StreamHealth::kHealthy;
+  bool have_baseline_ = false;
+  double baseline_modularity_ = 0.0;
+  int consecutive_breaches_ = 0;
+  int consecutive_clean_ = 0;
+};
+
+}  // namespace aneci::stream
+
+#endif  // ANECI_STREAM_DRIFT_MONITOR_H_

@@ -1,0 +1,65 @@
+// Incremental embedding refresh: instead of retraining the full model after
+// every event batch, re-train only the induced subgraph of nodes within k
+// hops of the event frontier (the nodes a batch touched) and write the
+// refreshed rows back into the global embedding. The refresher runs the real
+// Aneci trainer — watchdog included — on the subgraph, so numerical
+// divergence during a refresh surfaces as a Status (a "refresh veto") that
+// the stream engine answers by rolling back to its last healthy snapshot.
+#ifndef ANECI_STREAM_INCREMENTAL_H_
+#define ANECI_STREAM_INCREMENTAL_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/watchdog.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace aneci::stream {
+
+/// All nodes within `khops` hops of any node in `seeds` (BFS over the
+/// current graph), sorted ascending. khops = 0 returns the seeds themselves.
+std::vector<int> FrontierRegion(const Graph& graph,
+                                const std::vector<int>& seeds, int khops);
+
+struct RefreshOptions {
+  /// Hops the refresh region extends past the event frontier.
+  int khops = 2;
+  /// Training epochs for the region re-train (short: warm refresh, not a
+  /// from-scratch fit).
+  int epochs = 30;
+  /// Regions smaller than this skip the refresh — too little structure to
+  /// train on, and the global embedding barely moved.
+  int min_region = 8;
+  /// Hidden width of the refresh encoder.
+  int hidden_dim = 32;
+  /// Watchdog policy for the refresh trainer; its rollback budget is the
+  /// veto mechanism.
+  WatchdogOptions watchdog;
+};
+
+Status ValidateRefreshOptions(const RefreshOptions& options);
+
+struct RefreshOutcome {
+  bool refreshed = false;  ///< False when the region was too small/edgeless.
+  int region_nodes = 0;
+  int region_edges = 0;
+  int epochs_run = 0;
+  int watchdog_rollbacks = 0;
+};
+
+/// Re-trains the induced subgraph of `region` and overwrites the matching
+/// rows of `z` / `p` on success. On any trainer failure (watchdog budget
+/// exhausted — the veto) `z` and `p` are left untouched and the Status is
+/// returned. `seed` feeds the refresh trainer; `fault_hook` (optional)
+/// is forwarded as the trainer's divergence_fault_hook so tests can force a
+/// veto deterministically. Deterministic at every ANECI_THREADS value.
+StatusOr<RefreshOutcome> RefreshRegion(
+    const Graph& graph, const std::vector<int>& region,
+    const RefreshOptions& options, uint64_t seed, Matrix* z, Matrix* p,
+    const std::function<bool(int)>& fault_hook = nullptr);
+
+}  // namespace aneci::stream
+
+#endif  // ANECI_STREAM_INCREMENTAL_H_

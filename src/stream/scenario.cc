@@ -1,0 +1,108 @@
+#include "stream/scenario.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "attack/dice.h"
+
+namespace aneci::stream {
+namespace {
+
+// Diff of two sorted unique edge sets as remove-then-add events, so replaying
+// the batch transforms `before` into `after` exactly.
+std::vector<GraphEvent> DiffEdges(const std::vector<Edge>& before,
+                                  const std::vector<Edge>& after) {
+  std::vector<GraphEvent> events;
+  std::vector<Edge> removed;
+  std::vector<Edge> added;
+  std::set_difference(before.begin(), before.end(), after.begin(), after.end(),
+                      std::back_inserter(removed));
+  std::set_difference(after.begin(), after.end(), before.begin(), before.end(),
+                      std::back_inserter(added));
+  events.reserve(removed.size() + added.size());
+  for (const Edge& e : removed) events.push_back(GraphEvent::RemoveEdge(e.u, e.v));
+  for (const Edge& e : added) events.push_back(GraphEvent::AddEdge(e.u, e.v));
+  return events;
+}
+
+}  // namespace
+
+Status ValidateStreamScenarioOptions(const StreamScenarioOptions& options) {
+  if (options.batches <= 0)
+    return Status::InvalidArgument("scenario batches must be > 0, got " +
+                                   std::to_string(options.batches));
+  if (options.events_per_batch <= 0)
+    return Status::InvalidArgument(
+        "scenario events-per-batch must be > 0, got " +
+        std::to_string(options.events_per_batch));
+  if (options.poison_batch >= options.batches)
+    return Status::InvalidArgument(
+        "poison batch " + std::to_string(options.poison_batch) +
+        " out of range: stream has " + std::to_string(options.batches) +
+        " batches");
+  if (options.poison_rate <= 0.0 || options.poison_rate > 1.0)
+    return Status::InvalidArgument(
+        "poison rate must be in (0, 1], got " +
+        std::to_string(options.poison_rate));
+  return Status::OK();
+}
+
+StatusOr<std::vector<EventBatch>> MakeEventStream(
+    const Graph& graph, const StreamScenarioOptions& options) {
+  ANECI_RETURN_IF_ERROR(ValidateStreamScenarioOptions(options));
+  if (graph.num_nodes() < 3)
+    return Status::InvalidArgument(
+        "scenario needs at least 3 nodes, graph has " +
+        std::to_string(graph.num_nodes()));
+  if (options.poison_batch >= 0 && !graph.has_labels())
+    return Status::FailedPrecondition(
+        "DICE poison burst requires node labels on the seed graph");
+
+  Rng rng(options.seed);
+  Graph current = graph;  // Simulated stream state; caller's graph untouched.
+  const int n = current.num_nodes();
+  std::vector<EventBatch> batches;
+  batches.reserve(options.batches);
+  for (int b = 0; b < options.batches; ++b) {
+    EventBatch batch;
+    batch.sequence = static_cast<uint64_t>(b);
+    if (b == options.poison_batch) {
+      DiceOptions dice;
+      dice.budget = options.poison_rate;
+      DiceResult result = DiceAttack(current, dice, rng);
+      batch.events = DiffEdges(current.edges(), result.attacked.edges());
+      current = std::move(result.attacked);
+    } else {
+      // Background churn: alternate removing a uniformly chosen existing edge
+      // and adding a uniformly sampled absent pair. Drift stays modest so a
+      // clean stream never looks like an attack.
+      for (int e = 0; e < options.events_per_batch; ++e) {
+        const bool remove = (e % 2 == 1) && current.num_edges() > n;
+        if (remove) {
+          const Edge victim =
+              current.edges()[rng.NextInt(current.num_edges())];
+          batch.events.push_back(GraphEvent::RemoveEdge(victim.u, victim.v));
+          current.RemoveEdge(victim.u, victim.v);
+        } else {
+          // Bounded rejection sampling; fall back to a no-op re-add if the
+          // graph is near-complete (redundant adds are legal).
+          int u = static_cast<int>(rng.NextInt(n));
+          int v = static_cast<int>(rng.NextInt(n));
+          for (int tries = 0; tries < 32; ++tries) {
+            if (u != v && !current.HasEdge(u, v)) break;
+            u = static_cast<int>(rng.NextInt(n));
+            v = static_cast<int>(rng.NextInt(n));
+          }
+          if (u == v) v = (u + 1) % n;
+          batch.events.push_back(GraphEvent::AddEdge(u, v));
+          current.AddEdge(u, v);
+        }
+      }
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+}  // namespace aneci::stream

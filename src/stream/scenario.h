@@ -1,0 +1,42 @@
+// Deterministic streaming scenario generator: background edge churn with an
+// optional mid-stream DICE-style poisoning burst, emitted as an event-batch
+// sequence. This is the test/bench driver for the streaming monitor — it
+// reproduces the perturbation-sweep methodology of the robustness studies
+// (arXiv:2405.00636, arXiv:2509.24662) as a stream instead of a static sweep.
+#ifndef ANECI_STREAM_SCENARIO_H_
+#define ANECI_STREAM_SCENARIO_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "stream/event_log.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace aneci::stream {
+
+struct StreamScenarioOptions {
+  int batches = 10;
+  /// Background churn events per batch (half add, half remove, best-effort).
+  int events_per_batch = 8;
+  uint64_t seed = 42;
+  /// Batch index (0-based) at which a DICE poisoning burst lands, or -1 for
+  /// a clean stream. Requires the seed graph to carry labels.
+  int poison_batch = -1;
+  /// DICE budget as a fraction of the current edge count.
+  double poison_rate = 0.2;
+};
+
+Status ValidateStreamScenarioOptions(const StreamScenarioOptions& options);
+
+/// Simulates the stream against a scratch copy of `graph` (the input is not
+/// mutated) so every batch is consistent with the state left by its
+/// predecessors. Batch sequences are 0..batches-1. The poison batch replaces
+/// the churn batch at that index with the edge diff of a DiceAttack on the
+/// current simulated graph.
+StatusOr<std::vector<EventBatch>> MakeEventStream(
+    const Graph& graph, const StreamScenarioOptions& options);
+
+}  // namespace aneci::stream
+
+#endif  // ANECI_STREAM_SCENARIO_H_

@@ -1,0 +1,250 @@
+#include "stream/stream_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "graph/modularity.h"
+#include "serve/model_artifact.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace aneci::stream {
+namespace {
+
+constexpr int kDegreeBuckets = 64;  // Last bucket absorbs the tail.
+
+void AppendJsonBool(std::string* out, const char* key, bool value) {
+  *out += "\"";
+  *out += key;
+  *out += value ? "\":true" : "\":false";
+}
+
+}  // namespace
+
+std::string StreamBatchReport::ToJson() const {
+  std::string json = "{\"sequence\":" + std::to_string(sequence);
+  json += ",\"edges_added\":" + std::to_string(edges_added);
+  json += ",\"edges_removed\":" + std::to_string(edges_removed);
+  json += ",\"attributes_updated\":" + std::to_string(attributes_updated);
+  json += ",\"region_nodes\":" + std::to_string(region_nodes);
+  json += ",";
+  AppendJsonBool(&json, "refreshed", refreshed);
+  json += ",";
+  AppendJsonBool(&json, "refresh_vetoed", refresh_vetoed);
+  json += ",";
+  AppendJsonBool(&json, "defense_invoked", defense_invoked);
+  json += ",\"defense_edges_dropped\":" + std::to_string(defense_edges_dropped);
+  json += ",\"state\":\"" + std::string(StreamHealthName(state)) + "\"";
+  json += ",\"breach_level\":" + std::to_string(breach_level);
+  json += ",\"modularity\":" + JsonDouble(modularity);
+  json += ",\"churn\":" + JsonDouble(churn);
+  json += ",\"degree_shift\":" + JsonDouble(degree_shift);
+  json += ",\"baseline_modularity\":" + JsonDouble(baseline_modularity);
+  json += ",\"published_version\":" + std::to_string(published_version);
+  json += "}";
+  return json;
+}
+
+StreamEngine::StreamEngine(Graph graph, Matrix z, Matrix p,
+                           DefensePipeline pipeline,
+                           StreamEngineOptions options)
+    : options_(std::move(options)),
+      graph_(std::move(graph)),
+      z_(std::move(z)),
+      p_(std::move(p)),
+      pipeline_(std::move(pipeline)),
+      monitor_(options_.monitor),
+      defense_rng_(options_.seed ^ 0xdefe45eULL) {
+  prev_assignment_ = ArgmaxAssignment(p_);
+  CaptureHealthySnapshot();
+}
+
+StatusOr<std::unique_ptr<StreamEngine>> StreamEngine::Create(
+    Graph graph, Matrix z, Matrix p, StreamEngineOptions options) {
+  ANECI_RETURN_IF_ERROR(ValidateDriftMonitorOptions(options.monitor));
+  ANECI_RETURN_IF_ERROR(ValidateRefreshOptions(options.refresh));
+  if (graph.num_nodes() == 0)
+    return Status::InvalidArgument("stream engine needs a non-empty graph");
+  if (z.rows() != graph.num_nodes() || p.rows() != graph.num_nodes() ||
+      z.cols() != p.cols() || z.cols() == 0)
+    return Status::InvalidArgument(
+        "embedding shape (" + std::to_string(z.rows()) + "x" +
+        std::to_string(z.cols()) + ") does not match graph with " +
+        std::to_string(graph.num_nodes()) + " nodes");
+  ANECI_ASSIGN_OR_RETURN(DefensePipeline pipeline,
+                         ParseDefensePipeline(options.defense_spec));
+  return std::unique_ptr<StreamEngine>(
+      new StreamEngine(std::move(graph), std::move(z), std::move(p),
+                       std::move(pipeline), std::move(options)));
+}
+
+void StreamEngine::CaptureHealthySnapshot() {
+  healthy_z_ = z_;
+  healthy_p_ = p_;
+  healthy_degrees_ = DegreeHistogram();
+  suspect_region_.clear();
+}
+
+std::vector<int> StreamEngine::DegreeHistogram() const {
+  std::vector<int> hist(kDegreeBuckets, 0);
+  for (int u = 0; u < graph_.num_nodes(); ++u)
+    ++hist[std::min(graph_.Degree(u), kDegreeBuckets - 1)];
+  return hist;
+}
+
+double StreamEngine::TotalVariation(const std::vector<int>& a,
+                                    const std::vector<int>& b) {
+  double total_a = 0.0, total_b = 0.0;
+  for (int x : a) total_a += x;
+  for (int x : b) total_b += x;
+  if (total_a == 0.0 || total_b == 0.0) return 0.0;
+  double tv = 0.0;
+  for (size_t i = 0; i < a.size(); ++i)
+    tv += std::abs(a[i] / total_a - b[i] / total_b);
+  return 0.5 * tv;
+}
+
+StatusOr<StreamBatchReport> StreamEngine::ProcessBatch(
+    const EventBatch& batch) {
+  TraceSpan span("stream/batch");
+  static Counter* batches = MetricsRegistry::Global().GetCounter(
+      "stream/batches", MetricClass::kDeterministic);
+  static Counter* events = MetricsRegistry::Global().GetCounter(
+      "stream/events_applied", MetricClass::kDeterministic);
+  static Counter* refreshes = MetricsRegistry::Global().GetCounter(
+      "stream/refreshes", MetricClass::kDeterministic);
+  static Counter* vetoes = MetricsRegistry::Global().GetCounter(
+      "stream/refresh_vetoes", MetricClass::kDeterministic);
+  static Counter* defenses = MetricsRegistry::Global().GetCounter(
+      "stream/defense_invocations", MetricClass::kDeterministic);
+  static Counter* escalations = MetricsRegistry::Global().GetCounter(
+      "stream/escalations", MetricClass::kDeterministic);
+  static Gauge* health_gauge = MetricsRegistry::Global().GetGauge(
+      "stream/health", MetricClass::kDeterministic);
+  static Gauge* modularity_gauge = MetricsRegistry::Global().GetGauge(
+      "stream/modularity", MetricClass::kDeterministic);
+  static TelemetryRing* ring = MetricsRegistry::Global().GetRing("stream");
+
+  StreamBatchReport report;
+  report.sequence = batch.sequence;
+
+  // (1) Apply atomically: a bad event leaves everything untouched.
+  ANECI_ASSIGN_OR_RETURN(BatchApplyReport applied,
+                         ApplyEventBatch(&graph_, batch));
+  batches->Increment();
+  events->Add(batch.events.size());
+  report.edges_added = applied.edges_added;
+  report.edges_removed = applied.edges_removed;
+  report.attributes_updated = applied.attributes_updated;
+
+  // (2) Incremental refresh on the k-hop frontier. A watchdog veto rolls the
+  // embeddings back to the last healthy snapshot; the graph keeps the events
+  // (they are the ground-truth stream, not model state).
+  const std::vector<int> region =
+      FrontierRegion(graph_, TouchedNodes(batch), options_.refresh.khops);
+  report.region_nodes = static_cast<int>(region.size());
+  suspect_region_.insert(suspect_region_.end(), region.begin(), region.end());
+  std::sort(suspect_region_.begin(), suspect_region_.end());
+  suspect_region_.erase(
+      std::unique(suspect_region_.begin(), suspect_region_.end()),
+      suspect_region_.end());
+
+  std::function<bool(int)> fault_hook;
+  if (options_.refresh_fault_hook && options_.refresh_fault_hook(batch.sequence))
+    fault_hook = [](int) { return true; };
+  auto refreshed = RefreshRegion(graph_, region, options_.refresh,
+                                 options_.seed + batch.sequence, &z_, &p_,
+                                 fault_hook);
+  if (refreshed.ok()) {
+    report.refreshed = refreshed.value().refreshed;
+    if (report.refreshed) refreshes->Increment();
+  } else {
+    report.refresh_vetoed = true;
+    ++refresh_vetoes_;
+    vetoes->Increment();
+    z_ = healthy_z_;
+    p_ = healthy_p_;
+  }
+
+  // (3) Structural signals vs the healthy baseline -> monitor decision.
+  BatchObservation observation;
+  observation.modularity = GeneralizedModularity(graph_.Adjacency(), p_);
+  const std::vector<int> assignment = ArgmaxAssignment(p_);
+  int changed = 0;
+  for (size_t i = 0; i < assignment.size(); ++i)
+    if (assignment[i] != prev_assignment_[i]) ++changed;
+  observation.churn =
+      assignment.empty()
+          ? 0.0
+          : static_cast<double>(changed) / static_cast<double>(assignment.size());
+  observation.degree_shift = TotalVariation(DegreeHistogram(), healthy_degrees_);
+  prev_assignment_ = assignment;
+
+  const DriftDecision decision = monitor_.Observe(observation);
+  report.state = decision.state;
+  report.breach_level = decision.breach_level;
+  report.modularity = observation.modularity;
+  report.churn = observation.churn;
+  report.degree_shift = observation.degree_shift;
+  report.baseline_modularity = decision.baseline_modularity;
+  if (decision.escalated) escalations->Increment();
+
+  // (4) Escalation into SuspectedPoisoning fires the defense, scoped to the
+  // suspect region, then re-refreshes that region on the purified graph.
+  if (decision.entered_poisoning) {
+    TraceSpan defense_span("stream/defense");
+    PurifiedGraph purified = RunDefensePipelineScoped(
+        graph_, pipeline_, defense_rng_, suspect_region_);
+    graph_ = std::move(purified.graph);
+    report.defense_invoked = true;
+    report.defense_edges_dropped = purified.reports.empty()
+                                       ? 0
+                                       : purified.reports[0].edges_dropped;
+    ++defense_invocations_;
+    defenses->Increment();
+    auto recovered =
+        RefreshRegion(graph_, suspect_region_, options_.refresh,
+                      options_.seed + batch.sequence + 0x5c0bedULL, &z_, &p_,
+                      nullptr);
+    if (!recovered.ok()) {
+      z_ = healthy_z_;
+      p_ = healthy_p_;
+    }
+  }
+
+  // (5) Healthy and un-vetoed: this becomes the new rollback target.
+  if (monitor_.state() == StreamHealth::kHealthy && !report.refresh_vetoed)
+    CaptureHealthySnapshot();
+
+  // (6) Publish through the serving hot-swap unless the batch was vetoed
+  // (the serving layer keeps answering from the last healthy snapshot).
+  if (options_.publish != nullptr && !report.refresh_vetoed &&
+      (report.refreshed || report.defense_invoked)) {
+    serve::ModelArtifact artifact = serve::BuildModelArtifact(graph_, z_, p_);
+    auto snapshot = options_.publish->SwapFromArtifact(
+        std::move(artifact), "stream:batch=" + std::to_string(batch.sequence));
+    report.published_version = snapshot->version();
+  }
+
+  health_gauge->Set(static_cast<double>(static_cast<int>(monitor_.state())));
+  modularity_gauge->Set(observation.modularity);
+  const std::string json = report.ToJson();
+  ring->Append(json);
+  summary_ += json;
+  summary_ += "\n";
+  return report;
+}
+
+StatusOr<std::vector<StreamBatchReport>> StreamEngine::ProcessLog(
+    const std::vector<EventBatch>& batches) {
+  std::vector<StreamBatchReport> reports;
+  reports.reserve(batches.size());
+  for (const EventBatch& batch : batches) {
+    ANECI_ASSIGN_OR_RETURN(StreamBatchReport report, ProcessBatch(batch));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+}  // namespace aneci::stream

@@ -1,0 +1,135 @@
+// StreamEngine: the orchestrator tying the streaming layers together. Per
+// event batch it (1) applies the batch atomically, (2) incrementally
+// refreshes the embedding on the k-hop frontier region, rolling back to the
+// last healthy snapshot when the refresh trainer's watchdog vetoes it,
+// (3) feeds structural signals to the DriftMonitor, (4) on escalation to
+// SuspectedPoisoning runs the defense pipeline scoped to the suspect region
+// (every node touched since the last healthy batch) and re-refreshes, and
+// (5) optionally publishes the refreshed embedding to the serving layer
+// through EmbedService's hot-swap. Every step is deterministic for a fixed
+// (seed graph, event log, options) at any ANECI_THREADS value — the chaos
+// test asserts byte-identical per-batch JSON reports across thread counts.
+#ifndef ANECI_STREAM_STREAM_ENGINE_H_
+#define ANECI_STREAM_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "defense/defense.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "serve/service.h"
+#include "stream/drift_monitor.h"
+#include "stream/event_log.h"
+#include "stream/incremental.h"
+#include "util/status.h"
+
+namespace aneci::stream {
+
+struct StreamEngineOptions {
+  DriftMonitorOptions monitor;
+  RefreshOptions refresh;
+  /// Defense pipeline spec (defense/defense.h) run scoped to the suspect
+  /// region when the monitor escalates to SuspectedPoisoning.
+  std::string defense_spec = "jaccard:tau=0.05";
+  uint64_t seed = 42;
+  /// Optional serving sink: refreshed embeddings are published through the
+  /// hot-swap after every non-vetoed batch that changed them.
+  serve::EmbedService* publish = nullptr;
+  /// Test hook: batches for which this returns true have their refresh
+  /// trainer's loss forced non-finite, deterministically exhausting the
+  /// watchdog budget — the forced refresh-veto of the chaos test.
+  std::function<bool(uint64_t)> refresh_fault_hook;
+};
+
+/// Everything one ProcessBatch did, in deterministic-JSON form for the
+/// telemetry ring and the replay-identity assertions.
+struct StreamBatchReport {
+  uint64_t sequence = 0;
+  int edges_added = 0;
+  int edges_removed = 0;
+  int attributes_updated = 0;
+  int region_nodes = 0;
+  bool refreshed = false;
+  bool refresh_vetoed = false;
+  bool defense_invoked = false;
+  int defense_edges_dropped = 0;
+  StreamHealth state = StreamHealth::kHealthy;
+  int breach_level = 0;
+  double modularity = 0.0;
+  double churn = 0.0;
+  double degree_shift = 0.0;
+  double baseline_modularity = 0.0;
+  /// Snapshot version published this batch, 0 when nothing was published.
+  uint64_t published_version = 0;
+
+  /// One deterministic JSON object (keys in fixed order, %.17g doubles).
+  std::string ToJson() const;
+};
+
+class StreamEngine {
+ public:
+  /// Validates options and takes ownership of the initial state. `z` / `p`
+  /// are the embeddings of a converged training run on `graph` (the first
+  /// healthy snapshot).
+  static StatusOr<std::unique_ptr<StreamEngine>> Create(
+      Graph graph, Matrix z, Matrix p, StreamEngineOptions options);
+
+  /// Consumes one batch end-to-end. A Status (invalid event, failed apply)
+  /// leaves graph and embeddings exactly as they were.
+  StatusOr<StreamBatchReport> ProcessBatch(const EventBatch& batch);
+
+  /// Replays a whole log in order; stops at the first failing batch.
+  StatusOr<std::vector<StreamBatchReport>> ProcessLog(
+      const std::vector<EventBatch>& batches);
+
+  const Graph& graph() const { return graph_; }
+  const Matrix& z() const { return z_; }
+  const Matrix& p() const { return p_; }
+  StreamHealth health() const { return monitor_.state(); }
+  int defense_invocations() const { return defense_invocations_; }
+  int refresh_vetoes() const { return refresh_vetoes_; }
+
+  /// JSONL of every batch report so far — byte-identical across
+  /// ANECI_THREADS values for the same inputs (the replay contract).
+  const std::string& SummaryJsonl() const { return summary_; }
+
+ private:
+  StreamEngine(Graph graph, Matrix z, Matrix p, DefensePipeline pipeline,
+               StreamEngineOptions options);
+
+  void CaptureHealthySnapshot();
+  std::vector<int> DegreeHistogram() const;
+  static double TotalVariation(const std::vector<int>& a,
+                               const std::vector<int>& b);
+
+  StreamEngineOptions options_;
+  Graph graph_;
+  Matrix z_;
+  Matrix p_;
+  DefensePipeline pipeline_;
+  DriftMonitor monitor_;
+  Rng defense_rng_;
+
+  // Last healthy embedding snapshot (the rollback target) and its degree
+  // histogram (the degree-shift baseline).
+  Matrix healthy_z_;
+  Matrix healthy_p_;
+  std::vector<int> healthy_degrees_;
+
+  std::vector<int> prev_assignment_;
+  /// Union of frontier regions since the last healthy snapshot — where the
+  /// defense concentrates when the monitor escalates.
+  std::vector<int> suspect_region_;
+
+  int defense_invocations_ = 0;
+  int refresh_vetoes_ = 0;
+  std::string summary_;
+};
+
+}  // namespace aneci::stream
+
+#endif  // ANECI_STREAM_STREAM_ENGINE_H_

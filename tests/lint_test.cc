@@ -163,6 +163,23 @@ TEST(DiscardedStatus, CrossFileSymbolTableAndLocalOverride) {
   EXPECT_EQ(findings[0].check, "discarded-status");
 }
 
+TEST(DiscardedStatus, QualifiedMemberDefinitionCountsAsLocalOverride) {
+  // pool.cc's `void Pool::Start(...)` must register Start as locally
+  // non-Status even though the definition is name-qualified; otherwise the
+  // Status-returning Start from server.h poisons every other Start.
+  Linter linter;
+  linter.AddFile("src/server.h",
+                 "#ifndef SERVER_H_\n#define SERVER_H_\n"
+                 "struct Server { Status Start(int port); };\n#endif\n");
+  // Deliberately no in-class declaration here: like a real .cc whose class
+  // lives in the header, the only evidence Start is void is the qualified
+  // definition.
+  linter.AddFile("src/pool.cc",
+                 "void Pool::Start(int n) {}\n"
+                 "Pool::Pool(int n) { Start(n); }\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
 // --- banned-nondeterminism ---------------------------------------------------
 
 TEST(BannedNondeterminism, FlagsEachSourceInSrc) {
@@ -202,9 +219,19 @@ TEST(BannedRawIo, FlagsWritePathsInSrcOnly) {
   // env.cc is the designated raw-IO site.
   EXPECT_TRUE(
       LintContent("src/util/env.cc", "std::ofstream o(\"p\");\n").empty());
-  // Reads do not have to route through Env.
+}
+
+TEST(BannedRawIo, FlagsReadPathsInSrcOutsideEnv) {
+  // Reads route through Env::ReadFile too — the fault-injection Env must
+  // cover every IO path the robustness tests replay through.
+  const auto in_src =
+      LintContent("src/graph/g.cc", "std::ifstream in(\"p\");\n");
+  EXPECT_EQ(CountCheck(in_src, "banned-raw-io"), 1);
+  // env.cc implements ReadFile; tools/tests are outside the library rule.
   EXPECT_TRUE(
-      LintContent("src/graph/g.cc", "std::ifstream in(\"p\");\n").empty());
+      LintContent("src/util/env.cc", "std::ifstream in(\"p\");\n").empty());
+  EXPECT_TRUE(
+      LintContent("tools/t.cc", "std::ifstream in(\"p\");\n").empty());
 }
 
 TEST(BannedRawIo, FlagsRawSocketSyscallsOutsideTheShim) {

@@ -1,0 +1,200 @@
+// Watchdog edge cases: snapshot cadence of one epoch, divergence at the very
+// first epoch (before any periodic snapshot boundary has passed), verdict
+// names for every enum value, and option validation.
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+#include "core/aneci.h"
+#include "core/watchdog.h"
+#include "data/sbm.h"
+#include "util/rng.h"
+
+namespace aneci {
+namespace {
+
+Graph SmallGraph() {
+  SbmOptions opt;
+  opt.num_nodes = 40;
+  opt.num_edges = 120;
+  opt.num_classes = 2;
+  opt.attribute_dim = 8;
+  Rng rng(7);
+  return GenerateSbm(opt, rng);
+}
+
+AneciConfig SmallConfig() {
+  AneciConfig config;
+  config.hidden_dim = 16;
+  config.embed_dim = 4;
+  config.epochs = 12;
+  config.seed = 3;
+  return config;
+}
+
+// --- Verdict machinery ------------------------------------------------------
+
+TEST(WatchdogVerdictTest, NameCoversEveryValue) {
+  // Exhaustive: a new enum value must get a name before this list grows.
+  const std::vector<WatchdogVerdict> all = {
+      WatchdogVerdict::kHealthy, WatchdogVerdict::kNonFiniteLoss,
+      WatchdogVerdict::kNonFiniteGradient, WatchdogVerdict::kLossExplosion};
+  for (WatchdogVerdict v : all) {
+    const std::string name = WatchdogVerdictName(v);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?") << "unnamed verdict " << static_cast<int>(v);
+  }
+  EXPECT_STREQ(WatchdogVerdictName(WatchdogVerdict::kHealthy), "healthy");
+  EXPECT_STREQ(WatchdogVerdictName(WatchdogVerdict::kNonFiniteLoss),
+               "non-finite loss");
+  EXPECT_STREQ(WatchdogVerdictName(WatchdogVerdict::kNonFiniteGradient),
+               "non-finite gradient");
+  EXPECT_STREQ(WatchdogVerdictName(WatchdogVerdict::kLossExplosion),
+               "loss explosion");
+}
+
+TEST(WatchdogVerdictTest, InspectFlagsEachFailureMode) {
+  TrainingWatchdog dog(WatchdogOptions{});
+  EXPECT_EQ(dog.Inspect(1.0, {}), WatchdogVerdict::kHealthy);
+  EXPECT_EQ(dog.Inspect(std::nan(""), {}), WatchdogVerdict::kNonFiniteLoss);
+  EXPECT_EQ(dog.Inspect(std::numeric_limits<double>::infinity(), {}),
+            WatchdogVerdict::kNonFiniteLoss);
+
+  ag::VarPtr param = ag::MakeParameter(Matrix(2, 2));
+  Matrix bad(2, 2);
+  bad(1, 1) = std::nan("");
+  param->AccumulateGrad(bad);
+  EXPECT_EQ(dog.Inspect(1.0, {param}), WatchdogVerdict::kNonFiniteGradient);
+
+  // Explosion relative to the best |loss| seen (1.0 from the first epoch).
+  EXPECT_EQ(dog.Inspect(1e9, {}), WatchdogVerdict::kLossExplosion);
+}
+
+TEST(WatchdogVerdictTest, DisabledWatchdogNeverVetoes) {
+  WatchdogOptions options;
+  options.enabled = false;
+  TrainingWatchdog dog(options);
+  EXPECT_EQ(dog.Inspect(std::nan(""), {}), WatchdogVerdict::kHealthy);
+}
+
+TEST(WatchdogVerdictTest, RollbackBudgetIsExact) {
+  WatchdogOptions options;
+  options.max_rollbacks = 2;
+  TrainingWatchdog dog(options);
+  EXPECT_TRUE(dog.RecordRollback());
+  EXPECT_TRUE(dog.RecordRollback());
+  EXPECT_FALSE(dog.RecordRollback());
+  EXPECT_EQ(dog.rollbacks(), 2);
+}
+
+// --- Option validation ------------------------------------------------------
+
+TEST(WatchdogOptionsTest, DefaultsValidate) {
+  EXPECT_TRUE(ValidateWatchdogOptions(WatchdogOptions{}).ok());
+}
+
+TEST(WatchdogOptionsTest, RejectsEachBadKnob) {
+  WatchdogOptions options;
+  options.explosion_factor = 0.0;
+  EXPECT_FALSE(ValidateWatchdogOptions(options).ok());
+
+  options = WatchdogOptions{};
+  options.max_rollbacks = -1;
+  EXPECT_FALSE(ValidateWatchdogOptions(options).ok());
+
+  options = WatchdogOptions{};
+  options.lr_backoff = 0.0;
+  EXPECT_FALSE(ValidateWatchdogOptions(options).ok());
+  options.lr_backoff = 1.5;
+  EXPECT_FALSE(ValidateWatchdogOptions(options).ok());
+
+  options = WatchdogOptions{};
+  options.snapshot_every = 0;
+  EXPECT_FALSE(ValidateWatchdogOptions(options).ok());
+}
+
+TEST(WatchdogOptionsTest, MessagesNameTheKnob) {
+  WatchdogOptions options;
+  options.snapshot_every = -3;
+  Status st = ValidateWatchdogOptions(options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("snapshot-every"), std::string::npos);
+}
+
+// --- Training-loop edge cases ----------------------------------------------
+
+TEST(WatchdogTrainingTest, SnapshotEveryEpochRecoversFromSingleFault) {
+  const Graph g = SmallGraph();
+  AneciConfig config = SmallConfig();
+  config.watchdog.snapshot_every = 1;  // Tightest possible granularity.
+  config.watchdog.max_rollbacks = 3;
+  // One-shot: the rolled-back retry of the epoch must come up clean.
+  bool fired = false;
+  config.divergence_fault_hook = [&fired](int epoch) {
+    if (epoch == 5 && !fired) {
+      fired = true;
+      return true;
+    }
+    return false;
+  };
+  auto result = Aneci(config).TrainWithResilience(g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result.value().watchdog_rollbacks, 1);
+  EXPECT_LT(result.value().final_lr, config.lr);  // Backoff was applied.
+}
+
+TEST(WatchdogTrainingTest, RollbackAtEpochZeroBeforeAnyPeriodicSnapshot) {
+  // A fault at epoch 0 hits before any snapshot_every boundary has passed.
+  // The trainer must still recover: it snapshots the initial state at the
+  // epoch-0 boundary, so the rollback target always exists.
+  const Graph g = SmallGraph();
+  AneciConfig config = SmallConfig();
+  config.watchdog.snapshot_every = 100;  // No periodic snapshot inside run.
+  config.watchdog.max_rollbacks = 2;
+  bool fired = false;
+  config.divergence_fault_hook = [&fired](int epoch) {
+    if (epoch == 0 && !fired) {
+      fired = true;
+      return true;
+    }
+    return false;
+  };
+  auto result = Aneci(config).TrainWithResilience(g);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result.value().watchdog_rollbacks, 1);
+  for (int64_t i = 0; i < result.value().z.size(); ++i)
+    EXPECT_TRUE(std::isfinite(result.value().z.data()[i]));
+}
+
+TEST(WatchdogTrainingTest, PermanentFaultExhaustsBudgetWithStatus) {
+  const Graph g = SmallGraph();
+  AneciConfig config = SmallConfig();
+  config.watchdog.max_rollbacks = 1;
+  config.divergence_fault_hook = [](int) { return true; };  // Never heals.
+  auto result = Aneci(config).TrainWithResilience(g);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(WatchdogTrainingTest, HealthyRunBitIdenticalWithAndWithoutWatchdog) {
+  const Graph g = SmallGraph();
+  AneciConfig config = SmallConfig();
+  config.watchdog.enabled = true;
+  config.watchdog.snapshot_every = 1;
+  auto with = Aneci(config).TrainWithResilience(g);
+  config.watchdog.enabled = false;
+  auto without = Aneci(config).TrainWithResilience(g);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  ASSERT_EQ(with.value().z.size(), without.value().z.size());
+  for (int64_t i = 0; i < with.value().z.size(); ++i)
+    EXPECT_EQ(with.value().z.data()[i], without.value().z.data()[i]);
+  EXPECT_EQ(with.value().watchdog_rollbacks, 0);
+}
+
+}  // namespace
+}  // namespace aneci

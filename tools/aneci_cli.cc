@@ -54,6 +54,9 @@
 #include "serve/model_snapshot.h"
 #include "serve/server.h"
 #include "serve/service.h"
+#include "stream/event_log.h"
+#include "stream/scenario.h"
+#include "stream/stream_engine.h"
 #include "tasks/community.h"
 #include "tasks/metrics.h"
 #include "tools/cli_args.h"
@@ -72,6 +75,9 @@ int Usage(std::FILE* stream) {
       "  train      --graph=g.txt [--out=z.csv --epochs=150 --dim=16\n"
       "              --hidden=64 --order=2 --seed=42 --plus\n"
       "              --checkpoint-dir=ckpt --checkpoint-every=10 --resume\n"
+      "              --watchdog-explosion-factor=1e4\n"
+      "              --watchdog-max-rollbacks=3 --watchdog-lr-backoff=0.5\n"
+      "              --watchdog-snapshot-every=10\n"
       "              --defense=jaccard,lowrank,clip --adv-train\n"
       "              --adv-budget=0.05 --adv-every=1 --adv-kind=random|dice\n"
       "              --certify --certify-samples=7 --certify-radius=0.05\n"
@@ -95,6 +101,20 @@ int Usage(std::FILE* stream) {
       "              over-cap connects and over-budget requests shed with\n"
       "              typed \"overloaded\" errors, slow peers are reaped\n"
       "              after the read deadline — docs/serving.md section 6)\n"
+      "  stream     --graph=g.txt --events=events.anel [--dim=16\n"
+      "              --epochs=80 --khops=2 --refresh-epochs=30\n"
+      "              --min-region=8 --defense=jaccard:tau=0.05\n"
+      "              --escalate-after=2 --recover-after=3 --seed=42\n"
+      "              --report-out=stream.jsonl --model-out=model.ansv]\n"
+      "             (trains an initial embedding, then replays the event\n"
+      "              log through the streaming monitor: incremental k-hop\n"
+      "              refresh, drift/poisoning escalation with hysteresis,\n"
+      "              region-scoped defense — docs/robustness.md section 12)\n"
+      "  stream     --make-events --graph=g.txt --out=events.anel\n"
+      "              [--batches=10 --events-per-batch=8 --poison-batch=-1\n"
+      "              --poison-rate=0.2 --seed=42]\n"
+      "             (generates a churn stream, optionally with a DICE\n"
+      "              poisoning burst at --poison-batch)\n"
       "  stats      <metrics.jsonl> [--zero-timings]\n"
       "every command also accepts --metrics-out=<path> to dump the metrics\n"
       "registry (counters, spans, training telemetry) as JSONL on exit\n");
@@ -202,6 +222,8 @@ int CmdTrain(const Args& args) {
           args,
           {"graph", "out", "model-out", "dim", "hidden", "epochs", "order",
            "seed", "plus", "checkpoint-dir", "checkpoint-every", "resume",
+           "watchdog-explosion-factor", "watchdog-max-rollbacks",
+           "watchdog-lr-backoff", "watchdog-snapshot-every",
            "defense", "adv-train", "adv-budget", "adv-every", "adv-kind",
            "certify", "certify-samples", "certify-radius", "certify-seeds",
            "metrics-out"}))
@@ -235,6 +257,16 @@ int CmdTrain(const Args& args) {
       return Fail("--resume requires --checkpoint-dir=<dir>");
     cfg.resume_from = cfg.checkpoint_dir;
   }
+  cfg.watchdog.explosion_factor =
+      args.GetDouble("watchdog-explosion-factor", cfg.watchdog.explosion_factor);
+  cfg.watchdog.max_rollbacks =
+      args.GetInt("watchdog-max-rollbacks", cfg.watchdog.max_rollbacks);
+  cfg.watchdog.lr_backoff =
+      args.GetDouble("watchdog-lr-backoff", cfg.watchdog.lr_backoff);
+  cfg.watchdog.snapshot_every =
+      args.GetInt("watchdog-snapshot-every", cfg.watchdog.snapshot_every);
+  if (Status st = ValidateWatchdogOptions(cfg.watchdog); !st.ok())
+    return Fail(st.ToString());
   if (args.Has("adv-train")) {
     cfg.adversarial.enabled = true;
     cfg.adversarial.budget = args.GetDouble("adv-budget", 0.05);
@@ -479,6 +511,120 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+/// Generates a streaming scenario (--make-events) or replays an event log
+/// through the full streaming stack: initial training, per-batch incremental
+/// refresh, the drift/poisoning monitor, and region-scoped defense
+/// (docs/robustness.md §12).
+int CmdStream(const Args& args) {
+  if (int rc = RejectUnknownFlags(
+          args,
+          {"graph", "events", "make-events", "out", "batches",
+           "events-per-batch", "poison-batch", "poison-rate", "dim", "epochs",
+           "khops", "refresh-epochs", "min-region", "defense",
+           "escalate-after", "recover-after", "seed", "report-out",
+           "model-out", "metrics-out"}))
+    return rc;
+  StatusOr<Graph> loaded = LoadRequiredGraph(args);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  Graph graph = std::move(loaded).value();
+  const uint64_t seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  if (args.Has("make-events")) {
+    stream::StreamScenarioOptions scenario;
+    scenario.batches = args.GetInt("batches", 10);
+    scenario.events_per_batch = args.GetInt("events-per-batch", 8);
+    scenario.poison_batch = args.GetInt("poison-batch", -1);
+    scenario.poison_rate = args.GetDouble("poison-rate", 0.2);
+    scenario.seed = seed;
+    StatusOr<std::vector<stream::EventBatch>> batches =
+        stream::MakeEventStream(graph, scenario);
+    if (!batches.ok()) return Fail(batches.status().ToString());
+    const std::string out = args.Get("out", "events.anel");
+    if (Status st = stream::SaveEventLog(batches.value(), out); !st.ok())
+      return Fail(st.ToString());
+    size_t events = 0;
+    for (const stream::EventBatch& b : batches.value()) events += b.events.size();
+    std::printf("wrote %s: %zu batches, %zu events%s\n", out.c_str(),
+                batches.value().size(), events,
+                scenario.poison_batch >= 0
+                    ? (" (poison burst at batch " +
+                       std::to_string(scenario.poison_batch) + ")")
+                          .c_str()
+                    : "");
+    return 0;
+  }
+
+  const std::string events_path = args.Get("events", "");
+  if (events_path.empty())
+    return Fail("--events=<events.anel> required (or --make-events)");
+  StatusOr<std::vector<stream::EventBatch>> log =
+      stream::LoadEventLog(events_path);
+  if (!log.ok()) return Fail(log.status().ToString());
+
+  AneciConfig cfg;
+  cfg.embed_dim = args.GetInt("dim", 16);
+  cfg.epochs = args.GetInt("epochs", 80);
+  cfg.seed = seed;
+  Aneci model(cfg);
+  StatusOr<AneciResult> trained = model.TrainWithResilience(graph);
+  if (!trained.ok()) return Fail(trained.status().ToString());
+  std::printf("initial embedding trained (%d nodes, dim %d)\n",
+              graph.num_nodes(), cfg.embed_dim);
+
+  stream::StreamEngineOptions options;
+  options.refresh.khops = args.GetInt("khops", 2);
+  options.refresh.epochs = args.GetInt("refresh-epochs", 30);
+  options.refresh.min_region = args.GetInt("min-region", 8);
+  options.defense_spec = args.Get("defense", "jaccard:tau=0.05");
+  options.monitor.escalate_after = args.GetInt("escalate-after", 2);
+  options.monitor.recover_after = args.GetInt("recover-after", 3);
+  options.seed = seed;
+  StatusOr<std::unique_ptr<stream::StreamEngine>> engine =
+      stream::StreamEngine::Create(graph, trained.value().z,
+                                   trained.value().p, std::move(options));
+  if (!engine.ok()) return Fail(engine.status().ToString());
+
+  StatusOr<std::vector<stream::StreamBatchReport>> reports =
+      engine.value()->ProcessLog(log.value());
+  if (!reports.ok()) return Fail(reports.status().ToString());
+  for (const stream::StreamBatchReport& r : reports.value()) {
+    std::printf(
+        "batch %llu: +%d/-%d edges, region %d, Q~=%.4f churn=%.3f "
+        "state=%s%s%s%s\n",
+        static_cast<unsigned long long>(r.sequence), r.edges_added,
+        r.edges_removed, r.region_nodes, r.modularity, r.churn,
+        stream::StreamHealthName(r.state),
+        r.refresh_vetoed ? " [refresh vetoed, rolled back]" : "",
+        r.defense_invoked ? " [defense invoked]" : "",
+        r.published_version > 0
+            ? (" [published v" + std::to_string(r.published_version) + "]")
+                  .c_str()
+            : "");
+  }
+  std::printf("final state: %s (%d defense invocation(s), %d veto(es))\n",
+              stream::StreamHealthName(engine.value()->health()),
+              engine.value()->defense_invocations(),
+              engine.value()->refresh_vetoes());
+
+  const std::string report_out = args.Get("report-out", "");
+  if (!report_out.empty()) {
+    Status st = Env::Default()->WriteFileAtomic(
+        report_out, engine.value()->SummaryJsonl());
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("batch reports written to %s\n", report_out.c_str());
+  }
+  const std::string model_out = args.Get("model-out", "");
+  if (!model_out.empty()) {
+    const serve::ModelArtifact artifact = serve::BuildModelArtifact(
+        engine.value()->graph(), engine.value()->z(), engine.value()->p(),
+        seed + 555);
+    if (Status st = serve::SaveModelArtifact(artifact, model_out); !st.ok())
+      return Fail(st.ToString());
+    std::printf("refreshed model artifact written to %s\n", model_out.c_str());
+  }
+  return 0;
+}
+
 /// Pretty-prints a metrics JSONL dump produced by --metrics-out. Takes the
 /// file as a positional argument (the one place the CLI does, since the file
 /// is the whole point of the command). --zero-timings blanks every duration
@@ -527,6 +673,8 @@ int Run(int argc, char** argv) {
     rc = CmdCommunity(args);
   } else if (cmd == "serve") {
     rc = CmdServe(args);
+  } else if (cmd == "stream") {
+    rc = CmdStream(args);
   } else {
     std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
     return Usage(stderr);

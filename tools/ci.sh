@@ -12,15 +12,18 @@
 # Stage 1 builds the default configuration and runs the full ctest suite
 # (the tier-1 gate), which includes the linter's own test suite (-L lint).
 #
-# Stage 2 is the sanitizer matrix: the fault-injection, attack, and serving
-# test subsets (-L 'fault|attack|serve') run under ASan, UBSan, and TSan —
-# the subsets that exercise error paths over partially written buffers and
-# fuzzed protocol frames (ASan), integer/float conversions in the
-# perturbation math and wire decoding (UBSan), and the parallel kernels
-# plus the hot-swap path (TSan). The TSan build additionally re-runs the
-# thread-pool and defense determinism suites plus the metrics-labelled
-# observability tests (sharded counters and span aggregation are lock-free
-# hot paths), where a data race would actually bite.
+# Stage 2 is the sanitizer matrix: the fault-injection, attack, serving,
+# and streaming test subsets (-L 'fault|attack|serve|stream') run under
+# ASan, UBSan, and TSan — the subsets that exercise error paths over
+# partially written buffers and fuzzed protocol frames (ASan), integer/
+# float conversions in the perturbation math and wire decoding (UBSan),
+# and the parallel kernels plus the hot-swap path (TSan). The stream label
+# covers the event-log replay and chaos tests, whose thread-count
+# replay-identity contract is exactly what TSan must see race-free. The
+# TSan build additionally re-runs the thread-pool and defense determinism
+# suites plus the metrics-labelled observability tests (sharded counters
+# and span aggregation are lock-free hot paths), where a data race would
+# actually bite.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,31 +38,33 @@ echo "== stage 1: tier-1 build + full test suite =="
 cmake --build "${prefix}" -j "$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure -j "$(nproc)"
 
-# Test binaries exercised by the sanitizer matrix (fault/attack/serve labels).
+# Test binaries exercised by the sanitizer matrix
+# (fault/attack/serve/stream labels).
 matrix_targets=(checkpoint_test resilience_test graph_io_robustness_test
                 attack_test surrogate_test serve_protocol_test
-                serve_snapshot_test serve_golden_test serve_chaos_test)
+                serve_snapshot_test serve_golden_test serve_chaos_test
+                watchdog_edge_test stream_test stream_chaos_test)
 
-echo "== stage 2a: AddressSanitizer (fault + attack + serve tests) =="
+echo "== stage 2a: AddressSanitizer (fault + attack + serve + stream tests) =="
 cmake -B "${prefix}-asan" -S . -DANECI_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${prefix}-asan" -j "$(nproc)" --target "${matrix_targets[@]}"
 ctest --test-dir "${prefix}-asan" --output-on-failure -j "$(nproc)" \
-  -L 'fault|attack|serve'
+  -L 'fault|attack|serve|stream'
 
-echo "== stage 2b: UndefinedBehaviorSanitizer (fault + attack + serve tests) =="
+echo "== stage 2b: UndefinedBehaviorSanitizer (fault + attack + serve + stream tests) =="
 cmake -B "${prefix}-ubsan" -S . -DANECI_UBSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${prefix}-ubsan" -j "$(nproc)" --target "${matrix_targets[@]}"
 ctest --test-dir "${prefix}-ubsan" --output-on-failure -j "$(nproc)" \
-  -L 'fault|attack|serve'
+  -L 'fault|attack|serve|stream'
 
-echo "== stage 2c: ThreadSanitizer (fault + attack + serve + concurrency tests) =="
+echo "== stage 2c: ThreadSanitizer (fault + attack + serve + stream + concurrency tests) =="
 cmake -B "${prefix}-tsan" -S . -DANECI_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${prefix}-tsan" -j "$(nproc)" \
   --target "${matrix_targets[@]}" thread_pool_test defense_test \
   observability_test
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
-  -L 'fault|attack|serve|metrics'
+  -L 'fault|attack|serve|stream|metrics'
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
   -R 'ThreadPool|Defense|Jaccard|LowRank|AttributeClip|Smoothing|AdversarialTraining'
 

@@ -157,11 +157,22 @@ void CollectNonStatusFunctions(const TokenizedFile& file,
   const std::vector<Token>& toks = file.tokens;
   for (size_t i = 0; i + 2 < toks.size(); ++i) {
     if (toks[i].kind != TokenKind::kIdentifier ||
-        toks[i + 1].kind != TokenKind::kIdentifier ||
-        !IsPunct(toks[i + 2], "("))
+        toks[i + 1].kind != TokenKind::kIdentifier)
       continue;
     if (kNotATypePrefix.count(toks[i].text)) continue;
-    out->insert(toks[i + 1].text);
+    // `Type name(` — a free function or in-class declaration.
+    if (IsPunct(toks[i + 2], "(")) {
+      out->insert(toks[i + 1].text);
+      continue;
+    }
+    // `Type Class::name(` — an out-of-class member definition; without this
+    // form a void member sharing its name with some other file's
+    // Status-returning function is falsely flagged.
+    if (i + 4 < toks.size() && IsPunct(toks[i + 2], "::") &&
+        toks[i + 3].kind == TokenKind::kIdentifier &&
+        IsPunct(toks[i + 4], "(")) {
+      out->insert(toks[i + 3].text);
+    }
   }
 }
 
@@ -315,6 +326,13 @@ void CheckBannedRawIo(const std::string& file, const TokenizedFile& tf,
                       "'" + t.text +
                           "' bypasses Env's atomic temp+rename write path; "
                           "route file writes through util/env.h"});
+    } else if (t.text == "ifstream") {
+      // Reads route through Env too: Env::ReadFile is the fault-injection
+      // point the robustness tests (checkpoint, event-log replay) rely on,
+      // and a stray ifstream silently escapes that coverage.
+      out->push_back({file, t.line, "banned-raw-io",
+                      "'ifstream' bypasses Env's fault-injectable read path; "
+                      "route file reads through Env::ReadFile (util/env.h)"});
     } else if (!allow_sockets && IsRawSocketSyscall(toks, i)) {
       out->push_back(
           {file, t.line, "banned-raw-io",
@@ -411,9 +429,10 @@ const std::vector<CheckInfo>& RegisteredChecks() {
        "rand/srand/std::random_device/time()/clock()/*_clock::now in src/ "
        "(allowlist: util/timer.h)"},
       {"banned-raw-io",
-       "fopen/std::ofstream/std::fstream in src/ outside util/env.cc (writes "
-       "must route through Env), and raw socket/poll/fcntl syscalls outside "
-       "the serve/socket_io.cc shim"},
+       "fopen/std::ofstream/std::fstream/std::ifstream in src/ outside "
+       "util/env.cc (file IO must route through Env, reads included so "
+       "fault injection covers them), and raw socket/poll/fcntl syscalls "
+       "outside the serve/socket_io.cc shim"},
       {"no-iostream-in-library", "std::cout/cerr/clog or <iostream> in src/"},
       {"banned-adhoc-timing",
        "util/timer.h or a raw Timer in src/ outside util/{timer,trace,"

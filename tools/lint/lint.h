@@ -7,8 +7,10 @@
 //   banned-nondeterminism     rand/srand/std::random_device/time()/
 //                             std::chrono::*_clock::now in src/ outside the
 //                             timer allowlist
-//   banned-raw-io             fopen/std::ofstream/std::fstream writes in src/
-//                             outside env.cc (writes must route through Env);
+//   banned-raw-io             fopen/std::ofstream/std::fstream/std::ifstream
+//                             in src/ outside env.cc (file IO must route
+//                             through Env — reads included, so the
+//                             fault-injection Env covers every IO path);
 //                             also raw socket syscalls (socket/accept/recv/
 //                             send/...) outside the src/serve/socket_io.cc
 //                             shim, free or ::-qualified calls only
