@@ -33,6 +33,7 @@
 
 #include "serve/model_snapshot.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace aneci::serve {
 
@@ -120,7 +121,7 @@ class QueryEngine {
                         const QueryRequest& request) const;
 
   mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::shared_ptr<const ModelSnapshot> snapshot_ ANECI_GUARDED_BY(snapshot_mu_);
 };
 
 }  // namespace aneci::serve

@@ -129,38 +129,48 @@ void EmbedServer::AcceptLoop() {
     accepted->Increment();
     auto socket = std::make_shared<SocketFd>(std::move(conn).value());
     auto done = std::make_shared<std::atomic<bool>>(false);
-    std::unique_lock<std::mutex> lock(mu_);
-    if (stopping_.load(std::memory_order_relaxed)) return;  // refuse late arrivals
-    ReapFinishedConnectionsLocked();
-    if (options_.max_connections > 0 && active_ >= options_.max_connections) {
-      lock.unlock();
+    // Admission runs in one lexical critical section (no conditional
+    // unlock): the shed path only records its decision under the lock and
+    // writes the rejection frame after releasing it.
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load(std::memory_order_relaxed)) return;  // late arrival
+      ReapFinishedConnectionsLocked();
+      if (options_.max_connections <= 0 ||
+          active_ < options_.max_connections) {
+        admitted = true;
+        SetActiveLocked(1);
+        Connection c;
+        c.socket = socket;
+        c.done = done;
+        c.thread = std::thread([this, socket, done] {
+          ConnectionLoop(socket);
+          // Terminate the connection so the peer sees EOF now; the fd
+          // itself is closed when the acceptor (or Stop) reaps this entry.
+          // shutdown() only reads the fd, so a concurrent ShutdownBoth from
+          // Stop() is safe.
+          (void)io_->ShutdownBoth(*socket);
+          {
+            std::lock_guard<std::mutex> inner(mu_);
+            SetActiveLocked(-1);
+          }
+          // `done` flips only after the mu_ section: the acceptor joins
+          // done threads while HOLDING mu_, so nothing past this store may
+          // touch the lock or the join deadlocks (caught by the chaos sweep
+          // under TSan).
+          done->store(true, std::memory_order_release);
+          drain_cv_.notify_all();
+        });
+        connections_.push_back(std::move(c));
+      }
+    }
+    if (!admitted) {
       // Admission control: answer over-cap connects immediately with a
       // typed rejection instead of letting fds (and threads) accumulate
       // until the OS runs out.
       ShedConnection(std::move(*socket));
-      continue;
     }
-    SetActiveLocked(1);
-    Connection c;
-    c.socket = socket;
-    c.done = done;
-    c.thread = std::thread([this, socket, done] {
-      ConnectionLoop(socket);
-      // Terminate the connection so the peer sees EOF now; the fd itself is
-      // closed when the acceptor (or Stop) reaps this entry. shutdown() only
-      // reads the fd, so a concurrent ShutdownBoth from Stop() is safe.
-      (void)io_->ShutdownBoth(*socket);
-      {
-        std::lock_guard<std::mutex> inner(mu_);
-        SetActiveLocked(-1);
-      }
-      // `done` flips only after the mu_ section: the acceptor joins done
-      // threads while HOLDING mu_, so nothing past this store may touch the
-      // lock or the join deadlocks (caught by the chaos sweep under TSan).
-      done->store(true, std::memory_order_release);
-      drain_cv_.notify_all();
-    });
-    connections_.push_back(std::move(c));
   }
 }
 

@@ -24,6 +24,7 @@
 #include "serve/service.h"
 #include "serve/socket_io.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace aneci::serve {
 
@@ -94,13 +95,13 @@ class EmbedServer {
   };
 
   void AcceptLoop();
-  void ReapFinishedConnectionsLocked();
+  void ReapFinishedConnectionsLocked() ANECI_REQUIRES(mu_);
   void ConnectionLoop(std::shared_ptr<SocketFd> connection);
   /// Answers an over-cap connect with one typed "overloaded" frame and
   /// closes it. Runs on the acceptor thread with a short write budget so a
   /// non-reading client cannot stall accepts.
   void ShedConnection(SocketFd socket);
-  void SetActiveLocked(int delta);
+  void SetActiveLocked(int delta) ANECI_REQUIRES(mu_);
 
   EmbedService* const service_;
   const ServerOptions options_;
@@ -110,12 +111,14 @@ class EmbedServer {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  mutable std::mutex mu_;  // guards connections_, active_, and stopped_
-  std::vector<Connection> connections_;  // unwound and joined by Stop()
-  int active_ = 0;  ///< connection threads spawned and not yet exited
+  mutable std::mutex mu_;
+  /// Unwound and joined by Stop().
+  std::vector<Connection> connections_ ANECI_GUARDED_BY(mu_);
+  /// Connection threads spawned and not yet exited.
+  int active_ ANECI_GUARDED_BY(mu_) = 0;
   std::condition_variable drain_cv_;  ///< signalled as active_ falls
   std::condition_variable stopped_cv_;
-  bool stopped_ = false;
+  bool stopped_ ANECI_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace aneci::serve

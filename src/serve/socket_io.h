@@ -32,6 +32,7 @@
 
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace aneci::serve {
 
@@ -190,10 +191,10 @@ class FaultInjectingSocketIo final : public SocketIo {
   SocketIo* const base_;
   const SocketFaultSchedule schedule_;
   mutable std::mutex mu_;
-  Rng rng_;
-  int reads_ = 0;
-  int writes_ = 0;
-  int injected_ = 0;
+  Rng rng_ ANECI_GUARDED_BY(mu_);
+  int reads_ ANECI_GUARDED_BY(mu_) = 0;
+  int writes_ ANECI_GUARDED_BY(mu_) = 0;
+  int injected_ ANECI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace aneci::serve

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace aneci {
@@ -183,8 +184,8 @@ class TelemetryRing {
  private:
   const size_t capacity_;
   mutable std::mutex mu_;
-  std::deque<std::string> lines_;
-  uint64_t dropped_ = 0;
+  std::deque<std::string> lines_ ANECI_GUARDED_BY(mu_);
+  uint64_t dropped_ ANECI_GUARDED_BY(mu_) = 0;
 };
 
 /// One registered metric, as reported by Snapshot(). `kind` is one of
@@ -254,13 +255,16 @@ class MetricsRegistry {
     Gauge* gauge = nullptr;
     Histogram* histogram = nullptr;
   };
-  std::map<std::string, Entry> entries_;
-  std::map<std::string, TelemetryRing*> rings_;
+  std::map<std::string, Entry> entries_ ANECI_GUARDED_BY(mu_);
+  std::map<std::string, TelemetryRing*> rings_ ANECI_GUARDED_BY(mu_);
   // Node-stable storage: pointers handed out live as long as the process.
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::deque<TelemetryRing> ring_storage_;
+  // The containers (registration) are guarded; the *elements* behind the
+  // handed-out pointers are internally synchronized (atomics / their own
+  // mu_) and accessed lock-free on hot paths.
+  std::deque<Counter> counters_ ANECI_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ ANECI_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ ANECI_GUARDED_BY(mu_);
+  std::deque<TelemetryRing> ring_storage_ ANECI_GUARDED_BY(mu_);
 };
 
 /// Renders `value` with %.17g — enough digits to round-trip a double, and

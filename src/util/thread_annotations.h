@@ -1,0 +1,67 @@
+// Lock-discipline annotation macros, consumed by TWO independent checkers:
+//
+//  1. `aneci_lint` (tools/lint/model.cc) parses them lexically in every
+//     build — the `guarded-member-access`, `lock-order-cycle` and
+//     `determinism-taint` checks run as a stage-0 hard-fail CI gate on any
+//     toolchain (docs/static_analysis.md §7).
+//  2. Under clang they lower to the native thread-safety attributes, so
+//     `-Wthread-safety -Werror` cross-checks the same declarations with a
+//     real flow-sensitive analysis (tools/ci.sh, clang leg).
+//
+// Under gcc (the default toolchain) they expand to nothing and cost
+// nothing. Usage:
+//
+//   class Registry {
+//    public:
+//     void Add(int v) ANECI_EXCLUDES(mu_);          // must NOT hold mu_
+//    private:
+//     void AddLocked(int v) ANECI_REQUIRES(mu_);    // caller holds mu_
+//     mutable std::mutex mu_;
+//     std::map<std::string, int> entries_ ANECI_GUARDED_BY(mu_);
+//   };
+//
+// Conventions: annotate the DECLARATION (in-class); out-of-class
+// definitions inherit. Every non-atomic member written by more than one
+// thread gets ANECI_GUARDED_BY; private `...Locked()` helpers get
+// ANECI_REQUIRES; public entry points that take the lock themselves get
+// ANECI_EXCLUDES. Members synchronized by std::atomic or by construction
+// (immutable after publish) are deliberately left bare.
+#ifndef ANECI_UTIL_THREAD_ANNOTATIONS_H_
+#define ANECI_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ANECI_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ANECI_THREAD_ANNOTATION_(x)
+#endif
+
+/// Member may only be read or written while holding `m`.
+#define ANECI_GUARDED_BY(m) ANECI_THREAD_ANNOTATION_(guarded_by(m))
+
+/// Pointer member: the *pointee* is protected by `m` (the pointer itself
+/// is not).
+#define ANECI_PT_GUARDED_BY(m) ANECI_THREAD_ANNOTATION_(pt_guarded_by(m))
+
+/// Function requires the caller to already hold every listed mutex.
+#define ANECI_REQUIRES(...) \
+  ANECI_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed mutexes and returns holding them.
+#define ANECI_ACQUIRE(...) \
+  ANECI_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed mutexes (caller must hold them on entry).
+#define ANECI_RELEASE(...) \
+  ANECI_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function must be called WITHOUT the listed mutexes held (it takes them
+/// itself; calling with one held would self-deadlock a std::mutex).
+#define ANECI_EXCLUDES(...) ANECI_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code whose locking is correct for reasons the static
+/// analyses cannot see (e.g. data handed off before a thread starts).
+/// Pair it with a comment saying why, the same way NOLINT needs a reason.
+#define ANECI_NO_THREAD_SAFETY_ANALYSIS \
+  ANECI_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // ANECI_UTIL_THREAD_ANNOTATIONS_H_

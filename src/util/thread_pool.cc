@@ -42,8 +42,11 @@ struct ForJob {
 
   std::mutex mu;
   std::condition_variable done_cv;
+  // pending_helpers is written once before the helpers are published and
+  // then only under mu (always via the shared_ptr, so it stays unannotated:
+  // pointer accesses are outside the lexical checker's scope).
   int pending_helpers = 0;
-  std::exception_ptr error;
+  std::exception_ptr error ANECI_GUARDED_BY(mu);
 
   // Claims chunks off the shared counter until none remain (or a chunk
   // threw). Dynamic claiming only decides WHICH thread runs a chunk; the
@@ -76,7 +79,12 @@ ThreadPool::~ThreadPool() { Stop(); }
 
 void ThreadPool::Start(int num_threads) {
   num_threads_ = std::max(1, num_threads);
-  shutdown_ = false;
+  {
+    // No workers exist yet, but shutdown_ is guarded: a Resize() racing a
+    // stale reader would otherwise publish the store without an edge.
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = false;
+  }
   workers_.reserve(num_threads_ - 1);
   for (int i = 0; i < num_threads_ - 1; ++i)
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -91,8 +99,12 @@ void ThreadPool::Stop() {
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   // Orphaned tasks (enqueued but never claimed) are dropped; ParallelFor
-  // never depends on helpers actually running.
-  tasks_.clear();
+  // never depends on helpers actually running. The workers are joined, but
+  // the queue is still guarded state — clear it under its lock.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.clear();
+  }
 }
 
 void ThreadPool::Resize(int num_threads) {

@@ -29,6 +29,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace aneci {
 
 /// Number of chunks ParallelFor will create for the given range and grain.
@@ -80,12 +82,16 @@ class ThreadPool {
   void Stop();
   void WorkerLoop();
 
+  // num_threads_ and workers_ are only touched by the owning thread
+  // (construction, Resize, destruction — Resize is documented as not
+  // concurrency-safe), so they carry no guard; tasks_ and shutdown_ are
+  // shared with the workers and always travel under mu_.
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool shutdown_ = false;
+  std::deque<std::function<void()>> tasks_ ANECI_GUARDED_BY(mu_);
+  bool shutdown_ ANECI_GUARDED_BY(mu_) = false;
 };
 
 /// Current size of the global pool.

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace aneci {
@@ -52,7 +53,7 @@ class TraceRegistry {
   TraceRegistry() = default;
 
   mutable std::mutex mu_;
-  std::map<std::string, SpanStat> stats_;
+  std::map<std::string, SpanStat> stats_ ANECI_GUARDED_BY(mu_);
 };
 
 /// RAII scope: constructing pushes `name` onto the calling thread's span

@@ -1,14 +1,16 @@
 // Tests for aneci_lint itself: tokenizer correctness on the lexical edge
 // cases that would otherwise cause false findings (raw strings, line
 // continuations, block comments), one positive and one negative fixture per
-// check, and the NOLINT suppression contract (reason required, suppression
-// scoped to its line).
+// check — including seeded-violation fixtures for the cross-TU concurrency
+// suite — and the NOLINT suppression contract (reason required, suppression
+// scoped to its logical line).
 #include "tools/lint/lint.h"
 
 #include <string>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "tools/lint/model.h"
 #include "tools/lint/tokenizer.h"
 
 namespace aneci::lint {
@@ -103,6 +105,65 @@ TEST(Tokenizer, FusesQualifierAndArrowPunctuation) {
   ASSERT_GE(tf.tokens.size(), 4u);
   EXPECT_EQ(tf.tokens[1].text, "::");
   EXPECT_EQ(tf.tokens[5].text, "->");
+}
+
+TEST(Tokenizer, RawStringDelimiterIgnoresQuoteParenFakes) {
+  // `)"` and `)x"` inside the body must not terminate a `)del"`-delimited
+  // raw string.
+  const TokenizedFile tf = Tokenize(
+      "auto s = R\"del(body with )\" and )x\" fakes, rand())del\"; int t;\n");
+  int strings = 0;
+  for (const Token& t : tf.tokens) {
+    strings += t.kind == TokenKind::kString;
+    EXPECT_NE(t.text, "rand");
+  }
+  EXPECT_EQ(strings, 1);
+  ASSERT_GE(tf.tokens.size(), 2u);
+  EXPECT_EQ(tf.tokens[tf.tokens.size() - 2].text, "t");
+}
+
+TEST(Tokenizer, EncodingPrefixedStringsAreOpaque) {
+  const TokenizedFile tf = Tokenize(
+      "auto a = u8\"rand()\"; auto b = L\"time(nullptr)\";\n"
+      "auto c = u8R\"(std::random_device)\"; auto d = uR\"q(srand(1))q\";\n");
+  for (const Token& t : tf.tokens) {
+    if (t.kind != TokenKind::kIdentifier) continue;
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "time");
+    EXPECT_NE(t.text, "srand");
+    EXPECT_NE(t.text, "random_device");
+  }
+}
+
+TEST(Tokenizer, IdentifierEndingInPrefixLettersIsNotAPrefix) {
+  // A macro name that happens to end in u8/L/R is an identifier followed by
+  // an ordinary string, not an encoding prefix.
+  const TokenizedFile tf = Tokenize("FROB_u8\"text\"; int after;\n");
+  ASSERT_GE(tf.tokens.size(), 2u);
+  EXPECT_EQ(tf.tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tf.tokens[0].text, "FROB_u8");
+  EXPECT_EQ(tf.tokens[1].kind, TokenKind::kString);
+}
+
+TEST(Tokenizer, RecordsContinuationLinesForLogicalLineScoping) {
+  const TokenizedFile tf = Tokenize(
+      "int a = 1;\n"
+      "int b = 2 + \\\n"
+      "        3 + \\\n"
+      "        4;\n"
+      "int c;\n");
+  EXPECT_EQ(tf.continuation_lines, (std::vector<int>{3, 4}));
+  EXPECT_EQ(LogicalLineStart(tf, 4), 2);
+  EXPECT_EQ(LogicalLineStart(tf, 3), 2);
+  EXPECT_EQ(LogicalLineStart(tf, 2), 2);
+  EXPECT_EQ(LogicalLineStart(tf, 5), 5);
+
+  // A multi-line raw string is NOT a phase-2 splice: its physical lines
+  // stay separate logical lines.
+  const TokenizedFile raw =
+      Tokenize("auto s = R\"(line one\nline two)\";\nint x;\n");
+  EXPECT_TRUE(raw.continuation_lines.empty());
+  EXPECT_EQ(LogicalLineStart(raw, 2), 2);
 }
 
 // --- discarded-status --------------------------------------------------------
@@ -413,6 +474,250 @@ TEST(Nolint, NextlineAndForeignChecksAndMultipleNames) {
   EXPECT_TRUE(multi.empty());
 }
 
+TEST(Nolint, NextlineCoversEverySplicedPhysicalLine) {
+  // The violating token sits on a continuation line; NEXTLINE above the
+  // statement must still cover it (suppressions are logical-line scoped).
+  const auto findings = LintContent(
+      "src/x.cc",
+      "#include <ctime>\n"
+      "// NOLINTNEXTLINE(banned-nondeterminism): spliced wall-clock label\n"
+      "long stamp = 1 + \\\n"
+      "    time(nullptr);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(Nolint, TrailingSuppressionCoversTheWholeSplicedStatement) {
+  // The NOLINT comment sits on the last physical line of a spliced
+  // statement; the violation is on the first.
+  const auto findings = LintContent(
+      "src/x.cc",
+      "#include <ctime>\n"
+      "long stamp = time(\\\n"
+      "    nullptr);  // NOLINT(banned-nondeterminism): spliced label\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- cross-TU concurrency suite ----------------------------------------------
+
+constexpr const char* kGuardedBoxHeader =
+    "#ifndef BOX_H_\n#define BOX_H_\n"
+    "#include <mutex>\n"
+    "#include \"util/thread_annotations.h\"\n"
+    "class Box {\n"
+    " public:\n"
+    "  void Good();\n"
+    "  void Bad();\n"
+    " private:\n"
+    "  std::mutex mu_;\n"
+    "  int value_ ANECI_GUARDED_BY(mu_) = 0;\n"
+    "};\n"
+    "#endif\n";
+
+TEST(GuardedMemberAccess, FlagsUnlockedAccessAndHonorsLockGuard) {
+  Linter linter;
+  linter.AddFile("src/box.h", kGuardedBoxHeader);
+  linter.AddFile("src/box.cc",
+                 "void Box::Good() {\n"
+                 "  std::lock_guard<std::mutex> lock(mu_);\n"
+                 "  value_ = 1;\n"
+                 "}\n"
+                 "void Box::Bad() { value_ = 2; }\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "guarded-member-access");
+  EXPECT_EQ(findings[0].file, "src/box.cc");
+  EXPECT_EQ(findings[0].line, 5);
+}
+
+TEST(GuardedMemberAccess, RequiresSeedsTheCalleeAndBindsTheCaller) {
+  Linter linter;
+  linter.AddFile("src/reg.h",
+                 "#ifndef REG_H_\n#define REG_H_\n"
+                 "#include <mutex>\n"
+                 "#include \"util/thread_annotations.h\"\n"
+                 "class Reg {\n"
+                 " public:\n"
+                 "  void Tick();\n"
+                 " private:\n"
+                 "  void TickLocked() ANECI_REQUIRES(mu_);\n"
+                 "  std::mutex mu_;\n"
+                 "  int n_ ANECI_GUARDED_BY(mu_) = 0;\n"
+                 "};\n"
+                 "#endif\n");
+  // TickLocked's own body is clean (REQUIRES seeds the held set); the
+  // finding is the unlocked call in Tick.
+  linter.AddFile("src/reg.cc",
+                 "void Reg::TickLocked() { n_ += 1; }\n"
+                 "void Reg::Tick() { TickLocked(); }\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "guarded-member-access");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_NE(findings[0].message.find("ANECI_REQUIRES"), std::string::npos);
+}
+
+TEST(Nolint, TrailingSuppressionOnAMultiTokenLockStatement) {
+  // defer_lock means the RAII decl does NOT hold the mutex, so the access
+  // on the same (multi-token) line fires — and the trailing NOLINT, after
+  // all those tokens, still suppresses it.
+  Linter linter;
+  linter.AddFile("src/box.h", kGuardedBoxHeader);
+  linter.AddFile(
+      "src/box.cc",
+      "void Box::Bad() {\n"
+      "  std::unique_lock<std::mutex> pending(mu_, std::defer_lock); value_ "
+      "= 2;  // NOLINT(guarded-member-access): published before workers\n"
+      "}\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+TEST(LockOrderCycle, DetectsCrossFileInversion) {
+  Linter linter;
+  linter.AddFile("src/ab.h",
+                 "#ifndef AB_H_\n#define AB_H_\n"
+                 "#include <mutex>\n"
+                 "class B;\n"
+                 "class A {\n"
+                 " public:\n"
+                 "  void Foo(B* b);\n"
+                 "  void Ping();\n"
+                 " private:\n"
+                 "  std::mutex mu_;\n"
+                 "};\n"
+                 "class B {\n"
+                 " public:\n"
+                 "  void Bar(A* a);\n"
+                 "  void Poke();\n"
+                 " private:\n"
+                 "  std::mutex mu_;\n"
+                 "};\n"
+                 "#endif\n");
+  // a.cc nests A::mu_ -> B::mu_ (through the call to Poke); b.cc nests
+  // B::mu_ -> A::mu_ the same way. Each file is locally consistent — only
+  // the cross-file view exposes the inversion.
+  linter.AddFile("src/a.cc",
+                 "void A::Ping() { std::lock_guard<std::mutex> lock(mu_); }\n"
+                 "void A::Foo(B* b) {\n"
+                 "  std::lock_guard<std::mutex> lock(mu_);\n"
+                 "  b->Poke();\n"
+                 "}\n");
+  linter.AddFile("src/b.cc",
+                 "void B::Poke() { std::lock_guard<std::mutex> lock(mu_); }\n"
+                 "void B::Bar(A* a) {\n"
+                 "  std::lock_guard<std::mutex> lock(mu_);\n"
+                 "  a->Ping();\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "lock-order-cycle");
+  EXPECT_NE(findings[0].message.find("A::mu_"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("B::mu_"), std::string::npos);
+}
+
+TEST(LockOrderCycle, FlagsRecursiveAcquisition) {
+  Linter linter;
+  linter.AddFile("src/rec.h",
+                 "#ifndef REC_H_\n#define REC_H_\n"
+                 "#include <mutex>\n"
+                 "class R {\n"
+                 " public:\n"
+                 "  void Outer();\n"
+                 "  void Inner();\n"
+                 " private:\n"
+                 "  std::mutex mu_;\n"
+                 "};\n"
+                 "#endif\n");
+  linter.AddFile("src/rec.cc",
+                 "void R::Inner() { std::lock_guard<std::mutex> lock(mu_); }\n"
+                 "void R::Outer() {\n"
+                 "  std::lock_guard<std::mutex> lock(mu_);\n"
+                 "  Inner();\n"
+                 "}\n");
+  const auto findings = linter.Run();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "lock-order-cycle");
+  EXPECT_NE(findings[0].message.find("recursive acquisition"),
+            std::string::npos);
+}
+
+TEST(DeterminismTaint, FlagsTwoHopChainFromDeterministicRoot) {
+  LintOptions opts;
+  opts.only_check = "determinism-taint";
+  Linter linter;
+  // Train registers a kDeterministic metric (a determinism root) and the
+  // banned call is two hops away in another file.
+  linter.AddFile("src/leaf.cc", "int Leaf() { return rand(); }\n");
+  linter.AddFile("src/mid.cc", "int Mid() { return Leaf(); }\n");
+  linter.AddFile("src/train.cc",
+                 "void Train() {\n"
+                 "  Register(MetricClass::kDeterministic);\n"
+                 "  Mid();\n"
+                 "}\n");
+  const auto findings = linter.Run(opts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, "determinism-taint");
+  EXPECT_EQ(findings[0].file, "src/leaf.cc");
+  EXPECT_NE(findings[0].message.find("Train"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("Mid"), std::string::npos);
+}
+
+TEST(DeterminismTaint, UntaintedCodeMayUseBannedCallsUnderNolint) {
+  LintOptions opts;
+  opts.only_check = "determinism-taint";
+  Linter linter;
+  // No deterministic root reaches Jitter, so the taint check stays quiet
+  // (banned-nondeterminism still fires, which is what the NOLINT is for).
+  linter.AddFile(
+      "src/jitter.cc",
+      "int Jitter() {\n"
+      "  return rand();  // NOLINT(banned-nondeterminism): test-only noise\n"
+      "}\n");
+  EXPECT_TRUE(linter.Run(opts).empty());
+}
+
+// --- per-root policy ---------------------------------------------------------
+
+TEST(Policy, NonSrcRootsGetOnlyHygieneAndStatusChecks) {
+  Linter linter;
+  // rand() in tools/ is fine; the discarded Status is not.
+  linter.AddFile("tools/gen.cc",
+                 "Status Run();\n"
+                 "void f() { Run(); int x = rand(); }\n");
+  const auto findings = linter.Run();
+  EXPECT_EQ(CheckNames(findings),
+            std::vector<std::string>{"discarded-status"});
+}
+
+TEST(Policy, ConcurrencyModelIsBuiltFromSrcOnly) {
+  Linter linter;
+  // The same seeded violation that fires under src/ is out of scope for a
+  // tools/ fixture generator.
+  linter.AddFile("tools/box.h", kGuardedBoxHeader);
+  linter.AddFile("tools/box.cc", "void Box::Bad() { value_ = 2; }\n");
+  EXPECT_TRUE(linter.Run().empty());
+}
+
+// --- ProjectModel introspection ----------------------------------------------
+
+TEST(Model, ReportsNestedAcquisitionEdges) {
+  const TokenizedFile tf = Tokenize(
+      "#include <mutex>\n"
+      "class P {\n"
+      " public:\n"
+      "  void Both();\n"
+      " private:\n"
+      "  std::mutex a_;\n"
+      "  std::mutex b_;\n"
+      "};\n"
+      "void P::Both() {\n"
+      "  std::lock_guard<std::mutex> la(a_);\n"
+      "  std::lock_guard<std::mutex> lb(b_);\n"
+      "}\n");
+  const ProjectModel model({{"src/p.cc", &tf}});
+  EXPECT_EQ(model.lock_order_edges(),
+            (std::vector<std::string>{"P::a_ -> P::b_"}));
+}
+
 // --- check filtering ---------------------------------------------------------
 
 TEST(Options, OnlyCheckFiltersFindings) {
@@ -427,11 +732,14 @@ TEST(Options, OnlyCheckFiltersFindings) {
             std::vector<std::string>{"banned-raw-io"});
 }
 
-TEST(Registry, ListsAllSevenChecks) {
-  EXPECT_EQ(RegisteredChecks().size(), 7u);
+TEST(Registry, ListsAllTenChecks) {
+  EXPECT_EQ(RegisteredChecks().size(), 10u);
   EXPECT_TRUE(IsRegisteredCheck("discarded-status"));
   EXPECT_TRUE(IsRegisteredCheck("banned-adhoc-timing"));
   EXPECT_TRUE(IsRegisteredCheck("header-hygiene"));
+  EXPECT_TRUE(IsRegisteredCheck("guarded-member-access"));
+  EXPECT_TRUE(IsRegisteredCheck("lock-order-cycle"));
+  EXPECT_TRUE(IsRegisteredCheck("determinism-taint"));
   EXPECT_FALSE(IsRegisteredCheck("made-up-check"));
 }
 

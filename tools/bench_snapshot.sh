@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Regenerates the committed benchmark baselines in bench/baselines/.
+#
+#   tools/bench_snapshot.sh [build-dir]     (default: build)
+#
+# The baselines are pinned-seed runs of the two machine-profile benches:
+#
+#   BENCH_kernels.json     bench_kernels (google-benchmark over the dense/
+#                          sparse kernels and the metrics overhead probe)
+#   BENCH_serve_load.json  bench_serve_load (loopback serving layer under
+#                          mixed traffic with mid-run snapshot swaps)
+#
+# Workload shape (seeds, sizes, request mix) is pinned below so reruns
+# measure the same work; the recorded times are of course machine- and
+# load-dependent. The committed files are a reference profile for eyeballing
+# regressions (`diff` the structure, compare the ratios), not a CI gate —
+# timing assertions in CI would be flaky by construction, which is why the
+# determinism contract gates on counters and goldens instead
+# (docs/observability.md).
+#
+# Env knobs: ANECI_THREADS (default 4) pins the pool width so the thread
+# dimension of the profile is stable across machines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+out="bench/baselines"
+
+if [[ ! -d "${build}" ]]; then
+  echo "bench_snapshot: build dir '${build}' not found;" \
+    "run: cmake -B ${build} -S . && cmake --build ${build} -j" >&2
+  exit 1
+fi
+
+cmake --build "${build}" -j "$(nproc)" --target bench_kernels bench_serve_load
+mkdir -p "${out}"
+
+# Pinned workload: fixed RNG seeds, fixed sizes, fixed thread width.
+# --benchmark_min_time keeps the kernel sweep to a few seconds; the shape
+# of the numbers (scaling ratios across sizes/threads) is what matters.
+echo "== bench_kernels -> ${out}/BENCH_kernels.json =="
+ANECI_THREADS="${ANECI_THREADS:-4}" "./${build}/bench/bench_kernels" \
+  --outdir="${out}" --benchmark_min_time=0.05
+
+echo "== bench_serve_load -> ${out}/BENCH_serve_load.json =="
+ANECI_THREADS="${ANECI_THREADS:-4}" "./${build}/bench/bench_serve_load" \
+  --outdir="${out}" --seed=42 --clients=4 --requests=2000 --swaps=3 \
+  --nodes=2000 --dim=32 --knn-every=16
+
+echo "bench_snapshot: baselines written to ${out}/"

@@ -6,8 +6,18 @@
 # Stage 0 builds and runs aneci_lint over the whole tree — a hard-fail gate:
 # any unsuppressed finding (or a suppression without a reason) stops CI
 # before a single test runs, and failures name the exact check as
-# `file:line: check-name: message`. Use `aneci_lint --check=<name>` locally
-# to reproduce one check in isolation (see `aneci_lint --list-checks`).
+# `file:line: check-name: message`. This includes the cross-TU concurrency
+# suite (guarded-member-access, lock-order-cycle, determinism-taint) over
+# the ANECI_GUARDED_BY/... annotations. Use `aneci_lint --check=<name>`
+# locally to reproduce one check in isolation (`aneci_lint --list-checks`).
+#
+# Stage 0b cross-checks the same annotations with clang's flow-sensitive
+# -Wthread-safety analysis (the macros lower to the native attributes under
+# clang). The leg needs clang++ AND an annotated standard library (libc++
+# with _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS; libstdc++'s std::mutex
+# carries no capability attributes, so clang would see no acquisitions at
+# all). When either is missing the leg is skipped with a notice — the
+# lexical suite in stage 0 remains the hard gate either way.
 #
 # Stage 1 builds the default configuration and runs the full ctest suite
 # (the tier-1 gate), which includes the linter's own test suite (-L lint).
@@ -33,6 +43,32 @@ echo "== stage 0: aneci_lint (static analysis, hard fail) =="
 cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${prefix}" -j "$(nproc)" --target aneci_lint
 "./${prefix}/tools/aneci_lint" --root=.
+
+echo "== stage 0b: clang -Wthread-safety annotation cross-check =="
+if command -v clang++ >/dev/null 2>&1; then
+  if printf '#include <mutex>\nint main(){std::mutex m;std::lock_guard<std::mutex> l(m);}\n' |
+    clang++ -x c++ -std=c++17 -stdlib=libc++ \
+      -D_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS -fsyntax-only - \
+      >/dev/null 2>&1; then
+    ts_failed=0
+    while IFS= read -r tu; do
+      clang++ -x c++ -std=c++17 -stdlib=libc++ \
+        -D_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS \
+        -Isrc -I. -fsyntax-only -Wthread-safety -Werror=thread-safety \
+        "$tu" || ts_failed=1
+    done < <(find src -name '*.cc' | sort)
+    if [[ "${ts_failed}" != 0 ]]; then
+      echo "stage 0b: clang -Wthread-safety reported violations" >&2
+      exit 1
+    fi
+  else
+    echo "notice: clang++ found but no annotated libc++;" \
+      "skipping the -Wthread-safety leg (stage 0 remains the hard gate)"
+  fi
+else
+  echo "notice: clang++ not installed; skipping the -Wthread-safety leg" \
+    "(stage 0's lexical concurrency suite remains the hard gate)"
+fi
 
 echo "== stage 1: tier-1 build + full test suite =="
 cmake --build "${prefix}" -j "$(nproc)"

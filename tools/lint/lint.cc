@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "tools/lint/model.h"
+
 namespace aneci::lint {
 namespace {
 
@@ -46,12 +48,29 @@ std::string Trim(std::string s) {
   return s.substr(b, e - b);
 }
 
+/// First physical line AFTER the logical line containing `line` — the line
+/// a NOLINTNEXTLINE on `line` applies to. Phase-2 splices extend the
+/// logical line, so a suppression comment ending in `\` skips past every
+/// continuation line it swallowed.
+int NextLogicalLine(const TokenizedFile& tf, int line) {
+  int t = LogicalLineStart(tf, line) + 1;
+  while (std::binary_search(tf.continuation_lines.begin(),
+                            tf.continuation_lines.end(), t))
+    ++t;
+  return t;
+}
+
 /// Parses every NOLINT / NOLINTNEXTLINE marker in a comment. Markers naming
 /// only foreign checks (clang-tidy's NOLINT(runtime/int) style) or bare
 /// NOLINTs are ignored; markers naming one of our checks must carry a
 /// ": reason" or they produce a nolint-reason finding themselves.
-void CollectSuppressions(const std::string& file, const Comment& comment,
-                         SuppressionMap* map, std::vector<Finding>* findings) {
+/// Suppressions are LOGICAL-line scoped: the map is keyed by the first
+/// physical line of the logical line, and findings are canonicalized the
+/// same way before lookup, so a marker trailing a spliced statement covers
+/// the whole statement.
+void CollectSuppressions(const std::string& file, const TokenizedFile& tf,
+                         const Comment& comment, SuppressionMap* map,
+                         std::vector<Finding>* findings) {
   const std::string& text = comment.text;
   for (size_t pos = text.find("NOLINT"); pos != std::string::npos;
        pos = text.find("NOLINT", pos + 1)) {
@@ -61,7 +80,9 @@ void CollectSuppressions(const std::string& file, const Comment& comment,
     size_t i = pos + 6;  // past "NOLINT"
     if (text.compare(i, 8, "NEXTLINE") == 0) {
       i += 8;
-      ++line;
+      line = NextLogicalLine(tf, line);
+    } else {
+      line = LogicalLineStart(tf, line);
     }
     if (i >= text.size() || text[i] != '(') continue;  // bare NOLINT: foreign
     const size_t close = text.find(')', i);
@@ -441,6 +462,19 @@ const std::vector<CheckInfo>& RegisteredChecks() {
        "headers must open with a guard and must not 'using namespace'"},
       {"nolint-reason",
        "a NOLINT(<check>) suppression must carry ': reason'"},
+      {"guarded-member-access",
+       "an ANECI_GUARDED_BY member accessed without its mutex held, an "
+       "ANECI_REQUIRES method called without the lock, or an ANECI_EXCLUDES "
+       "method called with it (src/ only; see "
+       "src/util/thread_annotations.h)"},
+      {"lock-order-cycle",
+       "a cycle in the cross-file mutex acquisition graph (nested lock "
+       "scopes, ANECI_REQUIRES context, call-graph-propagated acquisitions); "
+       "a self-loop is a recursive acquisition of a non-recursive mutex"},
+      {"determinism-taint",
+       "a function reachable from a deterministic entry point (registers "
+       "MetricClass::kDeterministic telemetry or enters ParallelFor) "
+       "transitively calls the banned-nondeterminism set"},
   };
   return kChecks;
 }
@@ -463,12 +497,28 @@ void Linter::AddFile(const std::string& path, std::string_view content) {
 }
 
 std::vector<Finding> Linter::Run(const LintOptions& options) const {
-  std::vector<Finding> all;
+  // Per-root check policy (docs/static_analysis.md §2):
+  //   src/                 every check, including the cross-TU concurrency
+  //                        suite (the project model below is built from
+  //                        src/ files only — library code is where locks
+  //                        and the determinism contract live)
+  //   tools/ bench/ tests/ discarded-status + header-hygiene +
+  //                        nolint-reason (tooling and tests may use
+  //                        iostream, wall clocks, raw IO — but must not
+  //                        drop Status or leak 'using namespace' from
+  //                        headers; tools/lint/ itself lints clean)
+  // Suppressions are collected up front for every file because the
+  // project-wide checks report findings in files other than the one being
+  // iterated.
+  std::vector<Finding> raw;
+  std::map<std::string, SuppressionMap> suppressions_by_file;
+  std::map<std::string, const TokenizedFile*> tokens_by_path;
+  std::vector<SourceFile> model_files;
   for (const FileEntry& file : files_) {
-    SuppressionMap suppressions;
-    std::vector<Finding> raw;
+    tokens_by_path[file.path] = &file.tokens;
     for (const Comment& c : file.tokens.comments)
-      CollectSuppressions(file.path, c, &suppressions, &raw);
+      CollectSuppressions(file.path, file.tokens, c,
+                          &suppressions_by_file[file.path], &raw);
 
     CheckDiscardedStatus(file.path, file.tokens, status_functions_,
                          file.local_status, file.local_non_status, &raw);
@@ -481,19 +531,38 @@ std::vector<Finding> Linter::Run(const LintOptions& options) const {
       if (!IsTimingLayer(file.path))
         CheckBannedAdhocTiming(file.path, file.tokens, &raw);
       CheckNoIostream(file.path, file.tokens, &raw);
+      model_files.push_back({file.path, &file.tokens});
     }
     if (IsHeader(file.path)) CheckHeaderHygiene(file.path, file.tokens, &raw);
+  }
 
-    for (Finding& f : raw) {
-      auto it = suppressions.find(f.line);
-      if (it != suppressions.end() && it->second.count(f.check)) continue;
-      // nolint-reason findings always surface: a malformed suppression can
-      // silently mask any other check.
-      if (!options.only_check.empty() && f.check != options.only_check &&
-          f.check != "nolint-reason")
-        continue;
-      all.push_back(std::move(f));
+  if (!model_files.empty()) {
+    ProjectModel model(model_files);
+    model.CheckGuardedMemberAccess(&raw);
+    model.CheckLockOrderCycle(&raw);
+    model.CheckDeterminismTaint(&raw);
+  }
+
+  std::vector<Finding> all;
+  for (Finding& f : raw) {
+    auto sit = suppressions_by_file.find(f.file);
+    if (sit != suppressions_by_file.end()) {
+      // Suppressions are logical-line scoped: canonicalize the finding's
+      // line to the start of its logical line before lookup, so a NOLINT
+      // trailing a spliced statement covers every physical line of it.
+      int line = f.line;
+      auto tit = tokens_by_path.find(f.file);
+      if (tit != tokens_by_path.end())
+        line = LogicalLineStart(*tit->second, line);
+      auto it = sit->second.find(line);
+      if (it != sit->second.end() && it->second.count(f.check)) continue;
     }
+    // nolint-reason findings always surface: a malformed suppression can
+    // silently mask any other check.
+    if (!options.only_check.empty() && f.check != options.only_check &&
+        f.check != "nolint-reason")
+      continue;
+    all.push_back(std::move(f));
   }
   std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;

@@ -23,9 +23,27 @@
 //                             #pragma once, and must not `using namespace`
 //   nolint-reason             a NOLINT(<check>) suppression without a reason
 //
-// Suppression: `// NOLINT(check-name): reason` on the offending line. The
-// reason is mandatory; a bare NOLINT or one naming only foreign (clang-tidy
-// style) checks is ignored by this tool.
+// and the cross-TU concurrency-discipline suite (tools/lint/model.h),
+// which consumes the ANECI_GUARDED_BY / ANECI_REQUIRES / ... annotations
+// from src/util/thread_annotations.h:
+//
+//   guarded-member-access     an annotated member accessed without its
+//                             mutex held; REQUIRES/EXCLUDES call discipline
+//   lock-order-cycle          a cycle in the cross-file mutex acquisition
+//                             graph (potential deadlock)
+//   determinism-taint         the banned-nondeterminism set reachable from
+//                             a deterministic entry point via the call
+//                             graph
+//
+// Per-root policy: src/ gets every check; tools/, bench/ and tests/ get
+// discarded-status + header-hygiene + nolint-reason only.
+//
+// Suppression: `// NOLINT(check-name): reason` on the offending line, or
+// `// NOLINTNEXTLINE(check-name): reason` on the line above. The reason is
+// mandatory; a bare NOLINT or one naming only foreign (clang-tidy style)
+// checks is ignored by this tool. Suppressions are logical-line scoped:
+// phase-2 line splices (trailing backslash) extend both the suppressed
+// region and the line a NEXTLINE marker targets.
 #ifndef ANECI_TOOLS_LINT_LINT_H_
 #define ANECI_TOOLS_LINT_LINT_H_
 

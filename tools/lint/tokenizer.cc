@@ -1,5 +1,6 @@
 #include "tools/lint/tokenizer.h"
 
+#include <algorithm>
 #include <cctype>
 
 namespace aneci::lint {
@@ -18,7 +19,8 @@ bool IsIdentChar(char c) {
 /// where the caller opts out (raw string bodies).
 class Cursor {
  public:
-  explicit Cursor(std::string_view src) : src_(src) {}
+  Cursor(std::string_view src, std::vector<int>* continuations)
+      : src_(src), continuations_(continuations) {}
 
   bool done() const { return pos_ >= src_.size(); }
   int line() const { return line_; }
@@ -60,10 +62,18 @@ class Cursor {
              src_[pos_ + 2] == '\n'))) {
       pos_ += src_[pos_ + 1] == '\r' ? 3 : 2;
       ++line_;
+      // The line we just moved onto continues the logical line that the
+      // backslash ended. Splices are encountered left-to-right, so the
+      // vector stays sorted; the same line can be recorded at most once.
+      if (continuations_ != nullptr &&
+          (continuations_->empty() || continuations_->back() != line_)) {
+        continuations_->push_back(line_);
+      }
     }
   }
 
   std::string_view src_;
+  std::vector<int>* continuations_;
   size_t pos_ = 0;
   int line_ = 1;
 };
@@ -78,9 +88,17 @@ bool IsStringPrefix(const std::string& prefix) {
 
 }  // namespace
 
+int LogicalLineStart(const TokenizedFile& f, int line) {
+  while (std::binary_search(f.continuation_lines.begin(),
+                            f.continuation_lines.end(), line)) {
+    --line;
+  }
+  return line;
+}
+
 TokenizedFile Tokenize(std::string_view source) {
   TokenizedFile out;
-  Cursor cur(source);
+  Cursor cur(source, &out.continuation_lines);
   bool at_line_start = true;  // only whitespace seen since the last newline
 
   auto push = [&](TokenKind kind, std::string text, int line) {

@@ -44,7 +44,18 @@ struct Comment {
 struct TokenizedFile {
   std::vector<Token> tokens;
   std::vector<Comment> comments;
+  /// Physical lines that are phase-2 continuations of the previous line,
+  /// i.e. the line before them ended in a backslash-newline splice. Sorted
+  /// ascending; raw-string bodies never contribute (their newlines are
+  /// real). Lets clients map a physical line back to the start of its
+  /// logical line — NOLINT/NOLINTNEXTLINE suppressions are logical-line
+  /// scoped (docs/static_analysis.md).
+  std::vector<int> continuation_lines;
 };
+
+/// First physical line of the logical line containing physical line
+/// `line`, per `f.continuation_lines`. Identity for non-continued lines.
+int LogicalLineStart(const TokenizedFile& f, int line);
 
 /// Tokenizes `source`. Never fails: unterminated constructs are closed at
 /// end of input (a linter must degrade gracefully on in-progress code).
