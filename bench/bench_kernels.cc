@@ -5,12 +5,20 @@
 // The second Args() value is the thread count; compare the 1-thread and
 // 4-thread rows of the same shape for the speedup (>= 2x at 4 threads on
 // 1024x1024 MatMul on hardware with >= 4 free cores).
+//
+// GEMM rows also report a `gflops` rate counter, and BM_GemmBackend pins a
+// single-thread 512^3 GEMM on EVERY compiled-in backend (scalar, avx2) so
+// the SIMD speedup is a ratio inside one run. The emitted
+// BENCH_kernels.json carries the process-wide active backend at top level;
+// regenerate the scalar-pinned profile via ANECI_KERNEL_BACKEND=scalar
+// (tools/bench_snapshot.sh writes both).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "linalg/kernels/kernels.h"
 #include "linalg/kmeans.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
@@ -23,6 +31,12 @@
 namespace aneci {
 namespace {
 
+/// GFLOP/s rate counter for a kernel doing `flops` flops per iteration.
+benchmark::Counter GflopsRate(double flops) {
+  return benchmark::Counter(flops * 1e-9,
+                            benchmark::Counter::kIsIterationInvariantRate);
+}
+
 void BM_MatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   ScopedNumThreads guard(static_cast<int>(state.range(1)));
@@ -34,6 +48,7 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["threads"] = static_cast<double>(NumThreads());
+  state.counters["gflops"] = GflopsRate(2.0 * n * n * n);
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
 BENCHMARK(BM_MatMul)
@@ -55,6 +70,7 @@ void BM_MatMulTransB(benchmark::State& state) {
     Matrix c = MatMulTransB(a, b);
     benchmark::DoNotOptimize(c.data());
   }
+  state.counters["gflops"] = GflopsRate(2.0 * n * n * n);
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
 BENCHMARK(BM_MatMulTransB)
@@ -132,6 +148,40 @@ BENCHMARK(BM_KMeans)
     ->Args({20000, 4})
     ->Unit(benchmark::kMillisecond);
 
+// One single-thread 512^3 GEMM per compiled-in backend, bypassing Active()
+// via BackendByName so one run measures the scalar/avx2 ratio directly
+// (the ISSUE's >= 3x acceptance gate). Registered from main() because the
+// backend list is a runtime property.
+void BM_GemmBackend(benchmark::State& state, const std::string& name) {
+  const kernels::Backend* be = kernels::BackendByName(name);
+  if (be == nullptr) {
+    state.SkipWithError(("backend unavailable: " + name).c_str());
+    return;
+  }
+  ScopedNumThreads guard(1);
+  const int n = 512;
+  Rng rng(10);
+  const Matrix a = Matrix::RandomNormal(n, n, 1.0, rng);
+  const Matrix b = Matrix::RandomNormal(n, n, 1.0, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    be->Gemm(false, false, 1.0, a, b, 0.0, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["gflops"] = GflopsRate(2.0 * n * n * n);
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
+void RegisterBackendBenchmarks() {
+  for (const std::string& name : kernels::AvailableBackends()) {
+    benchmark::RegisterBenchmark(("BM_GemmBackend/" + name + "/512").c_str(),
+                                 [name](benchmark::State& st) {
+                                   BM_GemmBackend(st, name);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
 // Instrumentation overhead probe: the same kernel mix with the metrics
 // registry enabled (counters increment) vs disabled (each Add() is a single
 // relaxed load + branch). Compare the two rows; the enabled one must stay
@@ -184,7 +234,9 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
   }
 
   std::string Json() const {
-    std::string json = "{\"bench\":\"kernels\",\"benchmarks\":[";
+    std::string json = "{\"bench\":\"kernels\",\"backend\":\"" +
+                       std::string(kernels::ActiveName()) +
+                       "\",\"benchmarks\":[";
     for (size_t i = 0; i < entries_.size(); ++i) {
       if (i > 0) json += ",";
       json += entries_[i];
@@ -206,13 +258,20 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
 }  // namespace aneci
 
 int main(int argc, char** argv) {
-  // Peel off --outdir (ours) before google-benchmark sees the flags.
+  // Peel off --outdir / --outfile (ours) before google-benchmark sees the
+  // flags. --outfile lets a backend-pinned run (ANECI_KERNEL_BACKEND=scalar)
+  // land next to the default profile instead of overwriting it.
   std::string outdir = "results";
+  std::string outfile = "BENCH_kernels.json";
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--outdir=", 0) == 0) {
       outdir = arg.substr(9);
+      continue;
+    }
+    if (arg.rfind("--outfile=", 0) == 0) {
+      outfile = arg.substr(10);
       continue;
     }
     args.push_back(argv[i]);
@@ -221,18 +280,19 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
     return 1;
+  aneci::RegisterBackendBenchmarks();
   aneci::JsonCapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
   aneci::Status st = aneci::Env::Default()->CreateDir(outdir);
   if (st.ok())
-    st = aneci::Env::Default()->WriteFileAtomic(outdir + "/BENCH_kernels.json",
+    st = aneci::Env::Default()->WriteFileAtomic(outdir + "/" + outfile,
                                                 reporter.Json());
   if (!st.ok()) {
-    std::fprintf(stderr, "BENCH_kernels.json: %s\n", st.ToString().c_str());
+    std::fprintf(stderr, "%s: %s\n", outfile.c_str(), st.ToString().c_str());
     return 1;
   }
-  std::printf("json: %s/BENCH_kernels.json\n", outdir.c_str());
+  std::printf("json: %s/%s\n", outdir.c_str(), outfile.c_str());
   return 0;
 }

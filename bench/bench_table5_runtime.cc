@@ -8,7 +8,19 @@
 // epoch loop, final forward, ...) is written to
 // <ANECI_BENCH_OUTDIR|results>/table5_phases.csv — the observability
 // layer's answer to "where does each method's time actually go".
+//
+// Extra flags (peeled before google-benchmark sees argv):
+//   --full               paper scale: the Cora-analogue table runs at
+//                        scale 1.0, plus one pinned-iteration AnECI run on
+//                        the full-scale Pubmed analogue (N = 19717) — the
+//                        measurement behind DESIGN.md's Pubmed-scale note
+//   --metrics-out=<p>    after the run, record the process peak RSS
+//                        (getrusage) as the `process/peak_rss_bytes` gauge
+//                        and dump the metrics registry — including the
+//                        memory planner's `autograd/peak_bytes` — as JSONL
 #include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
 
 #include <cstdlib>
 #include <map>
@@ -111,6 +123,26 @@ void BM_Gcn(benchmark::State& state, bool robust) {
   CapturePhases(robust ? "RGCN" : "GCN");
 }
 
+// Full-scale Pubmed AnECI run, registered only under --full. One pinned
+// iteration: the point is the absolute wall time at paper scale (and the
+// memory-planner/RSS footprint), not a statistically tight mean.
+void BM_AnECIPubmedFull(benchmark::State& state) {
+  static const Dataset* ds = new Dataset(MakePubmed(42, /*scale=*/1.0));
+  ResetObservability();
+  for (auto _ : state) {
+    Rng rng(7);
+    AneciConfig cfg;
+    cfg.epochs = kEpochs;
+    cfg.reconstruction = ReconstructionMode::kSampled;
+    AneciEmbedder embedder(cfg);
+    EmbedOptions eo;
+    eo.rng = &rng;
+    Matrix z = embedder.Embed(ds->graph, eo);
+    benchmark::DoNotOptimize(z.data());
+  }
+  CapturePhases("AnECI-Pubmed-full");
+}
+
 Status WritePhaseCsv() {
   const char* env = std::getenv("ANECI_BENCH_OUTDIR");
   const std::string outdir = env != nullptr ? env : "results";
@@ -155,14 +187,55 @@ BENCHMARK(BM_AnECI)->Unit(benchmark::kMillisecond);
 }  // namespace aneci
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bool full = false;
+  std::string metrics_out;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      full = true;
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (full) {
+    // Paper scale for the whole table (CoraDataset() reads this lazily, on
+    // the first benchmark's first iteration — after this point).
+    setenv("ANECI_BENCH_SCALE", "1.0", /*overwrite=*/0);
+    benchmark::RegisterBenchmark("BM_AnECIPubmedFull",
+                                 aneci::BM_AnECIPubmedFull)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   aneci::Status st = aneci::WritePhaseCsv();
   if (!st.ok()) {
     std::fprintf(stderr, "phase csv: %s\n", st.ToString().c_str());
     return 1;
+  }
+  if (!metrics_out.empty()) {
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+      // ru_maxrss is KiB on Linux.
+      aneci::MetricsRegistry::Global()
+          .GetGauge("process/peak_rss_bytes", aneci::MetricClass::kScheduling)
+          ->Set(static_cast<double>(ru.ru_maxrss) * 1024.0);
+    }
+    st = aneci::WriteMetricsJsonl(metrics_out, aneci::Env::Default());
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics-out: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics: %s\n", metrics_out.c_str());
   }
   return 0;
 }

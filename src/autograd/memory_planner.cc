@@ -1,0 +1,107 @@
+#include "autograd/memory_planner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace aneci::ag {
+namespace {
+
+thread_local MemoryPlanner* g_current = nullptr;
+
+}  // namespace
+
+int BufferArena::BucketIndex(int64_t count) {
+  ANECI_DCHECK(count > 0);
+  int b = 0;
+  while ((int64_t{1} << b) < count) ++b;
+  return b;
+}
+
+std::vector<double> BufferArena::Acquire(int64_t count, bool* fresh) {
+  const int b = BucketIndex(count);
+  auto& bucket = buckets_[b];
+  if (bucket.empty()) {
+    *fresh = true;
+    return {};
+  }
+  std::vector<double> buf = std::move(bucket.back());
+  bucket.pop_back();
+  buf.resize(static_cast<size_t>(count));
+  *fresh = false;
+  return buf;
+}
+
+void BufferArena::Release(std::vector<double>&& buf) {
+  if (buf.empty()) return;
+  buckets_[BucketIndex(static_cast<int64_t>(buf.size()))].push_back(
+      std::move(buf));
+}
+
+MemoryPlanner::MemoryPlanner(bool recycle)
+    : recycle_(recycle), prev_(g_current) {
+  g_current = this;
+}
+
+MemoryPlanner::~MemoryPlanner() { g_current = prev_; }
+
+MemoryPlanner* MemoryPlanner::Current() { return g_current; }
+
+Matrix MemoryPlanner::AcquireUninit(int rows, int cols) {
+  const int64_t count = static_cast<int64_t>(rows) * cols;
+  if (count == 0) return Matrix(rows, cols);
+  bool fresh = true;
+  std::vector<double> buf;
+  if (recycle_) buf = arena_.Acquire(count, &fresh);
+  const uint64_t bytes = static_cast<uint64_t>(count) * sizeof(double);
+  if (fresh) {
+    fresh_bytes_ += bytes;
+    buf.resize(static_cast<size_t>(count));
+  } else {
+    reused_bytes_ += bytes;
+  }
+  return Matrix(rows, cols, std::move(buf));
+}
+
+Matrix MemoryPlanner::AcquireZeroed(int rows, int cols) {
+  Matrix m = AcquireUninit(rows, cols);
+  m.SetZero();
+  return m;
+}
+
+void MemoryPlanner::Release(Matrix&& m) {
+  if (!recycle_) return;
+  if (m.empty()) return;
+  arena_.Release(m.TakeStorage());
+}
+
+Matrix AcquireGradUninit(int rows, int cols) {
+  MemoryPlanner* planner = MemoryPlanner::Current();
+  if (planner != nullptr) return planner->AcquireUninit(rows, cols);
+  return Matrix(rows, cols);
+}
+
+Matrix AcquireGradZeroed(int rows, int cols) {
+  MemoryPlanner* planner = MemoryPlanner::Current();
+  if (planner != nullptr) return planner->AcquireZeroed(rows, cols);
+  return Matrix(rows, cols);
+}
+
+Matrix AcquireGradCopy(const Matrix& src) {
+  Matrix m = AcquireGradUninit(src.rows(), src.cols());
+  std::copy(src.data(), src.data() + src.size(), m.data());
+  return m;
+}
+
+void ReleaseGrad(Matrix&& m) {
+  MemoryPlanner* planner = MemoryPlanner::Current();
+  if (planner != nullptr) {
+    planner->Release(std::move(m));
+    if (!planner->recycle()) m = Matrix();
+  } else {
+    m = Matrix();
+  }
+}
+
+}  // namespace aneci::ag

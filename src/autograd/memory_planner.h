@@ -1,0 +1,112 @@
+// Tape-level gradient buffer recycling for the backward sweep.
+//
+// The reverse sweep visits nodes in decreasing creation order, so a node's
+// gradient buffer is dead the moment its backward closure returns (all of
+// its consumers ran earlier; only parameters — nodes without a closure —
+// are read after Backward()). Backward() exploits that liveness structure:
+// it installs a MemoryPlanner for the duration of the sweep, op closures
+// acquire their gradient matrices through it, and dead buffers are released
+// into a power-of-two size-bucketed arena for the next acquisition of a
+// similar size to reuse.
+//
+// Numerics are byte-identical with the planner on or off: AcquireZeroed
+// returns an all-zero buffer exactly like a fresh Matrix, and AcquireUninit
+// is only used by callers that overwrite every element before any read
+// (GEMM/SpMM outputs with beta == 0 semantics, full elementwise rewrites).
+//
+// Accounting: fresh_bytes() is the cumulative bytes of arena misses in one
+// sweep. Because every acquired buffer stays resident until the sweep ends
+// (either live in a grad or pooled in the arena), this equals the sweep's
+// peak gradient footprint; Backward() publishes it as the
+// `autograd/peak_bytes` gauge (MetricClass::kDeterministic — the sweep is
+// serial, so the value is thread-count invariant). With recycling off every
+// acquisition is a miss, so the gauge reproduces the legacy
+// allocate-per-op footprint, which is what the planner regression test
+// compares against.
+#ifndef ANECI_AUTOGRAD_MEMORY_PLANNER_H_
+#define ANECI_AUTOGRAD_MEMORY_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace aneci::ag {
+
+/// Power-of-two size-bucketed free lists of raw double buffers. Bucket b
+/// holds buffers whose element count rounds up to 2^b; lists are LIFO and
+/// every operation happens on the (serial) backward sweep, so the reuse
+/// pattern is a function of the tape alone.
+class BufferArena {
+ public:
+  /// A pooled buffer resized to `count` (contents unspecified), or an empty
+  /// vector when the bucket is dry (`*fresh` reports which).
+  std::vector<double> Acquire(int64_t count, bool* fresh);
+
+  void Release(std::vector<double>&& buf);
+
+ private:
+  static int BucketIndex(int64_t count);
+
+  std::vector<std::vector<std::vector<double>>> buckets_{
+      std::vector<std::vector<std::vector<double>>>(64)};
+};
+
+/// Scoped planner installed by Backward() for one sweep (nestable; the
+/// innermost instance is Current()). With recycle == false it only keeps
+/// the byte accounting — acquisitions always allocate and releases drop —
+/// which reproduces the legacy per-op allocation behaviour exactly.
+class MemoryPlanner {
+ public:
+  explicit MemoryPlanner(bool recycle);
+  ~MemoryPlanner();
+
+  MemoryPlanner(const MemoryPlanner&) = delete;
+  MemoryPlanner& operator=(const MemoryPlanner&) = delete;
+
+  /// The innermost planner on this thread, or nullptr outside Backward().
+  static MemoryPlanner* Current();
+
+  bool recycle() const { return recycle_; }
+
+  /// Cumulative bytes of fresh (non-reused) acquisitions this sweep.
+  uint64_t fresh_bytes() const { return fresh_bytes_; }
+
+  /// Cumulative bytes served from the arena this sweep.
+  uint64_t reused_bytes() const { return reused_bytes_; }
+
+  Matrix AcquireUninit(int rows, int cols);
+  Matrix AcquireZeroed(int rows, int cols);
+  void Release(Matrix&& m);
+
+ private:
+  bool recycle_;
+  uint64_t fresh_bytes_ = 0;
+  uint64_t reused_bytes_ = 0;
+  BufferArena arena_;
+  MemoryPlanner* prev_;
+};
+
+// Helpers for op backward closures. With no active planner they degrade to
+// plain Matrix construction / destruction, so closures stay correct when
+// invoked outside Backward() (e.g. unit tests driving backward_fn by hand).
+
+/// A (rows x cols) gradient buffer with unspecified contents. Callers MUST
+/// overwrite every element before reading any.
+Matrix AcquireGradUninit(int rows, int cols);
+
+/// A (rows x cols) all-zero gradient buffer — bit-identical to Matrix(rows,
+/// cols) — for scatter-style closures that accumulate into zeros.
+Matrix AcquireGradZeroed(int rows, int cols);
+
+/// A copy of `src` in a recycled buffer (the common `Matrix g = self.grad()`
+/// pattern).
+Matrix AcquireGradCopy(const Matrix& src);
+
+/// Returns a dead gradient's storage to the active planner (no-op without
+/// one, or with recycling off). Leaves `m` empty.
+void ReleaseGrad(Matrix&& m);
+
+}  // namespace aneci::ag
+
+#endif  // ANECI_AUTOGRAD_MEMORY_PLANNER_H_

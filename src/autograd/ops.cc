@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "autograd/memory_planner.h"
+#include "linalg/kernels/kernels.h"
 #include "util/check.h"
 
 namespace aneci::ag {
@@ -30,23 +33,41 @@ Matrix Scalar(double v) {
 
 }  // namespace
 
+// The GEMM/SpMM backward closures call the kernel backend directly into an
+// arena-acquired buffer (beta == 0 fully overwrites, so uninitialised
+// storage is fine) instead of going through the allocating free functions.
+
 VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
   Matrix value = aneci::MatMul(a->value(), b->value());
   return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
-    if (a->requires_grad())
-      a->AccumulateGrad(aneci::MatMulTransB(self.grad(), b->value()));
-    if (b->requires_grad())
-      b->AccumulateGrad(aneci::MatMulTransA(a->value(), self.grad()));
+    const kernels::Backend& be = kernels::Active();
+    if (a->requires_grad()) {
+      Matrix ga = AcquireGradUninit(a->value().rows(), a->value().cols());
+      be.Gemm(false, true, 1.0, self.grad(), b->value(), 0.0, &ga);
+      a->AccumulateGrad(std::move(ga));
+    }
+    if (b->requires_grad()) {
+      Matrix gb = AcquireGradUninit(b->value().rows(), b->value().cols());
+      be.Gemm(true, false, 1.0, a->value(), self.grad(), 0.0, &gb);
+      b->AccumulateGrad(std::move(gb));
+    }
   });
 }
 
 VarPtr MatMulTransB(const VarPtr& a, const VarPtr& b) {
   Matrix value = aneci::MatMulTransB(a->value(), b->value());
   return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
-    if (a->requires_grad())
-      a->AccumulateGrad(aneci::MatMul(self.grad(), b->value()));
-    if (b->requires_grad())
-      b->AccumulateGrad(aneci::MatMulTransA(self.grad(), a->value()));
+    const kernels::Backend& be = kernels::Active();
+    if (a->requires_grad()) {
+      Matrix ga = AcquireGradUninit(a->value().rows(), a->value().cols());
+      be.Gemm(false, false, 1.0, self.grad(), b->value(), 0.0, &ga);
+      a->AccumulateGrad(std::move(ga));
+    }
+    if (b->requires_grad()) {
+      Matrix gb = AcquireGradUninit(b->value().rows(), b->value().cols());
+      be.Gemm(true, false, 1.0, self.grad(), a->value(), 0.0, &gb);
+      b->AccumulateGrad(std::move(gb));
+    }
   });
 }
 
@@ -54,41 +75,58 @@ VarPtr SpMM(const SparseMatrix* s, const VarPtr& x) {
   ANECI_CHECK(s != nullptr);
   Matrix value = s->Multiply(x->value());
   return MakeOp({x}, std::move(value), [s, x](Variable& self) {
-    if (x->requires_grad())
-      x->AccumulateGrad(s->MultiplyTransposed(self.grad()));
+    if (x->requires_grad()) {
+      Matrix gx = AcquireGradUninit(x->value().rows(), x->value().cols());
+      kernels::Active().SpmmT(*s, self.grad(), &gx);
+      x->AccumulateGrad(std::move(gx));
+    }
   });
 }
 
 VarPtr Add(const VarPtr& a, const VarPtr& b) {
   Matrix value = aneci::Add(a->value(), b->value());
   return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
-    if (a->requires_grad()) a->AccumulateGrad(self.grad());
-    if (b->requires_grad()) b->AccumulateGrad(self.grad());
+    if (a->requires_grad()) a->AccumulateGrad(AcquireGradCopy(self.grad()));
+    if (b->requires_grad()) b->AccumulateGrad(AcquireGradCopy(self.grad()));
   });
 }
 
 VarPtr Sub(const VarPtr& a, const VarPtr& b) {
   Matrix value = aneci::Sub(a->value(), b->value());
   return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
-    if (a->requires_grad()) a->AccumulateGrad(self.grad());
-    if (b->requires_grad()) b->AccumulateGrad(aneci::Scale(self.grad(), -1.0));
+    if (a->requires_grad()) a->AccumulateGrad(AcquireGradCopy(self.grad()));
+    if (b->requires_grad()) {
+      Matrix g = AcquireGradCopy(self.grad());
+      g *= -1.0;
+      b->AccumulateGrad(std::move(g));
+    }
   });
 }
 
 VarPtr Hadamard(const VarPtr& a, const VarPtr& b) {
   Matrix value = aneci::Hadamard(a->value(), b->value());
   return MakeOp({a, b}, std::move(value), [a, b](Variable& self) {
-    if (a->requires_grad())
-      a->AccumulateGrad(aneci::Hadamard(self.grad(), b->value()));
-    if (b->requires_grad())
-      b->AccumulateGrad(aneci::Hadamard(self.grad(), a->value()));
+    if (a->requires_grad()) {
+      Matrix g = AcquireGradCopy(self.grad());
+      g.HadamardInPlace(b->value());
+      a->AccumulateGrad(std::move(g));
+    }
+    if (b->requires_grad()) {
+      Matrix g = AcquireGradCopy(self.grad());
+      g.HadamardInPlace(a->value());
+      b->AccumulateGrad(std::move(g));
+    }
   });
 }
 
 VarPtr Scale(const VarPtr& a, double s) {
   Matrix value = aneci::Scale(a->value(), s);
   return MakeOp({a}, std::move(value), [a, s](Variable& self) {
-    if (a->requires_grad()) a->AccumulateGrad(aneci::Scale(self.grad(), s));
+    if (a->requires_grad()) {
+      Matrix g = AcquireGradCopy(self.grad());
+      g *= s;
+      a->AccumulateGrad(std::move(g));
+    }
   });
 }
 
@@ -102,14 +140,14 @@ VarPtr AddRowBroadcast(const VarPtr& x, const VarPtr& bias) {
     for (int c = 0; c < value.cols(); ++c) row[c] += b[c];
   }
   return MakeOp({x, bias}, std::move(value), [x, bias](Variable& self) {
-    if (x->requires_grad()) x->AccumulateGrad(self.grad());
+    if (x->requires_grad()) x->AccumulateGrad(AcquireGradCopy(self.grad()));
     if (bias->requires_grad()) {
-      Matrix g(1, self.grad().cols());
+      Matrix g = AcquireGradZeroed(1, self.grad().cols());
       for (int r = 0; r < self.grad().rows(); ++r) {
         const double* row = self.grad().RowPtr(r);
         for (int c = 0; c < self.grad().cols(); ++c) g(0, c) += row[c];
       }
-      bias->AccumulateGrad(g);
+      bias->AccumulateGrad(std::move(g));
     }
   });
 }
@@ -122,7 +160,8 @@ VarPtr ElementwiseOp(const VarPtr& x, const std::function<double(double)>& f,
   value.Apply(f);
   return MakeOp({x}, std::move(value),
                 [x, grad_from_self](Variable& self) {
-                  if (x->requires_grad()) x->AccumulateGrad(grad_from_self(self));
+                  if (x->requires_grad())
+                    x->AccumulateGrad(grad_from_self(self));
                 });
 }
 
@@ -132,7 +171,7 @@ VarPtr Relu(const VarPtr& x) {
   return ElementwiseOp(
       x, [](double v) { return v > 0.0 ? v : 0.0; },
       [x](const Variable& self) {
-        Matrix g = self.grad();
+        Matrix g = AcquireGradCopy(self.grad());
         for (int64_t i = 0; i < g.size(); ++i)
           if (x->value().data()[i] <= 0.0) g.data()[i] = 0.0;
         return g;
@@ -144,9 +183,9 @@ VarPtr Exp(const VarPtr& x) {
   value.Apply([](double v) { return std::exp(v); });
   return MakeOp({x}, std::move(value), [x](Variable& self) {
     if (!x->requires_grad()) return;
-    Matrix g = self.grad();
+    Matrix g = AcquireGradCopy(self.grad());
     g.HadamardInPlace(self.value());
-    x->AccumulateGrad(g);
+    x->AccumulateGrad(std::move(g));
   });
 }
 
@@ -161,13 +200,13 @@ VarPtr MeanRows(const VarPtr& x) {
   for (int j = 0; j < c; ++j) value(0, j) /= n;
   return MakeOp({x}, std::move(value), [x, n](Variable& self) {
     if (!x->requires_grad()) return;
-    Matrix dx(x->value().rows(), x->value().cols());
+    Matrix dx = AcquireGradUninit(x->value().rows(), x->value().cols());
     const double* g = self.grad().RowPtr(0);
     for (int r = 0; r < dx.rows(); ++r) {
       double* row = dx.RowPtr(r);
       for (int j = 0; j < dx.cols(); ++j) row[j] = g[j] / n;
     }
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -175,7 +214,7 @@ VarPtr LeakyRelu(const VarPtr& x, double alpha) {
   return ElementwiseOp(
       x, [alpha](double v) { return v > 0.0 ? v : alpha * v; },
       [x, alpha](const Variable& self) {
-        Matrix g = self.grad();
+        Matrix g = AcquireGradCopy(self.grad());
         for (int64_t i = 0; i < g.size(); ++i)
           if (x->value().data()[i] <= 0.0) g.data()[i] *= alpha;
         return g;
@@ -187,10 +226,10 @@ VarPtr Sigmoid(const VarPtr& x) {
   value.Apply([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
   return MakeOp({x}, std::move(value), [x](Variable& self) {
     if (!x->requires_grad()) return;
-    Matrix g = self.grad();
+    Matrix g = AcquireGradCopy(self.grad());
     const double* y = self.value().data();
     for (int64_t i = 0; i < g.size(); ++i) g.data()[i] *= y[i] * (1.0 - y[i]);
-    x->AccumulateGrad(g);
+    x->AccumulateGrad(std::move(g));
   });
 }
 
@@ -199,17 +238,22 @@ VarPtr Tanh(const VarPtr& x) {
   value.Apply([](double v) { return std::tanh(v); });
   return MakeOp({x}, std::move(value), [x](Variable& self) {
     if (!x->requires_grad()) return;
-    Matrix g = self.grad();
+    Matrix g = AcquireGradCopy(self.grad());
     const double* y = self.value().data();
     for (int64_t i = 0; i < g.size(); ++i) g.data()[i] *= 1.0 - y[i] * y[i];
-    x->AccumulateGrad(g);
+    x->AccumulateGrad(std::move(g));
   });
 }
 
 VarPtr Transpose(const VarPtr& x) {
   Matrix value = aneci::Transpose(x->value());
   return MakeOp({x}, std::move(value), [x](Variable& self) {
-    if (x->requires_grad()) x->AccumulateGrad(aneci::Transpose(self.grad()));
+    if (!x->requires_grad()) return;
+    const Matrix& dy = self.grad();
+    Matrix g = AcquireGradUninit(x->value().rows(), x->value().cols());
+    for (int r = 0; r < g.rows(); ++r)
+      for (int c = 0; c < g.cols(); ++c) g(r, c) = dy(c, r);
+    x->AccumulateGrad(std::move(g));
   });
 }
 
@@ -220,7 +264,7 @@ VarPtr RowSoftmax(const VarPtr& x) {
     // dx_row = y (.) (dy - (dy . y)).
     const Matrix& y = self.value();
     const Matrix& dy = self.grad();
-    Matrix dx(y.rows(), y.cols());
+    Matrix dx = AcquireGradUninit(y.rows(), y.cols());
     for (int r = 0; r < y.rows(); ++r) {
       const double* yr = y.RowPtr(r);
       const double* dyr = dy.RowPtr(r);
@@ -229,15 +273,16 @@ VarPtr RowSoftmax(const VarPtr& x) {
       double* dxr = dx.RowPtr(r);
       for (int c = 0; c < y.cols(); ++c) dxr[c] = yr[c] * (dyr[c] - dot);
     }
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
 VarPtr SumAll(const VarPtr& x) {
   return MakeOp({x}, Scalar(x->value().Sum()), [x](Variable& self) {
     if (!x->requires_grad()) return;
-    Matrix g(x->value().rows(), x->value().cols(), self.grad()(0, 0));
-    x->AccumulateGrad(g);
+    Matrix g = AcquireGradUninit(x->value().rows(), x->value().cols());
+    g.Fill(self.grad()(0, 0));
+    x->AccumulateGrad(std::move(g));
   });
 }
 
@@ -245,8 +290,9 @@ VarPtr MeanAll(const VarPtr& x) {
   const double inv = 1.0 / static_cast<double>(x->value().size());
   return MakeOp({x}, Scalar(x->value().Sum() * inv), [x, inv](Variable& self) {
     if (!x->requires_grad()) return;
-    Matrix g(x->value().rows(), x->value().cols(), self.grad()(0, 0) * inv);
-    x->AccumulateGrad(g);
+    Matrix g = AcquireGradUninit(x->value().rows(), x->value().cols());
+    g.Fill(self.grad()(0, 0) * inv);
+    x->AccumulateGrad(std::move(g));
   });
 }
 
@@ -258,9 +304,9 @@ VarPtr SumSquares(const VarPtr& x) {
   }
   return MakeOp({x}, Scalar(s), [x](Variable& self) {
     if (!x->requires_grad()) return;
-    Matrix g = x->value();
+    Matrix g = AcquireGradCopy(x->value());
     g *= 2.0 * self.grad()(0, 0);
-    x->AccumulateGrad(g);
+    x->AccumulateGrad(std::move(g));
   });
 }
 
@@ -286,7 +332,8 @@ VarPtr WeightedBinaryCrossEntropySum(const VarPtr& p, const Matrix& targets,
                 [p, t_copy = std::move(t_copy), pos_weight, eps](Variable& self) {
                   if (!p->requires_grad()) return;
                   const double g = self.grad()(0, 0);
-                  Matrix dp(p->value().rows(), p->value().cols());
+                  Matrix dp =
+                      AcquireGradUninit(p->value().rows(), p->value().cols());
                   for (int64_t i = 0; i < dp.size(); ++i) {
                     const double pv =
                         std::clamp(p->value().data()[i], eps, 1.0 - eps);
@@ -294,7 +341,7 @@ VarPtr WeightedBinaryCrossEntropySum(const VarPtr& p, const Matrix& targets,
                     dp.data()[i] =
                         g * (-pos_weight * t / pv + (1.0 - t) / (1.0 - pv));
                   }
-                  p->AccumulateGrad(dp);
+                  p->AccumulateGrad(std::move(dp));
                 });
 }
 
@@ -327,14 +374,15 @@ VarPtr SoftmaxCrossEntropy(const VarPtr& logits, const std::vector<int>& rows,
       [logits, rows, labels, probs = std::move(probs)](Variable& self) {
         if (!logits->requires_grad()) return;
         const double g = self.grad()(0, 0) / static_cast<double>(rows.size());
-        Matrix dx(logits->value().rows(), logits->value().cols());
+        Matrix dx =
+            AcquireGradZeroed(logits->value().rows(), logits->value().cols());
         for (size_t i = 0; i < rows.size(); ++i) {
           const double* pr = probs.RowPtr(static_cast<int>(i));
           double* dr = dx.RowPtr(rows[i]);
           for (int j = 0; j < dx.cols(); ++j) dr[j] += g * pr[j];
           dr[labels[i]] -= g;
         }
-        logits->AccumulateGrad(dx);
+        logits->AccumulateGrad(std::move(dx));
       });
 }
 
@@ -349,10 +397,15 @@ VarPtr TraceQuadraticSparse(const SparseMatrix* s, const VarPtr& p) {
     if (!p->requires_grad()) return;
     const double g = self.grad()(0, 0);
     // d/dP [sum(P (.) SP)] = (S + S^T) P.
-    Matrix d = s->Multiply(p->value());
-    d += s->MultiplyTransposed(p->value());
+    const kernels::Backend& be = kernels::Active();
+    Matrix d = AcquireGradUninit(p->value().rows(), p->value().cols());
+    be.Spmm(*s, p->value(), &d);
+    Matrix dt = AcquireGradUninit(p->value().rows(), p->value().cols());
+    be.SpmmT(*s, p->value(), &dt);
+    d += dt;
+    ReleaseGrad(std::move(dt));
     d *= g;
-    p->AccumulateGrad(d);
+    p->AccumulateGrad(std::move(d));
   });
 }
 
@@ -369,12 +422,12 @@ VarPtr RowWeightedColSumSquares(const VarPtr& p, const std::vector<double>& k) {
   return MakeOp({p}, Scalar(f), [p, k, v](Variable& self) {
     if (!p->requires_grad()) return;
     const double g = self.grad()(0, 0);
-    Matrix d(p->value().rows(), p->value().cols());
+    Matrix d = AcquireGradUninit(p->value().rows(), p->value().cols());
     for (int r = 0; r < d.rows(); ++r) {
       double* row = d.RowPtr(r);
       for (int c = 0; c < d.cols(); ++c) row[c] = g * 2.0 * k[r] * v[c];
     }
-    p->AccumulateGrad(d);
+    p->AccumulateGrad(std::move(d));
   });
 }
 
@@ -382,13 +435,13 @@ VarPtr SelectRows(const VarPtr& x, const std::vector<int>& rows) {
   Matrix value = x->value().SelectRows(rows);
   return MakeOp({x}, std::move(value), [x, rows](Variable& self) {
     if (!x->requires_grad()) return;
-    Matrix dx(x->value().rows(), x->value().cols());
+    Matrix dx = AcquireGradZeroed(x->value().rows(), x->value().cols());
     for (size_t i = 0; i < rows.size(); ++i) {
       const double* g = self.grad().RowPtr(static_cast<int>(i));
       double* d = dx.RowPtr(rows[i]);
       for (int c = 0; c < dx.cols(); ++c) d[c] += g[c];
     }
-    x->AccumulateGrad(dx);
+    x->AccumulateGrad(std::move(dx));
   });
 }
 
@@ -449,7 +502,7 @@ VarPtr GraphAttention(const SparseMatrix* adj, const VarPtr& h,
         const double* as = a_src->value().RowPtr(0);
         const double* ad = a_dst->value().RowPtr(0);
 
-        Matrix dh(n, d);
+        Matrix dh = AcquireGradZeroed(n, d);
         std::vector<double> ds(n, 0.0), dt(n, 0.0);
 
         for (int i = 0; i < n; ++i) {
@@ -481,7 +534,8 @@ VarPtr GraphAttention(const SparseMatrix* adj, const VarPtr& h,
         }
 
         // s_i = a_src . h_i and t_i = a_dst . h_i contributions.
-        Matrix da_src(1, d), da_dst(1, d);
+        Matrix da_src = AcquireGradZeroed(1, d);
+        Matrix da_dst = AcquireGradZeroed(1, d);
         for (int i = 0; i < n; ++i) {
           const double* hi = hm.RowPtr(i);
           double* dhi = dh.RowPtr(i);
@@ -491,9 +545,9 @@ VarPtr GraphAttention(const SparseMatrix* adj, const VarPtr& h,
             da_dst(0, c) += dt[i] * hi[c];
           }
         }
-        if (h->requires_grad()) h->AccumulateGrad(dh);
-        if (a_src->requires_grad()) a_src->AccumulateGrad(da_src);
-        if (a_dst->requires_grad()) a_dst->AccumulateGrad(da_dst);
+        if (h->requires_grad()) h->AccumulateGrad(std::move(dh));
+        if (a_src->requires_grad()) a_src->AccumulateGrad(std::move(da_src));
+        if (a_dst->requires_grad()) a_dst->AccumulateGrad(std::move(da_dst));
       });
 }
 
@@ -521,7 +575,7 @@ VarPtr InnerProductPairBce(const VarPtr& p,
     const double g = self.grad()(0, 0);
     const Matrix& pm = p->value();
     const int k = pm.cols();
-    Matrix dp(pm.rows(), pm.cols());
+    Matrix dp = AcquireGradZeroed(pm.rows(), pm.cols());
     for (const PairTarget& pt : pairs) {
       double d = 0.0;
       const double* a = pm.RowPtr(pt.u);
@@ -536,7 +590,7 @@ VarPtr InnerProductPairBce(const VarPtr& p,
         dv[c] += coeff * a[c];
       }
     }
-    p->AccumulateGrad(dp);
+    p->AccumulateGrad(std::move(dp));
   });
 }
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
 
+#include "autograd/memory_planner.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace aneci::ag {
 
@@ -21,6 +24,16 @@ void Variable::AccumulateGrad(const Matrix& g) {
   }
 }
 
+void Variable::AccumulateGrad(Matrix&& g) {
+  ANECI_CHECK(g.rows() == value_.rows() && g.cols() == value_.cols());
+  if (grad_.empty()) {
+    grad_ = std::move(g);
+  } else {
+    grad_ += g;
+    ReleaseGrad(std::move(g));
+  }
+}
+
 void Variable::ZeroGrad() {
   if (!grad_.empty()) grad_.SetZero();
 }
@@ -33,7 +46,9 @@ VarPtr MakeParameter(Matrix value) {
   return std::make_shared<Variable>(std::move(value), /*requires_grad=*/true);
 }
 
-void Backward(const VarPtr& root) {
+void Backward(const VarPtr& root) { Backward(root, BackwardOptions{}); }
+
+void Backward(const VarPtr& root, const BackwardOptions& opts) {
   ANECI_CHECK(root != nullptr);
   ANECI_CHECK_MSG(root->value().rows() == 1 && root->value().cols() == 1,
                   "Backward root must be a 1x1 scalar");
@@ -55,13 +70,25 @@ void Backward(const VarPtr& root) {
   std::sort(nodes.begin(), nodes.end(),
             [](const Variable* a, const Variable* b) { return a->id() > b->id(); });
 
+  // The planner scopes buffer recycling to this sweep: closures acquire
+  // gradient matrices through it and a node's buffer returns to the arena
+  // the moment its closure has consumed it (reverse order makes it dead —
+  // all consumers already ran; only closure-less nodes are read later).
+  MemoryPlanner planner(opts.recycle_buffers);
+
   Matrix seed(1, 1);
   seed(0, 0) = 1.0;
-  root->AccumulateGrad(seed);
+  root->AccumulateGrad(std::move(seed));
 
   for (Variable* v : nodes) {
-    if (v->backward_fn && !v->grad().empty()) v->backward_fn(*v);
+    if (!v->backward_fn || v->grad().empty()) continue;
+    v->backward_fn(*v);
+    if (opts.recycle_buffers) ReleaseGrad(std::move(v->mutable_grad()));
   }
+
+  static Gauge* peak_bytes = MetricsRegistry::Global().GetGauge(
+      "autograd/peak_bytes", MetricClass::kDeterministic);
+  peak_bytes->Set(static_cast<double>(planner.fresh_bytes()));
 }
 
 }  // namespace aneci::ag

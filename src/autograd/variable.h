@@ -46,6 +46,12 @@ class Variable {
   /// Adds g into the gradient buffer, allocating it on first use.
   void AccumulateGrad(const Matrix& g);
 
+  /// Move overload: adopts g's storage when the buffer is empty; otherwise
+  /// adds and returns g's storage to the active memory planner (if any).
+  /// Backward closures that build their gradient in an acquired buffer
+  /// (autograd/memory_planner.h) should use this so storage recycles.
+  void AccumulateGrad(Matrix&& g);
+
   /// Clears the gradient buffer (parameters keep theirs across steps unless
   /// the optimiser calls this).
   void ZeroGrad();
@@ -69,9 +75,21 @@ VarPtr MakeConstant(Matrix value);
 /// Trainable parameter node (requires_grad = true).
 VarPtr MakeParameter(Matrix value);
 
+struct BackwardOptions {
+  /// Recycle intermediate gradient buffers through the sweep-scoped arena
+  /// (autograd/memory_planner.h). Numerics are byte-identical either way;
+  /// off additionally keeps intermediate grads readable after the sweep
+  /// (with recycling on, only nodes without a backward closure — parameters
+  /// and leaves — retain their gradient, which is all any caller in the
+  /// library reads). Either way the sweep publishes its gradient footprint
+  /// as the `autograd/peak_bytes` gauge.
+  bool recycle_buffers = true;
+};
+
 /// Reverse-mode sweep from `root`, which must be 1x1. Seeds droot/droot = 1
 /// and propagates through every reachable node that requires a gradient.
 void Backward(const VarPtr& root);
+void Backward(const VarPtr& root, const BackwardOptions& opts);
 
 }  // namespace aneci::ag
 

@@ -1,7 +1,9 @@
 #include "core/losses.h"
 
 #include <cmath>
+#include <utility>
 
+#include "autograd/memory_planner.h"
 #include "util/check.h"
 
 namespace aneci {
@@ -92,10 +94,10 @@ ag::VarPtr GeneralizedModularityMinLoss(const SparseMatrix* proximity,
   if (!p->requires_grad()) return out;
   out->parents = {p};
   out->backward_fn = [p, compute, two_m](ag::Variable& self) {
-    Matrix grad(p->value().rows(), p->value().cols());
+    Matrix grad = ag::AcquireGradZeroed(p->value().rows(), p->value().cols());
     compute(p->value(), &grad);
     grad *= self.grad()(0, 0) / two_m;
-    p->AccumulateGrad(grad);
+    p->AccumulateGrad(std::move(grad));
   };
   return out;
 }
@@ -142,7 +144,7 @@ VarPtr DenseReconstructionLoss(const SparseMatrix* proximity,
     const double g = self.grad()(0, 0);
     const Matrix& pm = p->value();
     const int n = pm.rows(), k = pm.cols();
-    Matrix dp(n, k);
+    Matrix dp = ag::AcquireGradZeroed(n, k);
     std::vector<double> coeff(n);
     for (int i = 0; i < n; ++i) {
       const double* pi = pm.RowPtr(i);
@@ -170,7 +172,7 @@ VarPtr DenseReconstructionLoss(const SparseMatrix* proximity,
         }
       }
     }
-    p->AccumulateGrad(dp);
+    p->AccumulateGrad(std::move(dp));
   };
   return out;
 }

@@ -1,0 +1,256 @@
+// AVX2+FMA backend: a BLIS-style cache-blocked GEMM (packed A/B panels, a
+// 6x8 register tile = 12 ymm accumulators) and FMA-vectorised SpMM loops.
+//
+// Blocking scheme and determinism:
+//
+//   for jc over n in NC columns:            (serial)
+//     for pc over k in KC depth blocks:     (serial — fixes the per-element
+//                                            reduction order over k blocks)
+//       pack B(pc:pc+kc, jc:jc+nc)          (serial, shared read-only panel)
+//       ParallelFor over MC row blocks:     (each owns disjoint C rows)
+//         pack A(ic:ic+mc, pc:pc+kc) into thread-local storage
+//         for jr over nc in NR: for ir over mc in MR: microkernel
+//
+// Every C element accumulates its k terms in increasing-pc-block order, and
+// within a block each element is a single ymm lane across the whole kc loop
+// (no cross-lane shuffles), so the summation order is a function of the
+// shapes alone — bit-identical at every thread count. Tails are handled by
+// zero-padding the packed panels to MR/NR multiples; padded rows/columns
+// live in their own lanes and never touch valid elements.
+//
+// This file is compiled with -mavx2 -mfma only when the toolchain supports
+// it (ANECI_KERNELS_HAVE_AVX2); the CPUID gate that decides whether to run
+// it lives in dispatch.cc.
+#ifdef ANECI_KERNELS_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <vector>
+
+#include "linalg/kernels/grain.h"
+#include "linalg/kernels/kernels.h"
+#include "linalg/sparse.h"
+#include "util/thread_pool.h"
+
+namespace aneci::kernels {
+namespace {
+
+constexpr int kMr = 6;     // rows per register tile
+constexpr int kNr = 8;     // cols per register tile (two ymm vectors)
+constexpr int kKc = 256;   // depth block (A panel column count)
+constexpr int kMc = 96;    // row block, multiple of kMr
+constexpr int kNc = 2048;  // column block, multiple of kNr
+
+inline double At(const Matrix& m, bool trans, int r, int c) {
+  return trans ? m(c, r) : m(r, c);
+}
+
+// Packs op(A)(ic:ic+mc, pc:pc+kc) as consecutive kMr-row micro-panels, each
+// panel laid out p-major (kMr values per depth step). Rows in
+// [mc, mc_padded) are zero fill so tail tiles read only packed data.
+void PackA(const Matrix& a, bool trans, int ic, int pc, int mc, int mc_padded,
+           int kc, double* buf) {
+  for (int ir = 0; ir < mc_padded; ir += kMr) {
+    const int mr = std::max(0, std::min(kMr, mc - ir));
+    for (int p = 0; p < kc; ++p) {
+      for (int i = 0; i < mr; ++i)
+        buf[i] = At(a, trans, ic + ir + i, pc + p);
+      for (int i = mr; i < kMr; ++i) buf[i] = 0.0;
+      buf += kMr;
+    }
+  }
+}
+
+// Packs op(B)(pc:pc+kc, jc:jc+nc) as consecutive kNr-column micro-panels,
+// each panel p-major (kNr values per depth step), zero-padded to kNr.
+void PackB(const Matrix& b, bool trans, int pc, int jc, int kc, int nc,
+           double* buf) {
+  for (int jr = 0; jr < nc; jr += kNr) {
+    const int nr = std::min(kNr, nc - jr);
+    for (int p = 0; p < kc; ++p) {
+      for (int j = 0; j < nr; ++j)
+        buf[j] = At(b, trans, pc + p, jc + jr + j);
+      for (int j = nr; j < kNr; ++j) buf[j] = 0.0;
+      buf += kNr;
+    }
+  }
+}
+
+// ab[kMr][kNr] = sum_p a_panel[p] (x) b_panel[p]. 12 ymm accumulators plus
+// two B vectors and one A broadcast = 15 live registers.
+void MicroKernel(int kc, const double* a, const double* b, double* ab) {
+  __m256d acc[kMr][2];
+  for (int i = 0; i < kMr; ++i) {
+    acc[i][0] = _mm256_setzero_pd();
+    acc[i][1] = _mm256_setzero_pd();
+  }
+  for (int p = 0; p < kc; ++p) {
+    const __m256d b0 = _mm256_loadu_pd(b);
+    const __m256d b1 = _mm256_loadu_pd(b + 4);
+    for (int i = 0; i < kMr; ++i) {
+      const __m256d ai = _mm256_broadcast_sd(a + i);
+      acc[i][0] = _mm256_fmadd_pd(ai, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_pd(ai, b1, acc[i][1]);
+    }
+    a += kMr;
+    b += kNr;
+  }
+  for (int i = 0; i < kMr; ++i) {
+    _mm256_storeu_pd(ab + i * kNr, acc[i][0]);
+    _mm256_storeu_pd(ab + i * kNr + 4, acc[i][1]);
+  }
+}
+
+class Avx2Backend final : public Backend {
+ public:
+  const char* name() const override { return "avx2"; }
+
+ protected:
+  void GemmImpl(bool trans_a, bool trans_b, double alpha, const Matrix& a,
+                const Matrix& b, double beta, Matrix* c) const override {
+    const int m = c->rows(), n = c->cols();
+    const int k = trans_a ? a.rows() : a.cols();
+    if (m == 0 || n == 0) return;
+    if (k == 0) {
+      // Empty sum: C = beta * C, with beta == 0 as pure assignment.
+      for (int i = 0; i < m; ++i) {
+        double* row = c->RowPtr(i);
+        for (int j = 0; j < n; ++j) row[j] = beta == 0.0 ? 0.0 : beta * row[j];
+      }
+      return;
+    }
+    std::vector<double> packed_b;
+    for (int jc = 0; jc < n; jc += kNc) {
+      const int nc = std::min(kNc, n - jc);
+      const int nc_padded = (nc + kNr - 1) / kNr * kNr;
+      for (int pc = 0; pc < k; pc += kKc) {
+        const int kc = std::min(kKc, k - pc);
+        packed_b.resize(static_cast<size_t>(nc_padded) * kc);
+        PackB(b, trans_b, pc, jc, kc, nc, packed_b.data());
+        // first decides how the microtile lands in C: the pc == 0 block
+        // applies beta (assignment when beta == 0), later blocks accumulate.
+        const bool first = pc == 0;
+        const int num_row_blocks = (m + kMc - 1) / kMc;
+        ParallelFor(0, num_row_blocks, 1, [&](int64_t blo, int64_t bhi) {
+          thread_local std::vector<double> packed_a;
+          packed_a.resize(static_cast<size_t>(kMc) * kKc);
+          double ab[kMr * kNr];
+          for (int64_t bi = blo; bi < bhi; ++bi) {
+            const int ic = static_cast<int>(bi) * kMc;
+            const int mc = std::min(kMc, m - ic);
+            const int mc_padded = (mc + kMr - 1) / kMr * kMr;
+            PackA(a, trans_a, ic, pc, mc, mc_padded, kc, packed_a.data());
+            for (int jr = 0; jr < nc; jr += kNr) {
+              const int nr = std::min(kNr, nc - jr);
+              const double* b_panel =
+                  packed_b.data() + static_cast<size_t>(jr) * kc;
+              for (int ir = 0; ir < mc; ir += kMr) {
+                const int mr = std::min(kMr, mc - ir);
+                const double* a_panel =
+                    packed_a.data() + static_cast<size_t>(ir) * kc;
+                MicroKernel(kc, a_panel, b_panel, ab);
+                for (int i = 0; i < mr; ++i) {
+                  double* crow = c->RowPtr(ic + ir + i) + jc + jr;
+                  const double* abrow = ab + i * kNr;
+                  if (first) {
+                    if (beta == 0.0) {
+                      for (int j = 0; j < nr; ++j) crow[j] = alpha * abrow[j];
+                    } else {
+                      for (int j = 0; j < nr; ++j)
+                        crow[j] = beta * crow[j] + alpha * abrow[j];
+                    }
+                  } else {
+                    for (int j = 0; j < nr; ++j) crow[j] += alpha * abrow[j];
+                  }
+                }
+              }
+            }
+          }
+        });
+      }
+    }
+  }
+
+  void SpmmImpl(const SparseMatrix& s, const Matrix& x,
+                Matrix* y) const override {
+    const int k = x.cols();
+    const std::vector<int64_t>& row_ptr = s.row_ptr();
+    const std::vector<int>& col_idx = s.col_idx();
+    const std::vector<double>& values = s.values();
+    // Same row partition as the scalar backend; the inner column loop runs
+    // 4 lanes at a time with FMA. Each y element still sums its CSR terms
+    // in increasing-i order, so output is bit-identical across thread
+    // counts (and ULP-close, not bitwise equal, to scalar: FMA fuses the
+    // multiply-add rounding).
+    ParallelFor(0, s.rows(), SpmmRowGrain(s.rows(), s.nnz(), k),
+                [&](int64_t lo, int64_t hi) {
+      for (int r = static_cast<int>(lo); r < hi; ++r) {
+        double* yrow = y->RowPtr(r);
+        for (int c = 0; c < k; ++c) yrow[c] = 0.0;
+        for (int64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+          const double v = values[i];
+          const double* xrow = x.RowPtr(col_idx[i]);
+          AxpyRow(v, xrow, yrow, k);
+        }
+      }
+    });
+  }
+
+  void SpmmTImpl(const SparseMatrix& s, const Matrix& x,
+                 Matrix* y) const override {
+    const int k = x.cols();
+    const std::vector<int64_t>& row_ptr = s.row_ptr();
+    const std::vector<int>& col_idx = s.col_idx();
+    const std::vector<double>& values = s.values();
+    // Output-column partition, identical to the scalar backend (see there
+    // for why this is race-free and order-preserving).
+    const int64_t col_grain = std::max<int64_t>(
+        1, (s.cols() + 2LL * NumThreads() - 1) / (2LL * NumThreads()));
+    ParallelFor(0, s.cols(), col_grain, [&](int64_t lo, int64_t hi) {
+      const int col_lo = static_cast<int>(lo), col_hi = static_cast<int>(hi);
+      for (int r = col_lo; r < col_hi; ++r) {
+        double* yrow = y->RowPtr(r);
+        for (int c = 0; c < k; ++c) yrow[c] = 0.0;
+      }
+      for (int r = 0; r < s.rows(); ++r) {
+        const int* row_begin = col_idx.data() + row_ptr[r];
+        const int* row_end = col_idx.data() + row_ptr[r + 1];
+        const int* lo_it = std::lower_bound(row_begin, row_end, col_lo);
+        const int* hi_it = std::lower_bound(lo_it, row_end, col_hi);
+        if (lo_it == hi_it) continue;
+        const double* xrow = x.RowPtr(r);
+        for (const int* p = lo_it; p < hi_it; ++p) {
+          const double v = values[p - col_idx.data()];
+          AxpyRow(v, xrow, y->RowPtr(*p), k);
+        }
+      }
+    });
+  }
+
+ private:
+  // y[0:k) += v * x[0:k), 4 lanes at a time, FMA scalar tail.
+  static void AxpyRow(double v, const double* x, double* y, int k) {
+    const __m256d vv = _mm256_set1_pd(v);
+    int c = 0;
+    for (; c + 4 <= k; c += 4) {
+      const __m256d yc = _mm256_loadu_pd(y + c);
+      _mm256_storeu_pd(y + c, _mm256_fmadd_pd(vv, _mm256_loadu_pd(x + c), yc));
+    }
+    for (; c < k; ++c) y[c] = __builtin_fma(v, x[c], y[c]);
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+// Raw (un-gated) instance; dispatch.cc wraps it behind the CPUID probe.
+const Backend* Avx2InstanceRaw() {
+  static const Avx2Backend backend;
+  return &backend;
+}
+
+}  // namespace internal
+}  // namespace aneci::kernels
+
+#endif  // ANECI_KERNELS_HAVE_AVX2

@@ -1,0 +1,62 @@
+// Backend-independent half of the kernel API: shape/aliasing validation and
+// the linalg/* metrics live here so every backend reports identically.
+#include "linalg/kernels/kernels.h"
+
+#include "linalg/sparse.h"
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace aneci::kernels {
+
+void Backend::Gemm(bool trans_a, bool trans_b, double alpha, const Matrix& a,
+                   const Matrix& b, double beta, Matrix* c) const {
+  ANECI_CHECK(c != nullptr);
+  const int m = trans_a ? a.cols() : a.rows();
+  const int k = trans_a ? a.rows() : a.cols();
+  const int n = trans_b ? b.rows() : b.cols();
+  ANECI_CHECK_EQ(k, trans_b ? b.cols() : b.rows());
+  ANECI_CHECK_EQ(c->rows(), m);
+  ANECI_CHECK_EQ(c->cols(), n);
+  if (!c->empty()) {
+    ANECI_CHECK(c->data() != a.data() && c->data() != b.data());
+  }
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/matmul/calls", MetricClass::kDeterministic);
+  static Counter* flops = MetricsRegistry::Global().GetCounter(
+      "linalg/matmul/flops", MetricClass::kDeterministic);
+  calls->Increment();
+  flops->Add(2ULL * m * k * n);
+  GemmImpl(trans_a, trans_b, alpha, a, b, beta, c);
+}
+
+void Backend::Spmm(const SparseMatrix& s, const Matrix& x, Matrix* y) const {
+  ANECI_CHECK(y != nullptr);
+  ANECI_CHECK_EQ(s.cols(), x.rows());
+  ANECI_CHECK_EQ(y->rows(), s.rows());
+  ANECI_CHECK_EQ(y->cols(), x.cols());
+  if (!y->empty()) ANECI_CHECK(y->data() != x.data());
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/spmm/calls", MetricClass::kDeterministic);
+  static Counter* flops = MetricsRegistry::Global().GetCounter(
+      "linalg/spmm/flops", MetricClass::kDeterministic);
+  calls->Increment();
+  flops->Add(2ULL * static_cast<uint64_t>(s.nnz()) * x.cols());
+  SpmmImpl(s, x, y);
+}
+
+void Backend::SpmmT(const SparseMatrix& s, const Matrix& x, Matrix* y) const {
+  ANECI_CHECK(y != nullptr);
+  ANECI_CHECK_EQ(s.rows(), x.rows());
+  ANECI_CHECK_EQ(y->rows(), s.cols());
+  ANECI_CHECK_EQ(y->cols(), x.cols());
+  if (!y->empty()) ANECI_CHECK(y->data() != x.data());
+  static Counter* calls = MetricsRegistry::Global().GetCounter(
+      "linalg/spmm/calls", MetricClass::kDeterministic);
+  static Counter* flops = MetricsRegistry::Global().GetCounter(
+      "linalg/spmm/flops", MetricClass::kDeterministic);
+  calls->Increment();
+  flops->Add(2ULL * static_cast<uint64_t>(s.nnz()) * x.cols());
+  SpmmTImpl(s, x, y);
+}
+
+}  // namespace aneci::kernels

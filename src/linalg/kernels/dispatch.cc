@@ -1,0 +1,76 @@
+// Backend selection. This is the ONLY translation unit allowed to query CPU
+// capabilities (__builtin_cpu_supports): the aneci_lint
+// banned-nondeterminism check whitelists exactly this file, so machine-
+// dependent control flow cannot leak into kernels or library code — a
+// process picks one backend here, once, and everything downstream is
+// deterministic given that choice.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "linalg/kernels/kernels.h"
+#include "util/check.h"
+
+namespace aneci::kernels {
+
+namespace internal {
+#ifdef ANECI_KERNELS_HAVE_AVX2
+const Backend* Avx2InstanceRaw();  // defined in avx2.cc
+#endif
+
+const Backend* Avx2Instance() {
+#ifdef ANECI_KERNELS_HAVE_AVX2
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return Avx2InstanceRaw();
+#endif
+  return nullptr;
+}
+}  // namespace internal
+
+namespace {
+
+const Backend* Select() {
+  const char* env = std::getenv("ANECI_KERNEL_BACKEND");
+  if (env != nullptr && *env != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return internal::ScalarInstance();
+    if (std::strcmp(env, "avx2") == 0) {
+      const Backend* avx2 = internal::Avx2Instance();
+      if (avx2 != nullptr) return avx2;
+      // Documented fallback: requested ISA not compiled in / not on this
+      // CPU. Warn rather than abort so one exported env var works across a
+      // heterogeneous fleet.
+      std::fprintf(stderr,
+                   "aneci: ANECI_KERNEL_BACKEND=avx2 requested but AVX2+FMA "
+                   "is unavailable; falling back to scalar\n");
+      return internal::ScalarInstance();
+    }
+    std::fprintf(stderr, "aneci: unknown ANECI_KERNEL_BACKEND='%s' "
+                 "(expected 'scalar' or 'avx2')\n", env);
+    ANECI_CHECK(false);
+  }
+  const Backend* avx2 = internal::Avx2Instance();
+  return avx2 != nullptr ? avx2 : internal::ScalarInstance();
+}
+
+}  // namespace
+
+const Backend& Active() {
+  static const Backend* selected = Select();
+  return *selected;
+}
+
+const char* ActiveName() { return Active().name(); }
+
+const Backend* BackendByName(const std::string& name) {
+  if (name == "scalar") return internal::ScalarInstance();
+  if (name == "avx2") return internal::Avx2Instance();
+  return nullptr;
+}
+
+std::vector<std::string> AvailableBackends() {
+  std::vector<std::string> names = {"scalar"};
+  if (internal::Avx2Instance() != nullptr) names.push_back("avx2");
+  return names;
+}
+
+}  // namespace aneci::kernels

@@ -1,0 +1,29 @@
+// Chunk-grain heuristics shared by the kernel backends. A chunk should
+// amortise the ParallelFor dispatch (~64k flops), so small problems collapse
+// to a single chunk and take the serial path. Grain never affects results —
+// every backend computes each output element in a chunk-independent order.
+#ifndef ANECI_LINALG_KERNELS_GRAIN_H_
+#define ANECI_LINALG_KERNELS_GRAIN_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace aneci::kernels {
+
+inline int64_t GemmRowGrain(int64_t flops_per_row) {
+  constexpr int64_t kMinFlopsPerChunk = 1 << 16;
+  if (flops_per_row <= 0) return kMinFlopsPerChunk;
+  return std::max<int64_t>(1, kMinFlopsPerChunk / flops_per_row);
+}
+
+inline int64_t SpmmRowGrain(int64_t rows, int64_t nnz, int64_t dense_cols) {
+  constexpr int64_t kMinFlopsPerChunk = 1 << 16;
+  const int64_t flops_per_row =
+      2 * std::max<int64_t>(1, nnz / std::max<int64_t>(1, rows)) *
+      std::max<int64_t>(1, dense_cols);
+  return std::max<int64_t>(1, kMinFlopsPerChunk / flops_per_row);
+}
+
+}  // namespace aneci::kernels
+
+#endif  // ANECI_LINALG_KERNELS_GRAIN_H_

@@ -1,0 +1,133 @@
+// The unified kernel backend API: every dense GEMM and sparse SpMM in the
+// library executes through exactly one `kernels::Backend`, selected once at
+// process startup (see `Active()` below). The legacy free functions
+// (`MatMul`, `MatMulTransA`, `MatMulTransB`) and the `SparseMatrix`
+// multiply methods are thin forwarding shims over this interface, so
+// call sites never name a backend.
+//
+// ## Operations
+//
+//   Gemm(transA, transB, alpha, A, B, beta, C):
+//       C = alpha * op(A) * op(B) + beta * C
+//     op(A) is (m x k), op(B) is (k x n); C must be preallocated (m x n).
+//     beta == 0 is an assignment: C's prior contents are never read (NaN or
+//     uninitialized garbage in C must not leak into the result).
+//   Spmm(S, X, Y):   Y = S * X      (S: m x n CSR, X: n x k, Y: m x k)
+//   SpmmT(S, X, Y):  Y = S^T * X    (S: m x n CSR, X: m x k, Y: n x k)
+//     Both fully overwrite Y (they behave as beta == 0).
+//
+// ## Backend selection
+//
+//   * `Active()` picks once, on first use, for the whole process:
+//     the `ANECI_KERNEL_BACKEND` environment variable ("scalar" or "avx2")
+//     wins when set; otherwise CPUID (AVX2 + FMA) selects "avx2" when the
+//     hardware has it, else "scalar". Requesting "avx2" on hardware (or a
+//     build) without it falls back to "scalar"; any other name aborts.
+//     CPUID probing itself is confined to kernels/dispatch.cc — the lint
+//     banned-nondeterminism check enforces that no other file forks
+//     behavior on machine capabilities.
+//   * `BackendByName()` exposes each backend directly for tests and
+//     benchmarks; it never changes the process-wide selection.
+//
+// ## Determinism contract (per backend)
+//
+//   * Within one backend, results are BIT-IDENTICAL at every thread count:
+//     each output element is accumulated in a fixed per-element order that
+//     depends only on the operand shapes (the scalar backend keeps the
+//     PR-1 loop orders; the AVX2 backend fixes the cache-block reduction
+//     order — k blocks accumulate serially into C in increasing order, and
+//     SIMD lanes never sum across an output element's k terms in a
+//     thread-dependent way).
+//   * ACROSS backends, results are only ULP-close, not bitwise equal: the
+//     AVX2 path uses FMA (fused rounding) and a blocked summation order.
+//     The equivalence tests bound the difference elementwise by
+//     |scalar - avx2| <= kKernelUlpSlack * eps * (|A| |B|)_ij — i.e. a
+//     small multiple of the classic summation error bound — rather than
+//     asserting bitwise equality (tests/kernels_test.cc).
+//   * Selection is per-process-stable: on one machine with one
+//     ANECI_KERNEL_BACKEND setting, reruns and checkpoint resumes are
+//     byte-identical. Artifacts produced on machines with different
+//     backends differ within the same ULP envelope.
+//
+// ## Alignment and aliasing rules
+//
+//   * No alignment requirements: operands are row-major with stride ==
+//     cols, rows may start at any 8-byte boundary (odd column counts make
+//     every other row 32-byte-unaligned; the AVX2 path uses unaligned
+//     loads/stores throughout).
+//   * C/Y must not alias A, B, X, or the CSR arrays (checked for the dense
+//     base pointers). A and B may alias each other (e.g. Gram matrices
+//     A^T A).
+#ifndef ANECI_LINALG_KERNELS_KERNELS_H_
+#define ANECI_LINALG_KERNELS_KERNELS_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace aneci {
+
+class SparseMatrix;
+
+namespace kernels {
+
+/// Elementwise slack factor for cross-backend GEMM comparisons, in units of
+/// eps * (|A| |B|)_ij. Shared by tests and documented here as part of the
+/// accuracy contract: both paths are within a tiny multiple of the standard
+/// recursive-summation error bound of the exact product.
+inline constexpr double kKernelUlpSlack = 8.0;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Stable lower-case identifier: "scalar" or "avx2".
+  virtual const char* name() const = 0;
+
+  /// C = alpha * op(A) * op(B) + beta * C. Validates shapes/aliasing and
+  /// records the linalg/matmul metrics, then runs the backend kernel.
+  void Gemm(bool trans_a, bool trans_b, double alpha, const Matrix& a,
+            const Matrix& b, double beta, Matrix* c) const;
+
+  /// Y = S * X, overwriting Y entirely.
+  void Spmm(const SparseMatrix& s, const Matrix& x, Matrix* y) const;
+
+  /// Y = S^T * X, overwriting Y entirely.
+  void SpmmT(const SparseMatrix& s, const Matrix& x, Matrix* y) const;
+
+ protected:
+  virtual void GemmImpl(bool trans_a, bool trans_b, double alpha,
+                        const Matrix& a, const Matrix& b, double beta,
+                        Matrix* c) const = 0;
+  virtual void SpmmImpl(const SparseMatrix& s, const Matrix& x,
+                        Matrix* y) const = 0;
+  virtual void SpmmTImpl(const SparseMatrix& s, const Matrix& x,
+                         Matrix* y) const = 0;
+};
+
+/// The process-wide backend, selected once on first use (thread-safe).
+const Backend& Active();
+
+/// Name of the process-wide backend ("scalar" / "avx2").
+const char* ActiveName();
+
+/// A specific backend, or nullptr when it is unavailable (not compiled in,
+/// or the CPU lacks the ISA). "scalar" is always available. Does not affect
+/// Active(); intended for tests and benchmarks that compare backends.
+const Backend* BackendByName(const std::string& name);
+
+/// Names of every backend available in this process, scalar first.
+std::vector<std::string> AvailableBackends();
+
+namespace internal {
+/// Singletons defined by the backend translation units. Avx2Instance() is
+/// only referenced when the build compiled kernels/avx2.cc.
+const Backend* ScalarInstance();
+const Backend* Avx2Instance();
+}  // namespace internal
+
+}  // namespace kernels
+}  // namespace aneci
+
+#endif  // ANECI_LINALG_KERNELS_KERNELS_H_

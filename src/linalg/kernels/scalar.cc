@@ -1,0 +1,172 @@
+// Portable scalar backend. The loop structures are the original PR-1
+// kernels verbatim (ikj for N/N, k-outermost for T/N, per-element dots for
+// N/T), generalised to alpha/beta, so results at alpha=1, beta=0 are
+// bit-identical to the pre-backend free functions — goldens and the
+// serial-vs-threaded equivalence tests carry over unchanged.
+#include "linalg/kernels/grain.h"
+#include "linalg/kernels/kernels.h"
+#include "linalg/sparse.h"
+#include "util/thread_pool.h"
+
+namespace aneci::kernels {
+namespace {
+
+// C = beta * C over the rows [lo, hi); beta == 0 assigns zero so prior
+// (possibly uninitialised) contents never propagate.
+void ScaleRows(Matrix* c, double beta, int64_t lo, int64_t hi) {
+  if (beta == 1.0) return;
+  for (int64_t i = lo; i < hi; ++i) {
+    double* row = c->RowPtr(static_cast<int>(i));
+    if (beta == 0.0) {
+      for (int j = 0; j < c->cols(); ++j) row[j] = 0.0;
+    } else {
+      for (int j = 0; j < c->cols(); ++j) row[j] *= beta;
+    }
+  }
+}
+
+class ScalarBackend final : public Backend {
+ public:
+  const char* name() const override { return "scalar"; }
+
+ protected:
+  void GemmImpl(bool trans_a, bool trans_b, double alpha, const Matrix& a,
+                const Matrix& b, double beta, Matrix* c) const override {
+    const int m = c->rows(), n = c->cols();
+    const int k = trans_a ? a.rows() : a.cols();
+    const int64_t grain = GemmRowGrain(2LL * k * n);
+    if (!trans_a && !trans_b) {
+      // ikj loop order: streams through b and c rows. Row-blocked across
+      // the pool; every thread owns a disjoint slice of c's rows.
+      ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+        ScaleRows(c, beta, lo, hi);
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const double* arow = a.RowPtr(i);
+          double* crow = c->RowPtr(i);
+          for (int kk = 0; kk < k; ++kk) {
+            const double raw = arow[kk];
+            if (raw == 0.0) continue;
+            const double av = alpha * raw;
+            const double* brow = b.RowPtr(kk);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
+    } else if (trans_a && !trans_b) {
+      // Blocked over c's rows (a's columns): each thread keeps the serial
+      // kk loop outermost, so every c(i, j) accumulates its k terms in the
+      // same (increasing kk) order as the serial path.
+      ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+        ScaleRows(c, beta, lo, hi);
+        for (int kk = 0; kk < k; ++kk) {
+          const double* arow = a.RowPtr(kk);
+          const double* brow = b.RowPtr(kk);
+          for (int i = static_cast<int>(lo); i < hi; ++i) {
+            const double raw = arow[i];
+            if (raw == 0.0) continue;
+            const double av = alpha * raw;
+            double* crow = c->RowPtr(i);
+            for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
+    } else if (!trans_a && trans_b) {
+      ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          const double* arow = a.RowPtr(i);
+          double* crow = c->RowPtr(i);
+          for (int j = 0; j < n; ++j) {
+            const double* brow = b.RowPtr(j);
+            double s = 0.0;
+            for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+            crow[j] = beta == 0.0 ? alpha * s : beta * crow[j] + alpha * s;
+          }
+        }
+      });
+    } else {
+      // A^T B^T: per-element dots over strided operands; a cold path kept
+      // for API completeness (no current call site).
+      ParallelFor(0, m, grain, [&](int64_t lo, int64_t hi) {
+        for (int i = static_cast<int>(lo); i < hi; ++i) {
+          double* crow = c->RowPtr(i);
+          for (int j = 0; j < n; ++j) {
+            const double* brow = b.RowPtr(j);
+            double s = 0.0;
+            for (int kk = 0; kk < k; ++kk) s += a(kk, i) * brow[kk];
+            crow[j] = beta == 0.0 ? alpha * s : beta * crow[j] + alpha * s;
+          }
+        }
+      });
+    }
+  }
+
+  void SpmmImpl(const SparseMatrix& s, const Matrix& x,
+                Matrix* y) const override {
+    const int k = x.cols();
+    const std::vector<int64_t>& row_ptr = s.row_ptr();
+    const std::vector<int>& col_idx = s.col_idx();
+    const std::vector<double>& values = s.values();
+    // Row-parallel: each output row is a disjoint slice computed with the
+    // serial per-row loop, so the result is bit-identical at any thread
+    // count.
+    ParallelFor(0, s.rows(), SpmmRowGrain(s.rows(), s.nnz(), k),
+                [&](int64_t lo, int64_t hi) {
+      for (int r = static_cast<int>(lo); r < hi; ++r) {
+        double* yrow = y->RowPtr(r);
+        for (int c = 0; c < k; ++c) yrow[c] = 0.0;
+        for (int64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+          const double v = values[i];
+          const double* xrow = x.RowPtr(col_idx[i]);
+          for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+        }
+      }
+    });
+  }
+
+  void SpmmTImpl(const SparseMatrix& s, const Matrix& x,
+                 Matrix* y) const override {
+    const int k = x.cols();
+    const std::vector<int64_t>& row_ptr = s.row_ptr();
+    const std::vector<int>& col_idx = s.col_idx();
+    const std::vector<double>& values = s.values();
+    // Scattering into y rows indexed by col_idx races under a row partition
+    // of s, so partition y's rows instead: each thread scans every CSR row
+    // but touches only the (sorted, hence contiguous) column range it owns.
+    // Per output row the contributions still arrive in increasing r —
+    // exactly the serial accumulation order, so output is bit-identical.
+    const int64_t col_grain = std::max<int64_t>(
+        1, (s.cols() + 2LL * NumThreads() - 1) / (2LL * NumThreads()));
+    ParallelFor(0, s.cols(), col_grain, [&](int64_t lo, int64_t hi) {
+      const int col_lo = static_cast<int>(lo), col_hi = static_cast<int>(hi);
+      for (int r = col_lo; r < col_hi; ++r) {
+        double* yrow = y->RowPtr(r);
+        for (int c = 0; c < k; ++c) yrow[c] = 0.0;
+      }
+      for (int r = 0; r < s.rows(); ++r) {
+        const int* row_begin = col_idx.data() + row_ptr[r];
+        const int* row_end = col_idx.data() + row_ptr[r + 1];
+        const int* lo_it = std::lower_bound(row_begin, row_end, col_lo);
+        const int* hi_it = std::lower_bound(lo_it, row_end, col_hi);
+        if (lo_it == hi_it) continue;
+        const double* xrow = x.RowPtr(r);
+        for (const int* p = lo_it; p < hi_it; ++p) {
+          const double v = values[p - col_idx.data()];
+          double* yrow = y->RowPtr(*p);
+          for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
+        }
+      }
+    });
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+const Backend* ScalarInstance() {
+  static const ScalarBackend backend;
+  return &backend;
+}
+
+}  // namespace internal
+}  // namespace aneci::kernels

@@ -4,24 +4,9 @@
 #include <cmath>
 #include <cstdio>
 
-#include "util/metrics.h"
-#include "util/thread_pool.h"
+#include "linalg/kernels/kernels.h"
 
 namespace aneci {
-namespace {
-
-// Row grain for the GEMM kernels: big enough that a chunk amortises the
-// ParallelFor dispatch (~64k flops), so small matrices collapse to a single
-// chunk and take the serial path. The grain never affects results — each
-// output element is computed with the same per-element operation order
-// regardless of how rows are chunked.
-int64_t GemmRowGrain(int64_t flops_per_row) {
-  constexpr int64_t kMinFlopsPerChunk = 1 << 16;
-  if (flops_per_row <= 0) return kMinFlopsPerChunk;
-  return std::max<int64_t>(1, kMinFlopsPerChunk / flops_per_row);
-}
-
-}  // namespace
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
@@ -141,83 +126,24 @@ std::string Matrix::DebugString(int max_rows, int max_cols) const {
   return out;
 }
 
+// The GEMM free functions are forwarding shims over the process-wide kernel
+// backend (linalg/kernels/kernels.h); validation and metrics live there.
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  ANECI_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  static Counter* calls = MetricsRegistry::Global().GetCounter(
-      "linalg/matmul/calls", MetricClass::kDeterministic);
-  static Counter* flops = MetricsRegistry::Global().GetCounter(
-      "linalg/matmul/flops", MetricClass::kDeterministic);
-  calls->Increment();
-  flops->Add(2ULL * m * k * n);
-  // ikj loop order: streams through b and c rows. Row-blocked across the
-  // pool; every thread owns a disjoint slice of c's rows.
-  ParallelFor(0, m, GemmRowGrain(2LL * k * n), [&](int64_t lo, int64_t hi) {
-    for (int i = static_cast<int>(lo); i < hi; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (int kk = 0; kk < k; ++kk) {
-        const double av = arow[kk];
-        if (av == 0.0) continue;
-        const double* brow = b.RowPtr(kk);
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  kernels::Active().Gemm(false, false, 1.0, a, b, 0.0, &c);
   return c;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
-  ANECI_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
-  const int k = a.rows(), m = a.cols(), n = b.cols();
-  static Counter* calls = MetricsRegistry::Global().GetCounter(
-      "linalg/matmul/calls", MetricClass::kDeterministic);
-  static Counter* flops = MetricsRegistry::Global().GetCounter(
-      "linalg/matmul/flops", MetricClass::kDeterministic);
-  calls->Increment();
-  flops->Add(2ULL * m * k * n);
-  // Blocked over c's rows (a's columns): each thread keeps the serial kk
-  // loop outermost, so every c(i, j) accumulates its k terms in the same
-  // (increasing kk) order as the serial path — bit-identical output.
-  ParallelFor(0, m, GemmRowGrain(2LL * k * n), [&](int64_t lo, int64_t hi) {
-    for (int kk = 0; kk < k; ++kk) {
-      const double* arow = a.RowPtr(kk);
-      const double* brow = b.RowPtr(kk);
-      for (int i = static_cast<int>(lo); i < hi; ++i) {
-        const double av = arow[i];
-        if (av == 0.0) continue;
-        double* crow = c.RowPtr(i);
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  kernels::Active().Gemm(true, false, 1.0, a, b, 0.0, &c);
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
-  ANECI_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
-  const int m = a.rows(), k = a.cols(), n = b.rows();
-  static Counter* calls = MetricsRegistry::Global().GetCounter(
-      "linalg/matmul/calls", MetricClass::kDeterministic);
-  static Counter* flops = MetricsRegistry::Global().GetCounter(
-      "linalg/matmul/flops", MetricClass::kDeterministic);
-  calls->Increment();
-  flops->Add(2ULL * m * k * n);
-  ParallelFor(0, m, GemmRowGrain(2LL * k * n), [&](int64_t lo, int64_t hi) {
-    for (int i = static_cast<int>(lo); i < hi; ++i) {
-      const double* arow = a.RowPtr(i);
-      double* crow = c.RowPtr(i);
-      for (int j = 0; j < n; ++j) {
-        const double* brow = b.RowPtr(j);
-        double s = 0.0;
-        for (int kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-        crow[j] = s;
-      }
-    }
-  });
+  kernels::Active().Gemm(false, true, 1.0, a, b, 0.0, &c);
   return c;
 }
 

@@ -23,6 +23,17 @@ class Matrix {
     ANECI_CHECK(rows >= 0 && cols >= 0);
   }
 
+  /// Adopts `storage` as the backing buffer without touching its contents
+  /// (the caller must overwrite every entry before reading — used by the
+  /// autograd memory planner to recycle buffers across the backward sweep).
+  /// `storage` is resized to exactly rows * cols; a capacity-preserving
+  /// shrink/grow, so recycled buffers keep their allocation.
+  Matrix(int rows, int cols, std::vector<double>&& storage)
+      : rows_(rows), cols_(cols), data_(std::move(storage)) {
+    ANECI_CHECK(rows >= 0 && cols >= 0);
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
+
   /// Builds from nested initializer-style data; all rows must be equal length.
   static Matrix FromRows(const std::vector<std::vector<double>>& rows);
 
@@ -64,6 +75,14 @@ class Matrix {
 
   void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
   void SetZero() { Fill(0.0); }
+
+  /// Steals the backing buffer, leaving this matrix empty (0 x 0). The
+  /// planner's arena uses this to recycle storage after a gradient dies.
+  std::vector<double> TakeStorage() {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
+  }
 
   // In-place arithmetic. Shapes must match exactly.
   Matrix& operator+=(const Matrix& other);

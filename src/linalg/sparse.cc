@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels/kernels.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -91,65 +92,18 @@ Matrix SparseMatrix::ToDense() const {
   return d;
 }
 
+// Both SpMM entry points are forwarding shims over the process-wide kernel
+// backend (linalg/kernels/kernels.h); validation and metrics live there.
+
 Matrix SparseMatrix::Multiply(const Matrix& x) const {
-  ANECI_CHECK_EQ(cols_, x.rows());
   Matrix y(rows_, x.cols());
-  const int k = x.cols();
-  static Counter* calls = MetricsRegistry::Global().GetCounter(
-      "linalg/spmm/calls", MetricClass::kDeterministic);
-  static Counter* flops = MetricsRegistry::Global().GetCounter(
-      "linalg/spmm/flops", MetricClass::kDeterministic);
-  calls->Increment();
-  flops->Add(2ULL * static_cast<uint64_t>(nnz()) * k);
-  // Row-parallel: each output row is a disjoint slice computed with the
-  // serial per-row loop, so the result is bit-identical at any thread count.
-  ParallelFor(0, rows_, SpmmRowGrain(rows_, nnz(), k),
-              [&](int64_t lo, int64_t hi) {
-    for (int r = static_cast<int>(lo); r < hi; ++r) {
-      double* yrow = y.RowPtr(r);
-      for (int64_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
-        const double v = values_[i];
-        const double* xrow = x.RowPtr(col_idx_[i]);
-        for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
-      }
-    }
-  });
+  kernels::Active().Spmm(*this, x, &y);
   return y;
 }
 
 Matrix SparseMatrix::MultiplyTransposed(const Matrix& x) const {
-  ANECI_CHECK_EQ(rows_, x.rows());
   Matrix y(cols_, x.cols());
-  const int k = x.cols();
-  static Counter* calls = MetricsRegistry::Global().GetCounter(
-      "linalg/spmm/calls", MetricClass::kDeterministic);
-  static Counter* flops = MetricsRegistry::Global().GetCounter(
-      "linalg/spmm/flops", MetricClass::kDeterministic);
-  calls->Increment();
-  flops->Add(2ULL * static_cast<uint64_t>(nnz()) * k);
-  // Scattering into y rows indexed by col_idx_ races under a row partition
-  // of *this*, so partition y's rows instead: each thread scans every CSR
-  // row but touches only the (sorted, hence contiguous) column range it
-  // owns. Per output row the contributions still arrive in increasing r —
-  // exactly the serial accumulation order, so output is bit-identical.
-  const int64_t col_grain = std::max<int64_t>(
-      1, (cols_ + 2LL * NumThreads() - 1) / (2LL * NumThreads()));
-  ParallelFor(0, cols_, col_grain, [&](int64_t lo, int64_t hi) {
-    const int col_lo = static_cast<int>(lo), col_hi = static_cast<int>(hi);
-    for (int r = 0; r < rows_; ++r) {
-      const int* row_begin = col_idx_.data() + row_ptr_[r];
-      const int* row_end = col_idx_.data() + row_ptr_[r + 1];
-      const int* s = std::lower_bound(row_begin, row_end, col_lo);
-      const int* e = std::lower_bound(s, row_end, col_hi);
-      if (s == e) continue;
-      const double* xrow = x.RowPtr(r);
-      for (const int* p = s; p < e; ++p) {
-        const double v = values_[p - col_idx_.data()];
-        double* yrow = y.RowPtr(*p);
-        for (int c = 0; c < k; ++c) yrow[c] += v * xrow[c];
-      }
-    }
-  });
+  kernels::Active().SpmmT(*this, x, &y);
   return y;
 }
 

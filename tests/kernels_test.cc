@@ -1,0 +1,386 @@
+// Contract tests for the kernel backend API (src/linalg/kernels/kernels.h):
+//
+//   * every available backend computes Gemm/Spmm/SpmmT correctly on odd
+//     shapes (tails smaller than the register tile, sizes straddling the
+//     micro- and cache-tile boundaries, unaligned odd column counts);
+//   * beta == 0 is an assignment — NaN pre-filled into C never leaks;
+//   * within one backend, results are BIT-identical at every thread count;
+//   * across backends, Gemm agrees elementwise within the documented bound
+//     kKernelUlpSlack * eps * (|alpha| (|A| |B|))_ij.
+#include "linalg/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace aneci {
+namespace {
+
+using kernels::Backend;
+
+const int kThreadSettings[] = {2, 7};
+
+Matrix RandomMatrix(int rows, int cols, Rng& rng) {
+  return Matrix::RandomNormal(rows, cols, 1.0, rng);
+}
+
+SparseMatrix RandomSparse(int rows, int cols, double density, Rng& rng) {
+  std::vector<Triplet> trips;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      if (rng.NextBool(density)) trips.push_back({r, c, rng.Uniform(-2, 2)});
+  return SparseMatrix::FromTriplets(rows, cols, trips);
+}
+
+double OpAt(const Matrix& m, bool trans, int r, int c) {
+  return trans ? m(c, r) : m(r, c);
+}
+
+// Reference C = alpha op(A) op(B) + beta C0 plus the elementwise magnitude
+// sum |alpha| (|A| |B|)_ij + |beta C0_ij| that scales the error bound.
+void ReferenceGemm(bool trans_a, bool trans_b, double alpha, const Matrix& a,
+                   const Matrix& b, double beta, const Matrix& c0, Matrix* ref,
+                   Matrix* mag) {
+  const int m = trans_a ? a.cols() : a.rows();
+  const int k = trans_a ? a.rows() : a.cols();
+  const int n = trans_b ? b.rows() : b.cols();
+  *ref = Matrix(m, n);
+  *mag = Matrix(m, n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0, abs_s = 0.0;
+      for (int p = 0; p < k; ++p) {
+        const double x = OpAt(a, trans_a, i, p) * OpAt(b, trans_b, p, j);
+        s += x;
+        abs_s += std::fabs(x);
+      }
+      const double base = beta == 0.0 ? 0.0 : beta * c0(i, j);
+      (*ref)(i, j) = alpha * s + base;
+      (*mag)(i, j) = std::fabs(alpha) * abs_s + std::fabs(base);
+    }
+  }
+}
+
+void ExpectGemmClose(const Matrix& got, const Matrix& ref, const Matrix& mag,
+                     const std::string& what) {
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  ASSERT_EQ(got.rows(), ref.rows()) << what;
+  ASSERT_EQ(got.cols(), ref.cols()) << what;
+  for (int i = 0; i < ref.rows(); ++i)
+    for (int j = 0; j < ref.cols(); ++j) {
+      const double bound =
+          kernels::kKernelUlpSlack * kEps * (mag(i, j) + 1.0);
+      ASSERT_NEAR(got(i, j), ref(i, j), bound)
+          << what << " at (" << i << ", " << j << ")";
+    }
+}
+
+std::vector<const Backend*> AllBackends() {
+  std::vector<const Backend*> out;
+  for (const std::string& name : kernels::AvailableBackends())
+    out.push_back(kernels::BackendByName(name));
+  return out;
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(KernelRegistry, ScalarAlwaysAvailableAndListedFirst) {
+  const std::vector<std::string> names = kernels::AvailableBackends();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names[0], "scalar");
+  for (const std::string& name : names) {
+    const Backend* be = kernels::BackendByName(name);
+    ASSERT_NE(be, nullptr) << name;
+    EXPECT_EQ(be->name(), name);
+  }
+  EXPECT_EQ(kernels::BackendByName("no-such-backend"), nullptr);
+}
+
+TEST(KernelRegistry, ActiveIsOneOfTheAvailableBackends) {
+  const std::string active = kernels::ActiveName();
+  EXPECT_EQ(active, kernels::Active().name());
+  bool found = false;
+  for (const std::string& name : kernels::AvailableBackends())
+    found = found || name == active;
+  EXPECT_TRUE(found) << active;
+}
+
+// --- Gemm correctness on tail/tile-boundary shapes ---------------------------
+
+struct Shape {
+  int m, n, k;
+};
+
+// Tails below the 6x8 register tile, the tile edges themselves, the 96-row
+// cache block boundary, and the 256 k-block boundary.
+const Shape kOddShapes[] = {
+    {1, 1, 1},  {1, 3, 7},   {3, 1, 5},   {7, 7, 3},    {5, 7, 2},
+    {6, 8, 4},  {7, 9, 11},  {12, 16, 8}, {13, 17, 19}, {95, 9, 5},
+    {96, 8, 6}, {97, 10, 7}, {11, 5, 255}, {6, 9, 256},  {10, 7, 257}};
+
+TEST(KernelGemm, OddShapesAllTransCombosAllBackends) {
+  Rng rng(7);
+  for (const Backend* be : AllBackends()) {
+    for (const Shape& s : kOddShapes) {
+      for (int ta = 0; ta < 2; ++ta) {
+        for (int tb = 0; tb < 2; ++tb) {
+          const bool trans_a = ta != 0, trans_b = tb != 0;
+          const Matrix a = trans_a ? RandomMatrix(s.k, s.m, rng)
+                                   : RandomMatrix(s.m, s.k, rng);
+          const Matrix b = trans_b ? RandomMatrix(s.n, s.k, rng)
+                                   : RandomMatrix(s.k, s.n, rng);
+          const Matrix c0 = RandomMatrix(s.m, s.n, rng);
+          Matrix ref, mag;
+          ReferenceGemm(trans_a, trans_b, 1.0, a, b, 0.0, c0, &ref, &mag);
+          Matrix c = c0;
+          be->Gemm(trans_a, trans_b, 1.0, a, b, 0.0, &c);
+          ExpectGemmClose(c, ref, mag,
+                          std::string(be->name()) + " " +
+                              std::to_string(s.m) + "x" + std::to_string(s.n) +
+                              "x" + std::to_string(s.k) + " trans=" +
+                              std::to_string(ta) + std::to_string(tb));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGemm, AlphaBetaVariants) {
+  Rng rng(11);
+  const Shape shapes[] = {{7, 9, 13}, {97, 17, 33}};
+  const double alphas[] = {1.0, -0.5, 2.25};
+  const double betas[] = {0.0, 1.0, -1.5};
+  for (const Backend* be : AllBackends()) {
+    for (const Shape& s : shapes) {
+      const Matrix a = RandomMatrix(s.m, s.k, rng);
+      const Matrix b = RandomMatrix(s.k, s.n, rng);
+      const Matrix c0 = RandomMatrix(s.m, s.n, rng);
+      for (double alpha : alphas) {
+        for (double beta : betas) {
+          Matrix ref, mag;
+          ReferenceGemm(false, false, alpha, a, b, beta, c0, &ref, &mag);
+          Matrix c = c0;
+          be->Gemm(false, false, alpha, a, b, beta, &c);
+          ExpectGemmClose(c, ref, mag,
+                          std::string(be->name()) + " alpha=" +
+                              std::to_string(alpha) + " beta=" +
+                              std::to_string(beta));
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGemm, BetaZeroNeverReadsC) {
+  Rng rng(13);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const Backend* be : AllBackends()) {
+    for (const Shape& s : {Shape{7, 9, 5}, Shape{97, 11, 257}}) {
+      const Matrix a = RandomMatrix(s.m, s.k, rng);
+      const Matrix b = RandomMatrix(s.k, s.n, rng);
+      Matrix c(s.m, s.n);
+      c.Fill(nan);
+      be->Gemm(false, false, 1.0, a, b, 0.0, &c);
+      Matrix ref, mag;
+      ReferenceGemm(false, false, 1.0, a, b, 0.0, c, &ref, &mag);
+      for (int64_t i = 0; i < c.size(); ++i)
+        ASSERT_FALSE(std::isnan(c.data()[i]))
+            << be->name() << ": NaN leaked from beta==0 C at " << i;
+      ExpectGemmClose(c, ref, mag, std::string(be->name()) + " beta0-nan");
+    }
+  }
+}
+
+TEST(KernelGemm, DegenerateDimensions) {
+  Rng rng(17);
+  for (const Backend* be : AllBackends()) {
+    // k == 0: C = beta * C with nothing accumulated.
+    const Matrix a0(5, 0), b0(0, 4);
+    Matrix c = RandomMatrix(5, 4, rng);
+    const Matrix c_before = c;
+    be->Gemm(false, false, 1.0, a0, b0, 2.0, &c);
+    for (int i = 0; i < 5; ++i)
+      for (int j = 0; j < 4; ++j)
+        ASSERT_EQ(c(i, j), 2.0 * c_before(i, j)) << be->name();
+    // m == 0 / n == 0: legal no-ops.
+    Matrix empty_rows(0, 4);
+    be->Gemm(false, false, 1.0, Matrix(0, 3), Matrix(3, 4), 0.0, &empty_rows);
+    Matrix empty_cols(5, 0);
+    be->Gemm(false, false, 1.0, Matrix(5, 3), Matrix(3, 0), 0.0, &empty_cols);
+  }
+}
+
+// --- cross-backend equivalence ----------------------------------------------
+
+TEST(KernelGemm, BackendsAgreeWithinUlpBound) {
+  const Backend* scalar = kernels::BackendByName("scalar");
+  const Backend* avx2 = kernels::BackendByName("avx2");
+  ASSERT_NE(scalar, nullptr);
+  if (avx2 == nullptr) GTEST_SKIP() << "avx2 backend unavailable";
+  Rng rng(19);
+  for (const Shape& s : kOddShapes) {
+    const Matrix a = RandomMatrix(s.m, s.k, rng);
+    const Matrix b = RandomMatrix(s.k, s.n, rng);
+    Matrix ref, mag;
+    ReferenceGemm(false, false, 1.0, a, b, 0.0, Matrix(s.m, s.n), &ref, &mag);
+    Matrix cs(s.m, s.n), cv(s.m, s.n);
+    scalar->Gemm(false, false, 1.0, a, b, 0.0, &cs);
+    avx2->Gemm(false, false, 1.0, a, b, 0.0, &cv);
+    constexpr double kEps = std::numeric_limits<double>::epsilon();
+    for (int i = 0; i < s.m; ++i)
+      for (int j = 0; j < s.n; ++j)
+        ASSERT_LE(std::fabs(cs(i, j) - cv(i, j)),
+                  kernels::kKernelUlpSlack * kEps * (mag(i, j) + 1.0))
+            << "scalar/avx2 divergence at (" << i << ", " << j << ") of "
+            << s.m << "x" << s.n << "x" << s.k;
+  }
+}
+
+TEST(KernelSpmm, BackendsAgreeWithinUlpBound) {
+  const Backend* scalar = kernels::BackendByName("scalar");
+  const Backend* avx2 = kernels::BackendByName("avx2");
+  ASSERT_NE(scalar, nullptr);
+  if (avx2 == nullptr) GTEST_SKIP() << "avx2 backend unavailable";
+  Rng rng(23);
+  const SparseMatrix s = RandomSparse(61, 47, 0.15, rng);
+  const Matrix x = RandomMatrix(47, 9, rng);
+  const Matrix xt = RandomMatrix(61, 9, rng);
+  Matrix ys(61, 9), yv(61, 9), zs(47, 9), zv(47, 9);
+  scalar->Spmm(s, x, &ys);
+  avx2->Spmm(s, x, &yv);
+  scalar->SpmmT(s, xt, &zs);
+  avx2->SpmmT(s, xt, &zv);
+  for (int64_t i = 0; i < ys.size(); ++i)
+    ASSERT_NEAR(ys.data()[i], yv.data()[i], 1e-12) << "Spmm element " << i;
+  for (int64_t i = 0; i < zs.size(); ++i)
+    ASSERT_NEAR(zs.data()[i], zv.data()[i], 1e-12) << "SpmmT element " << i;
+}
+
+// --- Spmm correctness --------------------------------------------------------
+
+TEST(KernelSpmm, MatchesDenseReference) {
+  Rng rng(29);
+  for (const Backend* be : AllBackends()) {
+    const SparseMatrix s = RandomSparse(33, 27, 0.2, rng);
+    const Matrix sd = s.ToDense();
+    const Matrix x = RandomMatrix(27, 7, rng);
+    const Matrix xt = RandomMatrix(33, 7, rng);
+    Matrix ref, mag;
+
+    Matrix y(33, 7);
+    be->Spmm(s, x, &y);
+    ReferenceGemm(false, false, 1.0, sd, x, 0.0, Matrix(33, 7), &ref, &mag);
+    ExpectGemmClose(y, ref, mag, std::string(be->name()) + " Spmm");
+
+    Matrix z(27, 7);
+    be->SpmmT(s, xt, &z);
+    ReferenceGemm(true, false, 1.0, sd, xt, 0.0, Matrix(27, 7), &ref, &mag);
+    ExpectGemmClose(z, ref, mag, std::string(be->name()) + " SpmmT");
+  }
+}
+
+// --- thread-count determinism per backend ------------------------------------
+
+TEST(KernelDeterminism, SerialVsThreadedBitwisePerBackend) {
+  Rng rng(31);
+  const Shape shapes[] = {{97, 33, 129}, {192, 48, 64}, {7, 9, 11}};
+  for (const Backend* be : AllBackends()) {
+    for (const Shape& s : shapes) {
+      for (int ta = 0; ta < 2; ++ta) {
+        for (int tb = 0; tb < 2; ++tb) {
+          const bool trans_a = ta != 0, trans_b = tb != 0;
+          const Matrix a = trans_a ? RandomMatrix(s.k, s.m, rng)
+                                   : RandomMatrix(s.m, s.k, rng);
+          const Matrix b = trans_b ? RandomMatrix(s.n, s.k, rng)
+                                   : RandomMatrix(s.k, s.n, rng);
+          Matrix serial(s.m, s.n);
+          {
+            ScopedNumThreads guard(1);
+            be->Gemm(trans_a, trans_b, 1.0, a, b, 0.0, &serial);
+          }
+          for (int threads : kThreadSettings) {
+            ScopedNumThreads guard(threads);
+            Matrix c(s.m, s.n);
+            be->Gemm(trans_a, trans_b, 1.0, a, b, 0.0, &c);
+            ASSERT_EQ(std::memcmp(c.data(), serial.data(),
+                                  sizeof(double) * c.size()),
+                      0)
+                << be->name() << " Gemm trans=" << ta << tb << " " << s.m
+                << "x" << s.n << "x" << s.k << " differs at " << threads
+                << " threads";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDeterminism, SpmmSerialVsThreadedBitwisePerBackend) {
+  Rng rng(37);
+  const SparseMatrix s = RandomSparse(201, 143, 0.07, rng);
+  const Matrix x = RandomMatrix(143, 13, rng);
+  const Matrix xt = RandomMatrix(201, 13, rng);
+  for (const Backend* be : AllBackends()) {
+    Matrix y1(201, 13), z1(143, 13);
+    {
+      ScopedNumThreads guard(1);
+      be->Spmm(s, x, &y1);
+      be->SpmmT(s, xt, &z1);
+    }
+    for (int threads : kThreadSettings) {
+      ScopedNumThreads guard(threads);
+      Matrix y(201, 13), z(143, 13);
+      be->Spmm(s, x, &y);
+      be->SpmmT(s, xt, &z);
+      ASSERT_EQ(
+          std::memcmp(y.data(), y1.data(), sizeof(double) * y.size()), 0)
+          << be->name() << " Spmm differs at " << threads << " threads";
+      ASSERT_EQ(
+          std::memcmp(z.data(), z1.data(), sizeof(double) * z.size()), 0)
+          << be->name() << " SpmmT differs at " << threads << " threads";
+    }
+  }
+}
+
+// --- shim routing ------------------------------------------------------------
+
+TEST(KernelShims, FreeFunctionsMatchActiveBackend) {
+  Rng rng(41);
+  const Matrix a = RandomMatrix(13, 17, rng);
+  const Matrix b = RandomMatrix(17, 9, rng);
+  const Backend& be = kernels::Active();
+
+  Matrix expect(13, 9);
+  be.Gemm(false, false, 1.0, a, b, 0.0, &expect);
+  const Matrix got = MatMul(a, b);
+  EXPECT_EQ(std::memcmp(got.data(), expect.data(),
+                        sizeof(double) * got.size()),
+            0);
+
+  Matrix expect_ta(17, 17);
+  be.Gemm(true, false, 1.0, a, a, 0.0, &expect_ta);
+  const Matrix got_ta = MatMulTransA(a, a);
+  EXPECT_EQ(std::memcmp(got_ta.data(), expect_ta.data(),
+                        sizeof(double) * got_ta.size()),
+            0);
+
+  const SparseMatrix s = RandomSparse(13, 17, 0.3, rng);
+  Matrix expect_s(13, 9);
+  be.Spmm(s, b, &expect_s);
+  const Matrix got_s = s.Multiply(b);
+  EXPECT_EQ(std::memcmp(got_s.data(), expect_s.data(),
+                        sizeof(double) * got_s.size()),
+            0);
+}
+
+}  // namespace
+}  // namespace aneci

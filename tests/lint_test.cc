@@ -269,6 +269,25 @@ TEST(BannedNondeterminism, AllowsTimerHeaderAndNonSrcTrees) {
                   .empty());
 }
 
+TEST(BannedNondeterminism, CpuidProbesConfinedToKernelDispatch) {
+  const auto findings = LintContent(
+      "src/linalg/matrix.cc",
+      "bool f() { return __builtin_cpu_supports(\"avx2\"); }\n"
+      "bool g() { unsigned a, b, c, d; return __get_cpuid(1, &a, &b, &c, &d); "
+      "}\n");
+  EXPECT_EQ(CountCheck(findings, "banned-nondeterminism"), 2);
+  // The one audited selection point is exempt.
+  EXPECT_TRUE(LintContent("src/linalg/kernels/dispatch.cc",
+                          "bool f() { return __builtin_cpu_supports(\"avx2\") "
+                          "&& __builtin_cpu_supports(\"fma\"); }\n")
+                  .empty());
+  // Non-call uses (e.g. mentioning the name in a string already opaque, or an
+  // identifier without a call) are not flagged.
+  EXPECT_TRUE(
+      LintContent("src/x.cc", "int __builtin_cpu_supports_count = 0;\n")
+          .empty());
+}
+
 // --- banned-raw-io -----------------------------------------------------------
 
 TEST(BannedRawIo, FlagsWritePathsInSrcOnly) {

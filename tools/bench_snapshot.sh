@@ -5,10 +5,15 @@
 #
 # The baselines are pinned-seed runs of the two machine-profile benches:
 #
-#   BENCH_kernels.json     bench_kernels (google-benchmark over the dense/
-#                          sparse kernels and the metrics overhead probe)
-#   BENCH_serve_load.json  bench_serve_load (loopback serving layer under
-#                          mixed traffic with mid-run snapshot swaps)
+#   BENCH_kernels.json         bench_kernels (google-benchmark over the
+#                              dense/sparse kernels, the per-backend GEMM
+#                              probe, and the metrics overhead probe) on the
+#                              default (auto-selected) kernel backend
+#   BENCH_kernels_scalar.json  the same sweep pinned to the portable scalar
+#                              backend (ANECI_KERNEL_BACKEND=scalar), so the
+#                              SIMD speedup is the ratio of the two files
+#   BENCH_serve_load.json      bench_serve_load (loopback serving layer under
+#                              mixed traffic with mid-run snapshot swaps)
 #
 # Workload shape (seeds, sizes, request mix) is pinned below so reruns
 # measure the same work; the recorded times are of course machine- and
@@ -41,6 +46,12 @@ mkdir -p "${out}"
 echo "== bench_kernels -> ${out}/BENCH_kernels.json =="
 ANECI_THREADS="${ANECI_THREADS:-4}" "./${build}/bench/bench_kernels" \
   --outdir="${out}" --benchmark_min_time=0.05
+
+echo "== bench_kernels (scalar) -> ${out}/BENCH_kernels_scalar.json =="
+ANECI_KERNEL_BACKEND=scalar ANECI_THREADS="${ANECI_THREADS:-4}" \
+  "./${build}/bench/bench_kernels" \
+  --outdir="${out}" --outfile=BENCH_kernels_scalar.json \
+  --benchmark_min_time=0.05
 
 echo "== bench_serve_load -> ${out}/BENCH_serve_load.json =="
 ANECI_THREADS="${ANECI_THREADS:-4}" "./${build}/bench/bench_serve_load" \

@@ -21,6 +21,9 @@
 #
 # Stage 1 builds the default configuration and runs the full ctest suite
 # (the tier-1 gate), which includes the linter's own test suite (-L lint).
+# The kernel-backend suite (-L kernels) then re-runs with
+# ANECI_KERNEL_BACKEND=scalar so the portable fallback keeps full coverage
+# on hardware whose auto-selection would otherwise always pick avx2.
 #
 # Stage 2 is the sanitizer matrix: the fault-injection, attack, serving,
 # and streaming test subsets (-L 'fault|attack|serve|stream') run under
@@ -74,25 +77,35 @@ echo "== stage 1: tier-1 build + full test suite =="
 cmake --build "${prefix}" -j "$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure -j "$(nproc)"
 
+echo "== stage 1b: kernel suite pinned to the scalar backend =="
+# Auto-selection picks avx2 wherever the hardware has it, so without this
+# leg the portable fallback would only ever run on machines that lack AVX2.
+ANECI_KERNEL_BACKEND=scalar ctest --test-dir "${prefix}" \
+  --output-on-failure -j "$(nproc)" -L kernels
+
 # Test binaries exercised by the sanitizer matrix
 # (fault/attack/serve/stream labels).
 matrix_targets=(checkpoint_test resilience_test graph_io_robustness_test
                 attack_test surrogate_test serve_protocol_test
                 serve_snapshot_test serve_golden_test serve_chaos_test
-                watchdog_edge_test stream_test stream_chaos_test)
+                watchdog_edge_test stream_test stream_chaos_test
+                kernels_test memory_planner_test)
 
 echo "== stage 2a: AddressSanitizer (fault + attack + serve + stream tests) =="
 cmake -B "${prefix}-asan" -S . -DANECI_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${prefix}-asan" -j "$(nproc)" --target "${matrix_targets[@]}"
 ctest --test-dir "${prefix}-asan" --output-on-failure -j "$(nproc)" \
-  -L 'fault|attack|serve|stream'
+  -L 'fault|attack|serve|stream|kernels'
+# The scalar fallback's packing/tail paths get the same ASan coverage.
+ANECI_KERNEL_BACKEND=scalar ctest --test-dir "${prefix}-asan" \
+  --output-on-failure -j "$(nproc)" -L kernels
 
 echo "== stage 2b: UndefinedBehaviorSanitizer (fault + attack + serve + stream tests) =="
 cmake -B "${prefix}-ubsan" -S . -DANECI_UBSAN=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${prefix}-ubsan" -j "$(nproc)" --target "${matrix_targets[@]}"
 ctest --test-dir "${prefix}-ubsan" --output-on-failure -j "$(nproc)" \
-  -L 'fault|attack|serve|stream'
+  -L 'fault|attack|serve|stream|kernels'
 
 echo "== stage 2c: ThreadSanitizer (fault + attack + serve + stream + concurrency tests) =="
 cmake -B "${prefix}-tsan" -S . -DANECI_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -100,7 +113,7 @@ cmake --build "${prefix}-tsan" -j "$(nproc)" \
   --target "${matrix_targets[@]}" thread_pool_test defense_test \
   observability_test
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
-  -L 'fault|attack|serve|stream|metrics'
+  -L 'fault|attack|serve|stream|metrics|kernels'
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "$(nproc)" \
   -R 'ThreadPool|Defense|Jaccard|LowRank|AttributeClip|Smoothing|AdversarialTraining'
 

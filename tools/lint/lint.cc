@@ -281,8 +281,20 @@ void CheckDiscardedStatus(const std::string& file, const TokenizedFile& tf,
   }
 }
 
+/// CPUID probes are machine-dependent: two hosts running the same binary can
+/// take different code paths, which silently splits "deterministic" runs by
+/// hardware. They are confined to the one audited selection point.
+bool IsCpuidProbe(const std::string& text) {
+  static const std::set<std::string> kCpuidCalls = {
+      "__builtin_cpu_supports", "__builtin_cpu_is", "__builtin_cpu_init",
+      "__get_cpuid",            "__get_cpuid_count", "__cpuid",
+      "__cpuidex"};
+  return kCpuidCalls.count(text) != 0;
+}
+
 void CheckBannedNondeterminism(const std::string& file,
-                               const TokenizedFile& tf, Findings* out) {
+                               const TokenizedFile& tf, bool allow_cpuid,
+                               Findings* out) {
   const std::vector<Token>& toks = tf.tokens;
   auto flag = [&](const Token& t, const std::string& what) {
     out->push_back({file, t.line, "banned-nondeterminism",
@@ -296,6 +308,13 @@ void CheckBannedNondeterminism(const std::string& file,
     const bool call_next = i + 1 < toks.size() && IsPunct(toks[i + 1], "(");
     if (t.text == "random_device") {
       flag(t, "std::random_device");
+    } else if (call_next && !allow_cpuid && IsCpuidProbe(t.text)) {
+      out->push_back(
+          {file, t.line, "banned-nondeterminism",
+           "CPUID probe '" + t.text +
+               "()' makes behaviour machine-dependent; backend selection "
+               "lives only in src/linalg/kernels/dispatch.cc (set "
+               "ANECI_KERNEL_BACKEND to pin it)"});
     } else if (call_next &&
                (t.text == "rand" || t.text == "srand" || t.text == "rand_r" ||
                 t.text == "drand48")) {
@@ -448,7 +467,9 @@ const std::vector<CheckInfo>& RegisteredChecks() {
        "a call returning Status/StatusOr used as a bare expression statement"},
       {"banned-nondeterminism",
        "rand/srand/std::random_device/time()/clock()/*_clock::now in src/ "
-       "(allowlist: util/timer.h)"},
+       "(allowlist: util/timer.h), plus CPUID probes "
+       "(__builtin_cpu_supports/__get_cpuid/...) outside "
+       "linalg/kernels/dispatch.cc"},
       {"banned-raw-io",
        "fopen/std::ofstream/std::fstream/std::ifstream in src/ outside "
        "util/env.cc (file IO must route through Env, reads included so "
@@ -524,7 +545,9 @@ std::vector<Finding> Linter::Run(const LintOptions& options) const {
                          file.local_status, file.local_non_status, &raw);
     if (InDir(file.path, "src")) {
       if (!EndsWith(file.path, "util/timer.h"))
-        CheckBannedNondeterminism(file.path, file.tokens, &raw);
+        CheckBannedNondeterminism(
+            file.path, file.tokens,
+            EndsWith(file.path, "linalg/kernels/dispatch.cc"), &raw);
       if (!EndsWith(file.path, "util/env.cc"))
         CheckBannedRawIo(file.path, file.tokens,
                          EndsWith(file.path, "serve/socket_io.cc"), &raw);

@@ -610,12 +610,27 @@ void ProjectModel::AnalyzeBody(const SourceFile& file, FunctionInfo* fn,
     {
       const bool call_next =
           i + 1 < body_end && IsPunct(toks[i + 1], "(");
-      const bool allow_file =
-          fn->file.size() >= 12 &&
-          fn->file.compare(fn->file.size() - 12, 12, "util/timer.h") == 0;
+      auto file_ends_with = [&](const std::string& suffix) {
+        return fn->file.size() >= suffix.size() &&
+               fn->file.compare(fn->file.size() - suffix.size(),
+                                suffix.size(), suffix) == 0;
+      };
+      const bool allow_file = file_ends_with("util/timer.h");
+      // CPUID probes are machine-dependent rather than run-to-run
+      // nondeterministic; they are a sink everywhere except the one audited
+      // backend-selection point.
+      const bool allow_cpuid = file_ends_with("linalg/kernels/dispatch.cc");
       if (!allow_file) {
         if (t.text == "random_device") {
           fn->banned.push_back({"std::random_device", t.line});
+        } else if (call_next && !allow_cpuid &&
+                   (t.text == "__builtin_cpu_supports" ||
+                    t.text == "__builtin_cpu_is" ||
+                    t.text == "__builtin_cpu_init" ||
+                    t.text == "__get_cpuid" ||
+                    t.text == "__get_cpuid_count" || t.text == "__cpuid" ||
+                    t.text == "__cpuidex")) {
+          fn->banned.push_back({"'" + t.text + "()'", t.line});
         } else if (call_next &&
                    (t.text == "rand" || t.text == "srand" ||
                     t.text == "rand_r" || t.text == "drand48" ||
